@@ -1,0 +1,47 @@
+// E2 — Examples 4-5: add cascades and the linear-order loop.
+//
+// Paper claim: R, DB ⊢ A_i iff R, DB + {B_i..B_n} ⊢ D (Example 4), and
+// the FIRST/NEXT/LAST loop inserts B along an entire stored chain
+// (Example 5) — the basic composition patterns for hypothetical
+// insertions.
+//
+// Measured: evaluation cost vs chain length n; linear recursion over a
+// growing overlay should stay near-linear in n for the goal-directed
+// engines.
+
+#include "bench/bench_util.h"
+#include "queries/chains.h"
+
+namespace hypo {
+namespace {
+
+using bench::Kind;
+
+void BM_AddCascade(benchmark::State& state) {
+  Kind kind = static_cast<Kind>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  ProgramFixture fixture = MakeAddCascadeFixture(n, /*db_prefix=*/0);
+  Query query = bench::MustParseQuery(fixture, "a1");
+  bench::ProveOnce(state, kind, fixture, query, /*expected=*/1);
+  state.SetLabel(std::string(bench::KindName(kind)) +
+                 " cascade n=" + std::to_string(n));
+}
+BENCHMARK(BM_AddCascade)
+    ->ArgsProduct({{0, 1}, {4, 8, 16, 32, 64}});
+
+void BM_OrderLoop(benchmark::State& state) {
+  Kind kind = static_cast<Kind>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  ProgramFixture fixture = MakeOrderLoopFixture(n);
+  Query query = bench::MustParseQuery(fixture, "a");
+  bench::ProveOnce(state, kind, fixture, query, /*expected=*/1);
+  state.SetLabel(std::string(bench::KindName(kind)) +
+                 " order loop n=" + std::to_string(n));
+}
+BENCHMARK(BM_OrderLoop)
+    ->ArgsProduct({{0, 1}, {4, 8, 16, 32, 64}});
+
+}  // namespace
+}  // namespace hypo
+
+BENCHMARK_MAIN();

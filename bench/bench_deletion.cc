@@ -1,0 +1,63 @@
+// Extension — hypothetical deletion ([4]): counterfactual robustness.
+//
+// The paper notes (§1) that allowing hypothetical deletions raises
+// data-complexity from PSPACE to EXPTIME; this library supports
+// `A[del: C]` in the general tabled engine. The benchmark is the natural
+// counterfactual workload: single-link failure analysis —
+//
+//   cut_survives(U, V) <- link(U, V), reach_goal[del: link(U, V)].
+//   fragile <- link(U, V), ~cut_survives(U, V).
+//   robust <- ~fragile.
+//
+// over reachability. Measured: cost vs. graph size for robust (dense,
+// redundant graphs) and fragile (sparse path graphs) instances — one
+// deletion state per edge, each with its own memoized evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "queries/graphs.h"
+
+namespace hypo {
+namespace {
+
+ProgramFixture RobustnessFixture(const Graph& graph, int src, int dst) {
+  ProgramFixture fixture;
+  auto rules = ParseRuleBase(
+      "reach(X, Y) <- link(X, Y).\n"
+      "reach(X, Y) <- link(X, Z), reach(Z, Y).\n"
+      "reach_goal <- endpoints(S, D), reach(S, D).\n"
+      "cut_survives(U, V) <- link(U, V), reach_goal[del: link(U, V)].\n"
+      "fragile <- link(U, V), ~cut_survives(U, V).\n"
+      "robust <- reach_goal, ~fragile.\n",
+      fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  auto name = [](int v) { return "v" + std::to_string(v); };
+  for (const auto& [from, to] : graph.edges) {
+    HYPO_CHECK(fixture.db.Insert("link", {name(from), name(to)}).ok());
+  }
+  HYPO_CHECK(fixture.db.Insert("endpoints", {name(src), name(dst)}).ok());
+  return fixture;
+}
+
+void BM_SingleLinkFailure(benchmark::State& state) {
+  bool dense = state.range(0) == 1;
+  int n = static_cast<int>(state.range(1));
+  Graph graph = dense ? MakeCompleteGraph(n) : MakePathGraph(n);
+  ProgramFixture fixture = RobustnessFixture(graph, 0, n - 1);
+  Query query = bench::MustParseQuery(fixture, "robust");
+  // Complete graphs survive any single cut (n >= 3); paths never do.
+  bench::ProveOnce(state, bench::Kind::kTabled, fixture, query,
+                   dense && n >= 3 ? 1 : 0);
+  state.counters["edges"] = static_cast<double>(graph.edges.size());
+  state.SetLabel(std::string(dense ? "complete" : "path") +
+                 " n=" + std::to_string(n));
+}
+BENCHMARK(BM_SingleLinkFailure)
+    ->ArgsProduct({{0, 1}, {4, 6, 8}});
+
+}  // namespace
+}  // namespace hypo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E4 — Examples 7-8: Hamiltonian path, the paper's NP-hardness witness.
+//
+// Paper claim: "the ability to record facts ... accounts for its
+// NP-hardness"; one stratum decides Hamiltonian path, and Example 8's
+// single extra rule (`no <- ~yes.`) makes the rulebase NP- and
+// coNP-hard (two strata).
+//
+// Measured: rulebase evaluation vs a direct bitmask-backtracking
+// baseline across graph families and sizes. Expected shape: both grow
+// exponentially on hard instances; the baseline wins by a constant-ish
+// factor (no logic overhead); yes-instances are much cheaper than
+// no-instances for both (first-path early exit vs exhaustion).
+
+#include "bench/bench_util.h"
+#include "queries/hamiltonian.h"
+
+namespace hypo {
+namespace {
+
+using bench::Kind;
+
+Graph GraphFor(int family, int n, bool* expected) {
+  switch (family) {
+    case 0: {
+      *expected = true;
+      return MakeCycleGraph(n);
+    }
+    case 1: {
+      *expected = n < 4;  // Two cliques are traversable only when tiny.
+      return MakeDisconnectedCliques(n);
+    }
+    default: {
+      Random rng(1234 + n);
+      Graph g = MakeRandomGraph(n, 0.35, &rng);
+      *expected = HamiltonianPathExists(g);
+      return g;
+    }
+  }
+}
+
+const char* FamilyName(int family) {
+  switch (family) {
+    case 0: return "cycle";
+    case 1: return "cliques";
+    default: return "random";
+  }
+}
+
+void BM_HamiltonianRulebase(benchmark::State& state) {
+  Kind kind = static_cast<Kind>(state.range(0));
+  int family = static_cast<int>(state.range(1));
+  int n = static_cast<int>(state.range(2));
+  bool expected = false;
+  Graph graph = GraphFor(family, n, &expected);
+  ProgramFixture fixture =
+      MakeHamiltonianFixture(graph, /*with_no_rule=*/false);
+  Query query = bench::MustParseQuery(fixture, "yes");
+  bench::ProveOnce(state, kind, fixture, query, expected ? 1 : 0);
+  state.SetLabel(std::string(bench::KindName(kind)) + " " +
+                 FamilyName(family) + " n=" + std::to_string(n) +
+                 (expected ? " (yes)" : " (no)"));
+}
+BENCHMARK(BM_HamiltonianRulebase)
+    ->ArgsProduct({{0, 1}, {0, 1, 2}, {4, 6, 8}});
+
+void BM_HamiltonianBaseline(benchmark::State& state) {
+  int family = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  bool expected = false;
+  Graph graph = GraphFor(family, n, &expected);
+  for (auto _ : state) {
+    bool got = HamiltonianPathExists(graph);
+    HYPO_CHECK(got == expected);
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetLabel(std::string("baseline ") + FamilyName(family) +
+                 " n=" + std::to_string(n) + (expected ? " (yes)" : " (no)"));
+}
+BENCHMARK(BM_HamiltonianBaseline)->ArgsProduct({{0, 1, 2}, {4, 6, 8}});
+
+void BM_HamiltonianComplement(benchmark::State& state) {
+  // Example 8: deciding `no` requires exhausting the search (coNP side).
+  int n = static_cast<int>(state.range(0));
+  Graph graph = MakeDisconnectedCliques(n);
+  ProgramFixture fixture =
+      MakeHamiltonianFixture(graph, /*with_no_rule=*/true);
+  Query query = bench::MustParseQuery(fixture, "no");
+  bench::ProveOnce(state, Kind::kStratified, fixture, query,
+                   /*expected=*/n >= 4 ? 1 : 0);
+  state.SetLabel("stratified no-instance n=" + std::to_string(n));
+}
+BENCHMARK(BM_HamiltonianComplement)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace hypo
+
+BENCHMARK_MAIN();

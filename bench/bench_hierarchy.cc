@@ -1,0 +1,53 @@
+// E6 — Theorem 1: the Σ_k hierarchy, operationally.
+//
+// Paper claim: rulebases with k strata are data-complete for Σ_k^P; the
+// §5.2 procedure evaluates them as a cascade of k PROVE_Σ/PROVE_Δ layers.
+//
+// Measured: evaluation of the k-strata ladder (Example 9 generalized) as
+// k grows — each extra stratum adds one negation boundary the prover must
+// resolve via a complete lower-stratum decision — and of Example 8's
+// 1-vs-2 strata pair on one graph. Cost should grow with k (linearly for
+// the ladder: each stratum is constant work) and jump between the yes
+// query (stratum 1, early exit) and the no query (stratum 2, exhaustive).
+
+#include "bench/bench_util.h"
+#include "queries/hamiltonian.h"
+#include "queries/ladder.h"
+
+namespace hypo {
+namespace {
+
+using bench::Kind;
+
+void BM_LadderByStrata(benchmark::State& state) {
+  Kind kind = static_cast<Kind>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  ProgramFixture fixture = MakeStrataLadderFixture(k);
+  Query query =
+      bench::MustParseQuery(fixture, "a" + std::to_string(k));
+  bench::ProveOnce(state, kind, fixture, query,
+                   /*expected=*/k % 2 == 1 ? 1 : 0);
+  state.SetLabel(std::string(bench::KindName(kind)) +
+                 " k=" + std::to_string(k));
+}
+BENCHMARK(BM_LadderByStrata)
+    ->ArgsProduct({{0, 1}, {1, 2, 4, 8, 12, 16}});
+
+void BM_OneVsTwoStrata(benchmark::State& state) {
+  // Same database, same base rules; the second stratum (Example 8's
+  // `no <- ~yes.`) forces the complete exploration of stratum 1.
+  bool two_strata = state.range(0) == 1;
+  Graph graph = MakeDisconnectedCliques(6);  // A no-instance.
+  ProgramFixture fixture = MakeHamiltonianFixture(graph, two_strata);
+  Query query =
+      bench::MustParseQuery(fixture, two_strata ? "no" : "yes");
+  bench::ProveOnce(state, Kind::kStratified, fixture, query,
+                   /*expected=*/two_strata ? 1 : 0);
+  state.SetLabel(two_strata ? "two strata (no <- ~yes)" : "one stratum");
+}
+BENCHMARK(BM_OneVsTwoStrata)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace hypo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// E11 — §1/§4: linearity is what drops the complexity from PSPACE to NP.
+//
+// Paper claim: rules of form (2) — several recursive hypothetical
+// premises — drive PSPACE-hardness; restricting recursion to one premise
+// (linearity) brings each stratum down to NP.
+//
+// Measured: a linear add-chain (one recursive premise per rule, proof is
+// a single path of length n) against its non-linear sibling (two
+// recursive hypothetical premises per rule, an AND-tree of 2^n subgoals
+// over pairwise-distinct database states). Both run on the general
+// tabled engine; the observed cost curve is the paper's linearity gap.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "ast/rule_builder.h"
+#include "bench/bench_util.h"
+
+namespace hypo {
+namespace {
+
+/// depth-indexed rules  a<i> <- a<i+1>[add: m<i>_0] (, a<i+1>[add: m<i>_1])
+/// with a<n+1> <- base. `branches` = 1 builds the linear chain, 2 the
+/// non-linear AND-tree of form (2).
+ProgramFixture MakeRecursionTower(int n, int branches) {
+  ProgramFixture fixture;
+  SymbolTable* symbols = fixture.symbols.get();
+  auto add = [&fixture](RuleBuilder&& b) {
+    auto rule = std::move(b).Build();
+    HYPO_CHECK(rule.ok()) << rule.status();
+    fixture.rules.AddRule(std::move(rule).value());
+  };
+  auto a_name = [](int i) { return "a" + std::to_string(i); };
+  for (int i = 1; i <= n; ++i) {
+    RuleBuilder b(symbols);
+    b.Head(b.A(a_name(i), {}));
+    for (int br = 0; br < branches; ++br) {
+      b.Hypothetical(
+          b.A(a_name(i + 1), {}),
+          {b.A("m", {b.C("k" + std::to_string(i) + "_" +
+                         std::to_string(br))})});
+    }
+    add(std::move(b));
+  }
+  RuleBuilder b(symbols);
+  b.Head(b.A(a_name(n + 1), {})).Positive(b.A("base", {}));
+  add(std::move(b));
+  HYPO_CHECK(fixture.db.Insert("base", {}).ok());
+  return fixture;
+}
+
+void BM_RecursionTower(benchmark::State& state) {
+  int branches = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  ProgramFixture fixture = MakeRecursionTower(n, branches);
+  Query query = bench::MustParseQuery(fixture, "a1");
+  bench::ProveOnce(state, bench::Kind::kTabled, fixture, query,
+                   /*expected=*/1);
+  state.SetLabel(std::string(branches == 1 ? "linear" : "non-linear") +
+                 " n=" + std::to_string(n));
+}
+BENCHMARK(BM_RecursionTower)
+    ->ArgsProduct({{1, 2}, {2, 4, 6, 8, 10, 12}});
+
+}  // namespace
+}  // namespace hypo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// E10 — Appendix A: proof sequences in linear Σ strata have polynomial
+// length O(n^{2·k_i·k_0}).
+//
+// Paper claim: because Σ recursion is linear, any repetition-free goal
+// sequence the top-down procedure generates is polynomially long — the
+// heart of the NP upper bound.
+//
+// Measured: goal expansions and maximum proof depth of the stratified
+// prover on the Example 5 order loop and on the parity rulebase as the
+// database grows. For the order loop (deterministic chain), goals should
+// grow linearly in n — far under the n^2 bound with k_i = k_0 = 1. The
+// reported `goals`/`depth` counters are the empirical curve EXPERIMENTS.md
+// compares against the bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "queries/chains.h"
+#include "queries/parity.h"
+
+namespace hypo {
+namespace {
+
+void BM_OrderLoopProofLength(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ProgramFixture fixture = MakeOrderLoopFixture(n);
+  Query query = bench::MustParseQuery(fixture, "a");
+  int64_t goals = 0;
+  int64_t depth = 0;
+  for (auto _ : state) {
+    StratifiedProver prover(&fixture.rules, &fixture.db);
+    auto got = prover.ProveQuery(query);
+    HYPO_CHECK(got.ok() && *got);
+    benchmark::DoNotOptimize(*got);
+    goals = prover.stats().goals_expanded;
+    depth = prover.stats().max_goal_depth;
+  }
+  state.counters["goals"] = static_cast<double>(goals);
+  state.counters["depth"] = static_cast<double>(depth);
+  state.counters["bound_n2"] = static_cast<double>(n) * n;
+  state.SetLabel("order loop n=" + std::to_string(n));
+}
+BENCHMARK(BM_OrderLoopProofLength)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ParityProofDepth(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ProgramFixture fixture = MakeParityFixture(n);
+  Query query = bench::MustParseQuery(fixture, n % 2 == 0 ? "even" : "odd");
+  int64_t depth = 0;
+  for (auto _ : state) {
+    StratifiedProver prover(&fixture.rules, &fixture.db);
+    auto got = prover.ProveQuery(query);
+    HYPO_CHECK(got.ok() && *got);
+    benchmark::DoNotOptimize(*got);
+    depth = prover.stats().max_goal_depth;
+  }
+  state.counters["depth"] = static_cast<double>(depth);
+  state.counters["bound_n2"] = static_cast<double>(n) * n;
+  state.SetLabel("parity n=" + std::to_string(n));
+}
+BENCHMARK(BM_ParityProofDepth)->Arg(3)->Arg(6)->Arg(9)->Arg(12);
+
+}  // namespace
+}  // namespace hypo
+
+BENCHMARK_MAIN();

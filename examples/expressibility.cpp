@@ -1,0 +1,110 @@
+// §6 end to end: compile a generic query (parity) into a constant-free
+// hypothetical rulebase via the Lemma 2 construction — Turing machine,
+// hypothetically asserted linear orders, arity-l counter, bitmap input —
+// and run it on unordered databases. Also prints the §6.2.3 bitmap
+// diagrams for the paper's running example.
+//
+// Usage: ./build/examples/expressibility [max_domain_size]
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encode/generic_query.h"
+#include "engine/tabled.h"
+#include "parser/parser.h"
+#include "tm/machines_library.h"
+
+namespace {
+
+using namespace hypo;
+
+/// Renders the §6.2.3 diagrams: the bitmap of {P(b,a), P(b,b), Q(b)}
+/// under a given linear order of {a, b}.
+void PrintDiagram(const std::vector<std::string>& order) {
+  std::cout << "  order " << order[0] << " < " << order[1] << ":  ";
+  auto has = [](const std::string& x, const std::string& y) {
+    // P = {(b,a), (b,b)}.
+    return x == "b";
+    (void)y;
+  };
+  std::string bits;
+  std::string cells;
+  for (const std::string& x : order) {
+    for (const std::string& y : order) {
+      bits += has(x, y) ? "1 " : "0 ";
+      cells += "P(" + x + "," + y + ") ";
+    }
+  }
+  for (const std::string& y : order) {
+    bits += (y == "b") ? "1 " : "0 ";  // Q = {b}.
+    cells += "Q(" + y + ") ";
+  }
+  std::cout << bits << "\n           cells: " << cells << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_n = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  std::cout << "Diagrams 1-2 (§6.2.3): the same database under two "
+               "orders\n";
+  PrintDiagram({"a", "b"});
+  PrintDiagram({"b", "a"});
+  std::cout << "Re-ordering the domain permutes the bitmap exactly like "
+               "renaming the constants,\nso a generic query accepts under "
+               "every order or under none.\n\n";
+
+  // Lemma 2: parity of a unary relation, decided by a one-machine
+  // cascade over the bitmap, with all orders asserted hypothetically.
+  GenericQuerySpec spec;
+  spec.machines = {MakeParityMachine(/*accept_even=*/true)};
+  spec.schema = {{"a", 1}};
+
+  std::cout << "Compiling PARITY-EVEN into a constant-free rulebase "
+               "(Lemma 2)...\n";
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules = BuildYesNoQueryRules(spec, symbols);
+  if (!rules.ok()) {
+    std::cerr << "build error: " << rules.status() << "\n";
+    return 1;
+  }
+  std::cout << "  " << rules->num_rules() << " rules, constant-free: "
+            << (rules->IsConstantFree() ? "yes" : "no") << "\n\n";
+
+  std::cout << "n  |a|  direct  rulebase  goals\n";
+  for (int n = 2; n <= max_n; ++n) {
+    Database db(symbols);
+    for (int i = 1; i <= n; ++i) {
+      if (Status s = db.Insert("a", {"e" + std::to_string(i)}); !s.ok()) {
+        std::cerr << s << "\n";
+        return 1;
+      }
+    }
+    if (Status s = ValidateGenericQueryGeometry(spec, n); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    TabledEngine engine(&*rules, &db);
+    auto yes = ParseQuery("yes", symbols.get());
+    auto got = engine.ProveQuery(*yes);
+    if (!got.ok()) {
+      std::cerr << "evaluation error: " << got.status() << "\n";
+      return 1;
+    }
+    bool direct = (n % 2 == 0);
+    std::cout << n << "  " << n << "    " << (direct ? "even" : "odd ")
+              << "    " << (*got ? "even" : "odd ") << "     "
+              << engine.stats().goals_expanded << "\n";
+    if (*got != direct) {
+      std::cerr << "MISMATCH at n=" << n << "\n";
+      return 1;
+    }
+  }
+  std::cout << "\nEvery answer matches direct evaluation, with no order "
+               "on the domain.\n";
+  return 0;
+}

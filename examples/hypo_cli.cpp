@@ -1,0 +1,180 @@
+// hypo_cli: evaluate hypothetical-Datalog programs from the command line.
+//
+//   hypo_cli PROGRAM.hdl [-q QUERY]... [--engine tabled|stratified|bottomup]
+//   hypo_cli PROGRAM.hdl --explain  # print the linear stratification
+//   hypo_cli PROGRAM.hdl --proof -q "grad(tony)"   # print a derivation
+//   hypo_cli PROGRAM.hdl            # interactive: one query per line
+//
+// PROGRAM.hdl mixes rules and facts (ground, bodyless statements become
+// database facts). Queries use the same premise syntax, e.g.
+//   grad(tony)[add: take(tony, cs452)]
+//   reach(a, c)[del: link(a, b)]
+//   one_away(S)
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "engine/proof.h"
+#include "engine/bottom_up.h"
+#include "engine/stratified_prover.h"
+#include "engine/tabled.h"
+#include "parser/parser.h"
+
+namespace {
+
+using namespace hypo;
+
+std::unique_ptr<Engine> MakeEngineByName(const std::string& name,
+                                         const RuleBase* rules,
+                                         const Database* db) {
+  if (name == "stratified") {
+    return std::make_unique<StratifiedProver>(rules, db);
+  }
+  if (name == "bottomup") return std::make_unique<BottomUpEngine>(rules, db);
+  return std::make_unique<TabledEngine>(rules, db);
+}
+
+int PrintProof(TabledEngine* engine, SymbolTable* symbols,
+               const std::string& text) {
+  auto fact = ParseFact(text, symbols);
+  if (!fact.ok()) {
+    std::cerr << "--proof needs a ground atom: " << fact.status() << "\n";
+    return 1;
+  }
+  auto proof = engine->ExplainFact(*fact);
+  if (!proof.ok()) {
+    std::cerr << proof.status() << "\n";
+    return 1;
+  }
+  std::cout << ProofToString(*proof, *symbols);
+  return 0;
+}
+
+int RunQuery(Engine* engine, SymbolTable* symbols, const std::string& text) {
+  auto query = ParseQuery(text, symbols);
+  if (!query.ok()) {
+    std::cerr << "query error: " << query.status() << "\n";
+    return 1;
+  }
+  if (query->num_vars() == 0) {
+    auto r = engine->ProveQuery(*query);
+    if (!r.ok()) {
+      std::cerr << "evaluation error: " << r.status() << "\n";
+      return 1;
+    }
+    std::cout << (*r ? "yes" : "no") << "\n";
+    return 0;
+  }
+  auto answers = engine->Answers(*query);
+  if (!answers.ok()) {
+    std::cerr << "evaluation error: " << answers.status() << "\n";
+    return 1;
+  }
+  if (answers->empty()) {
+    std::cout << "no answers\n";
+    return 0;
+  }
+  for (const Tuple& tuple : *answers) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) std::cout << ", ";
+      std::cout << query->var_names[i] << " = "
+                << symbols->ConstName(tuple[i]);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0]
+              << " PROGRAM.hdl [-q QUERY]... [--engine NAME]\n";
+    return 2;
+  }
+  std::string program_path;
+  std::vector<std::string> queries;
+  std::string engine_name = "tabled";
+  bool explain = false;
+  bool proof = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-q" && i + 1 < argc) {
+      queries.emplace_back(argv[++i]);
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine_name = argv[++i];
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--proof") {
+      proof = true;
+    } else if (program_path.empty()) {
+      program_path = arg;
+    } else {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::ifstream in(program_path);
+  if (!in) {
+    std::cerr << "cannot open " << program_path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto symbols = std::make_shared<SymbolTable>();
+  auto program = ParseProgram(buffer.str(), symbols);
+  if (!program.ok()) {
+    std::cerr << "parse error: " << program.status() << "\n";
+    return 1;
+  }
+  std::cerr << "loaded " << program->rules.num_rules() << " rules, "
+            << program->facts.size() << " facts\n";
+
+  if (explain) {
+    std::cout << ExplainStratification(program->rules);
+    if (queries.empty()) return 0;
+  }
+
+  auto engine =
+      MakeEngineByName(engine_name, &program->rules, &program->facts);
+  if (Status s = engine->Init(); !s.ok()) {
+    std::cerr << "engine init (" << engine->name() << "): " << s << "\n";
+    return 1;
+  }
+
+  int rc = 0;
+  if (proof) {
+    auto* tabled = dynamic_cast<TabledEngine*>(engine.get());
+    if (tabled == nullptr) {
+      std::cerr << "--proof requires --engine tabled\n";
+      return 2;
+    }
+    for (const std::string& q : queries) {
+      std::cout << "?- " << q << "\n";
+      rc |= PrintProof(tabled, symbols.get(), q);
+    }
+    return rc;
+  }
+  if (!queries.empty()) {
+    for (const std::string& q : queries) {
+      std::cout << "?- " << q << "\n";
+      rc |= RunQuery(engine.get(), symbols.get(), q);
+    }
+    return rc;
+  }
+  std::cerr << "enter queries, one per line (ctrl-d to quit)\n";
+  std::string line;
+  while (std::cout << "?- " && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    RunQuery(engine.get(), symbols.get(), line);
+  }
+  return 0;
+}

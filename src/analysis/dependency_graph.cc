@@ -1,0 +1,34 @@
+#include "analysis/dependency_graph.h"
+
+namespace hypo {
+
+DependencyGraph DependencyGraph::Build(const RuleBase& rulebase) {
+  DependencyGraph graph;
+  graph.num_predicates_ = rulebase.symbols().num_predicates();
+  graph.out_edges_.resize(graph.num_predicates_);
+  const std::vector<Rule>& rules = rulebase.rules();
+  for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+    const Rule& rule = rules[r];
+    for (const Premise& p : rule.premises) {
+      EdgeKind kind = EdgeKind::kPositive;
+      switch (p.kind) {
+        case PremiseKind::kPositive:
+          kind = EdgeKind::kPositive;
+          break;
+        case PremiseKind::kNegated:
+          kind = EdgeKind::kNegative;
+          break;
+        case PremiseKind::kHypothetical:
+          kind = EdgeKind::kHypothetical;
+          break;
+      }
+      int edge_index = static_cast<int>(graph.edges_.size());
+      graph.edges_.push_back(
+          DepEdge{rule.head.predicate, p.atom.predicate, kind, r});
+      graph.out_edges_[rule.head.predicate].push_back(edge_index);
+    }
+  }
+  return graph;
+}
+
+}  // namespace hypo

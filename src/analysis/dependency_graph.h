@@ -1,0 +1,54 @@
+#ifndef HYPO_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define HYPO_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <vector>
+
+#include "ast/rulebase.h"
+
+namespace hypo {
+
+/// How a premise predicate occurs in a rule (Definition 4).
+///
+/// The *added* atoms of a hypothetical premise do not create dependency
+/// edges: Definition 4 defines occurrence only for the queried formula, and
+/// the stratification conditions of Definition 6 never mention them.
+enum class EdgeKind {
+  kPositive,      // B(x̄) as a premise.
+  kNegative,      // ~B(x̄) as a premise.
+  kHypothetical,  // B(x̄)[add: ...] as a premise (B is the queried symbol).
+};
+
+/// One head→premise dependency.
+struct DepEdge {
+  PredicateId head;     // The rule's conclusion predicate.
+  PredicateId premise;  // A predicate occurring in the rule's premise.
+  EdgeKind kind;
+  int rule_index;       // Which rule of the RuleBase produced the edge.
+};
+
+/// The predicate dependency graph of a rulebase.
+///
+/// Nodes are every predicate of the SymbolTable (dense ids); edges run from
+/// the head predicate of each rule to each predicate occurring in its
+/// premises, labelled with the occurrence kind.
+class DependencyGraph {
+ public:
+  static DependencyGraph Build(const RuleBase& rulebase);
+
+  int num_predicates() const { return num_predicates_; }
+  const std::vector<DepEdge>& edges() const { return edges_; }
+
+  /// Indices into edges() of the edges whose head is `pred`.
+  const std::vector<int>& OutEdges(PredicateId pred) const {
+    return out_edges_[pred];
+  }
+
+ private:
+  int num_predicates_ = 0;
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<int>> out_edges_;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_ANALYSIS_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,64 @@
+#include "analysis/report.h"
+
+#include "ast/printer.h"
+
+namespace hypo {
+
+std::string StratificationReport(const RuleBase& rulebase,
+                                 const LinearStratification& strat) {
+  const SymbolTable& symbols = rulebase.symbols();
+  std::string out;
+  out += "linear stratification: " + std::to_string(strat.num_strata) +
+         " strat" + (strat.num_strata == 1 ? "um" : "a") + "\n";
+  for (int i = strat.num_strata; i >= 1; --i) {
+    out += "stratum " + std::to_string(i) + "\n";
+    const std::vector<int>& sigma = strat.sigma_rules[i - 1];
+    out += "  Σ_" + std::to_string(i) + " (" +
+           std::to_string(sigma.size()) + " rule" +
+           (sigma.size() == 1 ? "" : "s") + ")\n";
+    for (int r : sigma) {
+      out += "    " + RuleToString(rulebase.rule(r), symbols) + "\n";
+    }
+    const auto& substrata = strat.delta_substrata[i - 1];
+    size_t delta_count = strat.delta_rules[i - 1].size();
+    out += "  Δ_" + std::to_string(i) + " (" + std::to_string(delta_count) +
+           " rule" + (delta_count == 1 ? "" : "s") + ", " +
+           std::to_string(substrata.size()) + " negation substrat" +
+           (substrata.size() == 1 ? "um" : "a") + ")\n";
+    for (size_t j = 0; j < substrata.size(); ++j) {
+      for (int r : substrata[j]) {
+        out += "    [" + std::to_string(j) + "] " +
+               RuleToString(rulebase.rule(r), symbols) + "\n";
+      }
+    }
+  }
+  // Predicate assignment summary.
+  out += "predicates:\n";
+  for (int pred = 0; pred < symbols.num_predicates(); ++pred) {
+    int part = pred < static_cast<int>(strat.partition_of_pred.size())
+                   ? strat.partition_of_pred[pred]
+                   : 0;
+    out += "  " + symbols.PredicateName(pred) + "/" +
+           std::to_string(symbols.PredicateArity(pred));
+    if (part == 0) {
+      out += ": extensional\n";
+    } else {
+      out += ": " + std::string(part % 2 == 0 ? "Σ_" : "Δ_") +
+             std::to_string((part + 1) / 2) + " (partition " +
+             std::to_string(part) + ")\n";
+    }
+  }
+  return out;
+}
+
+std::string ExplainStratification(const RuleBase& rulebase) {
+  auto strat = ComputeLinearStratification(rulebase);
+  if (!strat.ok()) {
+    return "not linearly stratifiable: " + strat.status().message() +
+           "\n(the general TabledEngine still evaluates it if negation "
+           "is stratified)\n";
+  }
+  return StratificationReport(rulebase, *strat);
+}
+
+}  // namespace hypo

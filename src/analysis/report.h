@@ -1,0 +1,24 @@
+#ifndef HYPO_ANALYSIS_REPORT_H_
+#define HYPO_ANALYSIS_REPORT_H_
+
+#include <string>
+
+#include "analysis/stratification.h"
+#include "ast/rulebase.h"
+
+namespace hypo {
+
+/// Renders a linear stratification in the paper's notation: for each
+/// stratum i, the Σ_i (hypothetical) and Δ_i (Horn) rules — with Δ's
+/// internal negation substrata — plus the predicates assigned to each
+/// partition. Intended for diagnostics and the CLI's --explain flag.
+std::string StratificationReport(const RuleBase& rulebase,
+                                 const LinearStratification& strat);
+
+/// Convenience: computes the stratification and renders it, or renders
+/// the reason the rulebase is not linearly stratifiable.
+std::string ExplainStratification(const RuleBase& rulebase);
+
+}  // namespace hypo
+
+#endif  // HYPO_ANALYSIS_REPORT_H_

@@ -1,0 +1,89 @@
+#include "analysis/scc.h"
+
+#include <algorithm>
+
+namespace hypo {
+
+SccResult ComputeSccs(const DependencyGraph& graph) {
+  const int n = graph.num_predicates();
+  SccResult result;
+  result.component_of.assign(n, -1);
+
+  // Iterative Tarjan. lowlink/index per node; explicit stack of frames.
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  struct Frame {
+    int node;
+    size_t edge_pos;  // Position within OutEdges(node).
+  };
+  std::vector<Frame> frames;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    frames.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::vector<int>& out = graph.OutEdges(frame.node);
+      if (frame.edge_pos < out.size()) {
+        int target = graph.edges()[out[frame.edge_pos]].premise;
+        ++frame.edge_pos;
+        if (index[target] == -1) {
+          index[target] = lowlink[target] = next_index++;
+          stack.push_back(target);
+          on_stack[target] = true;
+          frames.push_back(Frame{target, 0});
+        } else if (on_stack[target]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[target]);
+        }
+        continue;
+      }
+      // All edges explored: close the frame.
+      int node = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[node]);
+      }
+      if (lowlink[node] == index[node]) {
+        // node is the root of a component; pop it off the Tarjan stack.
+        std::vector<PredicateId> component;
+        while (true) {
+          int member = stack.back();
+          stack.pop_back();
+          on_stack[member] = false;
+          result.component_of[member] = result.num_components;
+          component.push_back(member);
+          if (member == node) break;
+        }
+        result.members.push_back(std::move(component));
+        ++result.num_components;
+      }
+    }
+  }
+
+  // Tarjan emits components in reverse topological order: every edge goes
+  // from a later-emitted component to an earlier one, i.e. component ids
+  // already satisfy "edges run to <= ids".
+
+  // A component is recursive iff it has > 1 member or a self-edge.
+  result.is_recursive.assign(result.num_components, false);
+  for (int c = 0; c < result.num_components; ++c) {
+    if (result.members[c].size() > 1) result.is_recursive[c] = true;
+  }
+  for (const DepEdge& e : graph.edges()) {
+    if (e.head == e.premise) {
+      result.is_recursive[result.component_of[e.head]] = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace hypo

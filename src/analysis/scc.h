@@ -1,0 +1,36 @@
+#ifndef HYPO_ANALYSIS_SCC_H_
+#define HYPO_ANALYSIS_SCC_H_
+
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+
+namespace hypo {
+
+/// Strongly connected components of the dependency graph: the equivalence
+/// classes of mutually recursive predicates (Definition 16, and [2]).
+struct SccResult {
+  /// Component id per predicate (dense, topologically numbered so that
+  /// every edge runs from a component to one with an id <= its own).
+  std::vector<int> component_of;
+  int num_components = 0;
+
+  /// Members of each component.
+  std::vector<std::vector<PredicateId>> members;
+
+  /// True iff the component contains a cycle (size > 1, or a self-edge):
+  /// exactly when its predicates are recursive.
+  std::vector<bool> is_recursive;
+
+  bool MutuallyRecursive(PredicateId a, PredicateId b) const {
+    return component_of[a] == component_of[b] &&
+           is_recursive[component_of[a]];
+  }
+};
+
+/// Tarjan's algorithm (iterative) over all edge kinds.
+SccResult ComputeSccs(const DependencyGraph& graph);
+
+}  // namespace hypo
+
+#endif  // HYPO_ANALYSIS_SCC_H_

@@ -1,0 +1,245 @@
+#include "analysis/stratification.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace hypo {
+
+namespace {
+
+/// Computes stratified-negation levels for the rules in `rule_indices`
+/// only; premise predicates not defined by those rules are treated as base
+/// (stratum 0). Fails if negation is not stratified within the subset.
+StatusOr<std::vector<int>> NegationLevelsForSubset(
+    const RuleBase& rulebase, const std::vector<int>& rule_indices) {
+  const int n = rulebase.symbols().num_predicates();
+  std::vector<bool> defined_here(n, false);
+  for (int r : rule_indices) {
+    defined_here[rulebase.rule(r).head.predicate] = true;
+  }
+  std::vector<int> level(n, 0);
+  // Relaxation to the least fixpoint of the stratification constraints.
+  // Levels can only rise, and in a stratified program no level exceeds the
+  // number of predicates defined in the subset; a level beyond that bound
+  // proves a recursive cycle through negation.
+  int num_defined = 0;
+  for (int pred = 0; pred < n; ++pred) {
+    if (defined_here[pred]) ++num_defined;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int r : rule_indices) {
+      const Rule& rule = rulebase.rule(r);
+      PredicateId head = rule.head.predicate;
+      for (const Premise& p : rule.premises) {
+        PredicateId q = p.atom.predicate;
+        if (!defined_here[q]) continue;
+        int required = p.kind == PremiseKind::kNegated ? level[q] + 1
+                                                       : level[q];
+        if (level[head] < required) {
+          if (required > num_defined) {
+            return Status::InvalidArgument(
+                "negation is not stratified: some recursive cycle passes "
+                "through negation-by-failure");
+          }
+          level[head] = required;
+          changed = true;
+        }
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+StatusOr<NegationStrata> ComputeNegationStrata(const RuleBase& rulebase) {
+  std::vector<int> all_rules(rulebase.num_rules());
+  for (int i = 0; i < rulebase.num_rules(); ++i) all_rules[i] = i;
+  HYPO_ASSIGN_OR_RETURN(std::vector<int> level,
+                        NegationLevelsForSubset(rulebase, all_rules));
+  NegationStrata strata;
+  strata.stratum_of_pred = std::move(level);
+  int max_level = 0;
+  for (int r = 0; r < rulebase.num_rules(); ++r) {
+    max_level =
+        std::max(max_level,
+                 strata.stratum_of_pred[rulebase.rule(r).head.predicate]);
+  }
+  strata.num_strata = rulebase.num_rules() == 0 ? 0 : max_level + 1;
+  strata.rules_by_stratum.resize(strata.num_strata);
+  for (int r = 0; r < rulebase.num_rules(); ++r) {
+    int s = strata.stratum_of_pred[rulebase.rule(r).head.predicate];
+    strata.rules_by_stratum[s].push_back(r);
+  }
+  return strata;
+}
+
+LinearityInfo AnalyzeLinearity(const RuleBase& rulebase,
+                               const DependencyGraph& graph,
+                               const SccResult& sccs) {
+  (void)graph;
+  LinearityInfo info;
+  const int num_rules = rulebase.num_rules();
+  info.recursive_occurrences.assign(num_rules, 0);
+  info.rule_is_recursive.assign(num_rules, false);
+  info.rule_is_linear.assign(num_rules, true);
+  info.scc_has_hypothetical_recursion.assign(sccs.num_components, false);
+  info.scc_has_nonlinear_recursion.assign(sccs.num_components, false);
+  info.scc_has_negative_recursion.assign(sccs.num_components, false);
+
+  for (int r = 0; r < num_rules; ++r) {
+    const Rule& rule = rulebase.rule(r);
+    PredicateId head = rule.head.predicate;
+    int component = sccs.component_of[head];
+    int occurrences = 0;
+    for (const Premise& p : rule.premises) {
+      PredicateId q = p.atom.predicate;
+      if (!sccs.MutuallyRecursive(head, q)) continue;
+      ++occurrences;
+      if (p.kind == PremiseKind::kHypothetical) {
+        info.scc_has_hypothetical_recursion[component] = true;
+      }
+      if (p.kind == PremiseKind::kNegated) {
+        info.scc_has_negative_recursion[component] = true;
+      }
+    }
+    info.recursive_occurrences[r] = occurrences;
+    info.rule_is_recursive[r] = occurrences >= 1;
+    info.rule_is_linear[r] = occurrences <= 1;
+    if (occurrences > 1) {
+      info.scc_has_nonlinear_recursion[component] = true;
+    }
+  }
+  return info;
+}
+
+Status CheckLinearlyStratifiable(const RuleBase& rulebase) {
+  DependencyGraph graph = DependencyGraph::Build(rulebase);
+  SccResult sccs = ComputeSccs(graph);
+  LinearityInfo info = AnalyzeLinearity(rulebase, graph, sccs);
+  for (int c = 0; c < sccs.num_components; ++c) {
+    if (info.scc_has_negative_recursion[c]) {
+      return Status::InvalidArgument(
+          "not linearly stratifiable: predicate '" +
+          rulebase.symbols().PredicateName(sccs.members[c][0]) +
+          "' recurses through negation-by-failure");
+    }
+    if (info.scc_has_hypothetical_recursion[c] &&
+        info.scc_has_nonlinear_recursion[c]) {
+      return Status::InvalidArgument(
+          "not linearly stratifiable: the recursion class of predicate '" +
+          rulebase.symbols().PredicateName(sccs.members[c][0]) +
+          "' has both hypothetical recursion and non-linear recursion");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<LinearStratification> ComputeLinearStratification(
+    const RuleBase& rulebase) {
+  HYPO_RETURN_IF_ERROR(CheckLinearlyStratifiable(rulebase));
+
+  const int n = rulebase.symbols().num_predicates();
+  const int num_rules = rulebase.num_rules();
+
+  LinearStratification out;
+  out.partition_of_pred.assign(n, 0);
+  // Defined (intensional) predicates start in partition 1 (Lemma 1's
+  // relaxation: "initially, each predicate is assigned to partition 1").
+  for (int r = 0; r < num_rules; ++r) {
+    out.partition_of_pred[rulebase.rule(r).head.predicate] = 1;
+  }
+
+  // Relaxation: raise part(H) while some Definition 6 condition fails.
+  // Reading of Definition 6 (see DESIGN.md §2 for the ≤ correction):
+  //   * positive occurrence of Q in a rule of partition p: part(Q) <= p;
+  //   * negative occurrence:      part(Q) < p when p is even (Σ part),
+  //                               part(Q) <= p when p is odd (Δ part,
+  //                               where negation is stratified internally);
+  //   * hypothetical occurrence:  part(Q) <= p when p is even,
+  //                               part(Q) < p when p is odd.
+  // The Lemma 1 pre-tests guarantee convergence; the bound below is a
+  // defensive backstop (at worst every defined predicate ends up in its
+  // own pair of partitions).
+  const int max_partition = 2 * n + 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int r = 0; r < num_rules; ++r) {
+      const Rule& rule = rulebase.rule(r);
+      PredicateId head = rule.head.predicate;
+      int p = out.partition_of_pred[head];
+      bool violated = false;
+      for (const Premise& premise : rule.premises) {
+        int q = out.partition_of_pred[premise.atom.predicate];
+        switch (premise.kind) {
+          case PremiseKind::kPositive:
+            violated = q > p;
+            break;
+          case PremiseKind::kNegated:
+            violated = (p % 2 == 0) ? q >= p : q > p;
+            break;
+          case PremiseKind::kHypothetical:
+            violated = (p % 2 == 0) ? q > p : q >= p;
+            break;
+        }
+        if (violated) break;
+      }
+      if (violated) {
+        if (p + 1 > max_partition) {
+          return Status::Internal(
+              "linear stratification relaxation exceeded its bound; "
+              "this indicates a bug in CheckLinearlyStratifiable");
+        }
+        out.partition_of_pred[head] = p + 1;
+        changed = true;
+      }
+    }
+  }
+
+  out.num_partitions = 0;
+  for (int pred = 0; pred < n; ++pred) {
+    out.num_partitions = std::max(out.num_partitions,
+                                  out.partition_of_pred[pred]);
+  }
+  out.num_strata = (out.num_partitions + 1) / 2;
+
+  out.partition_of_rule.assign(num_rules, 0);
+  out.delta_rules.assign(out.num_strata, {});
+  out.sigma_rules.assign(out.num_strata, {});
+  for (int r = 0; r < num_rules; ++r) {
+    int p = out.partition_of_pred[rulebase.rule(r).head.predicate];
+    HYPO_CHECK(p >= 1) << "defined predicate left in partition 0";
+    out.partition_of_rule[r] = p;
+    int stratum = (p + 1) / 2;  // 1-based.
+    if (p % 2 == 1) {
+      out.delta_rules[stratum - 1].push_back(r);
+    } else {
+      out.sigma_rules[stratum - 1].push_back(r);
+    }
+  }
+
+  // Inner negation substrata of each Δ_i (§5.2.2).
+  out.delta_substrata.resize(out.num_strata);
+  for (int i = 0; i < out.num_strata; ++i) {
+    const std::vector<int>& delta = out.delta_rules[i];
+    if (delta.empty()) continue;
+    HYPO_ASSIGN_OR_RETURN(std::vector<int> level,
+                          NegationLevelsForSubset(rulebase, delta));
+    int max_level = 0;
+    for (int r : delta) {
+      max_level = std::max(max_level, level[rulebase.rule(r).head.predicate]);
+    }
+    out.delta_substrata[i].resize(max_level + 1);
+    for (int r : delta) {
+      out.delta_substrata[i][level[rulebase.rule(r).head.predicate]]
+          .push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace hypo

@@ -1,0 +1,97 @@
+#ifndef HYPO_ANALYSIS_STRATIFICATION_H_
+#define HYPO_ANALYSIS_STRATIFICATION_H_
+
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/scc.h"
+#include "ast/rulebase.h"
+#include "base/statusor.h"
+
+namespace hypo {
+
+/// Standard stratified-negation levels for the whole rulebase, with
+/// hypothetical occurrences treated like positive ones. This is what the
+/// general bottom-up engine requires (§3.1: "we assume that negation is
+/// stratified"). Fails if some recursive cycle passes through negation.
+struct NegationStrata {
+  /// Stratum per predicate (0-based; extensional predicates are 0).
+  std::vector<int> stratum_of_pred;
+  int num_strata = 0;  // 1 + max stratum (0 if there are no predicates).
+
+  /// Rule indices grouped by the stratum of their head predicate.
+  std::vector<std::vector<int>> rules_by_stratum;
+};
+
+StatusOr<NegationStrata> ComputeNegationStrata(const RuleBase& rulebase);
+
+/// Per-rule linearity facts (Definition 8) and the per-class summary used
+/// by the Lemma 1 tests.
+struct LinearityInfo {
+  /// Number of premise occurrences of predicates mutually recursive with
+  /// the rule's head (positive + hypothetical + negative occurrences).
+  std::vector<int> recursive_occurrences;   // Indexed by rule.
+  std::vector<bool> rule_is_recursive;      // >= 1 occurrence.
+  std::vector<bool> rule_is_linear;         // Recursive rules: exactly 1.
+
+  /// Per SCC: does some rule recurse through a hypothetical premise?
+  std::vector<bool> scc_has_hypothetical_recursion;
+  /// Per SCC: does some recursive rule have more than one recursive
+  /// occurrence (i.e. is the class non-linear)?
+  std::vector<bool> scc_has_nonlinear_recursion;
+  /// Per SCC: does some rule recurse through a negated premise?
+  std::vector<bool> scc_has_negative_recursion;
+};
+
+LinearityInfo AnalyzeLinearity(const RuleBase& rulebase,
+                               const DependencyGraph& graph,
+                               const SccResult& sccs);
+
+/// The Lemma 1 decision procedure: a rulebase is linearly stratifiable iff
+/// (1) no equivalence class of mutually recursive predicates recurses
+/// through negation, and (2) no class has both hypothetical recursion and
+/// non-linear recursion. Returns OK or an explanatory error.
+Status CheckLinearlyStratifiable(const RuleBase& rulebase);
+
+/// A computed linear stratification (Definitions 6, 7, 9).
+///
+/// Partition numbers follow the paper: predicates in odd partition 2i-1
+/// belong to Δ_i (Horn rules with stratified negation), predicates in even
+/// partition 2i belong to Σ_i (linear hypothetical rules). Extensional
+/// predicates get partition 0. The i-th *stratum* is Δ_i ∪ Σ_i.
+struct LinearStratification {
+  int num_strata = 0;      // k: number of strata.
+  int num_partitions = 0;  // Highest assigned partition number.
+
+  std::vector<int> partition_of_pred;  // Indexed by PredicateId; 0 = EDB.
+  std::vector<int> partition_of_rule;  // = partition of the head predicate.
+
+  /// delta_rules[i-1] / sigma_rules[i-1]: rule indices of Δ_i / Σ_i.
+  std::vector<std::vector<int>> delta_rules;
+  std::vector<std::vector<int>> sigma_rules;
+
+  /// delta_substrata[i-1][j]: rule indices of Δ_ij, the j-th negation
+  /// substratum inside Δ_i (§5.2.2: Δ_i = Δ_i1 ∪ ... ∪ Δ_im).
+  std::vector<std::vector<std::vector<int>>> delta_substrata;
+
+  /// Stratum number of `pred`: ceil(partition / 2); 0 for extensional.
+  int StratumOf(PredicateId pred) const {
+    return (partition_of_pred[pred] + 1) / 2;
+  }
+
+  /// True iff `pred` is defined in the Σ (hypothetical) part of its stratum.
+  bool InSigma(PredicateId pred) const {
+    int p = partition_of_pred[pred];
+    return p > 0 && p % 2 == 0;
+  }
+};
+
+/// Runs the Lemma 1 tests, then the relaxation algorithm assigning
+/// partition numbers, and packages the result. Polynomial time in the
+/// rulebase size, as the paper requires.
+StatusOr<LinearStratification> ComputeLinearStratification(
+    const RuleBase& rulebase);
+
+}  // namespace hypo
+
+#endif  // HYPO_ANALYSIS_STRATIFICATION_H_

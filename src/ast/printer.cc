@@ -1,0 +1,86 @@
+#include "ast/printer.h"
+
+#include "base/logging.h"
+
+namespace hypo {
+
+std::string TermToString(const Term& term, const SymbolTable& symbols,
+                         const std::vector<std::string>* var_names) {
+  if (term.is_const()) return symbols.ConstName(term.const_id());
+  HYPO_CHECK(var_names != nullptr) << "variable term without name context";
+  HYPO_CHECK(term.var_index() >= 0 &&
+             term.var_index() < static_cast<int>(var_names->size()))
+      << "variable index out of range";
+  return (*var_names)[term.var_index()];
+}
+
+std::string AtomToString(const Atom& atom, const SymbolTable& symbols,
+                         const std::vector<std::string>* var_names) {
+  std::string out = symbols.PredicateName(atom.predicate);
+  if (atom.args.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToString(atom.args[i], symbols, var_names);
+  }
+  out += ")";
+  return out;
+}
+
+std::string PremiseToString(const Premise& premise,
+                            const SymbolTable& symbols,
+                            const std::vector<std::string>* var_names) {
+  switch (premise.kind) {
+    case PremiseKind::kPositive:
+      return AtomToString(premise.atom, symbols, var_names);
+    case PremiseKind::kNegated:
+      return "~" + AtomToString(premise.atom, symbols, var_names);
+    case PremiseKind::kHypothetical: {
+      std::string out = AtomToString(premise.atom, symbols, var_names);
+      if (!premise.additions.empty()) {
+        out += "[add: ";
+        for (size_t i = 0; i < premise.additions.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += AtomToString(premise.additions[i], symbols, var_names);
+        }
+        out += "]";
+      }
+      if (!premise.deletions.empty()) {
+        out += "[del: ";
+        for (size_t i = 0; i < premise.deletions.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += AtomToString(premise.deletions[i], symbols, var_names);
+        }
+        out += "]";
+      }
+      return out;
+    }
+  }
+  return "<bad premise>";
+}
+
+std::string RuleToString(const Rule& rule, const SymbolTable& symbols) {
+  std::string out = AtomToString(rule.head, symbols, &rule.var_names);
+  if (rule.premises.empty()) {
+    out += ".";
+    return out;
+  }
+  out += " <- ";
+  for (size_t i = 0; i < rule.premises.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += PremiseToString(rule.premises[i], symbols, &rule.var_names);
+  }
+  out += ".";
+  return out;
+}
+
+std::string RuleBaseToString(const RuleBase& rulebase) {
+  std::string out;
+  for (const Rule& rule : rulebase.rules()) {
+    out += RuleToString(rule, rulebase.symbols());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hypo

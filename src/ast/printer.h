@@ -1,0 +1,36 @@
+#ifndef HYPO_AST_PRINTER_H_
+#define HYPO_AST_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+#include "ast/rulebase.h"
+#include "ast/symbol_table.h"
+
+namespace hypo {
+
+/// Renders `term` using `var_names` for variables (may be null only if the
+/// term is a constant).
+std::string TermToString(const Term& term, const SymbolTable& symbols,
+                         const std::vector<std::string>* var_names);
+
+/// Renders an atom, e.g. "take(S, cs452)".
+std::string AtomToString(const Atom& atom, const SymbolTable& symbols,
+                         const std::vector<std::string>* var_names = nullptr);
+
+/// Renders a premise, e.g. "~b(X)" or "grad(S)[add: take(S, C)]".
+std::string PremiseToString(const Premise& premise,
+                            const SymbolTable& symbols,
+                            const std::vector<std::string>* var_names);
+
+/// Renders a rule in the surface syntax, e.g.
+/// "grad(S) <- take(S, his101), take(S, eng201)."
+std::string RuleToString(const Rule& rule, const SymbolTable& symbols);
+
+/// Renders every rule, one per line.
+std::string RuleBaseToString(const RuleBase& rulebase);
+
+}  // namespace hypo
+
+#endif  // HYPO_AST_PRINTER_H_

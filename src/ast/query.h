@@ -1,0 +1,28 @@
+#ifndef HYPO_AST_QUERY_H_
+#define HYPO_AST_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+
+namespace hypo {
+
+/// A query: a conjunction of premises with rule-local variables, i.e. a
+/// headless rule body. Free variables are read existentially, matching the
+/// paper's Example 2 (`∃c, grad(s)[add: take(s, c)]`).
+///
+/// Engines offer two entry points over a Query:
+///  * Prove   — is there a binding of the variables making every premise
+///              inferable?
+///  * Answers — every distinct binding of a designated variable list.
+struct Query {
+  std::vector<Premise> premises;
+  std::vector<std::string> var_names;
+
+  int num_vars() const { return static_cast<int>(var_names.size()); }
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_AST_QUERY_H_

@@ -1,0 +1,111 @@
+#ifndef HYPO_AST_RULE_H_
+#define HYPO_AST_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/symbol_table.h"
+#include "ast/term.h"
+
+namespace hypo {
+
+/// An atomic formula: predicate applied to terms. Arity always matches the
+/// predicate's registered arity (enforced at construction by RuleBuilder
+/// and the parser).
+struct Atom {
+  PredicateId predicate = kInvalidPredicate;
+  std::vector<Term> args;
+
+  bool IsGround() const {
+    for (const Term& t : args) {
+      if (t.is_var()) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+};
+
+/// The kind of a rule premise (Definition 1 plus negation-by-failure,
+/// §3.1). `~A[add:B]` is intentionally unrepresentable: the paper excludes
+/// it, and the parser suggests the `C <- A[add:B]` rewriting instead.
+enum class PremiseKind {
+  kPositive,      // A
+  kNegated,       // ~A
+  kHypothetical,  // A[add: B1, ..., Bm] and/or A[del: C1, ..., Cm]
+};
+
+/// One premise of a hypothetical rule.
+///
+/// For kHypothetical, `atom` is the queried formula A and `additions` are
+/// the hypothetically inserted atoms B1..Bm. Definition 1 shows a single
+/// added atom, but the paper's own §5.1 transition rules insert three atoms
+/// at once, so a list is supported (see DESIGN.md §2).
+///
+/// `deletions` implements the extension the paper attributes to [4]:
+/// `A[del: C]` — "infer A if *removing* C from the database allows the
+/// inference of A" — which raises data-complexity from PSPACE to EXPTIME
+/// and is therefore supported only by the general TabledEngine. Deletions
+/// are applied before additions; a fact in both lists ends up present.
+struct Premise {
+  PremiseKind kind = PremiseKind::kPositive;
+  Atom atom;
+  std::vector<Atom> additions;  // kHypothetical: inserted atoms.
+  std::vector<Atom> deletions;  // kHypothetical: removed atoms.
+
+  static Premise Positive(Atom a) {
+    return Premise{PremiseKind::kPositive, std::move(a), {}, {}};
+  }
+  static Premise Negated(Atom a) {
+    return Premise{PremiseKind::kNegated, std::move(a), {}, {}};
+  }
+  static Premise Hypothetical(Atom a, std::vector<Atom> additions,
+                              std::vector<Atom> deletions = {}) {
+    return Premise{PremiseKind::kHypothetical, std::move(a),
+                   std::move(additions), std::move(deletions)};
+  }
+};
+
+/// A hypothetical rule `head <- premise_1, ..., premise_k` (Definition 2).
+/// k == 0 makes the rule a (possibly non-ground) fact rule.
+///
+/// Variables are rule-local: `var_names[i]` is the surface name of the
+/// variable with VarIndex i. All structural sharing is by value; rules are
+/// cheap to copy relative to evaluation cost.
+struct Rule {
+  Atom head;
+  std::vector<Premise> premises;
+  std::vector<std::string> var_names;
+
+  int num_vars() const { return static_cast<int>(var_names.size()); }
+
+  /// True if some premise is hypothetical.
+  bool HasHypotheticalPremise() const {
+    for (const Premise& p : premises) {
+      if (p.kind == PremiseKind::kHypothetical) return true;
+    }
+    return false;
+  }
+
+  /// True if some premise hypothetically deletes facts ([del: ...]).
+  bool HasDeletions() const {
+    for (const Premise& p : premises) {
+      if (!p.deletions.empty()) return true;
+    }
+    return false;
+  }
+
+  /// True if some premise is negated.
+  bool HasNegatedPremise() const {
+    for (const Premise& p : premises) {
+      if (p.kind == PremiseKind::kNegated) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_AST_RULE_H_

@@ -1,0 +1,67 @@
+#include "ast/rule_builder.h"
+
+namespace hypo {
+
+Term RuleBuilder::Var(std::string_view name) {
+  auto it = var_index_.find(std::string(name));
+  if (it != var_index_.end()) return Term::MakeVar(it->second);
+  VarIndex index = static_cast<VarIndex>(rule_.var_names.size());
+  rule_.var_names.emplace_back(name);
+  var_index_.emplace(std::string(name), index);
+  return Term::MakeVar(index);
+}
+
+Term RuleBuilder::C(std::string_view name) {
+  return Term::MakeConst(symbols_->InternConst(name));
+}
+
+Atom RuleBuilder::A(std::string_view predicate, std::vector<Term> args) {
+  StatusOr<PredicateId> id =
+      symbols_->InternPredicate(predicate, static_cast<int>(args.size()));
+  if (!id.ok()) {
+    if (status_.ok()) status_ = id.status();
+    return Atom{};
+  }
+  return Atom{*id, std::move(args)};
+}
+
+RuleBuilder& RuleBuilder::Head(Atom atom) {
+  rule_.head = std::move(atom);
+  has_head_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Positive(Atom atom) {
+  rule_.premises.push_back(Premise::Positive(std::move(atom)));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Negated(Atom atom) {
+  rule_.premises.push_back(Premise::Negated(std::move(atom)));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Hypothetical(Atom query,
+                                       std::vector<Atom> additions,
+                                       std::vector<Atom> deletions) {
+  if (additions.empty() && deletions.empty() && status_.ok()) {
+    status_ = Status::InvalidArgument(
+        "hypothetical premise requires at least one added or deleted atom");
+  }
+  rule_.premises.push_back(Premise::Hypothetical(
+      std::move(query), std::move(additions), std::move(deletions)));
+  return *this;
+}
+
+StatusOr<Rule> RuleBuilder::Build() && {
+  if (!status_.ok()) return status_;
+  if (!has_head_) {
+    return Status::InvalidArgument("rule has no head");
+  }
+  if (rule_.head.predicate == kInvalidPredicate) {
+    return Status::InvalidArgument("rule head is malformed");
+  }
+  return std::move(rule_);
+}
+
+}  // namespace hypo

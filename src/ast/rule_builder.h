@@ -1,0 +1,62 @@
+#ifndef HYPO_AST_RULE_BUILDER_H_
+#define HYPO_AST_RULE_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/rule.h"
+#include "ast/symbol_table.h"
+#include "base/status.h"
+#include "base/statusor.h"
+
+namespace hypo {
+
+/// Fluent, arity-checked construction of a single Rule.
+///
+/// Used by generated rulebases (the §5.1/§6 encoders and the example
+/// library); hand-written rulebases normally go through the parser instead.
+/// Errors (arity mismatches) are accumulated and reported by Build(), so
+/// call sites can chain without per-call checks:
+///
+///   RuleBuilder b(symbols);
+///   Term s = b.Var("s");
+///   b.Head(b.A("grad", {s}))
+///    .Positive(b.A("take", {s, b.C("his101")}))
+///    .Negated(b.A("suspended", {s}));
+///   HYPO_ASSIGN_OR_RETURN(Rule rule, std::move(b).Build());
+class RuleBuilder {
+ public:
+  explicit RuleBuilder(SymbolTable* symbols) : symbols_(symbols) {}
+
+  /// Returns the rule-local variable named `name`, creating it on first use.
+  Term Var(std::string_view name);
+
+  /// Returns the constant term for `name` (interning it globally).
+  Term C(std::string_view name);
+
+  /// Builds an arity-checked atom. On arity mismatch the error is recorded
+  /// and a placeholder returned; Build() will fail.
+  Atom A(std::string_view predicate, std::vector<Term> args);
+
+  RuleBuilder& Head(Atom atom);
+  RuleBuilder& Positive(Atom atom);
+  RuleBuilder& Negated(Atom atom);
+  RuleBuilder& Hypothetical(Atom query, std::vector<Atom> additions,
+                            std::vector<Atom> deletions = {});
+
+  /// Finalizes the rule. Fails if any atom was malformed or no head was set.
+  StatusOr<Rule> Build() &&;
+
+ private:
+  SymbolTable* symbols_;
+  Status status_;
+  bool has_head_ = false;
+  Rule rule_;
+  std::unordered_map<std::string, VarIndex> var_index_;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_AST_RULE_BUILDER_H_

@@ -1,0 +1,40 @@
+#include "ast/rulebase.h"
+
+namespace hypo {
+
+void RuleBase::AddRule(Rule rule) {
+  int index = static_cast<int>(rules_.size());
+  definitions_[rule.head.predicate].push_back(index);
+  defined_.insert(rule.head.predicate);
+  IndexAtomConstants(rule.head);
+  for (const Premise& p : rule.premises) {
+    IndexAtomConstants(p.atom);
+    for (const Atom& a : p.additions) IndexAtomConstants(a);
+    for (const Atom& a : p.deletions) IndexAtomConstants(a);
+    if (!p.deletions.empty()) has_deletions_ = true;
+  }
+  rules_.push_back(std::move(rule));
+}
+
+Status RuleBase::Merge(const RuleBase& other) {
+  if (other.symbols_.get() != symbols_.get()) {
+    return Status::InvalidArgument(
+        "RuleBase::Merge requires both rulebases to share one SymbolTable");
+  }
+  for (const Rule& r : other.rules_) AddRule(r);
+  return Status::OK();
+}
+
+const std::vector<int>& RuleBase::DefinitionOf(PredicateId pred) const {
+  static const std::vector<int>* const kEmpty = new std::vector<int>();
+  auto it = definitions_.find(pred);
+  return it == definitions_.end() ? *kEmpty : it->second;
+}
+
+void RuleBase::IndexAtomConstants(const Atom& atom) {
+  for (const Term& t : atom.args) {
+    if (t.is_const()) constants_.insert(t.const_id());
+  }
+}
+
+}  // namespace hypo

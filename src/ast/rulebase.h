@@ -1,0 +1,73 @@
+#ifndef HYPO_AST_RULEBASE_H_
+#define HYPO_AST_RULEBASE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/rule.h"
+#include "ast/symbol_table.h"
+#include "base/status.h"
+
+namespace hypo {
+
+/// A set of hypothetical rules sharing one SymbolTable.
+///
+/// Provides the paper's Definition 5 notion of the *definition* of a
+/// predicate (the rules whose conclusion uses it) and bookkeeping the
+/// analysis module needs (which predicates are intensional, which constants
+/// occur). Append-only; rule indices are stable.
+class RuleBase {
+ public:
+  explicit RuleBase(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  /// Appends `rule` and indexes it under its head predicate.
+  void AddRule(Rule rule);
+
+  /// Appends every rule of `other` (which must share this SymbolTable).
+  Status Merge(const RuleBase& other);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+  const Rule& rule(int index) const { return rules_[index]; }
+
+  /// Indices of the rules defining `pred` (Definition 5). Empty for
+  /// extensional predicates.
+  const std::vector<int>& DefinitionOf(PredicateId pred) const;
+
+  /// True iff some rule concludes `pred` (i.e. `pred` is intensional).
+  bool IsDefined(PredicateId pred) const {
+    return defined_.count(pred) > 0;
+  }
+
+  /// Every constant symbol appearing in some rule. Part of dom(R, DB).
+  const std::unordered_set<ConstId>& constants() const { return constants_; }
+
+  /// True iff no rule mentions a constant symbol — the syntactic
+  /// genericity condition of §6.1 ("constant free").
+  bool IsConstantFree() const { return constants_.empty(); }
+
+  /// True iff some rule uses hypothetical deletion ([del: ...]) — the [4]
+  /// extension supported only by the general TabledEngine.
+  bool HasDeletions() const { return has_deletions_; }
+
+  const SymbolTable& symbols() const { return *symbols_; }
+  SymbolTable* mutable_symbols() { return symbols_.get(); }
+  const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
+
+ private:
+  void IndexAtomConstants(const Atom& atom);
+
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<Rule> rules_;
+  std::unordered_map<PredicateId, std::vector<int>> definitions_;
+  std::unordered_set<PredicateId> defined_;
+  std::unordered_set<ConstId> constants_;
+  bool has_deletions_ = false;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_AST_RULEBASE_H_

@@ -1,0 +1,42 @@
+#ifndef HYPO_AST_TERM_H_
+#define HYPO_AST_TERM_H_
+
+#include <cstdint>
+
+#include "ast/symbol_table.h"
+
+namespace hypo {
+
+/// Index of a variable within the rule that contains it (dense, 0-based).
+using VarIndex = int32_t;
+
+/// A term is either a constant symbol or a rule-local variable.
+///
+/// The logic is function-free (Definition 1 onward), so these are the only
+/// two cases; there is no term nesting and no manual memory management.
+class Term {
+ public:
+  static Term MakeConst(ConstId id) { return Term(/*is_var=*/false, id); }
+  static Term MakeVar(VarIndex index) { return Term(/*is_var=*/true, index); }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+
+  ConstId const_id() const { return id_; }
+  VarIndex var_index() const { return id_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.is_var_ == b.is_var_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+ private:
+  Term(bool is_var, int32_t id) : is_var_(is_var), id_(id) {}
+
+  bool is_var_;
+  int32_t id_;  // ConstId or VarIndex depending on is_var_.
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_AST_TERM_H_

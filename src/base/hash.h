@@ -1,0 +1,35 @@
+#ifndef HYPO_BASE_HASH_H_
+#define HYPO_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hypo {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit variant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // Constant is the 64-bit golden ratio; the shifts spread entropy across
+  // all bits so sequential ids hash well.
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Hashes a span of integer ids (e.g. the argument tuple of a ground atom).
+template <typename Int>
+uint64_t HashRange(const Int* data, size_t n, uint64_t seed = 0) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(data[i]));
+  }
+  return h;
+}
+
+template <typename Int>
+uint64_t HashVector(const std::vector<Int>& v, uint64_t seed = 0) {
+  return HashRange(v.data(), v.size(), seed);
+}
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_HASH_H_

@@ -1,0 +1,80 @@
+#ifndef HYPO_BASE_LOGGING_H_
+#define HYPO_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hypo {
+namespace internal_logging {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+///
+/// Used only via HYPO_CHECK / HYPO_DCHECK; invariant failures inside the
+/// library are bugs, and aborting with a location beats corrupting results.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a check passes; enables the
+/// `HYPO_CHECK(x) << "detail"` form to compile away in the passing path.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace hypo
+
+/// Aborts with a message if `condition` is false. Always on.
+#define HYPO_CHECK(condition)                                        \
+  (condition) ? static_cast<void>(0)                                 \
+              : static_cast<void>(                                   \
+                    ::hypo::internal_logging::FatalMessage(          \
+                        __FILE__, __LINE__, #condition)              \
+                        .stream())
+
+// HYPO_CHECK with a streaming tail requires the ternary above to yield a
+// stream. Provide the canonical macro via a helper that keeps both arms
+// stream-typed.
+#undef HYPO_CHECK
+#define HYPO_CHECK(condition)                                           \
+  switch (0)                                                            \
+  case 0:                                                               \
+  default:                                                              \
+    if (condition)                                                      \
+      ;                                                                 \
+    else                                                                \
+      ::hypo::internal_logging::FatalMessage(__FILE__, __LINE__,        \
+                                             #condition)                \
+          .stream()
+
+#ifdef NDEBUG
+#define HYPO_DCHECK(condition)                  \
+  switch (0)                                    \
+  case 0:                                       \
+  default:                                      \
+    if (true)                                   \
+      ;                                         \
+    else                                        \
+      ::hypo::internal_logging::NullStream()
+#else
+#define HYPO_DCHECK(condition) HYPO_CHECK(condition)
+#endif
+
+#endif  // HYPO_BASE_LOGGING_H_

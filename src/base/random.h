@@ -1,0 +1,78 @@
+#ifndef HYPO_BASE_RANDOM_H_
+#define HYPO_BASE_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace hypo {
+
+/// Deterministic PRNG (splitmix64 seeded xorshift128+).
+///
+/// Tests, workload generators and benchmarks all derive their randomness
+/// from this class so that every run is reproducible from a single seed.
+/// Not cryptographically secure; never use for security purposes.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bULL) {
+    // splitmix64 expansion of the seed into the two xorshift words.
+    uint64_t z = seed;
+    for (uint64_t* word : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      *word = t ^ (t >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s0_ = 1;  // xorshift must not be all-zero.
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    HYPO_DCHECK(bound > 0);
+    // Modulo bias is negligible for the small bounds used here (< 2^32).
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    HYPO_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_RANDOM_H_

@@ -1,0 +1,113 @@
+#ifndef HYPO_BASE_STATUS_H_
+#define HYPO_BASE_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hypo {
+
+/// Error category carried by a non-OK Status.
+///
+/// The set is deliberately small: the library signals *why* an operation
+/// failed at the level a caller can act on (bad input vs. violated
+/// precondition vs. resource exhaustion), not at the level of individual
+/// call sites.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // Malformed input (parse errors, bad rule syntax).
+  kFailedPrecondition,// Operation needs state the caller did not establish.
+  kNotFound,          // Named entity (predicate, constant, file) missing.
+  kOutOfRange,        // Index or size outside the permitted range.
+  kResourceExhausted, // Configured evaluation limit (memo entries, steps) hit.
+  kUnimplemented,     // Feature intentionally not supported.
+  kInternal,          // Invariant violation inside the library (a bug).
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"…).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail: a code plus a message.
+///
+/// Follows the RocksDB/Arrow idiom: the library does not throw across its
+/// public API; fallible operations return `Status` (or `StatusOr<T>`).
+/// The OK status is represented without allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_unique<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Message for a non-OK status; empty for OK.
+  const std::string& message() const {
+    static const std::string* const kEmpty = new std::string();
+    return rep_ ? rep_->message : *kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK (the common case); owned otherwise.
+  std::unique_ptr<Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define HYPO_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::hypo::Status _hypo_status = (expr);           \
+    if (!_hypo_status.ok()) return _hypo_status;    \
+  } while (false)
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_STATUS_H_

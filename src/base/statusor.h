@@ -1,0 +1,73 @@
+#ifndef HYPO_BASE_STATUSOR_H_
+#define HYPO_BASE_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "base/logging.h"
+#include "base/status.h"
+
+namespace hypo {
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+///
+/// Accessing the value of a non-OK StatusOr is a programming error and
+/// aborts (HYPO_CHECK), mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Passing an OK status is an error
+  /// (an OK StatusOr must carry a value) and is converted to kInternal.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HYPO_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    HYPO_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    HYPO_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of `rexpr` (a StatusOr expression) to `lhs`, or
+/// returns its status from the enclosing function.
+#define HYPO_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  HYPO_ASSIGN_OR_RETURN_IMPL_(                          \
+      HYPO_STATUS_CONCAT_(_hypo_statusor, __LINE__), lhs, rexpr)
+
+#define HYPO_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) return statusor.status();           \
+  lhs = std::move(statusor).value()
+
+#define HYPO_STATUS_CONCAT_(x, y) HYPO_STATUS_CONCAT_IMPL_(x, y)
+#define HYPO_STATUS_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_STATUSOR_H_

@@ -1,0 +1,34 @@
+#ifndef HYPO_BASE_STOPWATCH_H_
+#define HYPO_BASE_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hypo {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness for
+/// coarse phase timings (google-benchmark handles the fine-grained loops).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_STOPWATCH_H_

@@ -1,0 +1,28 @@
+#ifndef HYPO_BASE_STRING_UTIL_H_
+#define HYPO_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hypo {
+
+/// Joins the elements of `parts` with `sep` ("a", "b" -> "a, b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` is a valid identifier for the surface syntax:
+/// [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view s);
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_STRING_UTIL_H_

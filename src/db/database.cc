@@ -1,0 +1,103 @@
+#include "db/database.h"
+
+#include <functional>
+
+#include "base/logging.h"
+
+namespace hypo {
+
+std::string FactToString(const Fact& fact, const SymbolTable& symbols) {
+  std::string out = symbols.PredicateName(fact.predicate);
+  if (fact.args.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < fact.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols.ConstName(fact.args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Database Database::Clone() const {
+  Database copy(symbols_);
+  copy.relations_ = relations_;
+  copy.constants_ = constants_;
+  copy.size_ = size_;
+  return copy;
+}
+
+bool Database::Insert(const Fact& fact) {
+  HYPO_DCHECK(fact.predicate >= 0) << "fact with invalid predicate";
+  HYPO_DCHECK(static_cast<int>(fact.args.size()) ==
+              symbols_->PredicateArity(fact.predicate))
+      << "arity mismatch inserting " << symbols_->PredicateName(fact.predicate);
+  Relation& rel = relations_[fact.predicate];
+  auto [it, inserted] = rel.index.insert(fact.args);
+  (void)it;
+  if (!inserted) return false;
+  rel.tuples.push_back(fact.args);
+  if (!fact.args.empty()) {
+    rel.first_arg_index[fact.args[0]].push_back(
+        static_cast<int>(rel.tuples.size()) - 1);
+  }
+  for (ConstId c : fact.args) constants_.insert(c);
+  ++size_;
+  return true;
+}
+
+const std::vector<int>* Database::TuplesWithFirstArg(PredicateId pred,
+                                                     ConstId first) const {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return nullptr;
+  auto jt = it->second.first_arg_index.find(first);
+  return jt == it->second.first_arg_index.end() ? nullptr : &jt->second;
+}
+
+Status Database::Insert(std::string_view predicate,
+                        const std::vector<std::string_view>& args) {
+  StatusOr<PredicateId> pred =
+      symbols_->InternPredicate(predicate, static_cast<int>(args.size()));
+  HYPO_RETURN_IF_ERROR(pred.status());
+  Fact fact;
+  fact.predicate = *pred;
+  fact.args.reserve(args.size());
+  for (std::string_view a : args) fact.args.push_back(symbols_->InternConst(a));
+  Insert(fact);
+  return Status::OK();
+}
+
+bool Database::Contains(const Fact& fact) const {
+  auto it = relations_.find(fact.predicate);
+  if (it == relations_.end()) return false;
+  return it->second.index.count(fact.args) > 0;
+}
+
+const std::vector<Tuple>& Database::TuplesFor(PredicateId pred) const {
+  static const std::vector<Tuple>* const kEmpty = new std::vector<Tuple>();
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? *kEmpty : it->second.tuples;
+}
+
+void Database::ForEach(const std::function<void(const Fact&)>& fn) const {
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& t : rel.tuples) {
+      fn(Fact{pred, t});
+    }
+  }
+}
+
+std::vector<PredicateId> Database::NonEmptyPredicates() const {
+  std::vector<PredicateId> out;
+  for (const auto& [pred, rel] : relations_) {
+    if (!rel.tuples.empty()) out.push_back(pred);
+  }
+  return out;
+}
+
+void Database::Clear() {
+  relations_.clear();
+  constants_.clear();
+  size_ = 0;
+}
+
+}  // namespace hypo

@@ -1,0 +1,95 @@
+#ifndef HYPO_DB_DATABASE_H_
+#define HYPO_DB_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/symbol_table.h"
+#include "base/status.h"
+#include "db/fact.h"
+
+namespace hypo {
+
+/// A set of ground atomic formulas, organized per predicate.
+///
+/// This is both the extensional database of Definition 3 and the storage
+/// used for derived models inside the engines. Tuples are stored per
+/// predicate in insertion order (for deterministic iteration) with a hash
+/// set for O(1) membership. Append-only except for Clear().
+class Database {
+ public:
+  explicit Database(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {}
+
+  /// Databases are heavyweight; copying must be explicit via Clone().
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  Database Clone() const;
+
+  /// Inserts `fact`. Returns true if it was not already present.
+  /// The fact's arity must match the predicate's registered arity.
+  bool Insert(const Fact& fact);
+
+  /// Convenience: interns the predicate (with arity = args.size()) and the
+  /// constants, then inserts. Fails on arity mismatch.
+  Status Insert(std::string_view predicate,
+                const std::vector<std::string_view>& args);
+
+  bool Contains(const Fact& fact) const;
+
+  /// All tuples of `pred`, in insertion order. Empty if none.
+  const std::vector<Tuple>& TuplesFor(PredicateId pred) const;
+
+  /// Positions (into TuplesFor) of the tuples of `pred` whose first
+  /// argument is `first`, or null when the relation is absent/empty for
+  /// that key. The classic Datalog access path: premise matching uses it
+  /// whenever the first argument is already bound.
+  const std::vector<int>* TuplesWithFirstArg(PredicateId pred,
+                                             ConstId first) const;
+
+  /// Number of tuples of `pred`.
+  int CountFor(PredicateId pred) const {
+    return static_cast<int>(TuplesFor(pred).size());
+  }
+
+  /// Invokes `fn` for every fact in the database.
+  void ForEach(const std::function<void(const Fact&)>& fn) const;
+
+  /// Every constant appearing in some tuple. Part of dom(R, DB).
+  const std::unordered_set<ConstId>& constants() const { return constants_; }
+
+  /// Predicates that have at least one tuple.
+  std::vector<PredicateId> NonEmptyPredicates() const;
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void Clear();
+
+  const SymbolTable& symbols() const { return *symbols_; }
+  SymbolTable* mutable_symbols() { return symbols_.get(); }
+  const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
+
+ private:
+  struct Relation {
+    std::vector<Tuple> tuples;
+    std::unordered_set<Tuple, TupleHash> index;
+    // First-argument access path (empty for 0-ary relations).
+    std::unordered_map<ConstId, std::vector<int>> first_arg_index;
+  };
+
+  std::shared_ptr<SymbolTable> symbols_;
+  std::unordered_map<PredicateId, Relation> relations_;
+  std::unordered_set<ConstId> constants_;
+  int64_t size_ = 0;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_DB_DATABASE_H_

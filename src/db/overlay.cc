@@ -1,0 +1,91 @@
+#include "db/overlay.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace hypo {
+
+bool OverlayDatabase::Add(const Fact& fact) {
+  FactId id = interner_->Intern(fact);
+  if (masked_.count(id) > 0) {
+    // Re-adding a hypothetically deleted fact: unmask it.
+    masked_.erase(id);
+    ops_.push_back(Op{OpKind::kDidUnmask, id});
+    return true;
+  }
+  if (Contains(fact)) return false;
+  AddedRelation& rel = added_[fact.predicate];
+  rel.index.insert(fact.args);
+  rel.tuples.push_back(fact.args);
+  added_order_.push_back(id);
+  ops_.push_back(Op{OpKind::kDidAdd, id});
+  return true;
+}
+
+bool OverlayDatabase::Delete(const Fact& fact) {
+  if (!Contains(fact)) return false;  // Already absent: DB - {C} = DB.
+  FactId id = interner_->Intern(fact);
+  masked_.insert(id);
+  ops_.push_back(Op{OpKind::kDidMask, id});
+  return true;
+}
+
+void OverlayDatabase::PopFrame() {
+  HYPO_CHECK(!frames_.empty()) << "PopFrame without matching PushFrame";
+  size_t target = frames_.back();
+  frames_.pop_back();
+  while (ops_.size() > target) {
+    const Op op = ops_.back();
+    ops_.pop_back();
+    switch (op.kind) {
+      case OpKind::kDidAdd: {
+        const Fact& fact = interner_->Get(op.id);
+        AddedRelation& rel = added_[fact.predicate];
+        HYPO_DCHECK(!rel.tuples.empty() && rel.tuples.back() == fact.args)
+            << "overlay undo log out of sync";
+        rel.index.erase(fact.args);
+        rel.tuples.pop_back();
+        HYPO_DCHECK(!added_order_.empty() && added_order_.back() == op.id);
+        added_order_.pop_back();
+        break;
+      }
+      case OpKind::kDidMask:
+        masked_.erase(op.id);
+        break;
+      case OpKind::kDidUnmask:
+        masked_.insert(op.id);
+        break;
+    }
+  }
+}
+
+const std::vector<Tuple>& OverlayDatabase::AddedTuplesFor(
+    PredicateId pred) const {
+  static const std::vector<Tuple>* const kEmpty = new std::vector<Tuple>();
+  auto it = added_.find(pred);
+  return it == added_.end() ? *kEmpty : it->second.tuples;
+}
+
+std::vector<FactId> OverlayDatabase::CanonicalKey() const {
+  std::vector<FactId> key;
+  key.reserve(added_order_.size());
+  for (FactId id : added_order_) {
+    if (masked_.count(id) == 0) key.push_back(id);
+  }
+  std::sort(key.begin(), key.end());
+  if (!masked_.empty()) {
+    std::vector<FactId> masked_base;
+    for (FactId id : masked_) {
+      if (base_->Contains(interner_->Get(id))) masked_base.push_back(id);
+    }
+    if (!masked_base.empty()) {
+      std::sort(masked_base.begin(), masked_base.end());
+      key.push_back(-1);  // Separator; FactIds are non-negative.
+      key.insert(key.end(), masked_base.begin(), masked_base.end());
+    }
+  }
+  return key;
+}
+
+}  // namespace hypo

@@ -1,0 +1,126 @@
+#ifndef HYPO_DB_OVERLAY_H_
+#define HYPO_DB_OVERLAY_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/database.h"
+#include "db/fact_interner.h"
+
+namespace hypo {
+
+/// A database with a stack of hypothetical insertions — and, for the [4]
+/// extension, hypothetical deletions — on top.
+///
+/// Implements the `DB + {B}` operation of inference rule 2 (Definition 3)
+/// and its `DB - {C}` counterpart for depth-first proof search: every
+/// change is recorded in undo frames so a proof branch can be retracted
+/// when the search backtracks — exactly the "inserted ... tested ... and
+/// then retracted" discipline the paper describes for computation paths
+/// (§5.1.2).
+///
+/// Deletions are implemented as a *mask*: a deleted fact (base or
+/// previously added) stays in storage but is invisible to Contains and
+/// must be filtered from scans via TupleVisible. Re-adding a masked fact
+/// unmasks it. CanonicalKey() canonicalizes the visible state:
+/// (still-visible additions, masked base facts).
+///
+/// The base database is never modified.
+class OverlayDatabase {
+ public:
+  /// Neither pointer is owned; both must outlive the overlay.
+  OverlayDatabase(const Database* base, FactInterner* interner)
+      : base_(base), interner_(interner) {}
+
+  OverlayDatabase(const OverlayDatabase&) = delete;
+  OverlayDatabase& operator=(const OverlayDatabase&) = delete;
+
+  /// True if `fact` is visible: in the base database or added, and not
+  /// masked by a hypothetical deletion.
+  bool Contains(const Fact& fact) const {
+    if (!masked_.empty()) {
+      FactId id = interner_->Find(fact);
+      if (id >= 0 && masked_.count(id) > 0) return false;
+    }
+    if (base_->Contains(fact)) return true;
+    auto it = added_.find(fact.predicate);
+    return it != added_.end() && it->second.index.count(fact.args) > 0;
+  }
+
+  /// Hypothetically inserts `fact`. Unmasks it if it was hypothetically
+  /// deleted. Returns true iff visibility changed.
+  bool Add(const Fact& fact);
+
+  /// Hypothetically deletes `fact` (masks it). Returns true iff it was
+  /// visible before.
+  bool Delete(const Fact& fact);
+
+  /// Opens an undo frame; the matching PopFrame retracts every later
+  /// Add/Delete.
+  void PushFrame() { frames_.push_back(ops_.size()); }
+
+  /// Retracts all changes made since the matching PushFrame.
+  void PopFrame();
+
+  /// Tuples added for `pred` (may include masked ones — filter scans
+  /// through TupleVisible), insertion order.
+  const std::vector<Tuple>& AddedTuplesFor(PredicateId pred) const;
+
+  /// Scan filter: false iff the (stored) tuple is currently masked.
+  /// Cheap when no deletions are active.
+  bool TupleVisible(PredicateId pred, const Tuple& tuple) const {
+    if (masked_.empty()) return true;
+    FactId id = interner_->Find(Fact{pred, tuple});
+    return id < 0 || masked_.count(id) == 0;
+  }
+
+  bool has_deletions() const { return !masked_.empty(); }
+
+  /// Canonical state key: sorted FactIds of the visible additions, then —
+  /// only if any base facts are masked — a -1 separator followed by the
+  /// sorted masked base ids. States without deletions keep their old,
+  /// purely-additive keys.
+  std::vector<FactId> CanonicalKey() const;
+
+  int num_added() const { return static_cast<int>(added_order_.size()); }
+  const Database& base() const { return *base_; }
+  FactInterner* interner() const { return interner_; }
+
+  /// Invokes `fn` on every *visible* added fact, in insertion order.
+  template <typename Fn>
+  void ForEachAdded(Fn&& fn) const {
+    for (FactId id : added_order_) {
+      if (masked_.count(id) == 0) fn(interner_->Get(id));
+    }
+  }
+
+ private:
+  struct AddedRelation {
+    std::vector<Tuple> tuples;
+    std::unordered_set<Tuple, TupleHash> index;
+  };
+
+  /// What an operation did, so PopFrame can reverse it.
+  enum class OpKind {
+    kDidAdd,     // Appended to added storage.
+    kDidMask,    // Inserted into masked_.
+    kDidUnmask,  // Erased from masked_.
+  };
+  struct Op {
+    OpKind kind;
+    FactId id;
+  };
+
+  const Database* base_;
+  FactInterner* interner_;
+  std::unordered_map<PredicateId, AddedRelation> added_;
+  std::vector<FactId> added_order_;
+  std::unordered_set<FactId> masked_;
+  std::vector<Op> ops_;
+  std::vector<size_t> frames_;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_DB_OVERLAY_H_

@@ -1,0 +1,130 @@
+#include "encode/bitmap.h"
+
+#include <algorithm>
+
+#include "ast/rule_builder.h"
+
+namespace hypo {
+
+namespace {
+
+Status Add(RuleBase* rules, RuleBuilder&& b) {
+  HYPO_ASSIGN_OR_RETURN(Rule rule, std::move(b).Build());
+  rules->AddRule(std::move(rule));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AppendBitmapRules(int l,
+                         const std::vector<std::pair<std::string, int>>&
+                             schema,
+                         const OrderNames& order,
+                         const std::string& initial_prefix,
+                         RuleBase* rules) {
+  if (schema.empty()) {
+    return Status::InvalidArgument("bitmap encoding needs a schema");
+  }
+  int max_arity = 0;
+  for (const auto& [name, arity] : schema) {
+    if (arity < 1) {
+      return Status::InvalidArgument("relation '" + name +
+                                     "' must have positive arity");
+    }
+    max_arity = std::max(max_arity, arity);
+  }
+  const int block_digits = l - max_arity;
+  if (block_digits < 1) {
+    return Status::InvalidArgument(
+        "counter arity l must exceed the maximum relation arity");
+  }
+  SymbolTable* symbols = rules->mutable_symbols();
+  auto block_pred = [&](size_t i) {
+    return initial_prefix + "block_" + std::to_string(i);
+  };
+
+  // Block prefixes: block_0 = (min, ..., min); block_<i+1> = block_<i> + 1
+  // via a block-width counter.
+  CounterNames block_counter =
+      CounterNames::ForArity(block_digits, initial_prefix + "blk");
+  HYPO_RETURN_IF_ERROR(
+      AppendCounterRules(block_digits, order, block_counter, rules));
+  {
+    RuleBuilder b(symbols);
+    std::vector<Term> zs;
+    for (int i = 0; i < block_digits; ++i) {
+      zs.push_back(b.Var("Z" + std::to_string(i)));
+    }
+    b.Positive(b.A(block_counter.first, zs));
+    b.Head(b.A(block_pred(0), zs));
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+  for (size_t i = 1; i < schema.size(); ++i) {
+    RuleBuilder b(symbols);
+    std::vector<Term> xs, ys;
+    for (int d = 0; d < block_digits; ++d) {
+      xs.push_back(b.Var("X" + std::to_string(d)));
+      ys.push_back(b.Var("Y" + std::to_string(d)));
+    }
+    std::vector<Term> next_args = xs;
+    next_args.insert(next_args.end(), ys.begin(), ys.end());
+    b.Positive(b.A(block_pred(i - 1), xs));
+    b.Positive(b.A(block_counter.next, next_args));
+    b.Head(b.A(block_pred(i), ys));
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+
+  // Cell contents per relation.
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const auto& [name, arity] = schema[i];
+    const int padding = max_arity - arity;
+    for (bool present : {true, false}) {
+      RuleBuilder b(symbols);
+      std::vector<Term> position;
+      // Block digits.
+      std::vector<Term> zs;
+      for (int d = 0; d < block_digits; ++d) {
+        zs.push_back(b.Var("Z" + std::to_string(d)));
+      }
+      b.Positive(b.A(block_pred(i), zs));
+      position.insert(position.end(), zs.begin(), zs.end());
+      // Padding digits: the minimum element.
+      for (int d = 0; d < padding; ++d) {
+        Term p = b.Var("P" + std::to_string(d));
+        b.Positive(b.A(order.first, {p}));
+        position.push_back(p);
+      }
+      // Entry digits.
+      std::vector<Term> xs;
+      for (int d = 0; d < arity; ++d) {
+        xs.push_back(b.Var("E" + std::to_string(d)));
+      }
+      position.insert(position.end(), xs.begin(), xs.end());
+      if (present) {
+        b.Positive(b.A(name, xs));
+        b.Head(b.A(initial_prefix + "2", position));  // '1'
+      } else {
+        for (const Term& x : xs) b.Positive(b.A(order.domain, {x}));
+        b.Negated(b.A(name, xs));
+        b.Head(b.A(initial_prefix + "1", position));  // '0'
+      }
+      HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+    }
+  }
+
+  // Blanks everywhere else:
+  //   initial_s0(J̄) <- d(J1), ..., d(Jl), ~initial_s1(J̄), ~initial_s2(J̄).
+  {
+    RuleBuilder b(symbols);
+    std::vector<Term> js;
+    for (int d = 0; d < l; ++d) js.push_back(b.Var("J" + std::to_string(d)));
+    for (const Term& j : js) b.Positive(b.A(order.domain, {j}));
+    b.Negated(b.A(initial_prefix + "1", js));
+    b.Negated(b.A(initial_prefix + "2", js));
+    b.Head(b.A(initial_prefix + "0", js));
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+  return Status::OK();
+}
+
+}  // namespace hypo

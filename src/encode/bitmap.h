@@ -1,0 +1,44 @@
+#ifndef HYPO_ENCODE_BITMAP_H_
+#define HYPO_ENCODE_BITMAP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/rulebase.h"
+#include "base/status.h"
+#include "encode/counter.h"
+
+namespace hypo {
+
+/// §6.2.2: appends the rules that lay the database out as a bitmap on
+/// M_k's initial work tape.
+///
+/// Tape positions are l-tuples read as base-n numerals whose digits are
+/// domain elements (most significant first, per AppendCounterRules).
+/// Relation i of arity α_i occupies the cells whose digit string is
+///
+///   (block digits for i) · (padding: min element) · (x1 .. x_α_i)
+///
+/// with α = max arity and l - α block digits, so blocks are contiguous
+/// and disjoint. The cell holds symbol '1' (initial_s2) if P_i(x̄) is a
+/// database fact, '0' (initial_s1) if x̄ is a tuple of domain elements
+/// not in P_i — the crucial use of negation-by-failure — and blank
+/// (initial_s0) everywhere else.
+///
+/// Geometry: requires l >= max_arity + 1 and, at query time, that the
+/// number of relations fits in n^(l - α) blocks (n = domain size). All
+/// rules are constant-free.
+///
+/// The symbol naming matches the machine alphabet of machines_library.h:
+/// initial_s0 = blank, initial_s1 = '0', initial_s2 = '1'.
+Status AppendBitmapRules(int l,
+                         const std::vector<std::pair<std::string, int>>&
+                             schema,
+                         const OrderNames& order,
+                         const std::string& initial_prefix,
+                         RuleBase* rules);
+
+}  // namespace hypo
+
+#endif  // HYPO_ENCODE_BITMAP_H_

@@ -1,0 +1,81 @@
+#include "encode/counter.h"
+
+#include <string>
+#include <vector>
+
+#include "ast/rule_builder.h"
+
+namespace hypo {
+
+Status AppendCounterRules(int l, const OrderNames& order,
+                          const CounterNames& counter, RuleBase* rules) {
+  if (l < 1) return Status::InvalidArgument("counter arity must be >= 1");
+  SymbolTable* symbols = rules->mutable_symbols();
+  auto add = [rules](RuleBuilder&& b) -> Status {
+    HYPO_ASSIGN_OR_RETURN(Rule rule, std::move(b).Build());
+    rules->AddRule(std::move(rule));
+    return Status::OK();
+  };
+  auto var = [](const std::string& stem, int i) {
+    return stem + std::to_string(i);
+  };
+
+  {  // first(X1..Xl) <- ofirst(X1), ..., ofirst(Xl).
+    RuleBuilder b(symbols);
+    std::vector<Term> xs;
+    for (int i = 0; i < l; ++i) xs.push_back(b.Var(var("X", i)));
+    for (const Term& x : xs) b.Positive(b.A(order.first, {x}));
+    b.Head(b.A(counter.first, xs));
+    HYPO_RETURN_IF_ERROR(add(std::move(b)));
+  }
+  {  // last(X1..Xl) <- olast(X1), ..., olast(Xl).
+    RuleBuilder b(symbols);
+    std::vector<Term> xs;
+    for (int i = 0; i < l; ++i) xs.push_back(b.Var(var("X", i)));
+    for (const Term& x : xs) b.Positive(b.A(order.last, {x}));
+    b.Head(b.A(counter.last, xs));
+    HYPO_RETURN_IF_ERROR(add(std::move(b)));
+  }
+  {  // dom(X1..Xl) <- d(X1), ..., d(Xl).
+    RuleBuilder b(symbols);
+    std::vector<Term> xs;
+    for (int i = 0; i < l; ++i) xs.push_back(b.Var(var("X", i)));
+    for (const Term& x : xs) b.Positive(b.A(order.domain, {x}));
+    b.Head(b.A(counter.dom, xs));
+    HYPO_RETURN_IF_ERROR(add(std::move(b)));
+  }
+  // Ripple-carry increment: for each digit position p (0 = most
+  // significant), one rule where digits 0..p-1 are shared, digit p
+  // advances by onext, and digits p+1..l-1 wrap from olast to ofirst.
+  for (int p = 0; p < l; ++p) {
+    RuleBuilder b(symbols);
+    std::vector<Term> xs(l, Term::MakeConst(0));
+    std::vector<Term> ys(l, Term::MakeConst(0));
+    for (int i = 0; i < p; ++i) {
+      Term shared = b.Var(var("S", i));
+      xs[i] = shared;
+      ys[i] = shared;
+      b.Positive(b.A(order.domain, {shared}));
+    }
+    Term from = b.Var("XP");
+    Term to = b.Var("YP");
+    xs[p] = from;
+    ys[p] = to;
+    b.Positive(b.A(order.next, {from, to}));
+    for (int i = p + 1; i < l; ++i) {
+      Term wrap_from = b.Var(var("L", i));
+      Term wrap_to = b.Var(var("F", i));
+      xs[i] = wrap_from;
+      ys[i] = wrap_to;
+      b.Positive(b.A(order.last, {wrap_from}));
+      b.Positive(b.A(order.first, {wrap_to}));
+    }
+    std::vector<Term> args = xs;
+    args.insert(args.end(), ys.begin(), ys.end());
+    b.Head(b.A(counter.next, args));
+    HYPO_RETURN_IF_ERROR(add(std::move(b)));
+  }
+  return Status::OK();
+}
+
+}  // namespace hypo

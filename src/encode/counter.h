@@ -1,0 +1,51 @@
+#ifndef HYPO_ENCODE_COUNTER_H_
+#define HYPO_ENCODE_COUNTER_H_
+
+#include <string>
+
+#include "ast/rulebase.h"
+#include "base/status.h"
+
+namespace hypo {
+
+/// Names of the base linear order (arity 1) the counter is built from.
+/// In the §6 pipeline these are the hypothetically asserted order
+/// predicates; in tests they can be ordinary database facts.
+struct OrderNames {
+  std::string first = "ofirst";
+  std::string next = "onext";
+  std::string last = "olast";
+  std::string domain = "d";  // d(x): the data domain.
+};
+
+/// Names of the generated arity-`l` counter predicates.
+struct CounterNames {
+  std::string first;  // arity l
+  std::string next;   // arity 2l
+  std::string last;   // arity l
+  std::string dom;    // arity l: every counter tuple.
+
+  static CounterNames ForArity(int l, const std::string& prefix = "ctr") {
+    std::string stem = prefix + std::to_string(l) + "_";
+    return CounterNames{stem + "first", stem + "next", stem + "last",
+                        stem + "dom"};
+  }
+};
+
+/// §6.2.2: appends Horn rules defining a counter from 0 to n^l - 1 over
+/// l-tuples of domain elements, given a linear order on the n elements:
+///
+///   first(x̄)    — x̄ is (min, ..., min);
+///   next(x̄, ȳ)  — ȳ is x̄ + 1 in the lexicographic order (ripple carry:
+///                 some digit advances, everything to its right wraps
+///                 from max to min);
+///   last(x̄)     — x̄ is (max, ..., max);
+///   dom(x̄)      — x̄ is any l-tuple of domain elements.
+///
+/// All rules are constant-free, so the construction preserves genericity.
+Status AppendCounterRules(int l, const OrderNames& order,
+                          const CounterNames& counter, RuleBase* rules);
+
+}  // namespace hypo
+
+#endif  // HYPO_ENCODE_COUNTER_H_

@@ -1,0 +1,123 @@
+#include "encode/generic_query.h"
+
+#include <algorithm>
+
+#include "ast/rule_builder.h"
+#include "encode/bitmap.h"
+#include "encode/counter.h"
+#include "encode/order.h"
+#include "encode/tm_encoder.h"
+
+namespace hypo {
+
+namespace {
+
+int EffectiveCounterArity(const GenericQuerySpec& spec) {
+  int max_arity = 0;
+  for (const auto& [name, arity] : spec.schema) {
+    max_arity = std::max(max_arity, arity);
+  }
+  return spec.counter_arity > 0 ? spec.counter_arity : max_arity + 1;
+}
+
+Status BuildInto(const GenericQuerySpec& spec, RuleBase* rules) {
+  if (spec.schema.empty()) {
+    return Status::InvalidArgument("generic query needs a schema");
+  }
+  const int l = EffectiveCounterArity(spec);
+  const OrderNames order;
+  const CounterNames counter = CounterNames::ForArity(l);
+
+  HYPO_RETURN_IF_ERROR(AppendDomainRules(order, spec.schema, rules));
+  HYPO_RETURN_IF_ERROR(
+      AppendOrderAssertionRules(order, "accept", "yes", rules));
+  HYPO_RETURN_IF_ERROR(AppendCounterRules(l, order, counter, rules));
+  HYPO_RETURN_IF_ERROR(
+      AppendBitmapRules(l, spec.schema, order, "initial_s", rules));
+
+  TmEncodeOptions options;
+  options.counter_arity = l;
+  options.first = counter.first;
+  options.next = counter.next;
+  options.last = counter.last;
+  options.dom = counter.dom;
+  options.tapes_from_rules = true;
+  options.initial_prefix = "initial_s";
+  return AppendCascadeRules(spec.machines, /*input=*/{}, /*counter_size=*/0,
+                            options, rules, /*db=*/nullptr);
+}
+
+}  // namespace
+
+StatusOr<RuleBase> BuildYesNoQueryRules(
+    const GenericQuerySpec& spec, std::shared_ptr<SymbolTable> symbols) {
+  RuleBase rules(std::move(symbols));
+  HYPO_RETURN_IF_ERROR(BuildInto(spec, &rules));
+  if (!rules.IsConstantFree()) {
+    return Status::Internal(
+        "Lemma 2 construction produced a rulebase with constants");
+  }
+  return rules;
+}
+
+StatusOr<RuleBase> BuildOutputQueryRules(
+    const GenericQuerySpec& spec, int output_arity,
+    std::shared_ptr<SymbolTable> symbols) {
+  if (output_arity < 1) {
+    return Status::InvalidArgument("output arity must be positive");
+  }
+  GenericQuerySpec extended = spec;
+  extended.schema.insert(extended.schema.begin(), {"p0", output_arity});
+  if (spec.counter_arity == 0) {
+    extended.counter_arity = 0;  // Recomputed over the extended schema.
+  }
+  RuleBase rules(std::move(symbols));
+  HYPO_RETURN_IF_ERROR(BuildInto(extended, &rules));
+
+  // out(X̄) <- d(X1), ..., d(Xα0), yes[add: p0(X̄)].
+  const OrderNames order;
+  RuleBuilder b(rules.mutable_symbols());
+  std::vector<Term> xs;
+  for (int i = 0; i < output_arity; ++i) {
+    xs.push_back(b.Var("X" + std::to_string(i)));
+  }
+  for (const Term& x : xs) b.Positive(b.A(order.domain, {x}));
+  b.Hypothetical(b.A("yes", {}), {b.A("p0", xs)});
+  b.Head(b.A("out", xs));
+  HYPO_ASSIGN_OR_RETURN(Rule rule, std::move(b).Build());
+  rules.AddRule(std::move(rule));
+  if (!rules.IsConstantFree()) {
+    return Status::Internal(
+        "Corollary 2 construction produced a rulebase with constants");
+  }
+  return rules;
+}
+
+Status ValidateGenericQueryGeometry(const GenericQuerySpec& spec,
+                                    int domain_size) {
+  if (domain_size < 2) {
+    return Status::InvalidArgument(
+        "the §6 construction needs a domain of size >= 2 (the paper's "
+        "construction shares this restriction)");
+  }
+  int max_arity = 0;
+  for (const auto& [name, arity] : spec.schema) {
+    max_arity = std::max(max_arity, arity);
+  }
+  const int l = EffectiveCounterArity(spec);
+  if (l <= max_arity) {
+    return Status::InvalidArgument(
+        "counter arity must exceed the maximum relation arity");
+  }
+  // Blocks: schema.size() block prefixes must fit in n^(l - max_arity).
+  double blocks = 1;
+  for (int i = 0; i < l - max_arity; ++i) blocks *= domain_size;
+  if (static_cast<double>(spec.schema.size()) > blocks) {
+    return Status::InvalidArgument(
+        "schema does not fit in the bitmap block space; increase the "
+        "counter arity");
+  }
+  return Status::OK();
+}
+
+}  // namespace hypo

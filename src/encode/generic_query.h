@@ -1,0 +1,61 @@
+#ifndef HYPO_ENCODE_GENERIC_QUERY_H_
+#define HYPO_ENCODE_GENERIC_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/rulebase.h"
+#include "base/statusor.h"
+#include "tm/machine.h"
+
+namespace hypo {
+
+/// Input to the Lemma 2 / Corollary 2 construction: an oracle-machine
+/// cascade deciding a generic query over databases of the given schema.
+///
+/// The machine reads its input as the §6.2.2 bitmap: one block per schema
+/// relation, in schema order, each cell '1'/'0' for tuple presence, blank
+/// outside the blocks. The cascade must be generic-correct: its answer
+/// may depend only on the bitmap, which the order-assertion rules present
+/// under every possible domain order.
+struct GenericQuerySpec {
+  std::vector<MachineSpec> machines;  // machines[0] = M_k.
+  std::vector<std::pair<std::string, int>> schema;  // (name, arity).
+  /// Counter arity l; 0 means max_arity + 1. Must exceed the max arity,
+  /// and at query time n^(l - max_arity) must cover the schema size and
+  /// n^l must bound the machines' running time.
+  int counter_arity = 0;
+};
+
+/// Lemma 2: builds a constant-free rulebase R(ψ) with a 0-ary predicate
+/// `yes` such that for every database DB of the spec's schema (with
+/// domain size >= 2),
+///
+///   R(ψ), DB ⊢ yes   iff   the cascade accepts the bitmap of DB.
+///
+/// Assembly: active-domain rules, hypothetical order assertion (§6.2.1),
+/// arity-l counter (§6.2.2), bitmap rules, and the machine encoding with
+/// rule-defined initial tapes. The number of strata equals the cascade
+/// depth (the order rules join the top stratum, as the paper notes).
+StatusOr<RuleBase> BuildYesNoQueryRules(
+    const GenericQuerySpec& spec, std::shared_ptr<SymbolTable> symbols);
+
+/// Corollary 2: builds R(φ) for an output query of arity `output_arity`.
+/// A fresh relation `p0` (of that arity) is prepended to the schema — the
+/// machine sees its bitmap as block 0 — and the answer relation is
+///
+///   out(X̄) <- d(X1), ..., d(Xα0), yes[add: p0(X̄)].
+StatusOr<RuleBase> BuildOutputQueryRules(
+    const GenericQuerySpec& spec, int output_arity,
+    std::shared_ptr<SymbolTable> symbols);
+
+/// Geometry check at query time: with domain size n, verifies that the
+/// schema fits in the block space and the counter is non-degenerate.
+Status ValidateGenericQueryGeometry(const GenericQuerySpec& spec,
+                                    int domain_size);
+
+}  // namespace hypo
+
+#endif  // HYPO_ENCODE_GENERIC_QUERY_H_

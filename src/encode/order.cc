@@ -1,0 +1,94 @@
+#include "encode/order.h"
+
+#include "ast/rule_builder.h"
+
+namespace hypo {
+
+namespace {
+
+Status Add(RuleBase* rules, RuleBuilder&& b) {
+  HYPO_ASSIGN_OR_RETURN(Rule rule, std::move(b).Build());
+  rules->AddRule(std::move(rule));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AppendOrderAssertionRules(const OrderNames& order,
+                                 const std::string& accept_predicate,
+                                 const std::string& yes_predicate,
+                                 RuleBase* rules) {
+  SymbolTable* symbols = rules->mutable_symbols();
+  const std::string oselect = order.first + "_sel";
+  const std::string oselected = order.first + "_seld";
+
+  {  // yes <- oselect(X), order(X)[add: ofirst(X)].
+    RuleBuilder b(symbols);
+    Term x = b.Var("X");
+    b.Head(b.A(yes_predicate, {}))
+        .Positive(b.A(oselect, {x}))
+        .Hypothetical(b.A("order_ext", {x}), {b.A(order.first, {x})});
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+  {  // order(X) <- oselect(Y), order(Y)[add: onext(X, Y)].
+    RuleBuilder b(symbols);
+    Term x = b.Var("X");
+    Term y = b.Var("Y");
+    b.Head(b.A("order_ext", {x}))
+        .Positive(b.A(oselect, {y}))
+        .Hypothetical(b.A("order_ext", {y}), {b.A(order.next, {x, y})});
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+  {  // order(X) <- ~oselect(Y), accept[add: olast(X)].
+    RuleBuilder b(symbols);
+    Term x = b.Var("X");
+    Term y = b.Var("Y");
+    b.Head(b.A("order_ext", {x}))
+        .Negated(b.A(oselect, {y}))
+        .Hypothetical(b.A(accept_predicate, {}), {b.A(order.last, {x})});
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+  {  // oselect(Y) <- d(Y), ~oselected(Y).
+    RuleBuilder b(symbols);
+    Term y = b.Var("Y");
+    b.Head(b.A(oselect, {y}))
+        .Positive(b.A(order.domain, {y}))
+        .Negated(b.A(oselected, {y}));
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+  {  // oselected(Y) <- ofirst(Y).
+    RuleBuilder b(symbols);
+    Term y = b.Var("Y");
+    b.Head(b.A(oselected, {y})).Positive(b.A(order.first, {y}));
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+  {  // oselected(Y) <- onext(X, Y).
+    RuleBuilder b(symbols);
+    Term y = b.Var("Y");
+    b.Head(b.A(oselected, {y}))
+        .Positive(b.A(order.next, {b.Var("X"), y}));
+    HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+  }
+  return Status::OK();
+}
+
+Status AppendDomainRules(const OrderNames& order,
+                         const std::vector<std::pair<std::string, int>>&
+                             schema,
+                         RuleBase* rules) {
+  SymbolTable* symbols = rules->mutable_symbols();
+  for (const auto& [name, arity] : schema) {
+    for (int pos = 0; pos < arity; ++pos) {
+      RuleBuilder b(symbols);
+      std::vector<Term> args;
+      for (int i = 0; i < arity; ++i) {
+        args.push_back(b.Var("X" + std::to_string(i)));
+      }
+      b.Head(b.A(order.domain, {args[pos]})).Positive(b.A(name, args));
+      HYPO_RETURN_IF_ERROR(Add(rules, std::move(b)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hypo

@@ -1,0 +1,42 @@
+#ifndef HYPO_ENCODE_ORDER_H_
+#define HYPO_ENCODE_ORDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/rulebase.h"
+#include "base/status.h"
+#include "encode/counter.h"
+
+namespace hypo {
+
+/// §6.2.1: appends the rules that hypothetically assert every possible
+/// linear order on the data domain, running `accept_predicate` (0-ary)
+/// under each one:
+///
+///   yes <- oselect(X), order(X)[add: ofirst(X)].
+///   order(X) <- oselect(Y), order(Y)[add: onext(X, Y)].
+///   order(X) <- ~oselect(Y), accept[add: olast(X)].
+///   oselect(Y) <- d(Y), ~oselected(Y).
+///   oselected(Y) <- ofirst(Y).
+///   oselected(Y) <- onext(X, Y).
+///
+/// The rules are linear and constant-free and live in the top stratum.
+/// For a generic query the machine accepts under every order or under
+/// none (§6.2.3), so `yes` is order-independent.
+Status AppendOrderAssertionRules(const OrderNames& order,
+                                 const std::string& accept_predicate,
+                                 const std::string& yes_predicate,
+                                 RuleBase* rules);
+
+/// Appends the active-domain rules: d(X) <- p(..., X, ...) for every
+/// argument position of every relation in `schema` (name, arity pairs).
+Status AppendDomainRules(const OrderNames& order,
+                         const std::vector<std::pair<std::string, int>>&
+                             schema,
+                         RuleBase* rules);
+
+}  // namespace hypo
+
+#endif  // HYPO_ENCODE_ORDER_H_

@@ -1,0 +1,338 @@
+#include "encode/tm_encoder.h"
+
+#include <string>
+
+#include "ast/rule_builder.h"
+
+namespace hypo {
+
+namespace {
+
+/// Predicate-name scheme. Machine levels use the paper's indices: level k
+/// is the top machine (receives the input), level 1 the bottom oracle.
+struct Names {
+  static std::string Cell(int level, int symbol) {
+    return "cell_" + std::to_string(level) + "_s" + std::to_string(symbol);
+  }
+  static std::string Control(int level, int state) {
+    return "control_" + std::to_string(level) + "_q" + std::to_string(state);
+  }
+  static std::string Accept(int level) {
+    return "accept_" + std::to_string(level);
+  }
+  static std::string Oracle(int level) {
+    return "oracle_" + std::to_string(level);
+  }
+  static std::string Active(int level) {
+    return "active_" + std::to_string(level);
+  }
+  static std::string Counter(int value) {
+    return "n" + std::to_string(value);
+  }
+};
+
+class CascadeEncoder {
+ public:
+  CascadeEncoder(const std::vector<MachineSpec>& machines,
+                 const std::vector<int>& input, int counter_size,
+                 const TmEncodeOptions& options, RuleBase* rules,
+                 Database* db)
+      : machines_(machines),
+        input_(input),
+        n_(counter_size),
+        options_(options),
+        rules_(rules),
+        db_(db) {}
+
+  Status Encode() {
+    HYPO_RETURN_IF_ERROR(ValidateCascade(machines_));
+    const bool facts_mode = !options_.tapes_from_rules;
+    if (facts_mode) {
+      if (n_ < 2) {
+        return Status::InvalidArgument("counter_size must be at least 2");
+      }
+      if (static_cast<int>(input_.size()) > n_) {
+        return Status::InvalidArgument("input longer than the tape");
+      }
+      if (db_ == nullptr) {
+        return Status::InvalidArgument("§5.1 mode requires a database");
+      }
+      HYPO_RETURN_IF_ERROR(BuildDatabase());
+    } else {
+      if (options_.dom.empty()) {
+        return Status::InvalidArgument(
+            "rule-defined tapes require a counter domain predicate");
+      }
+      HYPO_RETURN_IF_ERROR(BuildInitialTapeRules());
+    }
+    const int k = static_cast<int>(machines_.size());
+    for (int idx = 0; idx < k; ++idx) {
+      HYPO_RETURN_IF_ERROR(EncodeMachine(machines_[idx], k - idx));
+    }
+    HYPO_RETURN_IF_ERROR(BuildFrameAxioms());
+    return BuildTopRule();
+  }
+
+ private:
+  int g() const { return options_.counter_arity; }
+  SymbolTable* symbols() { return rules_->mutable_symbols(); }
+
+  Status AddRule(RuleBuilder&& builder) {
+    HYPO_ASSIGN_OR_RETURN(Rule rule, std::move(builder).Build());
+    rules_->AddRule(std::move(rule));
+    return Status::OK();
+  }
+
+  /// A group of `g` variables stem_0..stem_<g-1> standing for one counter
+  /// value (time tick or tape position).
+  std::vector<Term> Group(RuleBuilder* b, const std::string& stem) {
+    std::vector<Term> out;
+    out.reserve(g());
+    for (int i = 0; i < g(); ++i) {
+      out.push_back(b->Var(stem + "_" + std::to_string(i)));
+    }
+    return out;
+  }
+
+  static std::vector<Term> Concat(std::initializer_list<std::vector<Term>>
+                                      groups) {
+    std::vector<Term> out;
+    for (const auto& group : groups) {
+      out.insert(out.end(), group.begin(), group.end());
+    }
+    return out;
+  }
+
+  Status BuildDatabase() {
+    // The counter: first(n0), next(n_j, n_j+1), last(n_{N-1}).
+    HYPO_RETURN_IF_ERROR(db_->Insert(options_.first, {Names::Counter(0)}));
+    for (int j = 0; j + 1 < n_; ++j) {
+      HYPO_RETURN_IF_ERROR(db_->Insert(
+          options_.next, {Names::Counter(j), Names::Counter(j + 1)}));
+    }
+    HYPO_RETURN_IF_ERROR(
+        db_->Insert(options_.last, {Names::Counter(n_ - 1)}));
+
+    // Initial tapes at time n0: input on M_k's work tape, blanks below.
+    const int k = static_cast<int>(machines_.size());
+    for (int j = 0; j < n_; ++j) {
+      int symbol = j < static_cast<int>(input_.size()) ? input_[j] : kBlank;
+      HYPO_RETURN_IF_ERROR(db_->Insert(
+          Names::Cell(k, symbol), {Names::Counter(j), Names::Counter(0)}));
+    }
+    for (int level = 1; level < k; ++level) {
+      for (int j = 0; j < n_; ++j) {
+        HYPO_RETURN_IF_ERROR(
+            db_->Insert(Names::Cell(level, kBlank),
+                        {Names::Counter(j), Names::Counter(0)}));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// §6 mode: cell_k_s<c>(J̄, T̄) <- initial_s<c>(J̄), first(T̄); blanks on
+  /// the lower tapes from the counter-domain predicate.
+  Status BuildInitialTapeRules() {
+    const int k = static_cast<int>(machines_.size());
+    for (int c = 0; c < machines_[0].num_symbols; ++c) {
+      RuleBuilder b(symbols());
+      std::vector<Term> j = Group(&b, "J");
+      std::vector<Term> t = Group(&b, "T");
+      b.Head(b.A(Names::Cell(k, c), Concat({j, t})))
+          .Positive(b.A(options_.initial_prefix + std::to_string(c), j))
+          .Positive(b.A(options_.first, t));
+      HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+    }
+    for (int level = 1; level < k; ++level) {
+      RuleBuilder b(symbols());
+      std::vector<Term> j = Group(&b, "J");
+      std::vector<Term> t = Group(&b, "T");
+      b.Head(b.A(Names::Cell(level, kBlank), Concat({j, t})))
+          .Positive(b.A(options_.dom, j))
+          .Positive(b.A(options_.first, t));
+      HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+    }
+    return Status::OK();
+  }
+
+  Status EncodeMachine(const MachineSpec& m, int level) {
+    // (i) Accepting states: accept_i(T̄) <- control_i_qa(J̄1, J̄2, T̄).
+    for (int qa : m.accepting_states) {
+      RuleBuilder b(symbols());
+      std::vector<Term> t = Group(&b, "T");
+      b.Head(b.A(Names::Accept(level), t))
+          .Positive(b.A(Names::Control(level, qa),
+                        Concat({Group(&b, "J1"), Group(&b, "J2"), t})));
+      HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+    }
+
+    // (ii) One hypothetical rule per transition.
+    for (const Transition& tr : m.transitions) {
+      RuleBuilder b(symbols());
+      std::vector<Term> t = Group(&b, "T");
+      std::vector<Term> t2 = Group(&b, "T2");
+      std::vector<Term> j1 = Group(&b, "J1");
+      std::vector<Term> j2 = Group(&b, "J2");
+      b.Positive(b.A(options_.next, Concat({t, t2})));
+      b.Positive(b.A(Names::Control(level, tr.state),
+                     Concat({j1, j2, t})));
+      b.Positive(b.A(Names::Cell(level, tr.read), Concat({j1, t})));
+      std::vector<Term> j1n = j1;
+      if (tr.move_work == 1) {
+        j1n = Group(&b, "J1N");
+        b.Positive(b.A(options_.next, Concat({j1, j1n})));
+      } else if (tr.move_work == -1) {
+        j1n = Group(&b, "J1N");
+        b.Positive(b.A(options_.next, Concat({j1n, j1})));
+      }
+      std::vector<Term> j2n = j2;
+      if (tr.move_oracle == 1) {
+        j2n = Group(&b, "J2N");
+        b.Positive(b.A(options_.next, Concat({j2, j2n})));
+      } else if (tr.move_oracle == -1) {
+        j2n = Group(&b, "J2N");
+        b.Positive(b.A(options_.next, Concat({j2n, j2})));
+      }
+      std::vector<Atom> additions;
+      additions.push_back(
+          b.A(Names::Control(level, tr.next_state), Concat({j1n, j2n, t2})));
+      additions.push_back(
+          b.A(Names::Cell(level, tr.write), Concat({j1, t2})));
+      if (tr.oracle_write >= 0) {
+        additions.push_back(
+            b.A(Names::Cell(level - 1, tr.oracle_write), Concat({j2, t2})));
+      }
+      b.Hypothetical(b.A(Names::Accept(level), t2), std::move(additions));
+      b.Head(b.A(Names::Accept(level), t));
+      HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+    }
+
+    // (iii) The oracle protocol; the NAF rule is the stratum boundary.
+    if (m.UsesOracle()) {
+      const std::string oracle = Names::Oracle(level - 1);
+      for (bool yes : {true, false}) {
+        RuleBuilder b(symbols());
+        std::vector<Term> t = Group(&b, "T");
+        std::vector<Term> t2 = Group(&b, "T2");
+        std::vector<Term> j1 = Group(&b, "J1");
+        std::vector<Term> j2 = Group(&b, "J2");
+        b.Positive(b.A(options_.next, Concat({t, t2})));
+        b.Positive(b.A(Names::Control(level, m.query_state),
+                       Concat({j1, j2, t})));
+        if (yes) {
+          b.Positive(b.A(oracle, t));
+        } else {
+          b.Negated(b.A(oracle, t));
+        }
+        int resume = yes ? m.yes_state : m.no_state;
+        b.Hypothetical(
+            b.A(Names::Accept(level), t2),
+            {b.A(Names::Control(level, resume), Concat({j1, j2, t2}))});
+        b.Head(b.A(Names::Accept(level), t));
+        HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+      }
+      // oracle_<i-1>(T̄) <- first(J̄),
+      //                  accept_<i-1>(T̄)[add: control_<i-1>_q0(J̄, J̄, T̄)].
+      const MachineSpec& below =
+          machines_[machines_.size() - static_cast<size_t>(level - 1)];
+      RuleBuilder b(symbols());
+      std::vector<Term> t = Group(&b, "T");
+      std::vector<Term> j = Group(&b, "J");
+      b.Head(b.A(oracle, t))
+          .Positive(b.A(options_.first, j))
+          .Hypothetical(b.A(Names::Accept(level - 1), t),
+                        {b.A(Names::Control(level - 1, below.initial_state),
+                             Concat({j, j, t}))});
+      HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+    }
+    return Status::OK();
+  }
+
+  Status BuildFrameAxioms() {
+    const int k = static_cast<int>(machines_.size());
+    for (int level = 1; level <= k; ++level) {
+      const MachineSpec& m = machines_[k - level];
+      // cell_i_c(J̄, T̄2) <- next(T̄, T̄2), cell_i_c(J̄, T̄), ~active_i(J̄, T̄).
+      for (int c = 0; c < m.num_symbols; ++c) {
+        RuleBuilder b(symbols());
+        std::vector<Term> j = Group(&b, "J");
+        std::vector<Term> t = Group(&b, "T");
+        std::vector<Term> t2 = Group(&b, "T2");
+        b.Head(b.A(Names::Cell(level, c), Concat({j, t2})))
+            .Positive(b.A(options_.next, Concat({t, t2})))
+            .Positive(b.A(Names::Cell(level, c), Concat({j, t})))
+            .Negated(b.A(Names::Active(level), Concat({j, t})));
+        HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+      }
+      // The machine's own work head is active except when suspended in q?.
+      for (int q = 0; q < m.num_states; ++q) {
+        if (m.UsesOracle() && q == m.query_state) continue;
+        RuleBuilder b(symbols());
+        std::vector<Term> j = Group(&b, "J");
+        std::vector<Term> t = Group(&b, "T");
+        b.Head(b.A(Names::Active(level), Concat({j, t})))
+            .Positive(b.A(Names::Control(level, q),
+                          Concat({j, Group(&b, "J2"), t})));
+        HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+      }
+      // The oracle head of the machine above writes this tape too.
+      if (level + 1 <= k && machines_[k - (level + 1)].UsesOracle()) {
+        const MachineSpec& above = machines_[k - (level + 1)];
+        for (int q = 0; q < above.num_states; ++q) {
+          if (q == above.query_state) continue;
+          RuleBuilder b(symbols());
+          std::vector<Term> j = Group(&b, "J");
+          std::vector<Term> t = Group(&b, "T");
+          b.Head(b.A(Names::Active(level), Concat({j, t})))
+              .Positive(b.A(Names::Control(level + 1, q),
+                            Concat({Group(&b, "J1"), j, t})));
+          HYPO_RETURN_IF_ERROR(AddRule(std::move(b)));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status BuildTopRule() {
+    const int k = static_cast<int>(machines_.size());
+    RuleBuilder b(symbols());
+    std::vector<Term> x = Group(&b, "X");
+    b.Head(b.A("accept", {}))
+        .Positive(b.A(options_.first, x))
+        .Hypothetical(b.A(Names::Accept(k), x),
+                      {b.A(Names::Control(k, machines_[0].initial_state),
+                           Concat({x, x, x}))});
+    return AddRule(std::move(b));
+  }
+
+  const std::vector<MachineSpec>& machines_;
+  const std::vector<int>& input_;
+  const int n_;
+  const TmEncodeOptions& options_;
+  RuleBase* rules_;
+  Database* db_;
+};
+
+}  // namespace
+
+StatusOr<TmEncoding> EncodeCascade(const std::vector<MachineSpec>& machines,
+                                   const std::vector<int>& input,
+                                   int counter_size) {
+  TmEncoding out;
+  out.accept_predicate = "accept";
+  TmEncodeOptions options;
+  HYPO_RETURN_IF_ERROR(AppendCascadeRules(machines, input, counter_size,
+                                          options, &out.program.rules,
+                                          &out.program.db));
+  return out;
+}
+
+Status AppendCascadeRules(const std::vector<MachineSpec>& machines,
+                          const std::vector<int>& input, int counter_size,
+                          const TmEncodeOptions& options, RuleBase* rules,
+                          Database* db) {
+  CascadeEncoder encoder(machines, input, counter_size, options, rules, db);
+  return encoder.Encode();
+}
+
+}  // namespace hypo

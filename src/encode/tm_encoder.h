@@ -1,0 +1,82 @@
+#ifndef HYPO_ENCODE_TM_ENCODER_H_
+#define HYPO_ENCODE_TM_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/rulebase.h"
+#include "base/statusor.h"
+#include "queries/fixture.h"
+#include "tm/machine.h"
+
+namespace hypo {
+
+/// Options shared by the two uses of the machine encoding:
+///
+///  * §5.1 (lower bound): a unary counter first/next/last materialized as
+///    database facts over fresh constants n0..n<N-1>, and initial tape
+///    contents as database facts — the defaults.
+///  * §6 (expressibility): an arity-l counter defined by rules over a
+///    hypothetically asserted order (see AppendCounterRules), initial
+///    tapes defined by rules from `initial_prefix` bitmap predicates, and
+///    no constants anywhere (the rulebase stays generic).
+struct TmEncodeOptions {
+  /// Number of variables representing one time tick / tape position.
+  int counter_arity = 1;
+
+  /// Counter predicate names (arity counter_arity, 2*counter_arity,
+  /// counter_arity, counter_arity respectively). `dom` enumerates all
+  /// counter tuples and is required when counter_arity > 1 or
+  /// tapes_from_rules is set.
+  std::string first = "first";
+  std::string next = "next";
+  std::string last = "last";
+  std::string dom;
+
+  /// §6 mode: initial tapes come from rules over `initial_prefix<sym>`
+  /// predicates (M_k) and blanks (lower machines) rather than DB facts.
+  bool tapes_from_rules = false;
+  std::string initial_prefix = "initial_s";
+};
+
+/// Encoding result: rules (and, in §5.1 mode, the database DB(s̄)).
+struct TmEncoding {
+  ProgramFixture program;
+  std::string accept_predicate;  // 0-ary; "accept".
+};
+
+/// The §5.1 lower-bound construction: encodes an oracle-machine cascade
+/// M_k, ..., M_1 (machines[0] = M_k) as a linearly stratified rulebase
+/// R(L) plus database DB(s̄) with
+///
+///   R(L), DB(s̄) ⊢ accept   iff   the cascade accepts `input`,
+///
+/// machine M_i living in stratum i. `counter_size` is the paper's n^l
+/// (time ticks = tape cells). Construction notes:
+///
+///  * per accepting state:  accept_i(T) <- control_i_q(J1, J2, T).
+///  * per transition, one hypothetical rule inserting the successor id.
+///    Writes land at the *old* head positions: the paper's rule writes at
+///    the moved position, which its own §5.1.4 frame axiom would
+///    contradict (the old cell would both propagate and be overwritten) —
+///    see DESIGN.md §2.
+///  * oracle protocol rules; the negation-by-failure on oracle_<i-1> is
+///    the stratum boundary.
+///  * §5.1.4 frame axioms, with active_<i> covering the machine's own
+///    work head and the oracle head of the machine above, except in the
+///    suspended state q?.
+StatusOr<TmEncoding> EncodeCascade(const std::vector<MachineSpec>& machines,
+                                   const std::vector<int>& input,
+                                   int counter_size);
+
+/// Generalized form used by the §6 pipeline: appends the machine rules to
+/// `rules` following `options`; emits counter/tape database facts only in
+/// the default (§5.1) configuration, via `db` (may be null in §6 mode).
+Status AppendCascadeRules(const std::vector<MachineSpec>& machines,
+                          const std::vector<int>& input, int counter_size,
+                          const TmEncodeOptions& options, RuleBase* rules,
+                          Database* db);
+
+}  // namespace hypo
+
+#endif  // HYPO_ENCODE_TM_ENCODER_H_

@@ -1,0 +1,370 @@
+#include "engine/bottom_up.h"
+
+#include "engine/scan.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace hypo {
+
+namespace {
+
+/// Collects the constants mentioned by a query (they extend dom(R, DB)).
+std::vector<ConstId> QueryConstants(const Query& query) {
+  std::vector<ConstId> out;
+  auto collect = [&out](const Atom& atom) {
+    for (const Term& t : atom.args) {
+      if (t.is_const()) out.push_back(t.const_id());
+    }
+  };
+  for (const Premise& p : query.premises) {
+    collect(p.atom);
+    for (const Atom& a : p.additions) collect(a);
+  }
+  return out;
+}
+
+/// A pseudo-head listing every variable of the query, so the plan
+/// enumerates unbound variables and Answers() returns total bindings.
+Atom PseudoHead(const Query& query) {
+  Atom head;
+  head.predicate = kInvalidPredicate;
+  for (int v = 0; v < query.num_vars(); ++v) {
+    head.args.push_back(Term::MakeVar(v));
+  }
+  return head;
+}
+
+}  // namespace
+
+BottomUpEngine::BottomUpEngine(const RuleBase* rulebase, const Database* db,
+                               EngineOptions options)
+    : rulebase_(rulebase), base_(db), options_(options) {}
+
+Status BottomUpEngine::Init() {
+  if (rulebase_->symbols_ptr().get() != base_->symbols_ptr().get()) {
+    return Status::InvalidArgument(
+        "rulebase and database must share one SymbolTable");
+  }
+  if (rulebase_->HasDeletions()) {
+    return Status::Unimplemented(
+        "hypothetical deletion ([del: ...]) is supported only by "
+        "TabledEngine; the eager engine's state lattice relies on states "
+        "only growing");
+  }
+  HYPO_ASSIGN_OR_RETURN(strata_, ComputeNegationStrata(*rulebase_));
+  rule_plans_.clear();
+  rule_plans_.reserve(rulebase_->num_rules());
+  for (const Rule& rule : rulebase_->rules()) {
+    rule_plans_.push_back(
+        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars()));
+  }
+  domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
+  domain_set_.clear();
+  domain_set_.insert(domain_.begin(), domain_.end());
+  states_.clear();
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status BottomUpEngine::EnsureConstants(const Query& query) {
+  bool missing = false;
+  for (ConstId c : QueryConstants(query)) {
+    if (domain_set_.count(c) == 0) {
+      extra_constants_.push_back(c);
+      missing = true;
+    }
+  }
+  if (missing) {
+    // The domain changed, so every memoized model is stale: re-run Init.
+    return Init();
+  }
+  return Status::OK();
+}
+
+Status BottomUpEngine::EnsureFactConstants(const Fact& fact) {
+  bool missing = false;
+  for (ConstId c : fact.args) {
+    if (domain_set_.count(c) == 0) {
+      extra_constants_.push_back(c);
+      missing = true;
+    }
+  }
+  if (missing) return Init();
+  return Status::OK();
+}
+
+Status BottomUpEngine::CheckLimits() {
+  if (static_cast<int64_t>(states_.size()) > options_.max_states) {
+    return Status::ResourceExhausted(
+        "evaluation exceeded max_states = " +
+        std::to_string(options_.max_states));
+  }
+  if (stats_.goals_expanded > options_.max_steps) {
+    return Status::ResourceExhausted(
+        "evaluation exceeded max_steps = " +
+        std::to_string(options_.max_steps));
+  }
+  return Status::OK();
+}
+
+StatusOr<BottomUpEngine::State*> BottomUpEngine::MaterializeState(
+    const StateKey& key) {
+  auto it = states_.find(key);
+  if (it != states_.end()) {
+    ++stats_.memo_hits;
+    return it->second.get();
+  }
+  HYPO_RETURN_IF_ERROR(CheckLimits());
+  auto state = std::make_unique<State>(base_->symbols_ptr());
+  state->key = key;
+  for (FactId id : key) {
+    state->added_set.insert(id);
+    state->ext.Insert(interner_.Get(id));
+  }
+  State* raw = state.get();
+  states_.emplace(key, std::move(state));
+  ++stats_.states_evaluated;
+  HYPO_RETURN_IF_ERROR(ComputeModel(raw));
+  raw->complete = true;
+  return raw;
+}
+
+Status BottomUpEngine::ComputeModel(State* state) {
+  for (int s = 0; s < strata_.num_strata; ++s) {
+    const std::vector<int>& stratum_rules = strata_.rules_by_stratum[s];
+    // Predicates whose relations changed in the previous round; used for
+    // rule-level semi-naive filtering.
+    std::unordered_set<PredicateId> changed_last_round;
+    bool first_round = true;
+    while (true) {
+      ++stats_.fixpoint_rounds;
+      std::vector<PredicateId> changed_now;
+      for (int rule_index : stratum_rules) {
+        if (options_.seminaive && !first_round) {
+          const Rule& rule = rulebase_->rule(rule_index);
+          bool relevant = false;
+          for (const Premise& p : rule.premises) {
+            if (changed_last_round.count(p.atom.predicate) > 0) {
+              relevant = true;
+              break;
+            }
+          }
+          if (!relevant) continue;
+        }
+        HYPO_RETURN_IF_ERROR(EvaluateRule(rule_index, state, &changed_now));
+      }
+      if (changed_now.empty()) break;
+      changed_last_round.clear();
+      changed_last_round.insert(changed_now.begin(), changed_now.end());
+      first_round = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BottomUpEngine::EvaluateRule(int rule_index, State* state,
+                                    std::vector<PredicateId>* changed) {
+  const Rule& rule = rulebase_->rule(rule_index);
+  const BodyPlan& plan = rule_plans_[rule_index];
+  Binding binding(rule.num_vars());
+  auto sink = [&](const Binding& b) -> StatusOr<bool> {
+    ++stats_.goals_expanded;
+    HYPO_RETURN_IF_ERROR(CheckLimits());
+    Fact head = b.Ground(rule.head);
+    if (!Visible(*state, head)) {
+      state->ext.Insert(head);
+      ++stats_.facts_derived;
+      changed->push_back(head.predicate);
+    }
+    return true;  // Keep enumerating.
+  };
+  return WalkPlan(rule.premises, plan, 0, &binding, state, sink).status();
+}
+
+StatusOr<bool> BottomUpEngine::WalkPlan(
+    const std::vector<Premise>& premises, const BodyPlan& plan, size_t step,
+    Binding* binding, State* state,
+    const std::function<StatusOr<bool>(const Binding&)>& sink) {
+  if (step == plan.steps.size()) return sink(*binding);
+  const PlanStep& ps = plan.steps[step];
+  switch (ps.kind) {
+    case PlanStep::Kind::kMatchPositive: {
+      const Atom& atom = premises[ps.premise_index].atom;
+      if (binding->Grounds(atom)) {
+        if (!Visible(*state, binding->Ground(atom))) return true;
+        return WalkPlan(premises, plan, step + 1, binding, state, sink);
+      }
+      // The model can grow while we iterate (the sink inserts facts);
+      // index-based iteration over the stable prefix is safe because
+      // vectors only get appended to, and the fixpoint loop re-runs the
+      // rule until nothing changes.
+      std::vector<VarIndex> trail;
+      Status error;
+      bool stopped = false;
+      auto try_tuple = [&](const Tuple& tuple) -> bool {
+        if (!binding->MatchTuple(atom, tuple, &trail)) return true;
+        StatusOr<bool> r =
+            WalkPlan(premises, plan, step + 1, binding, state, sink);
+        binding->Undo(&trail, 0);
+        if (!r.ok()) {
+          error = r.status();
+          return false;
+        }
+        if (!*r) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      };
+      if (ForEachBaseCandidate(*base_, atom, *binding, try_tuple)) {
+        ForEachBaseCandidate(state->ext, atom, *binding, try_tuple);
+      }
+      HYPO_RETURN_IF_ERROR(error);
+      if (stopped) return false;
+      return true;
+    }
+    case PlanStep::Kind::kEnumerateVars: {
+      // Nested enumeration of dom(R, DB) for each listed variable.
+      std::function<StatusOr<bool>(size_t)> enumerate =
+          [&](size_t v) -> StatusOr<bool> {
+        if (v == ps.enum_vars.size()) {
+          return WalkPlan(premises, plan, step + 1, binding, state, sink);
+        }
+        VarIndex var = ps.enum_vars[v];
+        if (binding->IsBound(var)) return enumerate(v + 1);
+        for (ConstId c : domain_) {
+          binding->Set(var, c);
+          StatusOr<bool> r = enumerate(v + 1);
+          binding->Unset(var);
+          HYPO_RETURN_IF_ERROR(r.status());
+          if (!*r) return false;
+        }
+        return true;
+      };
+      return enumerate(0);
+    }
+    case PlanStep::Kind::kHypothetical: {
+      const Premise& premise = premises[ps.premise_index];
+      if (!premise.deletions.empty()) {
+        return Status::Unimplemented(
+            "hypothetical deletion is supported only by TabledEngine");
+      }
+      Fact query = binding->Ground(premise.atom);
+      std::vector<Fact> additions;
+      additions.reserve(premise.additions.size());
+      for (const Atom& a : premise.additions) {
+        additions.push_back(binding->Ground(a));
+      }
+      HYPO_ASSIGN_OR_RETURN(bool holds,
+                            TestHypothetical(state, query, additions));
+      if (!holds) return true;
+      return WalkPlan(premises, plan, step + 1, binding, state, sink);
+    }
+    case PlanStep::Kind::kNegated: {
+      const Atom& atom = premises[ps.premise_index].atom;
+      // Variables still unbound here occur only under negation: the
+      // premise succeeds iff *no* instance is visible (∄ reading).
+      if (ExistsMatch(*state, atom, binding)) return true;
+      return WalkPlan(premises, plan, step + 1, binding, state, sink);
+    }
+  }
+  return Status::Internal("unknown plan step");
+}
+
+StatusOr<bool> BottomUpEngine::TestHypothetical(
+    State* state, const Fact& query, const std::vector<Fact>& additions) {
+  // Additions already present in the state's *database* (base or added
+  // facts — derived facts do not count, they are conclusions, not entries)
+  // leave the state unchanged.
+  std::vector<FactId> new_ids;
+  for (const Fact& f : additions) {
+    if (base_->Contains(f)) continue;
+    FactId id = interner_.Intern(f);
+    if (state->added_set.count(id) > 0) continue;
+    new_ids.push_back(id);
+  }
+  if (new_ids.empty()) {
+    // Same state: behaves like a positive premise over the in-progress
+    // model (the enclosing fixpoint re-checks it every round).
+    return Visible(*state, query);
+  }
+  StateKey key = state->key;
+  key.insert(key.end(), new_ids.begin(), new_ids.end());
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  HYPO_ASSIGN_OR_RETURN(State * bigger, MaterializeState(key));
+  return Visible(*bigger, query);
+}
+
+bool BottomUpEngine::ExistsMatch(const State& state, const Atom& atom,
+                                 Binding* binding) {
+  if (binding->Grounds(atom)) {
+    return Visible(state, binding->Ground(atom));
+  }
+  std::vector<VarIndex> trail;
+  for (const std::vector<Tuple>* source :
+       {&base_->TuplesFor(atom.predicate),
+        &state.ext.TuplesFor(atom.predicate)}) {
+    for (const Tuple& tuple : *source) {
+      if (binding->MatchTuple(atom, tuple, &trail)) {
+        binding->Undo(&trail, 0);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+StatusOr<bool> BottomUpEngine::ProveFact(const Fact& fact) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
+  return Visible(*top, fact);
+}
+
+StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
+  Atom head = PseudoHead(query);
+  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  Binding binding(query.num_vars());
+  bool found = false;
+  auto sink = [&found](const Binding&) -> StatusOr<bool> {
+    found = true;
+    return false;  // Stop at the first witness.
+  };
+  HYPO_RETURN_IF_ERROR(
+      WalkPlan(query.premises, plan, 0, &binding, top, sink).status());
+  return found;
+}
+
+StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
+  Atom head = PseudoHead(query);
+  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  Binding binding(query.num_vars());
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> answers;
+  auto sink = [&](const Binding& b) -> StatusOr<bool> {
+    Tuple t = b.values();
+    if (seen.insert(t).second) answers.push_back(std::move(t));
+    return true;
+  };
+  HYPO_RETURN_IF_ERROR(
+      WalkPlan(query.premises, plan, 0, &binding, top, sink).status());
+  return answers;
+}
+
+StatusOr<std::vector<Tuple>> BottomUpEngine::FactsFor(PredicateId pred) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
+  std::vector<Tuple> out = base_->TuplesFor(pred);
+  for (const Tuple& t : top->ext.TuplesFor(pred)) out.push_back(t);
+  return out;
+}
+
+}  // namespace hypo

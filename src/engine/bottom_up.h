@@ -1,0 +1,139 @@
+#ifndef HYPO_ENGINE_BOTTOM_UP_H_
+#define HYPO_ENGINE_BOTTOM_UP_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+#include <functional>
+
+#include "analysis/stratification.h"
+#include "base/hash.h"
+#include "db/fact_interner.h"
+#include "engine/binding.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+
+namespace hypo {
+
+/// The reference evaluation procedure for hypothetical rulebases with
+/// stratified negation (§3 + §3.1): a memoized, per-database-state
+/// perfect-model computation.
+///
+/// A *state* is the base database plus a set of hypothetically added
+/// facts. For each state the engine computes the perfect model bottom-up,
+/// stratum by stratum; a hypothetical premise `A[add: C̄]` encountered
+/// during the fixpoint triggers (memoized) evaluation of the strictly
+/// larger state `DB + C̄`, or degenerates to a positive premise when every
+/// added fact is already a database fact of the current state. States only
+/// grow, so the recursion is well-founded; the number of states can be
+/// exponential in the database (the paper's PSPACE-hardness), which the
+/// `max_states` option converts into a clean error.
+///
+/// This engine makes no linearity assumption — it accepts every rulebase
+/// the paper's inference system defines (Definition 3 + stratified NAF) —
+/// and serves as the ground-truth oracle the StratifiedProver is
+/// cross-checked against.
+class BottomUpEngine : public Engine {
+ public:
+  /// Neither pointer is owned; both must outlive the engine.
+  BottomUpEngine(const RuleBase* rulebase, const Database* db,
+                 EngineOptions options = EngineOptions());
+
+  Status Init() override;
+  StatusOr<bool> ProveFact(const Fact& fact) override;
+  StatusOr<bool> ProveQuery(const Query& query) override;
+  StatusOr<std::vector<Tuple>> Answers(const Query& query) override;
+
+  /// All tuples of `pred` derivable at the base state (extensional plus
+  /// derived). Convenience for examples and tests.
+  StatusOr<std::vector<Tuple>> FactsFor(PredicateId pred);
+
+  const EngineStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = EngineStats(); }
+  std::string name() const override { return "bottom-up"; }
+
+  /// Number of distinct database states currently memoized.
+  int64_t num_states() const { return static_cast<int64_t>(states_.size()); }
+
+ private:
+  using StateKey = std::vector<FactId>;
+  struct StateKeyHash {
+    size_t operator()(const StateKey& k) const {
+      return static_cast<size_t>(HashVector(k, k.size()));
+    }
+  };
+
+  struct State {
+    StateKey key;                           // Sorted added-fact ids.
+    std::unordered_set<FactId> added_set;   // Same ids, for membership.
+    Database ext;                           // Added + derived facts.
+    bool complete = false;
+
+    explicit State(std::shared_ptr<SymbolTable> symbols)
+        : ext(std::move(symbols)) {}
+  };
+
+  /// True iff `fact` holds in `state` (base database or ext model).
+  bool Visible(const State& state, const Fact& fact) const {
+    return base_->Contains(fact) || state.ext.Contains(fact);
+  }
+
+  /// Re-initializes the domain (and drops all memoized states) if the
+  /// query mentions constants outside the current domain.
+  Status EnsureConstants(const Query& query);
+
+  /// Same for a probed ground fact: its constants join dom(R, DB) for
+  /// this and later evaluations (Definition 3's domain, extended by the
+  /// constants the caller introduces).
+  Status EnsureFactConstants(const Fact& fact);
+
+  /// Returns the completed state for `key`, computing its model if new.
+  StatusOr<State*> MaterializeState(const StateKey& key);
+
+  Status ComputeModel(State* state);
+
+  /// Evaluates one rule over `state`, inserting derived heads into the
+  /// model; appends predicates that gained tuples to `changed`.
+  Status EvaluateRule(int rule_index, State* state,
+                      std::vector<PredicateId>* changed);
+
+  /// Recursive plan walker shared by rule evaluation and queries.
+  /// `sink` returns false to stop enumeration early. The walker returns
+  /// false iff the sink stopped it.
+  StatusOr<bool> WalkPlan(const std::vector<Premise>& premises,
+                          const BodyPlan& plan, size_t step,
+                          Binding* binding, State* state,
+                          const std::function<StatusOr<bool>(
+                              const Binding&)>& sink);
+
+  /// Tests a fully ground hypothetical premise against `state`.
+  StatusOr<bool> TestHypothetical(State* state, const Fact& query,
+                                  const std::vector<Fact>& additions);
+
+  /// True iff some extension of `binding` matches `atom` in `state`.
+  bool ExistsMatch(const State& state, const Atom& atom, Binding* binding);
+
+  Status CheckLimits();
+
+  const RuleBase* rulebase_;
+  const Database* base_;
+  EngineOptions options_;
+
+  NegationStrata strata_;
+  std::vector<BodyPlan> rule_plans_;
+  std::vector<ConstId> domain_;
+  std::unordered_set<ConstId> domain_set_;
+  std::vector<ConstId> extra_constants_;
+
+  FactInterner interner_;
+  std::unordered_map<StateKey, std::unique_ptr<State>, StateKeyHash> states_;
+
+  EngineStats stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_BOTTOM_UP_H_

@@ -1,0 +1,20 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hypo {
+
+std::vector<ConstId> ComputeDomain(const RuleBase& rulebase,
+                                   const Database& db,
+                                   const std::vector<ConstId>& extra) {
+  std::unordered_set<ConstId> domain;
+  domain.insert(rulebase.constants().begin(), rulebase.constants().end());
+  domain.insert(db.constants().begin(), db.constants().end());
+  domain.insert(extra.begin(), extra.end());
+  std::vector<ConstId> out(domain.begin(), domain.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hypo

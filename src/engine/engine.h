@@ -1,0 +1,82 @@
+#ifndef HYPO_ENGINE_ENGINE_H_
+#define HYPO_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "ast/rulebase.h"
+#include "base/statusor.h"
+#include "db/database.h"
+
+namespace hypo {
+
+/// Evaluation limits and switches shared by the engines.
+struct EngineOptions {
+  /// Maximum number of memoized database states before evaluation aborts
+  /// with ResourceExhausted. Hypothetical inference is PSPACE-complete in
+  /// general; this cap turns runaway searches into clean errors.
+  int64_t max_states = 4'000'000;
+
+  /// Maximum number of goal expansions / rule firings before aborting.
+  int64_t max_steps = 500'000'000;
+
+  /// BottomUpEngine: skip re-evaluating rules none of whose body
+  /// predicates changed in the previous fixpoint round (rule-level
+  /// semi-naive filtering). Off = naive evaluation, kept as an ablation
+  /// baseline for bench_engine.
+  bool seminaive = true;
+};
+
+/// Counters reported by the engines; reset per top-level call group via
+/// ResetStats(). These back the Appendix-A measurements (E10).
+struct EngineStats {
+  int64_t states_evaluated = 0;   // Distinct database states materialized.
+  int64_t memo_hits = 0;          // Goal or model memo hits.
+  int64_t goals_expanded = 0;     // Top-down goal expansions / rule firings.
+  int64_t facts_derived = 0;      // Facts inserted into models.
+  int64_t fixpoint_rounds = 0;    // Bottom-up iteration rounds.
+  int64_t max_goal_depth = 0;     // Deepest top-down proof chain.
+};
+
+/// Common interface of the two evaluation procedures.
+///
+/// An Engine is constructed over one (rulebase, database) pair; Init()
+/// performs the static analysis (stratification, plans, domain) and must
+/// be called before any query. Both referenced objects must outlive the
+/// engine. Engines are single-threaded.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual Status Init() = 0;
+
+  /// Decides R, DB ⊢ A for a ground atom A.
+  virtual StatusOr<bool> ProveFact(const Fact& fact) = 0;
+
+  /// Decides whether some binding of the query's free variables makes
+  /// every premise inferable (free variables are existential).
+  virtual StatusOr<bool> ProveQuery(const Query& query) = 0;
+
+  /// Returns every distinct binding of the query's variables (in VarIndex
+  /// order) that makes every premise inferable.
+  virtual StatusOr<std::vector<Tuple>> Answers(const Query& query) = 0;
+
+  virtual const EngineStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Human-readable engine name for logs and benchmark labels.
+  virtual std::string name() const = 0;
+};
+
+/// dom(R, DB) of Definition 3: every constant in the rulebase or the
+/// database, plus `extra` (constants introduced by a top-level query).
+/// Sorted for determinism.
+std::vector<ConstId> ComputeDomain(const RuleBase& rulebase,
+                                   const Database& db,
+                                   const std::vector<ConstId>& extra = {});
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_ENGINE_H_

@@ -1,0 +1,99 @@
+#include "engine/plan.h"
+
+#include <algorithm>
+
+namespace hypo {
+
+namespace {
+
+/// Appends the unbound variables of `atom` to `out` and marks them bound.
+void CollectUnbound(const Atom& atom, std::vector<bool>* bound,
+                    std::vector<VarIndex>* out) {
+  for (const Term& t : atom.args) {
+    if (t.is_var() && !(*bound)[t.var_index()]) {
+      (*bound)[t.var_index()] = true;
+      out->push_back(t.var_index());
+    }
+  }
+}
+
+int CountUnbound(const Atom& atom, const std::vector<bool>& bound) {
+  int n = 0;
+  for (const Term& t : atom.args) {
+    if (t.is_var() && !bound[t.var_index()]) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+BodyPlan BodyPlan::Build(const std::vector<Premise>& premises,
+                         const Atom* head, int num_vars) {
+  BodyPlan plan;
+  std::vector<bool> bound(num_vars, false);
+
+  // 1. Positive premises, greedily most-bound-first.
+  std::vector<int> positive;
+  for (int i = 0; i < static_cast<int>(premises.size()); ++i) {
+    if (premises[i].kind == PremiseKind::kPositive) positive.push_back(i);
+  }
+  std::vector<bool> used(premises.size(), false);
+  for (size_t picked = 0; picked < positive.size(); ++picked) {
+    int best = -1;
+    int best_unbound = 0;
+    for (int i : positive) {
+      if (used[i]) continue;
+      int u = CountUnbound(premises[i].atom, bound);
+      if (best == -1 || u < best_unbound) {
+        best = i;
+        best_unbound = u;
+      }
+    }
+    used[best] = true;
+    plan.steps.push_back(
+        PlanStep{PlanStep::Kind::kMatchPositive, best, {}});
+    for (const Term& t : premises[best].atom.args) {
+      if (t.is_var()) bound[t.var_index()] = true;
+    }
+  }
+
+  // 2. Hypothetical premises: enumerate their unbound variables (the
+  // paper's θ over dom(R, DB)), then test.
+  for (int i = 0; i < static_cast<int>(premises.size()); ++i) {
+    if (premises[i].kind != PremiseKind::kHypothetical) continue;
+    std::vector<VarIndex> to_enum;
+    CollectUnbound(premises[i].atom, &bound, &to_enum);
+    for (const Atom& added : premises[i].additions) {
+      CollectUnbound(added, &bound, &to_enum);
+    }
+    for (const Atom& deleted : premises[i].deletions) {
+      CollectUnbound(deleted, &bound, &to_enum);
+    }
+    if (!to_enum.empty()) {
+      plan.steps.push_back(
+          PlanStep{PlanStep::Kind::kEnumerateVars, -1, std::move(to_enum)});
+    }
+    plan.steps.push_back(PlanStep{PlanStep::Kind::kHypothetical, i, {}});
+  }
+
+  // 3. Unbound head variables (unsafe heads range over the domain).
+  if (head != nullptr) {
+    std::vector<VarIndex> to_enum;
+    CollectUnbound(*head, &bound, &to_enum);
+    if (!to_enum.empty()) {
+      plan.steps.push_back(
+          PlanStep{PlanStep::Kind::kEnumerateVars, -1, std::move(to_enum)});
+    }
+  }
+
+  // 4. Negated premises last; their remaining free variables get the ∄
+  // reading inside the engines.
+  for (int i = 0; i < static_cast<int>(premises.size()); ++i) {
+    if (premises[i].kind == PremiseKind::kNegated) {
+      plan.steps.push_back(PlanStep{PlanStep::Kind::kNegated, i, {}});
+    }
+  }
+  return plan;
+}
+
+}  // namespace hypo

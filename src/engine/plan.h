@@ -1,0 +1,52 @@
+#ifndef HYPO_ENGINE_PLAN_H_
+#define HYPO_ENGINE_PLAN_H_
+
+#include <vector>
+
+#include "ast/query.h"
+#include "ast/rule.h"
+
+namespace hypo {
+
+/// One evaluation step of a rule body or query.
+struct PlanStep {
+  enum class Kind {
+    /// Join a positive premise against available facts, binding fresh vars.
+    kMatchPositive,
+    /// Enumerate dom(R, DB) values for `vars` (the paper's ground
+    /// substitution θ over the domain, applied lazily).
+    kEnumerateVars,
+    /// Test a hypothetical premise; all of its variables are bound by now.
+    kHypothetical,
+    /// Test a negated premise. Variables still unbound here occur only in
+    /// negated premises, and get the ∄ reading (see DESIGN.md §2).
+    kNegated,
+  };
+
+  Kind kind;
+  int premise_index = -1;            // For premise-backed steps.
+  std::vector<VarIndex> enum_vars;   // For kEnumerateVars.
+};
+
+/// An ordered evaluation plan for a conjunction of premises.
+///
+/// Step order: positive premises first (greedily, most-bound-first, so
+/// joins stay selective), then for each hypothetical premise an enumeration
+/// of its still-unbound variables followed by the test itself, then an
+/// enumeration of any unbound head variables, then the negated premises.
+/// Negated premises come last so that a variable shared with any binding
+/// premise is bound before the negation is tested, leaving the ∄ reading
+/// only for genuinely negation-local variables.
+struct BodyPlan {
+  std::vector<PlanStep> steps;
+
+  /// Builds a plan for `premises` with `num_vars` rule-local variables.
+  /// `head` (optional) contributes variables that must be enumerated if no
+  /// premise binds them.
+  static BodyPlan Build(const std::vector<Premise>& premises,
+                        const Atom* head, int num_vars);
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_PLAN_H_

@@ -1,0 +1,63 @@
+#include "engine/proof.h"
+
+namespace hypo {
+
+namespace {
+
+void Render(const ProofNode& node, const SymbolTable& symbols, int indent,
+            std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  if (!node.note.empty()) {
+    *out += node.note + "\n";
+    for (const ProofNode& child : node.children) {
+      Render(child, symbols, indent + 1, out);
+    }
+    return;
+  }
+  switch (node.kind) {
+    case ProofNode::Kind::kDatabaseFact:
+      *out += FactToString(node.fact, symbols) + "  [database]";
+      break;
+    case ProofNode::Kind::kHypotheticalEntry:
+      *out += FactToString(node.fact, symbols) + "  [hypothetical addition]";
+      break;
+    case ProofNode::Kind::kNegationAsFailure:
+      *out += "~" + FactToString(node.fact, symbols) + "  [no proof exists]";
+      break;
+    case ProofNode::Kind::kRule: {
+      *out += FactToString(node.fact, symbols) + "  [rule " +
+              std::to_string(node.rule_index) + "]";
+      break;
+    }
+  }
+  if (!node.added.empty() || !node.deleted.empty()) {
+    *out += "  {";
+    bool first = true;
+    for (const Fact& f : node.added) {
+      if (!first) *out += ", ";
+      *out += "+" + FactToString(f, symbols);
+      first = false;
+    }
+    for (const Fact& f : node.deleted) {
+      if (!first) *out += ", ";
+      *out += "-" + FactToString(f, symbols);
+      first = false;
+    }
+    *out += "}";
+  }
+  *out += "\n";
+  for (const ProofNode& child : node.children) {
+    Render(child, symbols, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ProofToString(const ProofNode& node,
+                          const SymbolTable& symbols) {
+  std::string out;
+  Render(node, symbols, 0, &out);
+  return out;
+}
+
+}  // namespace hypo

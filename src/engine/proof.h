@@ -1,0 +1,53 @@
+#ifndef HYPO_ENGINE_PROOF_H_
+#define HYPO_ENGINE_PROOF_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/symbol_table.h"
+#include "db/fact.h"
+
+namespace hypo {
+
+/// One node of a derivation tree, as produced by TabledEngine::ExplainFact.
+///
+/// The tree mirrors Definition 3's inference rules: a fact is justified by
+/// being a database entry (rule 1), by a hypothetical context (the add/del
+/// lists annotate the child built under rule 2), or by a rule instance
+/// (rule 3) whose premise sub-proofs are the children. Negated premises
+/// appear as kNegationAsFailure leaves: the recorded fact is the one whose
+/// *unprovability* the derivation relies on.
+struct ProofNode {
+  enum class Kind {
+    kDatabaseFact,        // Inference rule 1: an entry of the database.
+    kHypotheticalEntry,   // Rule 1 applied to a hypothetically added fact.
+    kRule,                // Inference rule 3: a rule instance.
+    kNegationAsFailure,   // ~A premise: A has no proof in this state.
+  };
+
+  Kind kind = Kind::kDatabaseFact;
+  Fact fact;
+  int rule_index = -1;  // For kRule: index into the rulebase.
+
+  /// For kRule: the hypothetical context changes each child premise was
+  /// evaluated under, rendered inline by ProofToString.
+  std::vector<Fact> added;    // Facts this node's premise inserted.
+  std::vector<Fact> deleted;  // Facts this node's premise removed.
+
+  /// When non-empty, rendered instead of `fact` (used for non-ground
+  /// negation-as-failure premises, whose ∄ reading has no single fact).
+  std::string note;
+
+  std::vector<ProofNode> children;
+};
+
+/// Renders a proof tree, two-space indented, one fact per line, e.g.
+///
+///   grad(tony)  [rule 2]
+///     take(tony, cs250)  [database]
+///     take(tony, cs452)  [hypothetical addition]
+std::string ProofToString(const ProofNode& node, const SymbolTable& symbols);
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_PROOF_H_

@@ -1,0 +1,51 @@
+#ifndef HYPO_ENGINE_SCAN_H_
+#define HYPO_ENGINE_SCAN_H_
+
+#include "ast/rule.h"
+#include "db/database.h"
+#include "engine/binding.h"
+
+namespace hypo {
+
+/// Resolves `atom`'s first argument under `binding`: the constant it is
+/// already fixed to, or kInvalidConst when it is an unbound variable (or
+/// the atom is 0-ary).
+inline ConstId ResolvedFirstArg(const Atom& atom, const Binding& binding) {
+  if (atom.args.empty()) return kInvalidConst;
+  const Term& t = atom.args[0];
+  if (t.is_const()) return t.const_id();
+  return binding.IsBound(t.var_index()) ? binding.Value(t.var_index())
+                                        : kInvalidConst;
+}
+
+/// Invokes `fn(tuple)` for each stored tuple of `atom`'s predicate in
+/// `db` that can possibly match: the first-argument index bucket when the
+/// first argument is bound, the full relation otherwise. `fn` returns
+/// false to stop; ForEachBaseCandidate then returns false.
+///
+/// Safe against concurrent growth of the relation (iterates by index over
+/// a stable prefix), matching the fixpoint loops' expectations.
+template <typename Fn>
+bool ForEachBaseCandidate(const Database& db, const Atom& atom,
+                          const Binding& binding, Fn&& fn) {
+  ConstId first = ResolvedFirstArg(atom, binding);
+  if (first != kInvalidConst) {
+    const std::vector<int>* subset =
+        db.TuplesWithFirstArg(atom.predicate, first);
+    if (subset == nullptr) return true;
+    const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
+    for (size_t i = 0; i < subset->size(); ++i) {
+      if (!fn(all[(*subset)[i]])) return false;
+    }
+    return true;
+  }
+  const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (!fn(all[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_SCAN_H_

@@ -1,0 +1,552 @@
+#include "engine/stratified_prover.h"
+
+#include "engine/scan.h"
+
+#include <algorithm>
+#include <climits>
+#include <functional>
+
+namespace hypo {
+
+namespace {
+
+std::vector<ConstId> QueryConstants(const Query& query) {
+  std::vector<ConstId> out;
+  auto collect = [&out](const Atom& atom) {
+    for (const Term& t : atom.args) {
+      if (t.is_const()) out.push_back(t.const_id());
+    }
+  };
+  for (const Premise& p : query.premises) {
+    collect(p.atom);
+    for (const Atom& a : p.additions) collect(a);
+  }
+  return out;
+}
+
+Atom PseudoHead(const Query& query) {
+  Atom head;
+  head.predicate = kInvalidPredicate;
+  for (int v = 0; v < query.num_vars(); ++v) {
+    head.args.push_back(Term::MakeVar(v));
+  }
+  return head;
+}
+
+}  // namespace
+
+StratifiedProver::StratifiedProver(const RuleBase* rulebase,
+                                   const Database* db, EngineOptions options)
+    : rulebase_(rulebase), base_(db), options_(options) {}
+
+Status StratifiedProver::Init() {
+  if (rulebase_->symbols_ptr().get() != base_->symbols_ptr().get()) {
+    return Status::InvalidArgument(
+        "rulebase and database must share one SymbolTable");
+  }
+  if (rulebase_->HasDeletions()) {
+    return Status::Unimplemented(
+        "hypothetical deletion ([del: ...]) is supported only by "
+        "TabledEngine; the paper's linear stratification covers "
+        "insertions only");
+  }
+  HYPO_ASSIGN_OR_RETURN(strat_, ComputeLinearStratification(*rulebase_));
+  rule_plans_.clear();
+  rule_plans_.reserve(rulebase_->num_rules());
+  for (const Rule& rule : rulebase_->rules()) {
+    rule_plans_.push_back(
+        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars()));
+  }
+  domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
+  domain_set_.clear();
+  domain_set_.insert(domain_.begin(), domain_.end());
+  overlay_ = std::make_unique<OverlayDatabase>(base_, &interner_);
+  ClearMemos();
+  initialized_ = true;
+  return Status::OK();
+}
+
+void StratifiedProver::ClearMemos() {
+  goal_memo_.clear();
+  delta_models_.clear();
+}
+
+Status StratifiedProver::EnsureConstants(const Query& query) {
+  bool missing = false;
+  for (ConstId c : QueryConstants(query)) {
+    if (domain_set_.count(c) == 0) {
+      extra_constants_.push_back(c);
+      missing = true;
+    }
+  }
+  if (missing) return Init();
+  return Status::OK();
+}
+
+Status StratifiedProver::EnsureFactConstants(const Fact& fact) {
+  bool missing = false;
+  for (ConstId c : fact.args) {
+    if (domain_set_.count(c) == 0) {
+      extra_constants_.push_back(c);
+      missing = true;
+    }
+  }
+  if (missing) return Init();
+  return Status::OK();
+}
+
+Status StratifiedProver::CheckLimits() {
+  if (stats_.goals_expanded > options_.max_steps) {
+    return Status::ResourceExhausted(
+        "evaluation exceeded max_steps = " +
+        std::to_string(options_.max_steps));
+  }
+  if (static_cast<int64_t>(goal_memo_.size() + delta_models_.size()) >
+      options_.max_states) {
+    return Status::ResourceExhausted(
+        "evaluation exceeded max_states = " +
+        std::to_string(options_.max_states));
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> StratifiedProver::ProveGround(const Fact& goal,
+                                             EvalContext* ctx) {
+  int part = PartitionOf(goal.predicate);
+  if (part == 0) {
+    // Extensional predicate: inference rule 1 only.
+    return overlay_->Contains(goal);
+  }
+  if (part % 2 == 1) {
+    // Δ predicate: membership in the perfect model of its Δ segment
+    // (which subsumes inference rule 1, since LFP starts from DB).
+    if (ctx->building_ext != nullptr && part == ctx->building_partition) {
+      // The model of this very segment is under construction (a positive
+      // or lower-substratum occurrence inside Δ_i); consult the partial
+      // model — the enclosing fixpoint re-checks until convergence.
+      return overlay_->Contains(goal) || ctx->building_ext->Contains(goal);
+    }
+    HYPO_ASSIGN_OR_RETURN(const Database* model,
+                          DeltaModelFor((part + 1) / 2));
+    return overlay_->Contains(goal) || model->Contains(goal);
+  }
+  return ProveSigma(goal, ctx);
+}
+
+StatusOr<bool> StratifiedProver::ProveSigma(const Fact& goal,
+                                            EvalContext* ctx) {
+  // Inference rule 1: the goal may simply be a database entry.
+  if (overlay_->Contains(goal)) return true;
+
+  GoalKey key{interner_.Intern(goal), overlay_->CanonicalKey()};
+  auto it = goal_memo_.find(key);
+  if (it != goal_memo_.end()) {
+    switch (it->second.status) {
+      case GoalEntry::Status::kTrue:
+        ++stats_.memo_hits;
+        return true;
+      case GoalEntry::Status::kFalse:
+        ++stats_.memo_hits;
+        return false;
+      case GoalEntry::Status::kInProgress:
+        // The goal is on the DFS stack with the same state: a circular
+        // derivation, pruned (least-fixpoint semantics). Record the
+        // ancestor's depth so failure caching stays sound.
+        if (ctx->min_pruned != nullptr) {
+          *ctx->min_pruned = std::min(*ctx->min_pruned, it->second.depth);
+        }
+        return false;
+    }
+  }
+
+  ++stats_.goals_expanded;
+  HYPO_RETURN_IF_ERROR(CheckLimits());
+  int depth = ctx->depth;
+  stats_.max_goal_depth = std::max<int64_t>(stats_.max_goal_depth, depth);
+  goal_memo_[key] = GoalEntry{GoalEntry::Status::kInProgress, depth};
+
+  int my_min = INT_MAX;
+  bool proved = false;
+  for (int rule_index : rulebase_->DefinitionOf(goal.predicate)) {
+    const Rule& rule = rulebase_->rule(rule_index);
+    Binding binding(rule.num_vars());
+    std::vector<VarIndex> trail;
+    if (!binding.MatchTuple(rule.head, goal.args, &trail)) continue;
+    EvalContext sub;
+    sub.depth = depth + 1;
+    sub.min_pruned = &my_min;
+    // Σ rules never match against a Δ model under construction: clear it.
+    auto sink = [&proved](const Binding&) -> StatusOr<bool> {
+      proved = true;
+      return false;  // First proof wins; stop enumerating.
+    };
+    StatusOr<bool> r = WalkPlan(rule.premises, rule_plans_[rule_index], 0,
+                                &binding, &sub, sink);
+    HYPO_RETURN_IF_ERROR(r.status());
+    if (proved) break;
+  }
+
+  if (proved) {
+    goal_memo_[key] = GoalEntry{GoalEntry::Status::kTrue, depth};
+    return true;
+  }
+  if (my_min >= depth) {
+    // Every pruned in-progress goal was this goal itself (or deeper):
+    // the failure is context-free and safe to cache.
+    goal_memo_[key] = GoalEntry{GoalEntry::Status::kFalse, depth};
+  } else {
+    // The failure depended on a shallower in-progress ancestor; it may
+    // not hold once that ancestor resolves, so forget it and propagate.
+    goal_memo_.erase(key);
+    if (ctx->min_pruned != nullptr) {
+      *ctx->min_pruned = std::min(*ctx->min_pruned, my_min);
+    }
+  }
+  return false;
+}
+
+StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
+  DeltaKey key{stratum_i, overlay_->CanonicalKey()};
+  auto it = delta_models_.find(key);
+  if (it != delta_models_.end()) {
+    ++stats_.memo_hits;
+    return it->second.get();
+  }
+  HYPO_RETURN_IF_ERROR(CheckLimits());
+  ++stats_.states_evaluated;
+  auto ext = std::make_unique<Database>(base_->symbols_ptr());
+  Database* model = ext.get();
+  const int partition = 2 * stratum_i - 1;
+
+  // §5.2.2: apply the substrata Δ_i1 ... Δ_im in order, each to fixpoint.
+  for (const std::vector<int>& substratum :
+       strat_.delta_substrata[stratum_i - 1]) {
+    std::unordered_set<PredicateId> changed_last_round;
+    bool first_round = true;
+    while (true) {
+      ++stats_.fixpoint_rounds;
+      std::vector<PredicateId> changed_now;
+      for (int rule_index : substratum) {
+        const Rule& rule = rulebase_->rule(rule_index);
+        if (options_.seminaive && !first_round) {
+          bool relevant = false;
+          for (const Premise& p : rule.premises) {
+            if (changed_last_round.count(p.atom.predicate) > 0) {
+              relevant = true;
+              break;
+            }
+          }
+          if (!relevant) continue;
+        }
+        Binding binding(rule.num_vars());
+        EvalContext ctx;
+        int min_pruned = INT_MAX;
+        ctx.min_pruned = &min_pruned;
+        ctx.building_ext = model;
+        ctx.building_partition = partition;
+        auto sink = [&](const Binding& b) -> StatusOr<bool> {
+          ++stats_.goals_expanded;
+          HYPO_RETURN_IF_ERROR(CheckLimits());
+          Fact head = b.Ground(rule.head);
+          if (!overlay_->Contains(head) && !model->Contains(head)) {
+            model->Insert(head);
+            ++stats_.facts_derived;
+            changed_now.push_back(head.predicate);
+          }
+          return true;
+        };
+        HYPO_RETURN_IF_ERROR(WalkPlan(rule.premises,
+                                      rule_plans_[rule_index], 0, &binding,
+                                      &ctx, sink)
+                                 .status());
+        // Lower-stratum oracle answers are definite: nothing shallower
+        // can be in progress at this level (see class comment).
+        HYPO_DCHECK(min_pruned == INT_MAX)
+            << "Δ oracle computation pruned on an in-progress goal";
+      }
+      if (changed_now.empty()) break;
+      changed_last_round.clear();
+      changed_last_round.insert(changed_now.begin(), changed_now.end());
+      first_round = false;
+    }
+  }
+  const Database* result = ext.get();
+  delta_models_.emplace(std::move(key), std::move(ext));
+  return result;
+}
+
+StatusOr<bool> StratifiedProver::WalkPlan(
+    const std::vector<Premise>& premises, const BodyPlan& plan, size_t step,
+    Binding* binding, EvalContext* ctx,
+    const std::function<StatusOr<bool>(const Binding&)>& sink) {
+  if (step == plan.steps.size()) return sink(*binding);
+  const PlanStep& ps = plan.steps[step];
+  auto next = [&]() -> StatusOr<bool> {
+    return WalkPlan(premises, plan, step + 1, binding, ctx, sink);
+  };
+  switch (ps.kind) {
+    case PlanStep::Kind::kMatchPositive:
+      return MatchPositive(premises[ps.premise_index].atom, binding, ctx,
+                           next);
+    case PlanStep::Kind::kEnumerateVars: {
+      std::function<StatusOr<bool>(size_t)> enumerate =
+          [&](size_t v) -> StatusOr<bool> {
+        if (v == ps.enum_vars.size()) return next();
+        VarIndex var = ps.enum_vars[v];
+        if (binding->IsBound(var)) return enumerate(v + 1);
+        for (ConstId c : domain_) {
+          binding->Set(var, c);
+          StatusOr<bool> r = enumerate(v + 1);
+          binding->Unset(var);
+          HYPO_RETURN_IF_ERROR(r.status());
+          if (!*r) return false;
+        }
+        return true;
+      };
+      return enumerate(0);
+    }
+    case PlanStep::Kind::kHypothetical: {
+      const Premise& premise = premises[ps.premise_index];
+      if (!premise.deletions.empty()) {
+        return Status::Unimplemented(
+            "hypothetical deletion is supported only by TabledEngine");
+      }
+      Fact query = binding->Ground(premise.atom);
+      overlay_->PushFrame();
+      for (const Atom& a : premise.additions) {
+        overlay_->Add(binding->Ground(a));
+      }
+      EvalContext sub = *ctx;
+      sub.depth = ctx->depth + 1;
+      // The queried atom is evaluated in the *new* state; a Δ model under
+      // construction belongs to the old state and must not leak into it.
+      sub.building_ext = nullptr;
+      sub.building_partition = 0;
+      StatusOr<bool> holds = ProveGround(query, &sub);
+      overlay_->PopFrame();
+      HYPO_RETURN_IF_ERROR(holds.status());
+      if (!*holds) return true;  // Premise failed; keep enumerating.
+      return next();
+    }
+    case PlanStep::Kind::kNegated: {
+      HYPO_ASSIGN_OR_RETURN(
+          bool exists,
+          TestNegated(premises[ps.premise_index].atom, binding, ctx));
+      if (exists) return true;  // Some instance provable: premise fails.
+      return next();
+    }
+  }
+  return Status::Internal("unknown plan step");
+}
+
+StatusOr<bool> StratifiedProver::MatchPositive(
+    const Atom& atom, Binding* binding, EvalContext* ctx,
+    const std::function<StatusOr<bool>()>& next) {
+  int part = PartitionOf(atom.predicate);
+
+  if (part % 2 == 0 && part > 0) {
+    // Σ-defined predicate: instances cannot be enumerated from storage.
+    // Ground any free variables over the domain, then prove top-down.
+    std::vector<VarIndex> free;
+    for (const Term& t : atom.args) {
+      if (t.is_var() && !binding->IsBound(t.var_index())) {
+        free.push_back(t.var_index());
+      }
+    }
+    std::function<StatusOr<bool>(size_t)> enumerate =
+        [&](size_t v) -> StatusOr<bool> {
+      if (v == free.size()) {
+        EvalContext sub = *ctx;
+        sub.depth = ctx->depth + 1;
+        HYPO_ASSIGN_OR_RETURN(bool holds,
+                              ProveGround(binding->Ground(atom), &sub));
+        if (!holds) return true;
+        return next();
+      }
+      for (ConstId c : domain_) {
+        binding->Set(free[v], c);
+        StatusOr<bool> r = enumerate(v + 1);
+        binding->Unset(free[v]);
+        HYPO_RETURN_IF_ERROR(r.status());
+        if (!*r) return false;
+      }
+      return true;
+    };
+    return enumerate(0);
+  }
+
+  // Extensional or Δ-defined: match against stored tuples.
+  const Database* model_ext = nullptr;
+  if (part % 2 == 1) {
+    if (ctx->building_ext != nullptr && part == ctx->building_partition) {
+      model_ext = ctx->building_ext;
+    } else {
+      HYPO_ASSIGN_OR_RETURN(model_ext, DeltaModelFor((part + 1) / 2));
+    }
+  }
+
+  if (binding->Grounds(atom)) {
+    Fact f = binding->Ground(atom);
+    bool holds = overlay_->Contains(f) ||
+                 (model_ext != nullptr && model_ext->Contains(f));
+    if (!holds) return true;
+    return next();
+  }
+
+  // Index-based: the building model can grow beneath us (the enclosing
+  // fixpoint re-runs the rule until convergence). The base relation and
+  // the Δ model use the first-argument access path when available.
+  std::vector<VarIndex> trail;
+  Status error;
+  bool stopped = false;
+  auto try_tuple = [&](const Tuple& tuple) -> bool {
+    if (!binding->MatchTuple(atom, tuple, &trail)) return true;
+    StatusOr<bool> r = next();
+    binding->Undo(&trail, 0);
+    if (!r.ok()) {
+      error = r.status();
+      return false;
+    }
+    if (!*r) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  };
+  bool keep = ForEachBaseCandidate(*base_, atom, *binding, try_tuple);
+  if (keep) {
+    const std::vector<Tuple>& added =
+        overlay_->AddedTuplesFor(atom.predicate);
+    for (size_t i = 0; i < added.size() && keep; ++i) {
+      keep = try_tuple(added[i]);
+    }
+  }
+  if (keep && model_ext != nullptr) {
+    ForEachBaseCandidate(*model_ext, atom, *binding, try_tuple);
+  }
+  HYPO_RETURN_IF_ERROR(error);
+  if (stopped) return false;
+  return true;
+}
+
+StatusOr<bool> StratifiedProver::TestNegated(const Atom& atom,
+                                             Binding* binding,
+                                             EvalContext* ctx) {
+  int part = PartitionOf(atom.predicate);
+  if (part % 2 == 0 && part > 0) {
+    // Negation of a Σ predicate from a strictly higher stratum: enumerate
+    // free variables and ask the complete lower-stratum procedure.
+    std::vector<VarIndex> free;
+    for (const Term& t : atom.args) {
+      if (t.is_var() && !binding->IsBound(t.var_index())) {
+        free.push_back(t.var_index());
+      }
+    }
+    std::function<StatusOr<bool>(size_t)> enumerate =
+        [&](size_t v) -> StatusOr<bool> {
+      if (v == free.size()) {
+        EvalContext sub = *ctx;
+        sub.depth = ctx->depth + 1;
+        return ProveGround(binding->Ground(atom), &sub);
+      }
+      for (ConstId c : domain_) {
+        binding->Set(free[v], c);
+        StatusOr<bool> r = enumerate(v + 1);
+        binding->Unset(free[v]);
+        HYPO_RETURN_IF_ERROR(r.status());
+        if (*r) return true;  // Witness found.
+      }
+      return false;
+    };
+    return enumerate(0);
+  }
+
+  const Database* model_ext = nullptr;
+  if (part % 2 == 1) {
+    if (ctx->building_ext != nullptr && part == ctx->building_partition) {
+      // Negation inside Δ_i of a same-segment predicate: it belongs to a
+      // strictly lower substratum, whose tuples in the building model are
+      // already final.
+      model_ext = ctx->building_ext;
+    } else {
+      HYPO_ASSIGN_OR_RETURN(model_ext, DeltaModelFor((part + 1) / 2));
+    }
+  }
+  return ExistsStored(atom, binding, model_ext);
+}
+
+bool StratifiedProver::ExistsStored(const Atom& atom, Binding* binding,
+                                    const Database* model_ext) {
+  if (binding->Grounds(atom)) {
+    Fact f = binding->Ground(atom);
+    return overlay_->Contains(f) ||
+           (model_ext != nullptr && model_ext->Contains(f));
+  }
+  std::vector<VarIndex> trail;
+  std::vector<const std::vector<Tuple>*> sources = {
+      &base_->TuplesFor(atom.predicate),
+      &overlay_->AddedTuplesFor(atom.predicate)};
+  if (model_ext != nullptr) {
+    sources.push_back(&model_ext->TuplesFor(atom.predicate));
+  }
+  for (const std::vector<Tuple>* source : sources) {
+    for (const Tuple& tuple : *source) {
+      if (binding->MatchTuple(atom, tuple, &trail)) {
+        binding->Undo(&trail, 0);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+StatusOr<bool> StratifiedProver::ProveFact(const Fact& fact) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
+  EvalContext ctx;
+  int min_pruned = INT_MAX;
+  ctx.min_pruned = &min_pruned;
+  return ProveGround(fact, &ctx);
+}
+
+StatusOr<bool> StratifiedProver::ProveQuery(const Query& query) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  Atom head = PseudoHead(query);
+  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  Binding binding(query.num_vars());
+  EvalContext ctx;
+  int min_pruned = INT_MAX;
+  ctx.min_pruned = &min_pruned;
+  bool found = false;
+  auto sink = [&found](const Binding&) -> StatusOr<bool> {
+    found = true;
+    return false;
+  };
+  HYPO_RETURN_IF_ERROR(
+      WalkPlan(query.premises, plan, 0, &binding, &ctx, sink).status());
+  return found;
+}
+
+StatusOr<std::vector<Tuple>> StratifiedProver::Answers(const Query& query) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  Atom head = PseudoHead(query);
+  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  Binding binding(query.num_vars());
+  EvalContext ctx;
+  int min_pruned = INT_MAX;
+  ctx.min_pruned = &min_pruned;
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> answers;
+  auto sink = [&](const Binding& b) -> StatusOr<bool> {
+    Tuple t = b.values();
+    if (seen.insert(t).second) answers.push_back(std::move(t));
+    return true;
+  };
+  HYPO_RETURN_IF_ERROR(
+      WalkPlan(query.premises, plan, 0, &binding, &ctx, sink).status());
+  return answers;
+}
+
+}  // namespace hypo

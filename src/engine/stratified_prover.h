@@ -1,0 +1,182 @@
+#ifndef HYPO_ENGINE_STRATIFIED_PROVER_H_
+#define HYPO_ENGINE_STRATIFIED_PROVER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+#include <functional>
+
+#include "analysis/stratification.h"
+#include "base/hash.h"
+#include "db/fact_interner.h"
+#include "db/overlay.h"
+#include "engine/binding.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+
+namespace hypo {
+
+/// The paper's §5.2 evaluation procedure for linearly stratified
+/// rulebases: a deterministic realization of the PROVE_Σi / PROVE_Δi
+/// cascade.
+///
+/// * PROVE_Σi (top-down, the paper's NP machine) becomes depth-first
+///   backtracking over rule choices and ground substitutions, with tabling:
+///   results are memoized per (ground goal, database state). Re-entering a
+///   goal that is already on the DFS stack with the same state is pruned
+///   (sound for least-fixpoint semantics); failures are cached only when
+///   they did not depend on the pruning of a *shallower* in-progress goal,
+///   the standard completion condition of tabled evaluation.
+/// * PROVE_Δi (bottom-up, the paper's P machine) computes the perfect
+///   model of Δ_i over the current state, substratum by substratum
+///   (§5.2.2's LFP/T/TEST), invoking the Σ machinery of lower strata as
+///   the oracle for hypothetical and lower-stratum premises. Δ models are
+///   memoized per (stratum, state).
+///
+/// Hypothetical insertions use a single OverlayDatabase with undo frames:
+/// each proof branch inserts, tests, and retracts, exactly the discipline
+/// §5.1.2 describes.
+///
+/// Init() fails (InvalidArgument) if the rulebase is not linearly
+/// stratifiable; the BottomUpEngine handles that general case.
+class StratifiedProver : public Engine {
+ public:
+  /// Neither pointer is owned; both must outlive the prover.
+  StratifiedProver(const RuleBase* rulebase, const Database* db,
+                   EngineOptions options = EngineOptions());
+
+  Status Init() override;
+  StatusOr<bool> ProveFact(const Fact& fact) override;
+  StatusOr<bool> ProveQuery(const Query& query) override;
+  StatusOr<std::vector<Tuple>> Answers(const Query& query) override;
+
+  const EngineStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = EngineStats(); }
+  std::string name() const override { return "stratified-prover"; }
+
+  /// The stratification computed by Init (valid afterwards).
+  const LinearStratification& stratification() const { return strat_; }
+
+ private:
+  using StateKey = std::vector<FactId>;
+  struct StateKeyHash {
+    size_t operator()(const StateKey& k) const {
+      return static_cast<size_t>(HashVector(k, k.size()));
+    }
+  };
+
+  /// Tabling entry for a Σ goal.
+  struct GoalEntry {
+    enum class Status : uint8_t { kInProgress, kTrue, kFalse } status;
+    int depth;  // DFS depth at which the goal was entered (kInProgress).
+  };
+  struct GoalKey {
+    FactId fact;
+    StateKey state;
+    friend bool operator==(const GoalKey& a, const GoalKey& b) {
+      return a.fact == b.fact && a.state == b.state;
+    }
+  };
+  struct GoalKeyHash {
+    size_t operator()(const GoalKey& k) const {
+      return static_cast<size_t>(
+          HashVector(k.state, static_cast<uint64_t>(k.fact)));
+    }
+  };
+
+  struct DeltaKey {
+    int stratum;
+    StateKey state;
+    friend bool operator==(const DeltaKey& a, const DeltaKey& b) {
+      return a.stratum == b.stratum && a.state == b.state;
+    }
+  };
+  struct DeltaKeyHash {
+    size_t operator()(const DeltaKey& k) const {
+      return static_cast<size_t>(
+          HashVector(k.state, static_cast<uint64_t>(k.stratum) + 0x9e37));
+    }
+  };
+
+  /// Evaluation context threaded through premise walking.
+  struct EvalContext {
+    int depth = 0;
+    /// Accumulates the minimum recorded depth of any in-progress goal
+    /// whose pruning this computation depended on (INT_MAX if none).
+    int* min_pruned = nullptr;
+    /// When non-null, a Δ model under construction: same-partition
+    /// predicates match against it directly.
+    Database* building_ext = nullptr;
+    int building_partition = 0;
+  };
+
+  int PartitionOf(PredicateId pred) const {
+    // Predicates interned after Init (by queries) are extensional.
+    if (pred < 0 ||
+        pred >= static_cast<int>(strat_.partition_of_pred.size())) {
+      return 0;
+    }
+    return strat_.partition_of_pred[pred];
+  }
+
+  /// Decides R, state ⊢ goal for a ground atom (dispatch by partition).
+  StatusOr<bool> ProveGround(const Fact& goal, EvalContext* ctx);
+
+  /// PROVE_Σ for a goal whose predicate lives in an even partition.
+  StatusOr<bool> ProveSigma(const Fact& goal, EvalContext* ctx);
+
+  /// Perfect model of Δ_i over the current overlay state (memoized).
+  StatusOr<const Database*> DeltaModelFor(int stratum_i);
+
+  /// Recursive premise-plan walker; `sink` returns false to stop early.
+  StatusOr<bool> WalkPlan(const std::vector<Premise>& premises,
+                          const BodyPlan& plan, size_t step,
+                          Binding* binding, EvalContext* ctx,
+                          const std::function<StatusOr<bool>(
+                              const Binding&)>& sink);
+
+  /// Positive-premise matching: dispatches on the predicate's partition.
+  StatusOr<bool> MatchPositive(const Atom& atom, Binding* binding,
+                               EvalContext* ctx,
+                               const std::function<StatusOr<bool>()>& next);
+
+  /// Negated premise: ∄ semantics over still-unbound variables.
+  StatusOr<bool> TestNegated(const Atom& atom, Binding* binding,
+                             EvalContext* ctx);
+
+  /// True iff some extension of `binding` matches `atom` among the stored
+  /// relations (base, overlay, and the given Δ model if any).
+  bool ExistsStored(const Atom& atom, Binding* binding,
+                    const Database* model_ext);
+
+  Status EnsureConstants(const Query& query);
+  Status EnsureFactConstants(const Fact& fact);
+  Status CheckLimits();
+  void ClearMemos();
+
+  const RuleBase* rulebase_;
+  const Database* base_;
+  EngineOptions options_;
+
+  LinearStratification strat_;
+  std::vector<BodyPlan> rule_plans_;
+  std::vector<ConstId> domain_;
+  std::unordered_set<ConstId> domain_set_;
+  std::vector<ConstId> extra_constants_;
+
+  FactInterner interner_;
+  std::unique_ptr<OverlayDatabase> overlay_;
+
+  std::unordered_map<GoalKey, GoalEntry, GoalKeyHash> goal_memo_;
+  std::unordered_map<DeltaKey, std::unique_ptr<Database>, DeltaKeyHash>
+      delta_models_;
+
+  EngineStats stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_STRATIFIED_PROVER_H_

@@ -1,0 +1,549 @@
+#include "engine/tabled.h"
+
+#include "ast/printer.h"
+#include "engine/scan.h"
+
+#include <algorithm>
+#include <climits>
+#include <functional>
+
+namespace hypo {
+
+namespace {
+
+std::vector<ConstId> QueryConstants(const Query& query) {
+  std::vector<ConstId> out;
+  auto collect = [&out](const Atom& atom) {
+    for (const Term& t : atom.args) {
+      if (t.is_const()) out.push_back(t.const_id());
+    }
+  };
+  for (const Premise& p : query.premises) {
+    collect(p.atom);
+    for (const Atom& a : p.additions) collect(a);
+    for (const Atom& a : p.deletions) collect(a);
+  }
+  return out;
+}
+
+Atom PseudoHead(const Query& query) {
+  Atom head;
+  head.predicate = kInvalidPredicate;
+  for (int v = 0; v < query.num_vars(); ++v) {
+    head.args.push_back(Term::MakeVar(v));
+  }
+  return head;
+}
+
+}  // namespace
+
+TabledEngine::TabledEngine(const RuleBase* rulebase, const Database* db,
+                           EngineOptions options)
+    : rulebase_(rulebase), base_(db), options_(options) {}
+
+Status TabledEngine::Init() {
+  if (rulebase_->symbols_ptr().get() != base_->symbols_ptr().get()) {
+    return Status::InvalidArgument(
+        "rulebase and database must share one SymbolTable");
+  }
+  // Negation must be stratified for NAF to be well-defined (§3.1); the
+  // strata themselves are not needed at run time.
+  HYPO_RETURN_IF_ERROR(ComputeNegationStrata(*rulebase_).status());
+  rule_plans_.clear();
+  rule_plans_.reserve(rulebase_->num_rules());
+  for (const Rule& rule : rulebase_->rules()) {
+    rule_plans_.push_back(
+        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars()));
+  }
+  domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
+  domain_set_.clear();
+  domain_set_.insert(domain_.begin(), domain_.end());
+  overlay_ = std::make_unique<OverlayDatabase>(base_, &interner_);
+  goal_memo_.clear();
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status TabledEngine::EnsureConstants(const Query& query) {
+  bool missing = false;
+  for (ConstId c : QueryConstants(query)) {
+    if (domain_set_.count(c) == 0) {
+      extra_constants_.push_back(c);
+      missing = true;
+    }
+  }
+  if (missing) return Init();
+  return Status::OK();
+}
+
+Status TabledEngine::EnsureFactConstants(const Fact& fact) {
+  bool missing = false;
+  for (ConstId c : fact.args) {
+    if (domain_set_.count(c) == 0) {
+      extra_constants_.push_back(c);
+      missing = true;
+    }
+  }
+  if (missing) return Init();
+  return Status::OK();
+}
+
+Status TabledEngine::CheckLimits() {
+  if (stats_.goals_expanded > options_.max_steps) {
+    return Status::ResourceExhausted(
+        "evaluation exceeded max_steps = " +
+        std::to_string(options_.max_steps));
+  }
+  if (static_cast<int64_t>(goal_memo_.size()) > options_.max_states) {
+    return Status::ResourceExhausted(
+        "evaluation exceeded max_states = " +
+        std::to_string(options_.max_states));
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
+                                       int* min_pruned) {
+  // Inference rule 1: database entries (base or hypothetically added).
+  if (overlay_->Contains(goal)) return true;
+  if (!rulebase_->IsDefined(goal.predicate)) return false;
+
+  GoalKey key{interner_.Intern(goal), overlay_->CanonicalKey()};
+  auto it = goal_memo_.find(key);
+  if (it != goal_memo_.end()) {
+    switch (it->second.status) {
+      case GoalEntry::Status::kTrue:
+        ++stats_.memo_hits;
+        return true;
+      case GoalEntry::Status::kFalse:
+        ++stats_.memo_hits;
+        return false;
+      case GoalEntry::Status::kInProgress:
+        *min_pruned = std::min(*min_pruned, it->second.depth);
+        return false;
+    }
+  }
+
+  ++stats_.goals_expanded;
+  HYPO_RETURN_IF_ERROR(CheckLimits());
+  stats_.max_goal_depth = std::max<int64_t>(stats_.max_goal_depth, depth);
+  goal_memo_[key] = GoalEntry{GoalEntry::Status::kInProgress, depth};
+
+  int my_min = INT_MAX;
+  bool proved = false;
+  for (int rule_index : rulebase_->DefinitionOf(goal.predicate)) {
+    const Rule& rule = rulebase_->rule(rule_index);
+    Binding binding(rule.num_vars());
+    std::vector<VarIndex> trail;
+    if (!binding.MatchTuple(rule.head, goal.args, &trail)) continue;
+    auto sink = [&proved](const Binding&) -> StatusOr<bool> {
+      proved = true;
+      return false;
+    };
+    StatusOr<bool> r = WalkPlan(rule.premises, rule_plans_[rule_index], 0,
+                                &binding, depth + 1, &my_min, sink);
+    HYPO_RETURN_IF_ERROR(r.status());
+    if (proved) break;
+  }
+
+  if (proved) {
+    goal_memo_[key] = GoalEntry{GoalEntry::Status::kTrue, depth};
+    return true;
+  }
+  if (my_min >= depth) {
+    goal_memo_[key] = GoalEntry{GoalEntry::Status::kFalse, depth};
+  } else {
+    goal_memo_.erase(key);
+    *min_pruned = std::min(*min_pruned, my_min);
+  }
+  return false;
+}
+
+StatusOr<bool> TabledEngine::WalkPlan(
+    const std::vector<Premise>& premises, const BodyPlan& plan, size_t step,
+    Binding* binding, int depth, int* min_pruned,
+    const std::function<StatusOr<bool>(const Binding&)>& sink) {
+  if (step == plan.steps.size()) return sink(*binding);
+  const PlanStep& ps = plan.steps[step];
+  auto next = [&]() -> StatusOr<bool> {
+    return WalkPlan(premises, plan, step + 1, binding, depth, min_pruned,
+                    sink);
+  };
+  switch (ps.kind) {
+    case PlanStep::Kind::kMatchPositive: {
+      const Atom& atom = premises[ps.premise_index].atom;
+      if (!rulebase_->IsDefined(atom.predicate)) {
+        // Extensional: match stored tuples (base plus overlay additions).
+        if (binding->Grounds(atom)) {
+          if (!overlay_->Contains(binding->Ground(atom))) return true;
+          return next();
+        }
+        std::vector<VarIndex> trail;
+        Status error;
+        bool stopped = false;
+        auto try_tuple = [&](const Tuple& tuple) -> bool {
+          // Hypothetically deleted facts are masked, not removed.
+          if (!overlay_->TupleVisible(atom.predicate, tuple)) return true;
+          if (!binding->MatchTuple(atom, tuple, &trail)) return true;
+          StatusOr<bool> r = next();
+          binding->Undo(&trail, 0);
+          if (!r.ok()) {
+            error = r.status();
+            return false;
+          }
+          if (!*r) {
+            stopped = true;
+            return false;
+          }
+          return true;
+        };
+        // Base relation via the first-argument access path when possible.
+        ForEachBaseCandidate(*base_, atom, *binding, try_tuple);
+        HYPO_RETURN_IF_ERROR(error);
+        if (stopped) return false;
+        const std::vector<Tuple>& added =
+            overlay_->AddedTuplesFor(atom.predicate);
+        for (size_t i = 0; i < added.size(); ++i) {
+          if (!try_tuple(added[i])) break;
+        }
+        HYPO_RETURN_IF_ERROR(error);
+        if (stopped) return false;
+        return true;
+      }
+      return MatchDefined(atom, binding, depth, min_pruned, next);
+    }
+    case PlanStep::Kind::kEnumerateVars: {
+      std::function<StatusOr<bool>(size_t)> enumerate =
+          [&](size_t v) -> StatusOr<bool> {
+        if (v == ps.enum_vars.size()) return next();
+        VarIndex var = ps.enum_vars[v];
+        if (binding->IsBound(var)) return enumerate(v + 1);
+        for (ConstId c : domain_) {
+          binding->Set(var, c);
+          StatusOr<bool> r = enumerate(v + 1);
+          binding->Unset(var);
+          HYPO_RETURN_IF_ERROR(r.status());
+          if (!*r) return false;
+        }
+        return true;
+      };
+      return enumerate(0);
+    }
+    case PlanStep::Kind::kHypothetical: {
+      const Premise& premise = premises[ps.premise_index];
+      Fact query = binding->Ground(premise.atom);
+      overlay_->PushFrame();
+      // Deletions apply before additions; a fact in both ends up present.
+      for (const Atom& a : premise.deletions) {
+        overlay_->Delete(binding->Ground(a));
+      }
+      for (const Atom& a : premise.additions) {
+        overlay_->Add(binding->Ground(a));
+      }
+      StatusOr<bool> holds = ProveGoal(query, depth + 1, min_pruned);
+      overlay_->PopFrame();
+      HYPO_RETURN_IF_ERROR(holds.status());
+      if (!*holds) return true;
+      return next();
+    }
+    case PlanStep::Kind::kNegated: {
+      HYPO_ASSIGN_OR_RETURN(
+          bool exists,
+          ExistsProvable(premises[ps.premise_index].atom, binding, depth,
+                         min_pruned));
+      if (exists) return true;
+      return next();
+    }
+  }
+  return Status::Internal("unknown plan step");
+}
+
+StatusOr<bool> TabledEngine::MatchDefined(
+    const Atom& atom, Binding* binding, int depth, int* min_pruned,
+    const std::function<StatusOr<bool>()>& next) {
+  std::vector<VarIndex> free;
+  for (const Term& t : atom.args) {
+    if (t.is_var() && !binding->IsBound(t.var_index())) {
+      free.push_back(t.var_index());
+    }
+  }
+  std::function<StatusOr<bool>(size_t)> enumerate =
+      [&](size_t v) -> StatusOr<bool> {
+    if (v == free.size()) {
+      HYPO_ASSIGN_OR_RETURN(
+          bool holds,
+          ProveGoal(binding->Ground(atom), depth + 1, min_pruned));
+      if (!holds) return true;
+      return next();
+    }
+    for (ConstId c : domain_) {
+      binding->Set(free[v], c);
+      StatusOr<bool> r = enumerate(v + 1);
+      binding->Unset(free[v]);
+      HYPO_RETURN_IF_ERROR(r.status());
+      if (!*r) return false;
+    }
+    return true;
+  };
+  return enumerate(0);
+}
+
+StatusOr<bool> TabledEngine::ExistsProvable(const Atom& atom,
+                                            Binding* binding, int depth,
+                                            int* min_pruned) {
+  std::vector<VarIndex> free;
+  for (const Term& t : atom.args) {
+    if (t.is_var() && !binding->IsBound(t.var_index())) {
+      free.push_back(t.var_index());
+    }
+  }
+  std::function<StatusOr<bool>(size_t)> enumerate =
+      [&](size_t v) -> StatusOr<bool> {
+    if (v == free.size()) {
+      return ProveGoal(binding->Ground(atom), depth + 1, min_pruned);
+    }
+    for (ConstId c : domain_) {
+      binding->Set(free[v], c);
+      StatusOr<bool> r = enumerate(v + 1);
+      binding->Unset(free[v]);
+      HYPO_RETURN_IF_ERROR(r.status());
+      if (*r) return true;
+    }
+    return false;
+  };
+  return enumerate(0);
+}
+
+StatusOr<bool> TabledEngine::ProveFact(const Fact& fact) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
+  int min_pruned = INT_MAX;
+  return ProveGoal(fact, 0, &min_pruned);
+}
+
+StatusOr<bool> TabledEngine::ProveQuery(const Query& query) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  Atom head = PseudoHead(query);
+  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  Binding binding(query.num_vars());
+  int min_pruned = INT_MAX;
+  bool found = false;
+  auto sink = [&found](const Binding&) -> StatusOr<bool> {
+    found = true;
+    return false;
+  };
+  HYPO_RETURN_IF_ERROR(
+      WalkPlan(query.premises, plan, 0, &binding, 0, &min_pruned, sink)
+          .status());
+  return found;
+}
+
+StatusOr<std::vector<Tuple>> TabledEngine::Answers(const Query& query) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  Atom head = PseudoHead(query);
+  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  Binding binding(query.num_vars());
+  int min_pruned = INT_MAX;
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> answers;
+  auto sink = [&](const Binding& b) -> StatusOr<bool> {
+    Tuple t = b.values();
+    if (seen.insert(t).second) answers.push_back(std::move(t));
+    return true;
+  };
+  HYPO_RETURN_IF_ERROR(
+      WalkPlan(query.premises, plan, 0, &binding, 0, &min_pruned, sink)
+          .status());
+  return answers;
+}
+
+StatusOr<ProofNode> TabledEngine::ExplainFact(const Fact& fact) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
+  int min_pruned = INT_MAX;
+  HYPO_ASSIGN_OR_RETURN(bool provable, ProveGoal(fact, 0, &min_pruned));
+  if (!provable) {
+    return Status::NotFound("fact is not derivable: no proof to explain");
+  }
+  std::unordered_set<GoalKey, GoalKeyHash> visiting;
+  ProofNode root;
+  HYPO_ASSIGN_OR_RETURN(bool ok, Reconstruct(fact, &visiting, &root));
+  if (!ok) {
+    return Status::Internal(
+        "provable fact has no reconstructible derivation (bug)");
+  }
+  return root;
+}
+
+StatusOr<bool> TabledEngine::Reconstruct(
+    const Fact& goal,
+    std::unordered_set<GoalKey, GoalKeyHash>* visiting, ProofNode* out) {
+  // Inference rule 1: a database entry (base or hypothetically added).
+  if (overlay_->Contains(goal)) {
+    out->fact = goal;
+    out->kind = base_->Contains(goal) ? ProofNode::Kind::kDatabaseFact
+                                      : ProofNode::Kind::kHypotheticalEntry;
+    out->children.clear();
+    return true;
+  }
+  if (!rulebase_->IsDefined(goal.predicate)) return false;
+  int min_pruned = INT_MAX;
+  HYPO_ASSIGN_OR_RETURN(bool provable, ProveGoal(goal, 0, &min_pruned));
+  if (!provable) return false;
+
+  GoalKey key{interner_.Intern(goal), overlay_->CanonicalKey()};
+  if (visiting->count(key) > 0) {
+    // A justification through this goal would be circular; the caller
+    // must pick a different rule or binding.
+    return false;
+  }
+  visiting->insert(key);
+  bool done = false;
+  for (int rule_index : rulebase_->DefinitionOf(goal.predicate)) {
+    const Rule& rule = rulebase_->rule(rule_index);
+    Binding binding(rule.num_vars());
+    std::vector<VarIndex> trail;
+    if (!binding.MatchTuple(rule.head, goal.args, &trail)) continue;
+    std::vector<ProofNode> children;
+    HYPO_ASSIGN_OR_RETURN(
+        bool ok, ReconstructBody(rule, rule_plans_[rule_index], 0, &binding,
+                                 visiting, &children));
+    if (ok) {
+      out->kind = ProofNode::Kind::kRule;
+      out->fact = goal;
+      out->rule_index = rule_index;
+      out->children = std::move(children);
+      done = true;
+      break;
+    }
+  }
+  visiting->erase(key);
+  return done;
+}
+
+StatusOr<bool> TabledEngine::ReconstructBody(
+    const Rule& rule, const BodyPlan& plan, size_t step, Binding* binding,
+    std::unordered_set<GoalKey, GoalKeyHash>* visiting,
+    std::vector<ProofNode>* children) {
+  if (step == plan.steps.size()) return true;
+  const PlanStep& ps = plan.steps[step];
+  auto next = [&]() -> StatusOr<bool> {
+    return ReconstructBody(rule, plan, step + 1, binding, visiting,
+                           children);
+  };
+  switch (ps.kind) {
+    case PlanStep::Kind::kMatchPositive: {
+      const Atom& atom = rule.premises[ps.premise_index].atom;
+      // Enumerate candidate bindings exactly like the prover, but demand
+      // a reconstructible sub-proof for each match.
+      std::vector<VarIndex> free;
+      for (const Term& t : atom.args) {
+        if (t.is_var() && !binding->IsBound(t.var_index())) {
+          free.push_back(t.var_index());
+        }
+      }
+      std::function<StatusOr<bool>(size_t)> enumerate =
+          [&](size_t v) -> StatusOr<bool> {
+        if (v == free.size()) {
+          ProofNode child;
+          HYPO_ASSIGN_OR_RETURN(
+              bool ok, Reconstruct(binding->Ground(atom), visiting, &child));
+          if (!ok) return false;
+          children->push_back(std::move(child));
+          StatusOr<bool> rest = next();
+          if (!rest.ok() || !*rest) {
+            children->pop_back();
+            HYPO_RETURN_IF_ERROR(rest.status());
+            return false;
+          }
+          return true;
+        }
+        for (ConstId c : domain_) {
+          binding->Set(free[v], c);
+          StatusOr<bool> r = enumerate(v + 1);
+          binding->Unset(free[v]);
+          HYPO_RETURN_IF_ERROR(r.status());
+          if (*r) return true;
+        }
+        return false;
+      };
+      return enumerate(0);
+    }
+    case PlanStep::Kind::kEnumerateVars: {
+      std::function<StatusOr<bool>(size_t)> enumerate =
+          [&](size_t v) -> StatusOr<bool> {
+        if (v == ps.enum_vars.size()) return next();
+        VarIndex var = ps.enum_vars[v];
+        if (binding->IsBound(var)) return enumerate(v + 1);
+        for (ConstId c : domain_) {
+          binding->Set(var, c);
+          StatusOr<bool> r = enumerate(v + 1);
+          binding->Unset(var);
+          HYPO_RETURN_IF_ERROR(r.status());
+          if (*r) return true;
+        }
+        return false;
+      };
+      return enumerate(0);
+    }
+    case PlanStep::Kind::kHypothetical: {
+      const Premise& premise = rule.premises[ps.premise_index];
+      Fact query = binding->Ground(premise.atom);
+      ProofNode child;
+      overlay_->PushFrame();
+      for (const Atom& a : premise.deletions) {
+        Fact f = binding->Ground(a);
+        if (overlay_->Delete(f)) child.deleted.push_back(f);
+      }
+      for (const Atom& a : premise.additions) {
+        Fact f = binding->Ground(a);
+        if (overlay_->Add(f)) child.added.push_back(f);
+      }
+      StatusOr<bool> ok = Reconstruct(query, visiting, &child);
+      overlay_->PopFrame();
+      HYPO_RETURN_IF_ERROR(ok.status());
+      if (!*ok) return false;
+      children->push_back(std::move(child));
+      StatusOr<bool> rest = next();
+      if (!rest.ok() || !*rest) {
+        children->pop_back();
+        HYPO_RETURN_IF_ERROR(rest.status());
+        return false;
+      }
+      return true;
+    }
+    case PlanStep::Kind::kNegated: {
+      const Atom& atom = rule.premises[ps.premise_index].atom;
+      int min_pruned = INT_MAX;
+      ProofNode child;
+      child.kind = ProofNode::Kind::kNegationAsFailure;
+      if (binding->Grounds(atom)) {
+        Fact f = binding->Ground(atom);
+        HYPO_ASSIGN_OR_RETURN(bool holds, ProveGoal(f, 0, &min_pruned));
+        if (holds) return false;
+        child.fact = f;
+      } else {
+        HYPO_ASSIGN_OR_RETURN(
+            bool exists, ExistsProvable(atom, binding, 0, &min_pruned));
+        if (exists) return false;
+        child.note =
+            "~" +
+            AtomToString(atom, rulebase_->symbols(), &rule.var_names) +
+            "  [no instance provable]";
+      }
+      children->push_back(std::move(child));
+      StatusOr<bool> rest = next();
+      if (!rest.ok() || !*rest) {
+        children->pop_back();
+        HYPO_RETURN_IF_ERROR(rest.status());
+        return false;
+      }
+      return true;
+    }
+  }
+  return Status::Internal("unknown plan step");
+}
+
+}  // namespace hypo

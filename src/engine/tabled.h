@@ -1,0 +1,141 @@
+#ifndef HYPO_ENGINE_TABLED_H_
+#define HYPO_ENGINE_TABLED_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+#include <functional>
+
+#include "analysis/stratification.h"
+#include "base/hash.h"
+#include "db/fact_interner.h"
+#include "db/overlay.h"
+#include "engine/binding.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "engine/proof.h"
+
+namespace hypo {
+
+/// The general reference engine: goal-directed, tabled, top-down
+/// evaluation of hypothetical rulebases with stratified negation.
+///
+/// Every defined predicate is proved by depth-first search over its rules
+/// with memoization per (ground goal, database state); hypothetical
+/// premises push additions onto an overlay with undo frames. Unlike the
+/// eager BottomUpEngine, only goals actually demanded are evaluated, so
+/// rules like Example 3's `within1(S, D) <- degree(S, D)[add: take(S, C)]`
+/// do not drag the evaluation through the exponential lattice of addition
+/// states — only the states a proof actually visits are materialized.
+///
+/// Negation-as-failure is sound here because negation is stratified: along
+/// any call chain the negation stratum never increases, and a NAF subquery
+/// lives strictly below every in-progress goal outside its own subtree, so
+/// its answer is always definite. (Failures are cached under the usual
+/// tabling completion condition; see StratifiedProver for the discipline.)
+///
+/// This engine accepts every rulebase of Definition 3 + stratified NAF —
+/// no linearity needed — and serves as the oracle that both other engines
+/// are cross-checked against.
+class TabledEngine : public Engine {
+ public:
+  /// Neither pointer is owned; both must outlive the engine.
+  TabledEngine(const RuleBase* rulebase, const Database* db,
+               EngineOptions options = EngineOptions());
+
+  Status Init() override;
+  StatusOr<bool> ProveFact(const Fact& fact) override;
+  StatusOr<bool> ProveQuery(const Query& query) override;
+  StatusOr<std::vector<Tuple>> Answers(const Query& query) override;
+
+  /// Reconstructs a well-founded derivation tree for a provable ground
+  /// fact (NotFound if the fact is not derivable). Reconstruction reuses
+  /// the memo tables, so it is cheap after a Prove call; it chooses the
+  /// first non-circular justification it finds.
+  StatusOr<ProofNode> ExplainFact(const Fact& fact);
+
+  const EngineStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = EngineStats(); }
+  std::string name() const override { return "tabled"; }
+
+ private:
+  using StateKey = std::vector<FactId>;
+  struct GoalEntry {
+    enum class Status : uint8_t { kInProgress, kTrue, kFalse } status;
+    int depth;
+  };
+  struct GoalKey {
+    FactId fact;
+    StateKey state;
+    friend bool operator==(const GoalKey& a, const GoalKey& b) {
+      return a.fact == b.fact && a.state == b.state;
+    }
+  };
+  struct GoalKeyHash {
+    size_t operator()(const GoalKey& k) const {
+      return static_cast<size_t>(
+          HashVector(k.state, static_cast<uint64_t>(k.fact)));
+    }
+  };
+
+  /// Decides R, state ⊢ goal for a ground atom. `depth` is the DFS depth;
+  /// `min_pruned` accumulates the shallowest in-progress goal pruned on.
+  StatusOr<bool> ProveGoal(const Fact& goal, int depth, int* min_pruned);
+
+  StatusOr<bool> WalkPlan(const std::vector<Premise>& premises,
+                          const BodyPlan& plan, size_t step,
+                          Binding* binding, int depth, int* min_pruned,
+                          const std::function<StatusOr<bool>(
+                              const Binding&)>& sink);
+
+  /// Enumerates the free variables of `atom` over the domain and proves
+  /// each grounding; invokes `next` for bindings that hold.
+  StatusOr<bool> MatchDefined(const Atom& atom, Binding* binding, int depth,
+                              int* min_pruned,
+                              const std::function<StatusOr<bool>()>& next);
+
+  /// True iff some grounding of `atom` extending `binding` is provable
+  /// (used for the ∄ reading of negated premises).
+  StatusOr<bool> ExistsProvable(const Atom& atom, Binding* binding,
+                                int depth, int* min_pruned);
+
+  Status EnsureConstants(const Query& query);
+  Status EnsureFactConstants(const Fact& fact);
+  Status CheckLimits();
+
+  /// Proof reconstruction: fills `out` with a justification of `goal`
+  /// (which must be provable in the current overlay state), avoiding the
+  /// goals in `visiting` so the derivation stays well-founded. Returns
+  /// false when every justification runs through `visiting`.
+  StatusOr<bool> Reconstruct(const Fact& goal,
+                             std::unordered_set<GoalKey, GoalKeyHash>*
+                                 visiting,
+                             ProofNode* out);
+  StatusOr<bool> ReconstructBody(const Rule& rule, const BodyPlan& plan,
+                                 size_t step, Binding* binding,
+                                 std::unordered_set<GoalKey, GoalKeyHash>*
+                                     visiting,
+                                 std::vector<ProofNode>* children);
+
+  const RuleBase* rulebase_;
+  const Database* base_;
+  EngineOptions options_;
+
+  std::vector<BodyPlan> rule_plans_;
+  std::vector<ConstId> domain_;
+  std::unordered_set<ConstId> domain_set_;
+  std::vector<ConstId> extra_constants_;
+
+  FactInterner interner_;
+  std::unique_ptr<OverlayDatabase> overlay_;
+  std::unordered_map<GoalKey, GoalEntry, GoalKeyHash> goal_memo_;
+
+  EngineStats stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_TABLED_H_

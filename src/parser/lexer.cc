@@ -1,0 +1,123 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace hypo {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsVariableStart(char c) {
+  return (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kArrow: return "'<-'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "unknown";
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (input[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '%') {  // Comment to end of line.
+      size_t n = 0;
+      while (i + n < input.size() && input[i + n] != '\n') ++n;
+      advance(n);
+      continue;
+    }
+    int tok_line = line;
+    int tok_col = column;
+    auto emit = [&](TokenKind kind, size_t len) {
+      tokens.push_back(
+          Token{kind, std::string(input.substr(i, len)), tok_line, tok_col});
+      advance(len);
+    };
+    if ((c == '<' || c == ':') && i + 1 < input.size() &&
+        input[i + 1] == '-') {
+      emit(TokenKind::kArrow, 2);
+      continue;
+    }
+    switch (c) {
+      case '(': emit(TokenKind::kLParen, 1); continue;
+      case ')': emit(TokenKind::kRParen, 1); continue;
+      case '[': emit(TokenKind::kLBracket, 1); continue;
+      case ']': emit(TokenKind::kRBracket, 1); continue;
+      case ',': emit(TokenKind::kComma, 1); continue;
+      case '.': emit(TokenKind::kPeriod, 1); continue;
+      case '~': emit(TokenKind::kTilde, 1); continue;
+      case ':': emit(TokenKind::kColon, 1); continue;
+      default: break;
+    }
+    if (c == '\'') {  // Quoted constant: 'any text until quote'.
+      size_t n = 1;
+      while (i + n < input.size() && input[i + n] != '\'') ++n;
+      if (i + n >= input.size()) {
+        return Status::InvalidArgument(
+            "unterminated quoted constant at line " + std::to_string(line) +
+            ", column " + std::to_string(column));
+      }
+      tokens.push_back(Token{TokenKind::kIdentifier,
+                             std::string(input.substr(i + 1, n - 1)),
+                             tok_line, tok_col});
+      advance(n + 1);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t n = 1;
+      while (i + n < input.size() && IsIdentChar(input[i + n])) ++n;
+      TokenKind kind = IsVariableStart(c) ? TokenKind::kVariable
+                                          : TokenKind::kIdentifier;
+      emit(kind, n);
+      continue;
+    }
+    return Status::InvalidArgument(
+        std::string("unexpected character '") + c + "' at line " +
+        std::to_string(line) + ", column " + std::to_string(column));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", line, column});
+  return tokens;
+}
+
+}  // namespace hypo

@@ -1,0 +1,51 @@
+#ifndef HYPO_PARSER_LEXER_H_
+#define HYPO_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/statusor.h"
+
+namespace hypo {
+
+/// Token kinds of the surface syntax.
+///
+///   grad(S) <- take(S, his101), ~suspended(S), ok(S)[add: waiver(S)].
+///
+/// Identifiers starting with an upper-case letter or '_' are variables;
+/// all other identifiers (and numerals) are constant / predicate symbols.
+/// '%' starts a comment running to end of line.
+enum class TokenKind {
+  kIdentifier,  // lower-case identifier or numeral: constant or predicate.
+  kVariable,    // upper-case or '_'-leading identifier.
+  kArrow,       // "<-" or ":-"
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kComma,       // ,
+  kPeriod,      // .
+  kTilde,       // ~
+  kColon,       // :
+  kEnd,         // end of input
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;    // 1-based.
+  int column;  // 1-based.
+};
+
+/// Splits `input` into tokens. Fails with line/column info on a character
+/// that belongs to no token.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+/// Human-readable token-kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace hypo
+
+#endif  // HYPO_PARSER_LEXER_H_

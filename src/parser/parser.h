@@ -1,0 +1,51 @@
+#ifndef HYPO_PARSER_PARSER_H_
+#define HYPO_PARSER_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "ast/query.h"
+#include "ast/rulebase.h"
+#include "ast/symbol_table.h"
+#include "base/statusor.h"
+#include "db/database.h"
+
+namespace hypo {
+
+/// Parses a rulebase in the surface syntax. Each statement is
+///
+///   head <- premise, premise, ... .      (rule)
+///   head.                                (bodyless rule)
+///
+/// where a premise is `atom`, `~atom`, or `atom[add: atom, ...]`.
+/// Variables start upper-case or with '_'; everything else is a constant
+/// or predicate symbol; `%` comments to end of line. `~atom[add: ...]` is
+/// rejected with the paper's suggested rewriting.
+StatusOr<RuleBase> ParseRuleBase(std::string_view text,
+                                 std::shared_ptr<SymbolTable> symbols);
+
+/// Parses statements of ground atoms ("edge(a, b)." lines) into `db`.
+Status ParseFactsInto(std::string_view text, Database* db);
+
+/// Parses a single query: one or more premises separated by commas, with
+/// an optional trailing period. Free variables are existential.
+StatusOr<Query> ParseQuery(std::string_view text, SymbolTable* symbols);
+
+/// Parses one ground atom, e.g. "grad(tony)".
+StatusOr<Fact> ParseFact(std::string_view text, SymbolTable* symbols);
+
+/// Result of ParseProgram: rules and extensional facts from one source.
+struct ParsedProgram {
+  RuleBase rules;
+  Database facts;
+};
+
+/// Parses a mixed source file: statements whose head is ground and that
+/// have no body become database facts; everything else becomes a rule.
+/// (The paper keeps R and DB separate; this is a convenience for examples.)
+StatusOr<ParsedProgram> ParseProgram(std::string_view text,
+                                     std::shared_ptr<SymbolTable> symbols);
+
+}  // namespace hypo
+
+#endif  // HYPO_PARSER_PARSER_H_

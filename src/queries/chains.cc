@@ -1,0 +1,121 @@
+#include "queries/chains.h"
+
+#include <string>
+
+#include "ast/rule_builder.h"
+#include "base/logging.h"
+
+namespace hypo {
+
+namespace {
+
+void AddRuleOrDie(RuleBase* rules, RuleBuilder&& builder) {
+  StatusOr<Rule> rule = std::move(builder).Build();
+  HYPO_CHECK(rule.ok()) << rule.status();
+  rules->AddRule(std::move(rule).value());
+}
+
+/// Appends `missing <- el(X), ~b(X).` and `d <- ~missing(X).` so that `d`
+/// holds iff b(e) is present for every el(e).
+void AddAllPresentRules(SymbolTable* symbols, RuleBase* rules) {
+  {
+    RuleBuilder b(symbols);
+    Term x = b.Var("X");
+    b.Head(b.A("missing", {x}))
+        .Positive(b.A("el", {x}))
+        .Negated(b.A("b", {x}));
+    AddRuleOrDie(rules, std::move(b));
+  }
+  {
+    RuleBuilder b(symbols);
+    Term x = b.Var("X");
+    b.Head(b.A("d", {})).Negated(b.A("missing", {x}));
+    AddRuleOrDie(rules, std::move(b));
+  }
+}
+
+}  // namespace
+
+ProgramFixture MakeAddCascadeFixture(int n, int db_prefix) {
+  HYPO_CHECK(n >= 1 && db_prefix >= 0 && db_prefix <= n);
+  ProgramFixture fixture;
+  SymbolTable* symbols = fixture.symbols.get();
+  auto a_name = [](int i) { return "a" + std::to_string(i); };
+  auto b_name = [](int i) { return "marker" + std::to_string(i); };
+
+  // a<i> <- a<i+1>[add: b<i>].
+  for (int i = 1; i <= n; ++i) {
+    RuleBuilder b(symbols);
+    b.Head(b.A(a_name(i), {}))
+        .Hypothetical(b.A(a_name(i + 1), {}),
+                      {b.A("b", {b.C(b_name(i))})});
+    AddRuleOrDie(&fixture.rules, std::move(b));
+  }
+  // a<n+1> <- d.
+  {
+    RuleBuilder b(symbols);
+    b.Head(b.A(a_name(n + 1), {})).Positive(b.A("d", {}));
+    AddRuleOrDie(&fixture.rules, std::move(b));
+  }
+  AddAllPresentRules(symbols, &fixture.rules);
+
+  for (int i = 1; i <= n; ++i) {
+    Status s = fixture.db.Insert("el", {b_name(i)});
+    HYPO_CHECK(s.ok()) << s;
+  }
+  for (int i = 1; i <= db_prefix; ++i) {
+    Status s = fixture.db.Insert("b", {b_name(i)});
+    HYPO_CHECK(s.ok()) << s;
+  }
+  return fixture;
+}
+
+ProgramFixture MakeOrderLoopFixture(int n) {
+  HYPO_CHECK(n >= 1);
+  ProgramFixture fixture;
+  SymbolTable* symbols = fixture.symbols.get();
+
+  {  // a <- first(X), ap(X)[add: b(X)].
+    RuleBuilder b(symbols);
+    Term x = b.Var("X");
+    b.Head(b.A("a", {}))
+        .Positive(b.A("first", {x}))
+        .Hypothetical(b.A("ap", {x}), {b.A("b", {x})});
+    AddRuleOrDie(&fixture.rules, std::move(b));
+  }
+  {  // ap(X) <- next(X, Y), ap(Y)[add: b(Y)].
+    RuleBuilder b(symbols);
+    Term x = b.Var("X");
+    Term y = b.Var("Y");
+    b.Head(b.A("ap", {x}))
+        .Positive(b.A("next", {x, y}))
+        .Hypothetical(b.A("ap", {y}), {b.A("b", {y})});
+    AddRuleOrDie(&fixture.rules, std::move(b));
+  }
+  {  // ap(X) <- last(X), d.
+    RuleBuilder b(symbols);
+    Term x = b.Var("X");
+    b.Head(b.A("ap", {x}))
+        .Positive(b.A("last", {x}))
+        .Positive(b.A("d", {}));
+    AddRuleOrDie(&fixture.rules, std::move(b));
+  }
+  AddAllPresentRules(symbols, &fixture.rules);
+
+  auto el_name = [](int i) { return "x" + std::to_string(i); };
+  Status s = fixture.db.Insert("first", {el_name(1)});
+  HYPO_CHECK(s.ok()) << s;
+  for (int i = 1; i < n; ++i) {
+    s = fixture.db.Insert("next", {el_name(i), el_name(i + 1)});
+    HYPO_CHECK(s.ok()) << s;
+  }
+  s = fixture.db.Insert("last", {el_name(n)});
+  HYPO_CHECK(s.ok()) << s;
+  for (int i = 1; i <= n; ++i) {
+    s = fixture.db.Insert("el", {el_name(i)});
+    HYPO_CHECK(s.ok()) << s;
+  }
+  return fixture;
+}
+
+}  // namespace hypo

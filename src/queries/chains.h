@@ -1,0 +1,39 @@
+#ifndef HYPO_QUERIES_CHAINS_H_
+#define HYPO_QUERIES_CHAINS_H_
+
+#include "queries/fixture.h"
+
+namespace hypo {
+
+/// Example 4: the add cascade
+///
+///   a1 <- a2[add: b1].   a2 <- a3[add: b2].   ...   an <- a<n+1>[add: bn].
+///   a<n+1> <- d.
+///
+/// where `d` holds iff every b1..bn is present (implemented with the
+/// Example 5/6 trick: missing <- el(X), ~b(X);  d <- ~missing(X), with
+/// el(·) listing the names b1..bn as element constants and b(·) holding
+/// the added markers). Consequently:
+///
+///   R, DB ⊢ a<i>  iff  b1, ..., b<i-1> are already database facts,
+///
+/// matching the paper's "R, DB ⊢ A_i iff R, DB + {B_i..B_n} ⊢ D".
+/// `db_prefix` puts b1..b<db_prefix> into the database, so a1..a<prefix+1>
+/// hold and the rest do not.
+ProgramFixture MakeAddCascadeFixture(int n, int db_prefix);
+
+/// Example 5: the linear-order loop
+///
+///   a <- first(X), ap(X)[add: b(X)].
+///   ap(X) <- next(X, Y), ap(Y)[add: b(Y)].
+///   ap(X) <- last(X), d.
+///
+/// over the chain first(x1), next(x1,x2), ..., last(xn), with `d` true iff
+/// b(x1..xn) are all present (same ∄-trick). R, DB ⊢ a always holds: the
+/// loop inserts b along the whole chain. Used by E2 to check the chain
+/// semantics and by the benches as a linear-recursion microworkload.
+ProgramFixture MakeOrderLoopFixture(int n);
+
+}  // namespace hypo
+
+#endif  // HYPO_QUERIES_CHAINS_H_

@@ -1,0 +1,30 @@
+#ifndef HYPO_QUERIES_FIXTURE_H_
+#define HYPO_QUERIES_FIXTURE_H_
+
+#include <memory>
+
+#include "ast/rulebase.h"
+#include "ast/symbol_table.h"
+#include "db/database.h"
+
+namespace hypo {
+
+/// A self-contained (rulebase, database) pair sharing one SymbolTable.
+/// Every example workload in this library is packaged as a ProgramFixture.
+struct ProgramFixture {
+  std::shared_ptr<SymbolTable> symbols;
+  RuleBase rules;
+  Database db;
+
+  ProgramFixture()
+      : symbols(std::make_shared<SymbolTable>()),
+        rules(symbols),
+        db(symbols) {}
+
+  ProgramFixture(ProgramFixture&&) = default;
+  ProgramFixture& operator=(ProgramFixture&&) = default;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_QUERIES_FIXTURE_H_

@@ -1,0 +1,119 @@
+#include "queries/graphs.h"
+
+#include <functional>
+#include <string>
+
+#include "base/logging.h"
+
+namespace hypo {
+
+Graph MakePathGraph(int n) {
+  Graph g;
+  g.num_vertices = n;
+  for (int i = 0; i + 1 < n; ++i) g.edges.emplace_back(i, i + 1);
+  return g;
+}
+
+Graph MakeCycleGraph(int n) {
+  Graph g = MakePathGraph(n);
+  if (n > 1) g.edges.emplace_back(n - 1, 0);
+  return g;
+}
+
+Graph MakeCompleteGraph(int n) {
+  Graph g;
+  g.num_vertices = n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) g.edges.emplace_back(i, j);
+    }
+  }
+  return g;
+}
+
+Graph MakeDisconnectedCliques(int n) {
+  Graph g;
+  g.num_vertices = n;
+  int half = n / 2;
+  auto clique = [&g](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      for (int j = lo; j < hi; ++j) {
+        if (i != j) g.edges.emplace_back(i, j);
+      }
+    }
+  };
+  clique(0, half);
+  clique(half, n);
+  return g;
+}
+
+Graph MakeRandomGraph(int n, double edge_probability, Random* rng) {
+  Graph g;
+  g.num_vertices = n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng->Bernoulli(edge_probability)) {
+        g.edges.emplace_back(i, j);
+      }
+    }
+  }
+  return g;
+}
+
+void GraphToDatabase(const Graph& graph, Database* db) {
+  auto name = [](int v) { return "v" + std::to_string(v); };
+  for (int v = 0; v < graph.num_vertices; ++v) {
+    Status s = db->Insert("node", {name(v)});
+    HYPO_CHECK(s.ok()) << s;
+  }
+  for (const auto& [from, to] : graph.edges) {
+    Status s = db->Insert("edge", {name(from), name(to)});
+    HYPO_CHECK(s.ok()) << s;
+  }
+}
+
+namespace {
+
+/// Shared backtracking core: find a Hamiltonian path; with `circuit`,
+/// additionally require an edge from the last vertex back to the start.
+bool HamiltonianSearch(const Graph& graph, bool circuit) {
+  const int n = graph.num_vertices;
+  HYPO_CHECK(n <= 30) << "bitmask baseline limited to 30 vertices";
+  if (n == 0) return true;  // The empty tour covers the empty graph.
+  std::vector<std::vector<int>> adj(n);
+  std::vector<std::vector<bool>> has_edge(n, std::vector<bool>(n, false));
+  for (const auto& [from, to] : graph.edges) {
+    adj[from].push_back(to);
+    has_edge[from][to] = true;
+  }
+
+  // Depth-first backtracking, mirroring the search the rulebase performs.
+  std::function<bool(int, int, uint32_t)> extend =
+      [&](int start, int at, uint32_t mask) -> bool {
+    if (mask == (1u << n) - 1) {
+      return !circuit || has_edge[at][start];
+    }
+    for (int next : adj[at]) {
+      if (mask & (1u << next)) continue;
+      if (extend(start, next, mask | (1u << next))) return true;
+    }
+    return false;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (extend(start, start, 1u << start)) return true;
+    if (circuit) break;  // Circuits are rotation-invariant: one start.
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HamiltonianPathExists(const Graph& graph) {
+  return HamiltonianSearch(graph, /*circuit=*/false);
+}
+
+bool HamiltonianCircuitExists(const Graph& graph) {
+  return HamiltonianSearch(graph, /*circuit=*/true);
+}
+
+}  // namespace hypo

@@ -1,0 +1,50 @@
+#ifndef HYPO_QUERIES_GRAPHS_H_
+#define HYPO_QUERIES_GRAPHS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/random.h"
+#include "db/database.h"
+
+namespace hypo {
+
+/// A directed graph on vertices 0..num_vertices-1, the database shape of
+/// Example 7 (NODE/EDGE relations).
+struct Graph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// 0 -> 1 -> ... -> n-1 (has a Hamiltonian path, no circuit for n > 1).
+Graph MakePathGraph(int n);
+
+/// A directed cycle on n vertices.
+Graph MakeCycleGraph(int n);
+
+/// Complete directed graph (all ordered pairs, no self loops).
+Graph MakeCompleteGraph(int n);
+
+/// Two disjoint directed cliques of size n/2 (never has a Hamiltonian
+/// path for n >= 4: there is no edge between the halves).
+Graph MakeDisconnectedCliques(int n);
+
+/// G(n, p) with each ordered pair independently an edge.
+Graph MakeRandomGraph(int n, double edge_probability, Random* rng);
+
+/// Emits node(v<i>) and edge(v<i>, v<j>) facts into `db`.
+void GraphToDatabase(const Graph& graph, Database* db);
+
+/// Reference decision procedure: directed Hamiltonian path (visits every
+/// vertex exactly once), by depth-first backtracking over bitmasks.
+/// Requires num_vertices <= 30. The baseline of experiment E4.
+bool HamiltonianPathExists(const Graph& graph);
+
+/// Directed Hamiltonian circuit: a Hamiltonian path with an edge from its
+/// last vertex back to its first. Requires num_vertices <= 30.
+bool HamiltonianCircuitExists(const Graph& graph);
+
+}  // namespace hypo
+
+#endif  // HYPO_QUERIES_GRAPHS_H_

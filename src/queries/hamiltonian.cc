@@ -1,0 +1,41 @@
+#include "queries/hamiltonian.h"
+
+#include "base/logging.h"
+#include "parser/parser.h"
+
+namespace hypo {
+
+ProgramFixture MakeHamiltonianFixture(const Graph& graph,
+                                      bool with_no_rule) {
+  static constexpr const char* kRules = R"(
+    yes <- node(X), path(X)[add: pnode(X)].
+    path(X) <- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+    path(X) <- ~select(Y).
+    select(Y) <- node(Y), ~pnode(Y).
+  )";
+  ProgramFixture fixture;
+  std::string text = kRules;
+  if (with_no_rule) text += "\n    no <- ~yes.\n";
+  StatusOr<RuleBase> rules = ParseRuleBase(text, fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  GraphToDatabase(graph, &fixture.db);
+  return fixture;
+}
+
+ProgramFixture MakeHamiltonianCircuitFixture(const Graph& graph) {
+  static constexpr const char* kRules = R"(
+    cyes <- node(S), cpath(S, S)[add: pnode(S)].
+    cpath(S, X) <- select(Y), edge(X, Y), cpath(S, Y)[add: pnode(Y)].
+    cpath(S, X) <- ~select(Y), edge(X, S).
+    select(Y) <- node(Y), ~pnode(Y).
+  )";
+  ProgramFixture fixture;
+  StatusOr<RuleBase> rules = ParseRuleBase(kRules, fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  GraphToDatabase(graph, &fixture.db);
+  return fixture;
+}
+
+}  // namespace hypo

@@ -1,0 +1,39 @@
+#ifndef HYPO_QUERIES_HAMILTONIAN_H_
+#define HYPO_QUERIES_HAMILTONIAN_H_
+
+#include "queries/fixture.h"
+#include "queries/graphs.h"
+
+namespace hypo {
+
+/// Examples 7 and 8: the Hamiltonian-path rulebase.
+///
+///   yes <- node(X), path(X)[add: pnode(X)].
+///   path(X) <- select(Y), edge(X, Y), path(Y)[add: pnode(Y)].
+///   path(X) <- ~select(Y).
+///   select(Y) <- node(Y), ~pnode(Y).
+///
+/// `yes` is inferable iff the graph in the database has a directed
+/// Hamiltonian path — the source of the NP-hardness in Theorem 1's k = 1
+/// level. With `with_no_rule`, Example 8's single extra rule
+///
+///   no <- ~yes.
+///
+/// is added, making the rulebase decide the complement too (data-complexity
+/// NP- and coNP-hard; the rulebase then needs a second stratum).
+ProgramFixture MakeHamiltonianFixture(const Graph& graph, bool with_no_rule);
+
+/// Example 8's literal claim is about Hamiltonian *circuits*; this
+/// variant tracks the start node and closes the cycle:
+///
+///   cyes <- node(S), cpath(S, S)[add: pnode(S)].
+///   cpath(S, X) <- select(Y), edge(X, Y), cpath(S, Y)[add: pnode(Y)].
+///   cpath(S, X) <- ~select(Y), edge(X, S).
+///   select(Y) <- node(Y), ~pnode(Y).
+///
+/// `cyes` is inferable iff the graph has a directed Hamiltonian circuit.
+ProgramFixture MakeHamiltonianCircuitFixture(const Graph& graph);
+
+}  // namespace hypo
+
+#endif  // HYPO_QUERIES_HAMILTONIAN_H_

@@ -1,0 +1,64 @@
+#include "queries/ladder.h"
+
+#include <string>
+
+#include "ast/rule_builder.h"
+#include "base/logging.h"
+#include "parser/parser.h"
+
+namespace hypo {
+
+ProgramFixture MakeStrataLadderFixture(int k) {
+  HYPO_CHECK(k >= 1);
+  ProgramFixture fixture;
+  SymbolTable* symbols = fixture.symbols.get();
+  auto name = [](const char* stem, int i) {
+    return std::string(stem) + std::to_string(i);
+  };
+  auto add = [&fixture](RuleBuilder&& b) {
+    StatusOr<Rule> rule = std::move(b).Build();
+    HYPO_CHECK(rule.ok()) << rule.status();
+    fixture.rules.AddRule(std::move(rule).value());
+  };
+
+  for (int i = 1; i <= k; ++i) {
+    {  // a<i> <- bb<i>, a<i>[add: cc<i>].
+      RuleBuilder b(symbols);
+      b.Head(b.A(name("a", i), {}))
+          .Positive(b.A(name("bb", i), {}))
+          .Hypothetical(b.A(name("a", i), {}), {b.A(name("cc", i), {})});
+      add(std::move(b));
+    }
+    RuleBuilder b(symbols);
+    b.Head(b.A(name("a", i), {})).Positive(b.A(name("dd", i), {}));
+    if (i > 1) b.Negated(b.A(name("a", i - 1), {}));
+    add(std::move(b));
+  }
+  for (int i = 1; i <= k; ++i) {
+    Status s = fixture.db.Insert(name("bb", i), {});
+    HYPO_CHECK(s.ok()) << s;
+    s = fixture.db.Insert(name("dd", i), {});
+    HYPO_CHECK(s.ok()) << s;
+  }
+  return fixture;
+}
+
+ProgramFixture MakeExample10Fixture() {
+  static constexpr const char* kRules = R"(
+    a2 <- a2[add: e2], a2[add: f2].
+    a2 <- ~b2.
+    b2 <- ~c2, b2.
+    c2 <- ~d2, c2.
+    d2 <- a1[add: g1].
+    a1 <- a1[add: e1].
+    a1 <- a1[add: f1].
+    a1 <- ~b1.
+  )";
+  ProgramFixture fixture;
+  StatusOr<RuleBase> rules = ParseRuleBase(kRules, fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  return fixture;
+}
+
+}  // namespace hypo

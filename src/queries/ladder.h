@@ -1,0 +1,27 @@
+#ifndef HYPO_QUERIES_LADDER_H_
+#define HYPO_QUERIES_LADDER_H_
+
+#include "queries/fixture.h"
+
+namespace hypo {
+
+/// Example 9 generalized: a ladder with k strata, the i-th defining a<i>.
+///
+///   a<i> <- bb<i>, a<i>[add: cc<i>].      (linear hypothetical recursion)
+///   a<i> <- dd<i>, ~a<i-1>.               (negation into the stratum below)
+///   a1   <- dd1.
+///
+/// With every bb<i> and dd<i> in the database, a1 is true and truth
+/// alternates up the ladder: a<i> holds iff i is odd. ComputeLinear-
+/// Stratification must report exactly k strata, with each a<i> in Σ_i.
+ProgramFixture MakeStrataLadderFixture(int k);
+
+/// Example 10 verbatim: H-stratified but *not* linearly stratified (the
+/// class of a2 has both non-linear and hypothetical recursion).
+/// CheckLinearlyStratifiable fails; the BottomUpEngine still evaluates it
+/// (negation is stratified), with a1, d2 and a2 true, b2 and c2 false.
+ProgramFixture MakeExample10Fixture();
+
+}  // namespace hypo
+
+#endif  // HYPO_QUERIES_LADDER_H_

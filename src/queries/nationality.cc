@@ -1,0 +1,36 @@
+#include "queries/nationality.h"
+
+#include "base/logging.h"
+#include "parser/parser.h"
+
+namespace hypo {
+
+ProgramFixture MakeNationalityFixture() {
+  static constexpr const char* kRules = R"(
+    % Eligible today: born in the UK and alive.
+    eligible(X) <- born_in_uk(X), alive(X).
+    % The Act's hypothetical clause: eligible if your father would be
+    % eligible were he still alive. Recursive: the father's eligibility
+    % may itself rest on *his* father.
+    eligible(X) <- father(F, X), eligible(F)[add: alive(F)].
+  )";
+  static constexpr const char* kFacts = R"(
+    % george (born in UK, deceased) -> henry (deceased) -> brian (alive).
+    born_in_uk(george).
+    father(george, henry).
+    father(henry, brian).
+    alive(brian).
+    % cora's line has no UK-born ancestor.
+    father(dan, cora).
+    alive(cora).
+  )";
+  ProgramFixture fixture;
+  StatusOr<RuleBase> rules = ParseRuleBase(kRules, fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  Status s = ParseFactsInto(kFacts, &fixture.db);
+  HYPO_CHECK(s.ok()) << s;
+  return fixture;
+}
+
+}  // namespace hypo

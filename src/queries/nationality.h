@@ -1,0 +1,26 @@
+#ifndef HYPO_QUERIES_NATIONALITY_H_
+#define HYPO_QUERIES_NATIONALITY_H_
+
+#include "queries/fixture.h"
+
+namespace hypo {
+
+/// The §1 legal-domain motivation: Gabbay's British Nationality Act
+/// fragment — "you are eligible for citizenship if your father would be
+/// eligible if he were still alive" — a hypothetical rule over a family
+/// tree, plus a recursive ancestral variant.
+///
+/// Predicates: born_in_uk/1, alive/1, father/2 (extensional);
+/// eligible/1 (eligible today or via the hypothetical clause).
+///
+/// Database: george (born in UK, deceased) — ada's father; ada — brian's
+/// mother... the tree is father-linked only: george -> ada -> brian.
+/// Known answers: eligible(george) fails (not alive), eligible(ada)
+/// holds via the hypothetical clause, eligible(brian) holds only through
+/// the recursive clause (his father's eligibility is itself
+/// hypothetical).
+ProgramFixture MakeNationalityFixture();
+
+}  // namespace hypo
+
+#endif  // HYPO_QUERIES_NATIONALITY_H_

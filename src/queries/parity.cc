@@ -1,0 +1,28 @@
+#include "queries/parity.h"
+
+#include <string>
+
+#include "base/logging.h"
+#include "parser/parser.h"
+
+namespace hypo {
+
+ProgramFixture MakeParityFixture(int num_elements) {
+  static constexpr const char* kRules = R"(
+    even <- select(X), odd[add: b(X)].
+    odd  <- select(X), even[add: b(X)].
+    even <- ~select(X).
+    select(X) <- a(X), ~b(X).
+  )";
+  ProgramFixture fixture;
+  StatusOr<RuleBase> rules = ParseRuleBase(kRules, fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  for (int i = 1; i <= num_elements; ++i) {
+    Status s = fixture.db.Insert("a", {"e" + std::to_string(i)});
+    HYPO_CHECK(s.ok()) << s;
+  }
+  return fixture;
+}
+
+}  // namespace hypo

@@ -1,0 +1,26 @@
+#ifndef HYPO_QUERIES_PARITY_H_
+#define HYPO_QUERIES_PARITY_H_
+
+#include "queries/fixture.h"
+
+namespace hypo {
+
+/// Example 6: the parity rulebase.
+///
+///   even <- select(X), odd[add: b(X)].
+///   odd  <- select(X), even[add: b(X)].
+///   even <- ~select(X).
+///   select(X) <- a(X), ~b(X).
+///
+/// `even` is inferable iff the database holds an even number of a(·)
+/// entries (and `odd` iff an odd number): the rules copy `a` to `b` one
+/// tuple at a time, flipping between the two conclusions. [3] shows such
+/// queries are not expressible in Datalog; this is also the paper's first
+/// use of the order-independence idea reused in §6.
+///
+/// The database holds a(e1), ..., a(e<num_elements>).
+ProgramFixture MakeParityFixture(int num_elements);
+
+}  // namespace hypo
+
+#endif  // HYPO_QUERIES_PARITY_H_

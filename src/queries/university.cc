@@ -1,0 +1,49 @@
+#include <string>
+
+#include "queries/university.h"
+
+#include "base/logging.h"
+#include "parser/parser.h"
+
+namespace hypo {
+
+ProgramFixture MakeUniversityFixture(bool include_example3) {
+  static constexpr const char* kRules = R"(
+    % Graduation tracks (Examples 1-2).
+    grad(S) <- take(S, his101), take(S, eng201).
+    grad(S) <- take(S, cs250), take(S, cs452).
+
+    % Departmental degrees.
+    degree(S, math) <- take(S, m101), take(S, m201).
+    degree(S, phys) <- take(S, p101), take(S, p201).
+  )";
+  static constexpr const char* kExample3Rules = R"(
+    % Example 3: "within one course of a degree in D". Mutually recursive
+    % with degree and non-linear: only the general engines accept this.
+    within1(S, D) <- degree(S, D)[add: take(S, C)].
+    degree(S, mathphys) <- within1(S, math), within1(S, phys).
+  )";
+  static constexpr const char* kFacts = R"(
+    take(tony, cs250).
+    take(tony, his101).
+    take(mary, his101).
+    take(mary, eng201).
+    take(sue, m101).
+    take(sue, m201).
+    take(sue, p101).
+    take(kim, m101).
+    take(kim, p101).
+    enrolled(bob).
+  )";
+  ProgramFixture fixture;
+  std::string text = kRules;
+  if (include_example3) text += kExample3Rules;
+  StatusOr<RuleBase> rules = ParseRuleBase(text, fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  Status s = ParseFactsInto(kFacts, &fixture.db);
+  HYPO_CHECK(s.ok()) << s;
+  return fixture;
+}
+
+}  // namespace hypo

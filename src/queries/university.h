@@ -1,0 +1,38 @@
+#ifndef HYPO_QUERIES_UNIVERSITY_H_
+#define HYPO_QUERIES_UNIVERSITY_H_
+
+#include "queries/fixture.h"
+
+namespace hypo {
+
+/// The university-policy rulebase of §2 (Examples 1–3).
+///
+/// Predicates:
+///  * take(S, C)        — student S has taken course C (extensional).
+///  * grad(S)           — S is eligible to graduate (two course tracks).
+///  * degree(S, D)      — S is eligible for a degree in discipline D.
+///  * within1(S, D)     — S is within one course of a degree in D
+///                        (Example 3's hypothetical rule).
+///
+/// Database: tony (cs250 + his101), mary (his101 + eng201, a graduate),
+/// sue (m101 + m201 + p101), kim (m101 + p101), bob (nothing).
+///
+/// Known answers, used by tests and EXPERIMENTS.md (E1):
+///  * Example 1: grad(tony)[add: take(tony, cs452)] holds.
+///  * Example 2: "one more course" students = {tony, mary} (mary already
+///    graduates, and inference is monotone under additions).
+///  * Example 3: degree(S, mathphys) holds for sue and kim only.
+///
+/// `include_example3` controls whether the within1/mathphys rules are
+/// present. Note a fact the paper leaves implicit: the Example 3 rulebase
+/// is *not* linearly stratifiable — within1 and degree are mutually
+/// recursive, the mathphys rule has two recursive occurrences (non-linear,
+/// Definition 8) and the class recurses hypothetically, so the Lemma 1
+/// test rejects it. Examples 1–3 are presented for the general §3 system;
+/// the StratifiedProver therefore only accepts the fixture without
+/// Example 3, while the general engines evaluate the full fixture.
+ProgramFixture MakeUniversityFixture(bool include_example3 = true);
+
+}  // namespace hypo
+
+#endif  // HYPO_QUERIES_UNIVERSITY_H_

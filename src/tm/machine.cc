@@ -1,0 +1,91 @@
+#include "tm/machine.h"
+
+namespace hypo {
+
+namespace {
+
+Status Fail(const MachineSpec& m, const std::string& what) {
+  return Status::InvalidArgument("machine '" + m.name + "': " + what);
+}
+
+bool StateInRange(const MachineSpec& m, int s) {
+  return s >= 0 && s < m.num_states;
+}
+
+}  // namespace
+
+Status ValidateMachine(const MachineSpec& machine) {
+  if (machine.num_states <= 0) return Fail(machine, "no states");
+  if (machine.num_symbols <= 0) return Fail(machine, "no symbols");
+  if (!StateInRange(machine, machine.initial_state)) {
+    return Fail(machine, "initial state out of range");
+  }
+  if (machine.accepting_states.empty()) {
+    return Fail(machine, "no accepting states");
+  }
+  for (int a : machine.accepting_states) {
+    if (!StateInRange(machine, a)) {
+      return Fail(machine, "accepting state out of range");
+    }
+  }
+  if (machine.UsesOracle()) {
+    if (!StateInRange(machine, machine.query_state) ||
+        !StateInRange(machine, machine.yes_state) ||
+        !StateInRange(machine, machine.no_state)) {
+      return Fail(machine, "oracle protocol states (q?, q_y, q_n) must all "
+                           "be valid states");
+    }
+  }
+  for (const Transition& t : machine.transitions) {
+    if (!StateInRange(machine, t.state) ||
+        !StateInRange(machine, t.next_state)) {
+      return Fail(machine, "transition state out of range");
+    }
+    if (t.read < 0 || t.read >= machine.num_symbols || t.write < 0 ||
+        t.write >= machine.num_symbols) {
+      return Fail(machine, "transition symbol out of range");
+    }
+    if (t.move_work < -1 || t.move_work > 1 || t.move_oracle < -1 ||
+        t.move_oracle > 1) {
+      return Fail(machine, "head move must be -1, 0 or +1");
+    }
+    if (machine.UsesOracle()) {
+      if (t.state == machine.query_state) {
+        return Fail(machine,
+                    "no explicit transitions out of q?; the oracle protocol "
+                    "moves the machine to q_y or q_n");
+      }
+      // The oracle head is active whenever the machine runs (§5.1.4), so
+      // every step must (re)write the oracle cell or the encoding's frame
+      // axiom would leave it without a symbol.
+      if (t.oracle_write < 0 || t.oracle_write >= machine.num_symbols) {
+        return Fail(machine,
+                    "oracle-using machines must write the oracle tape on "
+                    "every transition");
+      }
+    } else {
+      if (t.oracle_write != -1 || t.move_oracle != 0) {
+        return Fail(machine,
+                    "machine without q? must not touch the oracle tape");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateCascade(const std::vector<MachineSpec>& machines) {
+  if (machines.empty()) {
+    return Status::InvalidArgument("empty machine cascade");
+  }
+  for (size_t i = 0; i < machines.size(); ++i) {
+    HYPO_RETURN_IF_ERROR(ValidateMachine(machines[i]));
+    if (machines[i].UsesOracle() && i + 1 == machines.size()) {
+      return Status::InvalidArgument(
+          "machine '" + machines[i].name +
+          "' uses an oracle but is the bottom of the cascade");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hypo

@@ -1,0 +1,77 @@
+#ifndef HYPO_TM_MACHINE_H_
+#define HYPO_TM_MACHINE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace hypo {
+
+/// Tape symbols and control states are small dense integers; symbol 0 is
+/// the blank `b`.
+constexpr int kBlank = 0;
+
+/// One element of a (non-deterministic) transition relation, in the
+/// paper's §5.1.3 machine model: a transition reads the symbol under the
+/// work head and may (i) write the work tape and move the work head,
+/// (ii) write the oracle tape and move the oracle head, (iii) change the
+/// control state.
+///
+/// Semantics (mirrored exactly by the rulebase encoding): the writes land
+/// on the cells under the heads *before* the moves; a move off either end
+/// of the tape kills that computation branch (the encoding's NEXT atom has
+/// no match). The oracle head is write-only: transitions never read the
+/// oracle tape.
+struct Transition {
+  int state = 0;         // Control state required to fire.
+  int read = kBlank;     // Work-tape symbol required under the work head.
+  int next_state = 0;
+  int write = kBlank;    // Symbol written at the work head.
+  int move_work = 0;     // -1 left, 0 stay, +1 right.
+  int oracle_write = -1; // Symbol written at the oracle head; -1 = none.
+  int move_oracle = 0;   // -1, 0, +1.
+};
+
+/// A non-deterministic oracle Turing machine (one work tape, one
+/// write-only oracle tape), §5.1.1's M_i.
+///
+/// The oracle protocol: entering `query_state` (q?) suspends the machine,
+/// runs the next machine down on the current oracle-tape contents, and
+/// resumes in `yes_state` or `no_state`. Machines without an oracle leave
+/// query_state at -1 and never set oracle_write/move_oracle.
+struct MachineSpec {
+  std::string name;
+  int num_states = 0;
+  int num_symbols = 1;  // Alphabet size including the blank (symbol 0).
+  int initial_state = 0;
+  std::vector<int> accepting_states;
+  int query_state = -1;  // q?; -1 if the machine uses no oracle.
+  int yes_state = -1;    // q_y.
+  int no_state = -1;     // q_n.
+  std::vector<Transition> transitions;
+
+  bool UsesOracle() const { return query_state >= 0; }
+  bool IsAccepting(int state) const {
+    for (int a : accepting_states) {
+      if (a == state) return true;
+    }
+    return false;
+  }
+};
+
+/// Structural validation shared by the simulator and the encoder:
+/// state/symbol indices in range, oracle protocol states consistent, and —
+/// because the oracle head is active whenever the machine runs (§5.1.4's
+/// frame axiom) — every transition of an oracle-using machine must write
+/// the oracle tape.
+Status ValidateMachine(const MachineSpec& machine);
+
+/// Validates a cascade M_k, ..., M_1 (index 0 is M_k, the last entry M_1):
+/// each machine valid, only the last machine may omit an oracle, and every
+/// oracle user has a machine below it.
+Status ValidateCascade(const std::vector<MachineSpec>& machines);
+
+}  // namespace hypo
+
+#endif  // HYPO_TM_MACHINE_H_

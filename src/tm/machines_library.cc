@@ -1,0 +1,129 @@
+#include "tm/machines_library.h"
+
+namespace hypo {
+
+namespace {
+constexpr int kAllSymbols[] = {kBlank, kSym0, kSym1};
+}  // namespace
+
+MachineSpec MakeFirstCellIsOneMachine() {
+  MachineSpec m;
+  m.name = "first-cell-is-one";
+  m.num_states = 2;
+  m.num_symbols = 3;
+  m.initial_state = 0;
+  m.accepting_states = {1};
+  m.transitions.push_back(
+      Transition{/*state=*/0, /*read=*/kSym1, /*next_state=*/1,
+                 /*write=*/kSym1, /*move_work=*/0, /*oracle_write=*/-1,
+                 /*move_oracle=*/0});
+  return m;
+}
+
+MachineSpec MakeParityMachine(bool accept_even) {
+  MachineSpec m;
+  m.name = accept_even ? "parity-even" : "parity-odd";
+  m.num_states = 3;  // 0 = even-so-far, 1 = odd-so-far, 2 = accept.
+  m.num_symbols = 3;
+  m.initial_state = 0;
+  m.accepting_states = {2};
+  for (int state : {0, 1}) {
+    // '0' keeps the parity, '1' flips it; both move right.
+    m.transitions.push_back(Transition{state, kSym0, state, kSym0, +1, -1, 0});
+    m.transitions.push_back(
+        Transition{state, kSym1, 1 - state, kSym1, +1, -1, 0});
+  }
+  int accepting_on_blank = accept_even ? 0 : 1;
+  m.transitions.push_back(
+      Transition{accepting_on_blank, kBlank, 2, kBlank, 0, -1, 0});
+  return m;
+}
+
+MachineSpec MakeContainsOneMachine() {
+  MachineSpec m;
+  m.name = "contains-one";
+  m.num_states = 2;
+  m.num_symbols = 3;
+  m.initial_state = 0;
+  m.accepting_states = {1};
+  m.transitions.push_back(Transition{0, kSym0, 0, kSym0, +1, -1, 0});
+  m.transitions.push_back(Transition{0, kSym1, 1, kSym1, 0, -1, 0});
+  return m;
+}
+
+MachineSpec MakeGuessMachine() {
+  MachineSpec m;
+  m.name = "guess";
+  m.num_states = 3;  // 0 = start, 1 = accept, 2 = detour.
+  m.num_symbols = 3;
+  m.initial_state = 0;
+  m.accepting_states = {1};
+  for (int s : kAllSymbols) {
+    m.transitions.push_back(Transition{0, s, 1, s, 0, -1, 0});
+    m.transitions.push_back(Transition{0, s, 2, s, 0, -1, 0});
+  }
+  m.transitions.push_back(Transition{2, kSym1, 1, kSym1, 0, -1, 0});
+  return m;
+}
+
+MachineSpec MakeAskOracleMachine(bool accept_on_yes) {
+  MachineSpec m;
+  m.name = accept_on_yes ? "ask-oracle-yes" : "ask-oracle-no";
+  m.num_states = 5;  // 0 = start, 1 = q?, 2 = q_y, 3 = q_n, 4 = accept.
+  m.num_symbols = 3;
+  m.initial_state = 0;
+  m.accepting_states = {4};
+  m.query_state = 1;
+  m.yes_state = 2;
+  m.no_state = 3;
+  for (int s : kAllSymbols) {
+    // Copy the work symbol under the head onto the oracle tape, then ask.
+    m.transitions.push_back(Transition{0, s, 1, s, 0, /*oracle_write=*/s, 0});
+    int resume = accept_on_yes ? 2 : 3;
+    m.transitions.push_back(Transition{resume, s, 4, s, 0, s, 0});
+  }
+  return m;
+}
+
+MachineSpec MakeExpectNoMachine() {
+  MachineSpec m;
+  m.name = "expect-no";
+  m.num_states = 5;
+  m.num_symbols = 3;
+  m.initial_state = 0;
+  m.accepting_states = {4};
+  m.query_state = 1;
+  m.yes_state = 2;
+  m.no_state = 3;
+  for (int s : kAllSymbols) {
+    // Write '0' for the oracle (it will reject), then expect "no".
+    m.transitions.push_back(Transition{0, s, 1, s, 0, kSym0, 0});
+    m.transitions.push_back(Transition{3, s, 4, s, 0, s, 0});
+  }
+  return m;
+}
+
+MachineSpec MakeCopyAndAskMachine(bool accept_on_yes) {
+  MachineSpec m;
+  m.name = accept_on_yes ? "copy-and-ask-yes" : "copy-and-ask-no";
+  m.num_states = 5;  // 0 = copy, 1 = q?, 2 = q_y, 3 = q_n, 4 = accept.
+  m.num_symbols = 3;
+  m.initial_state = 0;
+  m.accepting_states = {4};
+  m.query_state = 1;
+  m.yes_state = 2;
+  m.no_state = 3;
+  // Copy '0'/'1' cells rightwards onto the oracle tape in lockstep.
+  for (int s : {kSym0, kSym1}) {
+    m.transitions.push_back(Transition{0, s, 0, s, +1, s, +1});
+  }
+  // First blank: stop copying and invoke the oracle.
+  m.transitions.push_back(Transition{0, kBlank, 1, kBlank, 0, kBlank, 0});
+  int resume = accept_on_yes ? 2 : 3;
+  for (int s : kAllSymbols) {
+    m.transitions.push_back(Transition{resume, s, 4, s, 0, s, 0});
+  }
+  return m;
+}
+
+}  // namespace hypo

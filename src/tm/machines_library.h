@@ -1,0 +1,52 @@
+#ifndef HYPO_TM_MACHINES_LIBRARY_H_
+#define HYPO_TM_MACHINES_LIBRARY_H_
+
+#include "tm/machine.h"
+
+namespace hypo {
+
+/// Small machines used by tests, the §5.1 encoder experiments, and the §6
+/// expressibility pipeline. Alphabet convention: 0 = blank, 1 = '0',
+/// 2 = '1' (so tape symbol s renders as the bitmap digit s-1).
+constexpr int kSym0 = 1;
+constexpr int kSym1 = 2;
+
+/// Deterministic: accepts iff the cell under the initial head position
+/// holds '1'. Two states; used as the simplest bottom oracle.
+MachineSpec MakeFirstCellIsOneMachine();
+
+/// Deterministic: scans right over '0'/'1' cells and accepts on the first
+/// blank iff the number of '1's seen is even. The machine that decides the
+/// PARITY of a bitmap block — the classic generic query that is not
+/// expressible in Datalog without order (Example 6 / §6.2.3).
+MachineSpec MakeParityMachine(bool accept_even = true);
+
+/// Deterministic: scans right and accepts iff some '1' appears before the
+/// first blank.
+MachineSpec MakeContainsOneMachine();
+
+/// Non-deterministic: from the start cell, guesses to accept or to loop
+/// one step then accept only if the first cell is '1'. Accepts everything
+/// (some branch accepts), exercising branch exploration.
+MachineSpec MakeGuessMachine();
+
+/// Oracle user: copies its own work-tape cell 0 onto the oracle tape,
+/// queries the oracle, and accepts iff the oracle answers yes. With
+/// MakeFirstCellIsOneMachine below it, the cascade accepts iff the input
+/// starts with '1' — a two-level cascade whose answer is easy to predict.
+MachineSpec MakeAskOracleMachine(bool accept_on_yes = true);
+
+/// Oracle user for Σ2-style behavior: writes '0' to the oracle tape (the
+/// oracle will answer no) and accepts iff the oracle answers *no*,
+/// exercising the negation-by-failure boundary between strata.
+MachineSpec MakeExpectNoMachine();
+
+/// Oracle user that copies its whole input (up to the first blank) onto
+/// the oracle tape, then queries; accepts per `accept_on_yes`. Stacked on
+/// MakeContainsOneMachine it gives a genuine two-stratum pipeline: the
+/// lower machine scans a copy of the bitmap the upper machine saw.
+MachineSpec MakeCopyAndAskMachine(bool accept_on_yes);
+
+}  // namespace hypo
+
+#endif  // HYPO_TM_MACHINES_LIBRARY_H_

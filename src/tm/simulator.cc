@@ -1,0 +1,95 @@
+#include "tm/simulator.h"
+
+namespace hypo {
+
+CascadeSimulator::CascadeSimulator(std::vector<MachineSpec> machines,
+                                   int tape_length, int time_bound)
+    : machines_(std::move(machines)),
+      tape_length_(tape_length),
+      time_bound_(time_bound) {}
+
+Status CascadeSimulator::Init() {
+  HYPO_RETURN_IF_ERROR(ValidateCascade(machines_));
+  if (tape_length_ <= 0 || time_bound_ <= 0) {
+    return Status::InvalidArgument(
+        "tape length and time bound must be positive");
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+StatusOr<bool> CascadeSimulator::Accepts(const std::vector<int>& input) {
+  if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  if (static_cast<int>(input.size()) > tape_length_) {
+    return Status::InvalidArgument("input longer than the tape");
+  }
+  for (int s : input) {
+    if (s < 0 || s >= machines_[0].num_symbols) {
+      return Status::InvalidArgument("input symbol out of range");
+    }
+  }
+  branches_ = 0;
+  std::vector<int> work(tape_length_, kBlank);
+  for (size_t i = 0; i < input.size(); ++i) work[i] = input[i];
+  return Run(0, &work, 0);
+}
+
+StatusOr<bool> CascadeSimulator::Run(size_t index, std::vector<int>* work,
+                                     int start_time) {
+  const MachineSpec& m = machines_[index];
+  std::vector<int> oracle(tape_length_, kBlank);
+  return Search(index, work, &oracle, m.initial_state, 0, 0, start_time);
+}
+
+StatusOr<bool> CascadeSimulator::Search(size_t index, std::vector<int>* work,
+                                        std::vector<int>* oracle, int state,
+                                        int work_head, int oracle_head,
+                                        int time) {
+  const MachineSpec& m = machines_[index];
+  if (++branches_ > max_branches_) {
+    return Status::ResourceExhausted("simulator exceeded max_branches");
+  }
+  if (m.IsAccepting(state)) return true;
+
+  // The oracle protocol: suspend, run the machine below on a copy of the
+  // oracle tape, resume in q_y / q_n one tick later.
+  if (m.UsesOracle() && state == m.query_state) {
+    if (time + 1 >= time_bound_) return false;  // No tick left to resume.
+    std::vector<int> oracle_input = *oracle;
+    HYPO_ASSIGN_OR_RETURN(bool answer, Run(index + 1, &oracle_input, time));
+    int resume = answer ? m.yes_state : m.no_state;
+    return Search(index, work, oracle, resume, work_head, oracle_head,
+                  time + 1);
+  }
+
+  if (time + 1 >= time_bound_) return false;  // Out of clock.
+  int read = (*work)[work_head];
+  for (const Transition& t : m.transitions) {
+    if (t.state != state || t.read != read) continue;
+    int new_work_head = work_head + t.move_work;
+    int new_oracle_head = oracle_head + t.move_oracle;
+    if (new_work_head < 0 || new_work_head >= tape_length_) continue;
+    if (new_oracle_head < 0 || new_oracle_head >= tape_length_) continue;
+
+    // Writes land before the moves; remember old symbols for backtracking.
+    int old_work_symbol = (*work)[work_head];
+    (*work)[work_head] = t.write;
+    int old_oracle_symbol = -1;
+    if (t.oracle_write >= 0) {
+      old_oracle_symbol = (*oracle)[oracle_head];
+      (*oracle)[oracle_head] = t.oracle_write;
+    }
+
+    StatusOr<bool> r = Search(index, work, oracle, t.next_state,
+                              new_work_head, new_oracle_head, time + 1);
+
+    (*work)[work_head] = old_work_symbol;
+    if (old_oracle_symbol >= 0) (*oracle)[oracle_head] = old_oracle_symbol;
+
+    HYPO_RETURN_IF_ERROR(r.status());
+    if (*r) return true;
+  }
+  return false;
+}
+
+}  // namespace hypo

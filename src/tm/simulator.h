@@ -1,0 +1,67 @@
+#ifndef HYPO_TM_SIMULATOR_H_
+#define HYPO_TM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/statusor.h"
+#include "tm/machine.h"
+
+namespace hypo {
+
+/// Ground-truth execution of an oracle-machine cascade, mirroring the
+/// §5.1 rulebase encoding step for step:
+///
+///  * All machines share one clock of `time_bound` ticks (the encoding's
+///    counter 0..n^l-1) and tapes of `tape_length` cells; an oracle run
+///    starts at its caller's current tick and must finish within the
+///    bound, after which the caller resumes one tick later.
+///  * Writes land under the heads before the moves; a move off either
+///    tape end, or running out of clock, kills that branch.
+///  * Acceptance is §5.1.2's accepting-id recursion: a branch accepts as
+///    soon as its control state is accepting.
+///  * An oracle invocation runs the machine below on a *copy* of the
+///    oracle tape (the encoding retracts the oracle's hypothetical
+///    computation path), with its own oracle tape freshly blank.
+///
+/// `max_branches` bounds the total non-deterministic branches explored,
+/// converting exponential searches into clean ResourceExhausted errors.
+class CascadeSimulator {
+ public:
+  /// `machines[0]` is M_k (receives the input); the last entry is M_1.
+  CascadeSimulator(std::vector<MachineSpec> machines, int tape_length,
+                   int time_bound);
+
+  /// Validates the cascade and the geometry. Call before Accepts.
+  Status Init();
+
+  /// Does the composite machine accept `input` (written into the leftmost
+  /// cells of M_k's work tape, blank-padded)?
+  StatusOr<bool> Accepts(const std::vector<int>& input);
+
+  /// Branches explored by the last Accepts call.
+  int64_t branches_explored() const { return branches_; }
+
+  void set_max_branches(int64_t v) { max_branches_ = v; }
+
+ private:
+  /// Runs machine `index` from `start_time` on `work` (modified in
+  /// place); returns true if some branch accepts.
+  StatusOr<bool> Run(size_t index, std::vector<int>* work, int start_time);
+
+  /// Depth-first search over the transition relation.
+  StatusOr<bool> Search(size_t index, std::vector<int>* work,
+                        std::vector<int>* oracle, int state, int work_head,
+                        int oracle_head, int time);
+
+  std::vector<MachineSpec> machines_;
+  int tape_length_;
+  int time_bound_;
+  int64_t max_branches_ = 50'000'000;
+  int64_t branches_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_TM_SIMULATOR_H_

@@ -1,0 +1,147 @@
+#include "workload/random_programs.h"
+
+#include <string>
+#include <vector>
+
+#include "ast/rule_builder.h"
+#include "base/logging.h"
+
+namespace hypo {
+
+namespace {
+
+struct PredicatePool {
+  std::vector<std::string> names;
+  std::vector<int> arities;
+  std::vector<int> levels;  // 0 for EDB; 1.. for IDB.
+};
+
+std::string ConstName(int i) { return "c" + std::to_string(i); }
+
+/// Builds an atom over `pred` whose arguments are randomly drawn from the
+/// rule's first few variables and the constant pool.
+Atom RandomAtom(RuleBuilder* b, const PredicatePool& pool, int pred,
+                const RandomProgramOptions& options, Random* rng) {
+  std::vector<Term> args;
+  for (int i = 0; i < pool.arities[pred]; ++i) {
+    if (rng->Bernoulli(0.7)) {
+      args.push_back(
+          b->Var("V" + std::to_string(rng->Uniform(3))));
+    } else {
+      args.push_back(b->C(ConstName(
+          static_cast<int>(rng->Uniform(options.num_constants)))));
+    }
+  }
+  return b->A(pool.names[pred], std::move(args));
+}
+
+}  // namespace
+
+ProgramFixture MakeRandomProgram(const RandomProgramOptions& options,
+                                 Random* rng) {
+  ProgramFixture fixture;
+  SymbolTable* symbols = fixture.symbols.get();
+
+  PredicatePool pool;
+  for (int i = 0; i < options.num_edb_predicates; ++i) {
+    pool.names.push_back("e" + std::to_string(i));
+    pool.arities.push_back(
+        static_cast<int>(rng->Uniform(options.max_arity + 1)));
+    pool.levels.push_back(0);
+  }
+  int first_idb = options.num_edb_predicates;
+  for (int i = 0; i < options.num_idb_predicates; ++i) {
+    pool.names.push_back("p" + std::to_string(i));
+    pool.arities.push_back(
+        static_cast<int>(rng->Uniform(options.max_arity + 1)));
+    // Levels 1..3: enough to exercise multiple negation strata.
+    pool.levels.push_back(1 + static_cast<int>(rng->Uniform(3)));
+  }
+  const int num_preds = static_cast<int>(pool.names.size());
+
+  for (int r = 0; r < options.num_rules; ++r) {
+    int head =
+        first_idb + static_cast<int>(rng->Uniform(options.num_idb_predicates));
+    RuleBuilder b(symbols);
+    b.Head(RandomAtom(&b, pool, head, options, rng));
+    int premises = 1 + static_cast<int>(rng->Uniform(options.max_premises));
+    for (int p = 0; p < premises; ++p) {
+      if (rng->Bernoulli(options.negation_probability)) {
+        // Negated premise: strictly lower level.
+        std::vector<int> candidates;
+        for (int q = 0; q < num_preds; ++q) {
+          if (pool.levels[q] < pool.levels[head]) candidates.push_back(q);
+        }
+        if (!candidates.empty()) {
+          int q = candidates[rng->Uniform(candidates.size())];
+          b.Negated(RandomAtom(&b, pool, q, options, rng));
+          continue;
+        }
+      }
+      // Positive or hypothetical premise: level <= head's.
+      std::vector<int> candidates;
+      for (int q = 0; q < num_preds; ++q) {
+        if (pool.levels[q] <= pool.levels[head]) candidates.push_back(q);
+      }
+      HYPO_CHECK(!candidates.empty());
+      int q = candidates[rng->Uniform(candidates.size())];
+      Atom atom = RandomAtom(&b, pool, q, options, rng);
+      if (rng->Bernoulli(options.hypothetical_probability)) {
+        // Additions insert EDB atoms so the state lattice stays small.
+        int added = static_cast<int>(rng->Uniform(options.num_edb_predicates));
+        b.Hypothetical(std::move(atom),
+                       {RandomAtom(&b, pool, added, options, rng)});
+      } else {
+        b.Positive(std::move(atom));
+      }
+    }
+    StatusOr<Rule> rule = std::move(b).Build();
+    HYPO_CHECK(rule.ok()) << rule.status();
+    fixture.rules.AddRule(std::move(rule).value());
+  }
+
+  // EDB facts.
+  for (int e = 0; e < options.num_edb_predicates; ++e) {
+    int arity = pool.arities[e];
+    // Enumerate all tuples when small; sample otherwise.
+    int64_t space = 1;
+    for (int i = 0; i < arity; ++i) space *= options.num_constants;
+    for (int64_t t = 0; t < space; ++t) {
+      if (!rng->Bernoulli(options.fact_probability)) continue;
+      Fact fact;
+      StatusOr<PredicateId> pred =
+          symbols->InternPredicate(pool.names[e], arity);
+      HYPO_CHECK(pred.ok());
+      fact.predicate = *pred;
+      int64_t rest = t;
+      for (int i = 0; i < arity; ++i) {
+        fact.args.push_back(symbols->InternConst(
+            ConstName(static_cast<int>(rest % options.num_constants))));
+        rest /= options.num_constants;
+      }
+      fixture.db.Insert(fact);
+    }
+  }
+  // Make sure every constant exists even if no fact mentions it.
+  for (int i = 0; i < options.num_constants; ++i) {
+    symbols->InternConst(ConstName(i));
+  }
+  return fixture;
+}
+
+Database PermuteDatabaseConstants(const Database& db,
+                                  const std::vector<ConstId>& permutation) {
+  Database out(db.symbols_ptr());
+  db.ForEach([&](const Fact& fact) {
+    Fact renamed;
+    renamed.predicate = fact.predicate;
+    for (ConstId c : fact.args) {
+      HYPO_CHECK(c >= 0 && c < static_cast<ConstId>(permutation.size()));
+      renamed.args.push_back(permutation[c]);
+    }
+    out.Insert(renamed);
+  });
+  return out;
+}
+
+}  // namespace hypo

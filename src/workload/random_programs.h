@@ -1,0 +1,41 @@
+#ifndef HYPO_WORKLOAD_RANDOM_PROGRAMS_H_
+#define HYPO_WORKLOAD_RANDOM_PROGRAMS_H_
+
+#include "base/random.h"
+#include "queries/fixture.h"
+
+namespace hypo {
+
+/// Knobs for the random-program generator used by the differential tests
+/// (all three engines must agree) and the fuzz-style robustness tests.
+struct RandomProgramOptions {
+  int num_constants = 3;
+  int num_edb_predicates = 3;   // e0, e1, ... (facts only).
+  int num_idb_predicates = 4;   // p0, p1, ... (defined by rules).
+  int max_arity = 2;            // Arities drawn from 0..max_arity.
+  int num_rules = 8;
+  int max_premises = 3;
+  double negation_probability = 0.25;
+  double hypothetical_probability = 0.3;
+  double fact_probability = 0.4;  // Per possible EDB fact.
+};
+
+/// Generates a random hypothetical rulebase with *stratified negation by
+/// construction*: each IDB predicate gets a level, positive and
+/// hypothetical premises refer to levels <= the head's, negated premises
+/// strictly below. Hypothetical additions insert EDB atoms. The result is
+/// always accepted by the general engines; it may or may not be linearly
+/// stratifiable (the differential test uses the StratifiedProver only
+/// when it is).
+ProgramFixture MakeRandomProgram(const RandomProgramOptions& options,
+                                 Random* rng);
+
+/// Returns a copy of `db` with constants renamed by `permutation`
+/// (permutation[i] = new constant id for constant id i, over the ids in
+/// db's SymbolTable). Used for genericity (§6.1 consistency) testing.
+Database PermuteDatabaseConstants(const Database& db,
+                                  const std::vector<ConstId>& permutation);
+
+}  // namespace hypo
+
+#endif  // HYPO_WORKLOAD_RANDOM_PROGRAMS_H_

@@ -1,0 +1,222 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/scc.h"
+#include "analysis/stratification.h"
+#include "parser/parser.h"
+#include "queries/hamiltonian.h"
+#include "queries/ladder.h"
+#include "queries/parity.h"
+
+namespace hypo {
+namespace {
+
+RuleBase Parse(const char* text, std::shared_ptr<SymbolTable> symbols) {
+  auto rules = ParseRuleBase(text, std::move(symbols));
+  EXPECT_TRUE(rules.ok()) << rules.status();
+  return std::move(rules).value();
+}
+
+TEST(DependencyGraphTest, EdgeKinds) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("p <- q, ~r, s[add: t].", symbols);
+  DependencyGraph graph = DependencyGraph::Build(rules);
+  ASSERT_EQ(graph.edges().size(), 3u);
+  EXPECT_EQ(graph.edges()[0].kind, EdgeKind::kPositive);
+  EXPECT_EQ(graph.edges()[1].kind, EdgeKind::kNegative);
+  EXPECT_EQ(graph.edges()[2].kind, EdgeKind::kHypothetical);
+  // The added atom t contributes no edge (Definition 4).
+  PredicateId t = symbols->FindPredicate("t");
+  for (const DepEdge& e : graph.edges()) EXPECT_NE(e.premise, t);
+}
+
+TEST(SccTest, CycleDetection) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("p <- q. q <- p. r <- p. s <- s. t <- p.", symbols);
+  DependencyGraph graph = DependencyGraph::Build(rules);
+  SccResult sccs = ComputeSccs(graph);
+  PredicateId p = symbols->FindPredicate("p");
+  PredicateId q = symbols->FindPredicate("q");
+  PredicateId r = symbols->FindPredicate("r");
+  PredicateId s = symbols->FindPredicate("s");
+  EXPECT_TRUE(sccs.MutuallyRecursive(p, q));
+  EXPECT_FALSE(sccs.MutuallyRecursive(p, r));
+  EXPECT_TRUE(sccs.MutuallyRecursive(s, s)) << "self-loop is recursive";
+  EXPECT_FALSE(sccs.MutuallyRecursive(r, r)) << "no self-loop";
+}
+
+TEST(SccTest, TopologicalNumbering) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("p <- q. q <- r.", symbols);
+  DependencyGraph graph = DependencyGraph::Build(rules);
+  SccResult sccs = ComputeSccs(graph);
+  // Every edge must run from a component to one with an id <= its own.
+  for (const DepEdge& e : graph.edges()) {
+    EXPECT_LE(sccs.component_of[e.premise], sccs.component_of[e.head]);
+  }
+}
+
+TEST(NegationStrataTest, StratifiesChains) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("p <- ~q. q <- ~r. r <- base.", symbols);
+  auto strata = ComputeNegationStrata(rules);
+  ASSERT_TRUE(strata.ok()) << strata.status();
+  PredicateId p = symbols->FindPredicate("p");
+  PredicateId q = symbols->FindPredicate("q");
+  PredicateId r = symbols->FindPredicate("r");
+  EXPECT_EQ(strata->stratum_of_pred[r], 0);
+  EXPECT_EQ(strata->stratum_of_pred[q], 1);
+  EXPECT_EQ(strata->stratum_of_pred[p], 2);
+  EXPECT_EQ(strata->num_strata, 3);
+}
+
+TEST(NegationStrataTest, RejectsRecursionThroughNegation) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("p <- ~q. q <- ~p.", symbols);
+  EXPECT_FALSE(ComputeNegationStrata(rules).ok());
+}
+
+TEST(NegationStrataTest, HypotheticalCountsAsPositive) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("p <- p[add: c]. q <- ~p.", symbols);
+  auto strata = ComputeNegationStrata(rules);
+  ASSERT_TRUE(strata.ok()) << strata.status();
+  EXPECT_EQ(strata->stratum_of_pred[symbols->FindPredicate("p")], 0);
+  EXPECT_EQ(strata->stratum_of_pred[symbols->FindPredicate("q")], 1);
+}
+
+TEST(LinearityTest, CountsRecursiveOccurrences) {
+  auto symbols = std::make_shared<SymbolTable>();
+  // First rule: non-linear (two recursive premises). Second: linear.
+  RuleBase rules = Parse("p <- p[add: c], p[add: d]. q <- q[add: c].",
+                         symbols);
+  DependencyGraph graph = DependencyGraph::Build(rules);
+  SccResult sccs = ComputeSccs(graph);
+  LinearityInfo info = AnalyzeLinearity(rules, graph, sccs);
+  EXPECT_EQ(info.recursive_occurrences[0], 2);
+  EXPECT_FALSE(info.rule_is_linear[0]);
+  EXPECT_TRUE(info.rule_is_linear[1]);
+  int cp = sccs.component_of[symbols->FindPredicate("p")];
+  EXPECT_TRUE(info.scc_has_nonlinear_recursion[cp]);
+  EXPECT_TRUE(info.scc_has_hypothetical_recursion[cp]);
+}
+
+TEST(LinearityTest, IndirectNonLinearityDetected) {
+  // The paper's n+1 rules that "may appear linear but taken together imply
+  // rule (2)": a <- b, d1, d2.  d1 <- a[add: c1].  d2 <- a[add: c2].
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("a <- b, d1, d2. d1 <- a[add: c1]. d2 <- a[add: c2].",
+                         symbols);
+  EXPECT_FALSE(CheckLinearlyStratifiable(rules).ok());
+}
+
+TEST(LinearStratificationTest, LadderHasKStrata) {
+  for (int k = 1; k <= 5; ++k) {
+    ProgramFixture fixture = MakeStrataLadderFixture(k);
+    auto strat = ComputeLinearStratification(fixture.rules);
+    ASSERT_TRUE(strat.ok()) << strat.status();
+    EXPECT_EQ(strat->num_strata, k) << "ladder k=" << k;
+    for (int i = 1; i <= k; ++i) {
+      PredicateId a =
+          fixture.symbols->FindPredicate("a" + std::to_string(i));
+      EXPECT_EQ(strat->StratumOf(a), i);
+      EXPECT_TRUE(strat->InSigma(a));
+    }
+  }
+}
+
+TEST(LinearStratificationTest, ParityIsOneStratum) {
+  ProgramFixture fixture = MakeParityFixture(3);
+  auto strat = ComputeLinearStratification(fixture.rules);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_EQ(strat->num_strata, 1);
+  PredicateId even = fixture.symbols->FindPredicate("even");
+  PredicateId odd = fixture.symbols->FindPredicate("odd");
+  PredicateId select = fixture.symbols->FindPredicate("select");
+  EXPECT_TRUE(strat->InSigma(even));
+  EXPECT_TRUE(strat->InSigma(odd));
+  EXPECT_FALSE(strat->InSigma(select));
+  EXPECT_EQ(strat->partition_of_pred[select], 1);  // Δ1.
+  EXPECT_EQ(strat->partition_of_pred[even], 2);    // Σ1.
+}
+
+TEST(LinearStratificationTest, HamiltonianWithNoRuleIsTwoStrata) {
+  ProgramFixture ham =
+      MakeHamiltonianFixture(MakeCycleGraph(3), /*with_no_rule=*/false);
+  auto strat = ComputeLinearStratification(ham.rules);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_EQ(strat->num_strata, 1);
+
+  ProgramFixture ham_no =
+      MakeHamiltonianFixture(MakeCycleGraph(3), /*with_no_rule=*/true);
+  auto strat_no = ComputeLinearStratification(ham_no.rules);
+  ASSERT_TRUE(strat_no.ok()) << strat_no.status();
+  EXPECT_EQ(strat_no->num_strata, 2)
+      << "example 8's single extra rule adds a stratum";
+}
+
+TEST(LinearStratificationTest, Example10Rejected) {
+  ProgramFixture fixture = MakeExample10Fixture();
+  Status s = CheckLinearlyStratifiable(fixture.rules);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("non-linear"), std::string::npos);
+}
+
+TEST(LinearStratificationTest, NegativeRecursionRejected) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("p <- ~q. q <- ~p.", symbols);
+  Status s = CheckLinearlyStratifiable(rules);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("negation"), std::string::npos);
+}
+
+TEST(LinearStratificationTest, PureHornNonLinearAllowed) {
+  // Non-linear recursion without hypotheses stays in Δ (ordinary Datalog).
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules =
+      Parse("t(X, Y) <- e(X, Y). t(X, Y) <- t(X, Z), t(Z, Y).", symbols);
+  auto strat = ComputeLinearStratification(rules);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_EQ(strat->num_strata, 1);
+  PredicateId t = symbols->FindPredicate("t");
+  EXPECT_FALSE(strat->InSigma(t));
+  EXPECT_EQ(strat->partition_of_pred[t], 1);
+}
+
+TEST(LinearStratificationTest, DeltaSubstrataOrdered) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse("p <- ~q. q <- ~r. r <- base.", symbols);
+  auto strat = ComputeLinearStratification(rules);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_EQ(strat->num_strata, 1);
+  ASSERT_EQ(strat->delta_substrata.size(), 1u);
+  EXPECT_EQ(strat->delta_substrata[0].size(), 3u)
+      << "three negation substrata inside Δ1";
+}
+
+TEST(LinearStratificationTest, FrameAxiomShapeAccepted) {
+  // The §5.1.4 frame-axiom shape: positive recursion plus negation of a
+  // same-segment predicate, all inside one Δ.
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules = Parse(
+      "cell(J, T2) <- next(T, T2), cell(J, T), ~active(J, T).\n"
+      "active(J, T) <- control(J, T).",
+      symbols);
+  auto strat = ComputeLinearStratification(rules);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_EQ(strat->num_strata, 1);
+  EXPECT_FALSE(strat->InSigma(symbols->FindPredicate("cell")));
+}
+
+TEST(LinearStratificationTest, EmptyRulebase) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules(symbols);
+  auto strat = ComputeLinearStratification(rules);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->num_strata, 0);
+}
+
+}  // namespace
+}  // namespace hypo

@@ -1,0 +1,188 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "ast/rule_builder.h"
+#include "ast/rulebase.h"
+#include "ast/symbol_table.h"
+
+namespace hypo {
+namespace {
+
+TEST(SymbolTableTest, InternPredicateIsIdempotent) {
+  SymbolTable symbols;
+  auto a = symbols.InternPredicate("edge", 2);
+  auto b = symbols.InternPredicate("edge", 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(symbols.num_predicates(), 1);
+  EXPECT_EQ(symbols.PredicateName(*a), "edge");
+  EXPECT_EQ(symbols.PredicateArity(*a), 2);
+}
+
+TEST(SymbolTableTest, ArityMismatchRejected) {
+  SymbolTable symbols;
+  ASSERT_TRUE(symbols.InternPredicate("p", 2).ok());
+  StatusOr<PredicateId> bad = symbols.InternPredicate("p", 3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SymbolTableTest, FindReturnsInvalidForUnknown) {
+  SymbolTable symbols;
+  EXPECT_EQ(symbols.FindPredicate("nope"), kInvalidPredicate);
+  EXPECT_EQ(symbols.FindConst("nope"), kInvalidConst);
+}
+
+TEST(SymbolTableTest, ConstInterning) {
+  SymbolTable symbols;
+  ConstId a = symbols.InternConst("tony");
+  ConstId b = symbols.InternConst("tony");
+  ConstId c = symbols.InternConst("mary");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(symbols.ConstName(c), "mary");
+  EXPECT_EQ(symbols.num_consts(), 2);
+}
+
+TEST(TermTest, ConstVsVar) {
+  Term c = Term::MakeConst(3);
+  Term v = Term::MakeVar(3);
+  EXPECT_TRUE(c.is_const());
+  EXPECT_TRUE(v.is_var());
+  EXPECT_NE(c, v);
+  EXPECT_EQ(c, Term::MakeConst(3));
+}
+
+TEST(RuleBuilderTest, BuildsHornRule) {
+  SymbolTable symbols;
+  RuleBuilder b(&symbols);
+  Term s = b.Var("S");
+  b.Head(b.A("grad", {s}))
+      .Positive(b.A("take", {s, b.C("his101")}))
+      .Positive(b.A("take", {s, b.C("eng201")}));
+  StatusOr<Rule> rule = std::move(b).Build();
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->premises.size(), 2u);
+  EXPECT_EQ(rule->num_vars(), 1);
+  EXPECT_FALSE(rule->HasHypotheticalPremise());
+  EXPECT_EQ(RuleToString(*rule, symbols),
+            "grad(S) <- take(S, his101), take(S, eng201).");
+}
+
+TEST(RuleBuilderTest, BuildsHypotheticalRule) {
+  SymbolTable symbols;
+  RuleBuilder b(&symbols);
+  Term s = b.Var("S");
+  Term c = b.Var("C");
+  b.Head(b.A("within1", {s}))
+      .Hypothetical(b.A("grad", {s}), {b.A("take", {s, c})});
+  StatusOr<Rule> rule = std::move(b).Build();
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_TRUE(rule->HasHypotheticalPremise());
+  EXPECT_EQ(RuleToString(*rule, symbols),
+            "within1(S) <- grad(S)[add: take(S, C)].");
+}
+
+TEST(RuleBuilderTest, SameVarNameSharesIndex) {
+  SymbolTable symbols;
+  RuleBuilder b(&symbols);
+  Term x1 = b.Var("X");
+  Term x2 = b.Var("X");
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(RuleBuilderTest, ArityMismatchSurfacesAtBuild) {
+  SymbolTable symbols;
+  RuleBuilder b(&symbols);
+  b.Head(b.A("p", {b.C("a")}));
+  b.Positive(b.A("p", {b.C("a"), b.C("b")}));  // p/2 conflicts with p/1.
+  StatusOr<Rule> rule = std::move(b).Build();
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(RuleBuilderTest, MissingHeadRejected) {
+  SymbolTable symbols;
+  RuleBuilder b(&symbols);
+  b.Positive(b.A("p", {}));
+  StatusOr<Rule> rule = std::move(b).Build();
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(RuleBuilderTest, EmptyAdditionsRejected) {
+  SymbolTable symbols;
+  RuleBuilder b(&symbols);
+  b.Head(b.A("p", {})).Hypothetical(b.A("q", {}), {});
+  StatusOr<Rule> rule = std::move(b).Build();
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(RuleBaseTest, DefinitionIndexing) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules(symbols);
+  RuleBuilder b(symbols.get());
+  b.Head(b.A("p", {})).Positive(b.A("q", {}));
+  rules.AddRule(std::move(b).Build().value());
+  RuleBuilder b2(symbols.get());
+  b2.Head(b2.A("p", {})).Positive(b2.A("r", {}));
+  rules.AddRule(std::move(b2).Build().value());
+
+  PredicateId p = symbols->FindPredicate("p");
+  PredicateId q = symbols->FindPredicate("q");
+  EXPECT_EQ(rules.DefinitionOf(p).size(), 2u);
+  EXPECT_TRUE(rules.DefinitionOf(q).empty());
+  EXPECT_TRUE(rules.IsDefined(p));
+  EXPECT_FALSE(rules.IsDefined(q));
+}
+
+TEST(RuleBaseTest, ConstantFreeDetection) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules(symbols);
+  {
+    RuleBuilder b(symbols.get());
+    Term x = b.Var("X");
+    b.Head(b.A("p", {x})).Positive(b.A("q", {x}));
+    rules.AddRule(std::move(b).Build().value());
+  }
+  EXPECT_TRUE(rules.IsConstantFree());
+  {
+    RuleBuilder b(symbols.get());
+    b.Head(b.A("p", {b.C("a")}));
+    rules.AddRule(std::move(b).Build().value());
+  }
+  EXPECT_FALSE(rules.IsConstantFree());
+}
+
+TEST(RuleBaseTest, MergeRequiresSharedSymbols) {
+  auto s1 = std::make_shared<SymbolTable>();
+  auto s2 = std::make_shared<SymbolTable>();
+  RuleBase r1(s1), r2(s2);
+  EXPECT_FALSE(r1.Merge(r2).ok());
+  RuleBase r3(s1);
+  EXPECT_TRUE(r1.Merge(r3).ok());
+}
+
+TEST(PrinterTest, NegatedAndFactRules) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules(symbols);
+  {
+    RuleBuilder b(symbols.get());
+    Term x = b.Var("X");
+    b.Head(b.A("sel", {x}))
+        .Positive(b.A("a", {x}))
+        .Negated(b.A("b", {x}));
+    rules.AddRule(std::move(b).Build().value());
+  }
+  {
+    RuleBuilder b(symbols.get());
+    b.Head(b.A("fact0", {}));
+    rules.AddRule(std::move(b).Build().value());
+  }
+  EXPECT_EQ(RuleBaseToString(rules),
+            "sel(X) <- a(X), ~b(X).\nfact0.\n");
+}
+
+}  // namespace
+}  // namespace hypo

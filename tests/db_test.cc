@@ -1,0 +1,303 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/fact_interner.h"
+#include "db/overlay.h"
+
+namespace hypo {
+namespace {
+
+class DbTest : public ::testing::Test {
+ protected:
+  DbTest() : symbols_(std::make_shared<SymbolTable>()), db_(symbols_) {}
+
+  Fact MakeFact(const std::string& pred,
+                const std::vector<std::string>& args) {
+    Fact f;
+    f.predicate = *symbols_->InternPredicate(pred, args.size());
+    for (const std::string& a : args) {
+      f.args.push_back(symbols_->InternConst(a));
+    }
+    return f;
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+  Database db_;
+};
+
+TEST_F(DbTest, InsertAndContains) {
+  Fact f = MakeFact("edge", {"a", "b"});
+  EXPECT_FALSE(db_.Contains(f));
+  EXPECT_TRUE(db_.Insert(f));
+  EXPECT_TRUE(db_.Contains(f));
+  EXPECT_FALSE(db_.Insert(f)) << "duplicate insert reports not-new";
+  EXPECT_EQ(db_.size(), 1);
+}
+
+TEST_F(DbTest, TuplesForPreservesInsertionOrder) {
+  db_.Insert(MakeFact("p", {"c"}));
+  db_.Insert(MakeFact("p", {"a"}));
+  db_.Insert(MakeFact("p", {"b"}));
+  PredicateId p = symbols_->FindPredicate("p");
+  const auto& tuples = db_.TuplesFor(p);
+  ASSERT_EQ(tuples.size(), 3u);
+  EXPECT_EQ(symbols_->ConstName(tuples[0][0]), "c");
+  EXPECT_EQ(symbols_->ConstName(tuples[2][0]), "b");
+}
+
+TEST_F(DbTest, TuplesForUnknownPredicateIsEmpty) {
+  EXPECT_TRUE(db_.TuplesFor(123456).empty());
+}
+
+TEST_F(DbTest, StringInsertInternsEverything) {
+  ASSERT_TRUE(db_.Insert("take", {"tony", "cs250"}).ok());
+  EXPECT_NE(symbols_->FindPredicate("take"), kInvalidPredicate);
+  EXPECT_NE(symbols_->FindConst("tony"), kInvalidConst);
+  EXPECT_EQ(db_.size(), 1);
+  // Arity punning is rejected.
+  EXPECT_FALSE(db_.Insert("take", {"tony"}).ok());
+}
+
+TEST_F(DbTest, CloneIsIndependent) {
+  db_.Insert(MakeFact("p", {"a"}));
+  Database copy = db_.Clone();
+  copy.Insert(MakeFact("p", {"b"}));
+  EXPECT_EQ(db_.size(), 1);
+  EXPECT_EQ(copy.size(), 2);
+}
+
+TEST_F(DbTest, ConstantsTracked) {
+  db_.Insert(MakeFact("edge", {"a", "b"}));
+  EXPECT_EQ(db_.constants().size(), 2u);
+}
+
+TEST_F(DbTest, ForEachVisitsAllFacts) {
+  db_.Insert(MakeFact("p", {"a"}));
+  db_.Insert(MakeFact("q", {"a", "b"}));
+  int count = 0;
+  db_.ForEach([&count](const Fact&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(DbTest, ClearEmpties) {
+  db_.Insert(MakeFact("p", {"a"}));
+  db_.Clear();
+  EXPECT_TRUE(db_.empty());
+  EXPECT_TRUE(db_.constants().empty());
+}
+
+TEST_F(DbTest, FactToStringFormats) {
+  Fact f = MakeFact("edge", {"a", "b"});
+  EXPECT_EQ(FactToString(f, *symbols_), "edge(a, b)");
+  Fact zero = MakeFact("yes", {});
+  EXPECT_EQ(FactToString(zero, *symbols_), "yes");
+}
+
+TEST(FactInternerTest, InterningIsStable) {
+  FactInterner interner;
+  Fact f1{0, {1, 2}};
+  Fact f2{0, {2, 1}};
+  FactId a = interner.Intern(f1);
+  FactId b = interner.Intern(f2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern(f1), a);
+  EXPECT_EQ(interner.Get(b), f2);
+  EXPECT_EQ(interner.size(), 2);
+}
+
+class OverlayTest : public DbTest {
+ protected:
+  OverlayTest() : overlay_(&db_, &interner_) {}
+  FactInterner interner_;
+  OverlayDatabase overlay_;
+};
+
+TEST_F(OverlayTest, SeesBaseFacts) {
+  Fact f = MakeFact("p", {"a"});
+  db_.Insert(f);
+  EXPECT_TRUE(overlay_.Contains(f));
+}
+
+TEST_F(OverlayTest, AddAndRetract) {
+  Fact f = MakeFact("p", {"a"});
+  overlay_.PushFrame();
+  EXPECT_TRUE(overlay_.Add(f));
+  EXPECT_TRUE(overlay_.Contains(f));
+  EXPECT_EQ(overlay_.num_added(), 1);
+  overlay_.PopFrame();
+  EXPECT_FALSE(overlay_.Contains(f));
+  EXPECT_EQ(overlay_.num_added(), 0);
+}
+
+TEST_F(OverlayTest, NoOpAddNotRecorded) {
+  Fact f = MakeFact("p", {"a"});
+  db_.Insert(f);
+  overlay_.PushFrame();
+  EXPECT_FALSE(overlay_.Add(f)) << "already a database fact";
+  EXPECT_EQ(overlay_.num_added(), 0);
+  EXPECT_TRUE(overlay_.CanonicalKey().empty());
+  overlay_.PopFrame();
+}
+
+TEST_F(OverlayTest, NestedFrames) {
+  Fact f1 = MakeFact("p", {"a"});
+  Fact f2 = MakeFact("p", {"b"});
+  overlay_.PushFrame();
+  overlay_.Add(f1);
+  overlay_.PushFrame();
+  overlay_.Add(f2);
+  EXPECT_EQ(overlay_.num_added(), 2);
+  overlay_.PopFrame();
+  EXPECT_TRUE(overlay_.Contains(f1));
+  EXPECT_FALSE(overlay_.Contains(f2));
+  overlay_.PopFrame();
+  EXPECT_FALSE(overlay_.Contains(f1));
+}
+
+TEST_F(OverlayTest, CanonicalKeyIsOrderIndependent) {
+  Fact f1 = MakeFact("p", {"a"});
+  Fact f2 = MakeFact("p", {"b"});
+  overlay_.PushFrame();
+  overlay_.Add(f1);
+  overlay_.Add(f2);
+  auto key12 = overlay_.CanonicalKey();
+  overlay_.PopFrame();
+  overlay_.PushFrame();
+  overlay_.Add(f2);
+  overlay_.Add(f1);
+  auto key21 = overlay_.CanonicalKey();
+  overlay_.PopFrame();
+  EXPECT_EQ(key12, key21);
+}
+
+TEST_F(OverlayTest, AddedTuplesVisibleForScan) {
+  Fact f = MakeFact("edge", {"a", "b"});
+  overlay_.PushFrame();
+  overlay_.Add(f);
+  PredicateId edge = symbols_->FindPredicate("edge");
+  ASSERT_EQ(overlay_.AddedTuplesFor(edge).size(), 1u);
+  overlay_.PopFrame();
+  EXPECT_TRUE(overlay_.AddedTuplesFor(edge).empty());
+}
+
+TEST_F(OverlayTest, DeleteMasksBaseFact) {
+  Fact f = MakeFact("p", {"a"});
+  db_.Insert(f);
+  overlay_.PushFrame();
+  EXPECT_TRUE(overlay_.Delete(f));
+  EXPECT_FALSE(overlay_.Contains(f));
+  EXPECT_TRUE(overlay_.has_deletions());
+  overlay_.PopFrame();
+  EXPECT_TRUE(overlay_.Contains(f));
+  EXPECT_FALSE(overlay_.has_deletions());
+}
+
+TEST_F(OverlayTest, DeleteAbsentFactIsNoOp) {
+  Fact f = MakeFact("p", {"a"});
+  overlay_.PushFrame();
+  EXPECT_FALSE(overlay_.Delete(f));
+  EXPECT_FALSE(overlay_.has_deletions());
+  overlay_.PopFrame();
+}
+
+TEST_F(OverlayTest, DeleteAddedFact) {
+  Fact f = MakeFact("p", {"a"});
+  overlay_.PushFrame();
+  overlay_.Add(f);
+  EXPECT_TRUE(overlay_.Delete(f));
+  EXPECT_FALSE(overlay_.Contains(f));
+  // The stored tuple remains but is filtered by the mask.
+  PredicateId p = symbols_->FindPredicate("p");
+  ASSERT_EQ(overlay_.AddedTuplesFor(p).size(), 1u);
+  EXPECT_FALSE(overlay_.TupleVisible(p, overlay_.AddedTuplesFor(p)[0]));
+  overlay_.PopFrame();
+}
+
+TEST_F(OverlayTest, AddUnmasksDeletedFact) {
+  Fact f = MakeFact("p", {"a"});
+  db_.Insert(f);
+  overlay_.PushFrame();
+  overlay_.Delete(f);
+  EXPECT_FALSE(overlay_.Contains(f));
+  EXPECT_TRUE(overlay_.Add(f));
+  EXPECT_TRUE(overlay_.Contains(f));
+  overlay_.PopFrame();
+  EXPECT_TRUE(overlay_.Contains(f));
+}
+
+TEST_F(OverlayTest, CanonicalKeyReflectsDeletions) {
+  Fact base_fact = MakeFact("p", {"a"});
+  Fact added_fact = MakeFact("p", {"b"});
+  db_.Insert(base_fact);
+
+  overlay_.PushFrame();
+  overlay_.Delete(base_fact);
+  auto key_del = overlay_.CanonicalKey();
+  EXPECT_EQ(key_del.size(), 2u) << "separator + masked base id";
+  EXPECT_EQ(key_del[0], -1);
+  overlay_.PopFrame();
+  EXPECT_TRUE(overlay_.CanonicalKey().empty());
+
+  // Add then delete the same new fact: canonically the empty state.
+  overlay_.PushFrame();
+  overlay_.Add(added_fact);
+  overlay_.Delete(added_fact);
+  EXPECT_TRUE(overlay_.CanonicalKey().empty());
+  overlay_.PopFrame();
+
+  // Delete then re-add a base fact: also the empty state.
+  overlay_.PushFrame();
+  overlay_.Delete(base_fact);
+  overlay_.Add(base_fact);
+  EXPECT_TRUE(overlay_.CanonicalKey().empty());
+  overlay_.PopFrame();
+}
+
+TEST_F(OverlayTest, NestedFramesWithDeletions) {
+  Fact f = MakeFact("p", {"a"});
+  db_.Insert(f);
+  overlay_.PushFrame();
+  overlay_.Delete(f);
+  overlay_.PushFrame();
+  overlay_.Add(f);
+  EXPECT_TRUE(overlay_.Contains(f));
+  overlay_.PopFrame();
+  EXPECT_FALSE(overlay_.Contains(f)) << "inner unmask undone";
+  overlay_.PopFrame();
+  EXPECT_TRUE(overlay_.Contains(f));
+}
+
+TEST_F(OverlayTest, ForEachAddedSkipsMasked) {
+  overlay_.PushFrame();
+  Fact fa = MakeFact("p", {"a"});
+  Fact fb = MakeFact("p", {"b"});
+  overlay_.Add(fa);
+  overlay_.Add(fb);
+  overlay_.Delete(fa);
+  int count = 0;
+  overlay_.ForEachAdded([&](const Fact& f) {
+    ++count;
+    EXPECT_EQ(f, fb);
+  });
+  EXPECT_EQ(count, 1);
+  overlay_.PopFrame();
+}
+
+TEST_F(OverlayTest, ForEachAddedInInsertionOrder) {
+  overlay_.PushFrame();
+  overlay_.Add(MakeFact("p", {"b"}));
+  overlay_.Add(MakeFact("p", {"a"}));
+  std::vector<std::string> names;
+  overlay_.ForEachAdded([&](const Fact& f) {
+    names.push_back(symbols_->ConstName(f.args[0]));
+  });
+  overlay_.PopFrame();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+}
+
+}  // namespace
+}  // namespace hypo

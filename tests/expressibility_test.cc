@@ -1,0 +1,332 @@
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/stratification.h"
+#include "encode/counter.h"
+#include "encode/generic_query.h"
+#include "encode/order.h"
+#include "engine/tabled.h"
+#include "engine/stratified_prover.h"
+#include "parser/parser.h"
+#include "tm/machines_library.h"
+
+namespace hypo {
+namespace {
+
+/// Loads an explicit order x1 < x2 < ... < xn as ofirst/onext/olast facts
+/// plus d(xi) domain facts.
+void LoadOrderFacts(int n, Database* db) {
+  auto name = [](int i) { return "x" + std::to_string(i); };
+  ASSERT_TRUE(db->Insert("ofirst", {name(1)}).ok());
+  for (int i = 1; i < n; ++i) {
+    ASSERT_TRUE(db->Insert("onext", {name(i), name(i + 1)}).ok());
+  }
+  ASSERT_TRUE(db->Insert("olast", {name(n)}).ok());
+  for (int i = 1; i <= n; ++i) {
+    ASSERT_TRUE(db->Insert("d", {name(i)}).ok());
+  }
+}
+
+TEST(CounterTest, EnumeratesAllTuplesInOrder) {
+  for (int l : {1, 2, 3}) {
+    for (int n : {2, 3}) {
+      auto symbols = std::make_shared<SymbolTable>();
+      RuleBase rules(symbols);
+      CounterNames counter = CounterNames::ForArity(l);
+      ASSERT_TRUE(AppendCounterRules(l, OrderNames(), counter, &rules).ok());
+      Database db(symbols);
+      LoadOrderFacts(n, &db);
+
+      TabledEngine engine(&rules, &db);
+      ASSERT_TRUE(engine.Init().ok());
+
+      // Walk the counter from first via next; we must see n^l distinct
+      // values and then stop exactly at last.
+      auto query = ParseQuery(
+          l == 1 ? "ctr1_first(A0)"
+                 : (l == 2 ? "ctr2_first(A0, A1)"
+                           : "ctr3_first(A0, A1, A2)"),
+          symbols.get());
+      ASSERT_TRUE(query.ok()) << query.status();
+      auto first = engine.Answers(*query);
+      ASSERT_TRUE(first.ok()) << first.status();
+      ASSERT_EQ(first->size(), 1u) << "l=" << l << " n=" << n;
+
+      int expected = 1;
+      for (int i = 0; i < l; ++i) expected *= n;
+
+      Tuple current = (*first)[0];
+      std::set<Tuple> seen = {current};
+      PredicateId next_pred = symbols->FindPredicate(counter.next);
+      PredicateId last_pred = symbols->FindPredicate(counter.last);
+      ASSERT_NE(next_pred, kInvalidPredicate);
+      while (true) {
+        // Find the successor of `current` by querying next(current, Ȳ).
+        Query q;
+        Atom atom;
+        atom.predicate = next_pred;
+        for (ConstId c : current) atom.args.push_back(Term::MakeConst(c));
+        for (int i = 0; i < l; ++i) {
+          atom.args.push_back(Term::MakeVar(i));
+          q.var_names.push_back("V" + std::to_string(i));
+        }
+        q.premises.push_back(Premise::Positive(atom));
+        auto successors = engine.Answers(q);
+        ASSERT_TRUE(successors.ok()) << successors.status();
+        if (successors->empty()) break;
+        ASSERT_EQ(successors->size(), 1u) << "next must be a function";
+        current = (*successors)[0];
+        EXPECT_TRUE(seen.insert(current).second) << "cycle in counter";
+      }
+      EXPECT_EQ(static_cast<int>(seen.size()), expected)
+          << "l=" << l << " n=" << n;
+      // The final tuple is `last`.
+      Fact last_fact;
+      last_fact.predicate = last_pred;
+      last_fact.args = current;
+      auto is_last = engine.ProveFact(last_fact);
+      ASSERT_TRUE(is_last.ok());
+      EXPECT_TRUE(*is_last);
+    }
+  }
+}
+
+TEST(OrderAssertionTest, AssertsEveryOrder) {
+  // With accept <- witness[add: marker], the order rules prove `yes` iff
+  // the domain is non-empty (any order reaches accept).
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules(symbols);
+  ASSERT_TRUE(
+      AppendOrderAssertionRules(OrderNames(), "accept", "yes", &rules).ok());
+  {
+    auto extra = ParseRuleBase("accept <- witness.", symbols);
+    ASSERT_TRUE(extra.ok());
+    ASSERT_TRUE(rules.Merge(*extra).ok());
+  }
+  Database db(symbols);
+  ASSERT_TRUE(db.Insert("d", {"a"}).ok());
+  ASSERT_TRUE(db.Insert("d", {"b"}).ok());
+  ASSERT_TRUE(db.Insert("witness", {}).ok());
+
+  TabledEngine engine(&rules, &db);
+  auto yes = ParseQuery("yes", symbols.get());
+  ASSERT_TRUE(yes.ok());
+  auto r = engine.ProveQuery(*yes);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+}
+
+TEST(OrderAssertionTest, FailingAcceptMeansNo) {
+  auto symbols = std::make_shared<SymbolTable>();
+  RuleBase rules(symbols);
+  ASSERT_TRUE(
+      AppendOrderAssertionRules(OrderNames(), "accept", "yes", &rules).ok());
+  {
+    auto extra = ParseRuleBase("accept <- witness.", symbols);
+    ASSERT_TRUE(extra.ok());
+    ASSERT_TRUE(rules.Merge(*extra).ok());
+  }
+  Database db(symbols);
+  ASSERT_TRUE(db.Insert("d", {"a"}).ok());
+  // No witness: every asserted order fails to reach accept.
+  TabledEngine engine(&rules, &db);
+  auto yes = ParseQuery("yes", symbols.get());
+  ASSERT_TRUE(yes.ok());
+  auto r = engine.ProveQuery(*yes);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(*r);
+}
+
+/// Direct parity of relation `a` in `db`.
+bool DirectParityEven(const Database& db, const SymbolTable& symbols) {
+  PredicateId a = symbols.FindPredicate("a");
+  return a == kInvalidPredicate || db.CountFor(a) % 2 == 0;
+}
+
+class ParityPipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParityPipelineTest, MatchesDirectEvaluation) {
+  const int n = GetParam();  // Domain size; a(·) holds for every element.
+  GenericQuerySpec spec;
+  spec.machines = {MakeParityMachine(/*accept_even=*/true)};
+  spec.schema = {{"a", 1}};
+
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules = BuildYesNoQueryRules(spec, symbols);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  EXPECT_TRUE(rules->IsConstantFree());
+  ASSERT_TRUE(ValidateGenericQueryGeometry(spec, n).ok());
+
+  Database db(symbols);
+  for (int i = 1; i <= n; ++i) {
+    ASSERT_TRUE(db.Insert("a", {"e" + std::to_string(i)}).ok());
+  }
+
+  TabledEngine engine(&*rules, &db);
+  auto yes = ParseQuery("yes", symbols.get());
+  ASSERT_TRUE(yes.ok());
+  auto got = engine.ProveQuery(*yes);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, DirectParityEven(db, *symbols)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainSizes, ParityPipelineTest,
+                         ::testing::Values(2, 3, 4));
+
+TEST(ParityPipelineTest, StratifiedProverAgrees) {
+  GenericQuerySpec spec;
+  spec.machines = {MakeParityMachine(true)};
+  spec.schema = {{"a", 1}};
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules = BuildYesNoQueryRules(spec, symbols);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+
+  Database db(symbols);
+  ASSERT_TRUE(db.Insert("a", {"e1"}).ok());
+  ASSERT_TRUE(db.Insert("a", {"e2"}).ok());
+  ASSERT_TRUE(db.Insert("a", {"e3"}).ok());
+
+  StratifiedProver prover(&*rules, &db);
+  ASSERT_TRUE(prover.Init().ok());
+  EXPECT_EQ(prover.stratification().num_strata, 1)
+      << "one machine, one stratum (Theorem 2's k)";
+  auto yes = ParseQuery("yes", symbols.get());
+  ASSERT_TRUE(yes.ok());
+  auto got = prover.ProveQuery(*yes);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_FALSE(*got) << "three elements: odd";
+}
+
+TEST(GenericityTest, AnswerInvariantUnderRenaming) {
+  // The consistency criterion (§6.2.3): renaming the database constants
+  // must not change the answer. Rename e1..e3 -> z/q/m.
+  GenericQuerySpec spec;
+  spec.machines = {MakeParityMachine(true)};
+  spec.schema = {{"a", 1}};
+
+  for (const std::vector<std::string>& names :
+       {std::vector<std::string>{"e1", "e2"},
+        std::vector<std::string>{"zebra", "quail"},
+        std::vector<std::string>{"m", "k"}}) {
+    auto symbols = std::make_shared<SymbolTable>();
+    auto rules = BuildYesNoQueryRules(spec, symbols);
+    ASSERT_TRUE(rules.ok());
+    Database db(symbols);
+    for (const std::string& name : names) {
+      ASSERT_TRUE(db.Insert("a", {name}).ok());
+    }
+    TabledEngine engine(&*rules, &db);
+    auto yes = ParseQuery("yes", symbols.get());
+    ASSERT_TRUE(yes.ok());
+    auto got = engine.ProveQuery(*yes);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(*got) << "two elements: even, regardless of names";
+  }
+}
+
+TEST(Corollary2Test, OutputQueryViaAddedRelation) {
+  // Corollary 2 over the parity machine: the tape now holds two bitmap
+  // blocks, p0 (always a single '1': the candidate tuple) then a. The
+  // machine counts every '1' up to the first blank, i.e. decides whether
+  // 1 + |a| is even. The resulting output query is constant per database:
+  //
+  //   out(DB) = D when |a| is odd, ∅ when |a| is even.
+  //
+  // Counter arity 3 keeps a blank cell after the two blocks even on a
+  // two-element domain.
+  GenericQuerySpec spec;
+  spec.machines = {MakeParityMachine(true)};
+  spec.schema = {{"a", 1}};
+  spec.counter_arity = 3;
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules = BuildOutputQueryRules(spec, /*output_arity=*/1, symbols);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  EXPECT_TRUE(rules->IsConstantFree());
+
+  Database db(symbols);
+  ASSERT_TRUE(db.Insert("a", {"u"}).ok());
+  ASSERT_TRUE(db.Insert("a", {"v"}).ok());
+  ASSERT_TRUE(db.Insert("a", {"w"}).ok());
+
+  TabledEngine engine(&*rules, &db);
+  auto query = ParseQuery("out(X)", symbols.get());
+  ASSERT_TRUE(query.ok());
+  auto answers = engine.Answers(*query);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  std::set<std::string> got;
+  for (const Tuple& t : *answers) got.insert(symbols->ConstName(t[0]));
+  EXPECT_EQ(got, (std::set<std::string>{"u", "v", "w"}))
+      << "|a| = 3 odd: every domain element is an answer";
+}
+
+TEST(Corollary2Test, EmptyAnswerWhenParityFlips) {
+  GenericQuerySpec spec;
+  spec.machines = {MakeParityMachine(true)};
+  spec.schema = {{"a", 1}};
+  spec.counter_arity = 3;
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules = BuildOutputQueryRules(spec, /*output_arity=*/1, symbols);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+
+  Database db(symbols);
+  ASSERT_TRUE(db.Insert("a", {"u"}).ok());
+  ASSERT_TRUE(db.Insert("a", {"v"}).ok());
+
+  TabledEngine engine(&*rules, &db);
+  auto query = ParseQuery("out(X)", symbols.get());
+  ASSERT_TRUE(query.ok());
+  auto answers = engine.Answers(*query);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  EXPECT_TRUE(answers->empty()) << "|a| = 2 even: 1 + |a| odd, no answers";
+}
+
+TEST(TwoStratumPipelineTest, CascadeThroughLemma2) {
+  // A two-machine cascade through the full §6 pipeline: the top machine
+  // copies the bitmap onto the oracle tape and asks the contains-one
+  // machine about it. With a non-empty `a`, block 0 contains a '1', so
+  // the oracle answers yes: the accept_on_yes variant proves `yes`, the
+  // accept-on-no variant does not. The resulting rulebases have two
+  // strata (Theorem 2's k = 2).
+  for (bool accept_on_yes : {true, false}) {
+    GenericQuerySpec spec;
+    spec.machines = {MakeCopyAndAskMachine(accept_on_yes),
+                     MakeContainsOneMachine()};
+    spec.schema = {{"a", 1}};
+    spec.counter_arity = 3;  // Room for copy + invoke + oracle scan.
+    auto symbols = std::make_shared<SymbolTable>();
+    auto rules = BuildYesNoQueryRules(spec, symbols);
+    ASSERT_TRUE(rules.ok()) << rules.status();
+    EXPECT_TRUE(rules->IsConstantFree());
+    auto strat = ComputeLinearStratification(*rules);
+    ASSERT_TRUE(strat.ok()) << strat.status();
+    EXPECT_EQ(strat->num_strata, 2);
+
+    Database db(symbols);
+    ASSERT_TRUE(db.Insert("a", {"u"}).ok());
+    ASSERT_TRUE(db.Insert("a", {"v"}).ok());
+    TabledEngine engine(&*rules, &db);
+    auto yes = ParseQuery("yes", symbols.get());
+    ASSERT_TRUE(yes.ok());
+    auto got = engine.ProveQuery(*yes);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, accept_on_yes)
+        << "accept_on_yes=" << accept_on_yes;
+  }
+}
+
+TEST(GeometryTest, Validation) {
+  GenericQuerySpec spec;
+  spec.machines = {MakeParityMachine(true)};
+  spec.schema = {{"a", 1}};
+  EXPECT_TRUE(ValidateGenericQueryGeometry(spec, 2).ok());
+  EXPECT_FALSE(ValidateGenericQueryGeometry(spec, 1).ok());
+  spec.counter_arity = 1;  // Equal to max arity: rejected.
+  EXPECT_FALSE(ValidateGenericQueryGeometry(spec, 3).ok());
+}
+
+}  // namespace
+}  // namespace hypo

@@ -1,0 +1,84 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "base/random.h"
+#include "parser/parser.h"
+#include "workload/random_programs.h"
+
+namespace hypo {
+namespace {
+
+/// The parser must never crash: every input yields OK or a Status error.
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Random rng(424242);
+  const std::string alphabet =
+      "abcXYZ_09 ()[],.~:<->%'\n\t";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string input;
+    int len = static_cast<int>(rng.Uniform(60));
+    for (int i = 0; i < len; ++i) {
+      input += alphabet[rng.Uniform(alphabet.size())];
+    }
+    auto symbols = std::make_shared<SymbolTable>();
+    auto rules = ParseRuleBase(input, symbols);      // Must not crash.
+    auto query = ParseQuery(input, symbols.get());   // Must not crash.
+    (void)rules;
+    (void)query;
+  }
+}
+
+/// Structured token soup: grammar-adjacent fragments glued randomly.
+TEST(ParserFuzzTest, TokenSoupNeverCrashes) {
+  Random rng(31337);
+  const char* pieces[] = {"p",    "(",  ")", "X",   ",", ".",  "<-",
+                          "~",    "[",  "]", "add", ":", "del", "q(X)",
+                          "a123", "'q'", "%c\n"};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string input;
+    int len = static_cast<int>(rng.Uniform(25));
+    for (int i = 0; i < len; ++i) {
+      input += pieces[rng.Uniform(std::size(pieces))];
+      if (rng.Bernoulli(0.3)) input += ' ';
+    }
+    auto symbols = std::make_shared<SymbolTable>();
+    auto rules = ParseRuleBase(input, symbols);
+    (void)rules;
+  }
+}
+
+/// Printer/parser round trip: printing a random program and re-parsing it
+/// yields a rulebase that prints identically.
+TEST(ParserFuzzTest, PrinterParserRoundTrip) {
+  RandomProgramOptions options;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Random rng(seed);
+    ProgramFixture fixture = MakeRandomProgram(options, &rng);
+    std::string printed = RuleBaseToString(fixture.rules);
+
+    auto symbols = std::make_shared<SymbolTable>();
+    auto reparsed = ParseRuleBase(printed, symbols);
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << seed << ": " << reparsed.status() << "\n"
+        << printed;
+    EXPECT_EQ(RuleBaseToString(*reparsed), printed) << "seed " << seed;
+  }
+}
+
+/// Large but valid input parses without issue (no quadratic blowups).
+TEST(ParserFuzzTest, LargeProgram) {
+  std::string text;
+  for (int i = 0; i < 5000; ++i) {
+    text += "p" + std::to_string(i) + "(X) <- q" + std::to_string(i) +
+            "(X), ~r" + std::to_string(i) + "(X).\n";
+  }
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules = ParseRuleBase(text, symbols);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  EXPECT_EQ(rules->num_rules(), 5000);
+}
+
+}  // namespace
+}  // namespace hypo

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "queries/hamiltonian.h"
+#include "queries/ladder.h"
+#include "queries/parity.h"
+
+namespace hypo {
+namespace {
+
+TEST(ReportTest, ParityReportShape) {
+  ProgramFixture fixture = MakeParityFixture(2);
+  std::string report = ExplainStratification(fixture.rules);
+  EXPECT_NE(report.find("1 stratum"), std::string::npos) << report;
+  EXPECT_NE(report.find("Σ_1"), std::string::npos);
+  EXPECT_NE(report.find("even <- select(X), odd[add: b(X)]."),
+            std::string::npos);
+  EXPECT_NE(report.find("select/1: Δ_1"), std::string::npos);
+  EXPECT_NE(report.find("even/0: Σ_1"), std::string::npos);
+  EXPECT_NE(report.find("a/1: extensional"), std::string::npos);
+}
+
+TEST(ReportTest, LadderReportsAllStrata) {
+  ProgramFixture fixture = MakeStrataLadderFixture(3);
+  std::string report = ExplainStratification(fixture.rules);
+  EXPECT_NE(report.find("3 strata"), std::string::npos) << report;
+  EXPECT_NE(report.find("stratum 3"), std::string::npos);
+  EXPECT_NE(report.find("a3/0: Σ_3"), std::string::npos);
+}
+
+TEST(ReportTest, NonStratifiableExplains) {
+  ProgramFixture fixture = MakeExample10Fixture();
+  std::string report = ExplainStratification(fixture.rules);
+  EXPECT_NE(report.find("not linearly stratifiable"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("non-linear"), std::string::npos);
+  EXPECT_NE(report.find("TabledEngine"), std::string::npos);
+}
+
+TEST(ReportTest, HamiltonianDeltaSubstrata) {
+  ProgramFixture fixture =
+      MakeHamiltonianFixture(MakeCycleGraph(3), /*with_no_rule=*/true);
+  std::string report = ExplainStratification(fixture.rules);
+  EXPECT_NE(report.find("2 strata"), std::string::npos) << report;
+  EXPECT_NE(report.find("no <- ~yes."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypo

@@ -1,0 +1,151 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/stratification.h"
+#include "encode/tm_encoder.h"
+#include "engine/bottom_up.h"
+#include "engine/stratified_prover.h"
+#include "engine/tabled.h"
+#include "tm/machines_library.h"
+#include "tm/simulator.h"
+
+namespace hypo {
+namespace {
+
+/// Decides `accept` for the §5.1 encoding of `machines` on `input` with
+/// the given engine, and checks it matches the simulator.
+void CheckEncodingAgainstSimulator(const std::vector<MachineSpec>& machines,
+                                   const std::vector<int>& input, int n,
+                                   const char* label) {
+  CascadeSimulator sim(machines, n, n);
+  auto expected = sim.Accepts(input);
+  ASSERT_TRUE(expected.ok()) << label << ": " << expected.status();
+
+  auto encoding = EncodeCascade(machines, input, n);
+  ASSERT_TRUE(encoding.ok()) << label << ": " << encoding.status();
+  ProgramFixture& program = encoding->program;
+
+  Fact accept;
+  accept.predicate =
+      program.symbols->FindPredicate(encoding->accept_predicate);
+  ASSERT_NE(accept.predicate, kInvalidPredicate);
+
+  {
+    StratifiedProver prover(&program.rules, &program.db);
+    ASSERT_TRUE(prover.Init().ok()) << label;
+    auto got = prover.ProveFact(accept);
+    ASSERT_TRUE(got.ok()) << label << ": " << got.status();
+    EXPECT_EQ(*got, *expected) << label << " (stratified prover)";
+  }
+  {
+    TabledEngine tabled(&program.rules, &program.db);
+    auto got = tabled.ProveFact(accept);
+    ASSERT_TRUE(got.ok()) << label << ": " << got.status();
+    EXPECT_EQ(*got, *expected) << label << " (tabled)";
+  }
+}
+
+TEST(TmEncodingTest, SingleMachineDeterministic) {
+  CheckEncodingAgainstSimulator({MakeFirstCellIsOneMachine()},
+                                {kSym1}, 3, "first-cell yes");
+  CheckEncodingAgainstSimulator({MakeFirstCellIsOneMachine()},
+                                {kSym0}, 3, "first-cell no");
+}
+
+TEST(TmEncodingTest, ContainsOneScans) {
+  CheckEncodingAgainstSimulator({MakeContainsOneMachine()},
+                                {kSym0, kSym1}, 4, "contains-one yes");
+  CheckEncodingAgainstSimulator({MakeContainsOneMachine()},
+                                {kSym0, kSym0}, 4, "contains-one no");
+}
+
+TEST(TmEncodingTest, ParityMachineEncodes) {
+  for (int ones = 0; ones <= 3; ++ones) {
+    std::vector<int> input;
+    for (int i = 0; i < ones; ++i) input.push_back(kSym1);
+    input.push_back(kSym0);
+    CheckEncodingAgainstSimulator(
+        {MakeParityMachine(/*accept_even=*/true)}, input, 7,
+        ("parity ones=" + std::to_string(ones)).c_str());
+  }
+}
+
+TEST(TmEncodingTest, NondeterministicGuess) {
+  CheckEncodingAgainstSimulator({MakeGuessMachine()}, {kSym0}, 3, "guess");
+}
+
+TEST(TmEncodingTest, OracleCascadeBothAnswers) {
+  std::vector<MachineSpec> yes_cascade = {MakeAskOracleMachine(true),
+                                          MakeFirstCellIsOneMachine()};
+  CheckEncodingAgainstSimulator(yes_cascade, {kSym1}, 4, "oracle-yes on 1");
+  CheckEncodingAgainstSimulator(yes_cascade, {kSym0}, 4, "oracle-yes on 0");
+
+  std::vector<MachineSpec> no_cascade = {MakeAskOracleMachine(false),
+                                         MakeFirstCellIsOneMachine()};
+  CheckEncodingAgainstSimulator(no_cascade, {kSym1}, 4, "oracle-no on 1");
+  CheckEncodingAgainstSimulator(no_cascade, {kSym0}, 4, "oracle-no on 0");
+}
+
+TEST(TmEncodingTest, ThreeLevelCascade) {
+  std::vector<MachineSpec> cascade = {MakeExpectNoMachine(),
+                                      MakeAskOracleMachine(true),
+                                      MakeFirstCellIsOneMachine()};
+  CheckEncodingAgainstSimulator(cascade, {kSym1}, 4, "three-level");
+}
+
+TEST(TmEncodingTest, StratificationMatchesCascadeDepth) {
+  // Theorem 1's shape: the encoding of a k-machine cascade has k strata.
+  struct Case {
+    std::vector<MachineSpec> machines;
+    int expected_strata;
+  };
+  std::vector<Case> cases;
+  cases.push_back({{MakeParityMachine(true)}, 1});
+  cases.push_back(
+      {{MakeAskOracleMachine(true), MakeFirstCellIsOneMachine()}, 2});
+  cases.push_back({{MakeExpectNoMachine(), MakeAskOracleMachine(true),
+                    MakeFirstCellIsOneMachine()},
+                   3});
+  for (const Case& c : cases) {
+    auto encoding = EncodeCascade(c.machines, {kSym1}, 4);
+    ASSERT_TRUE(encoding.ok()) << encoding.status();
+    auto strat = ComputeLinearStratification(encoding->program.rules);
+    ASSERT_TRUE(strat.ok()) << strat.status();
+    EXPECT_EQ(strat->num_strata, c.expected_strata);
+    // accept_i must live in Σ_i.
+    for (int i = 1; i <= c.expected_strata; ++i) {
+      PredicateId accept_i = encoding->program.symbols->FindPredicate(
+          "accept_" + std::to_string(i));
+      ASSERT_NE(accept_i, kInvalidPredicate);
+      EXPECT_EQ(strat->StratumOf(accept_i), i);
+      EXPECT_TRUE(strat->InSigma(accept_i));
+    }
+  }
+}
+
+TEST(TmEncodingTest, BottomUpEngineAgreesOnSmallEncoding) {
+  // The encoding is select-guarded (control facts gate every transition),
+  // so even the eager engine stays bounded.
+  auto encoding = EncodeCascade({MakeFirstCellIsOneMachine()}, {kSym1}, 3);
+  ASSERT_TRUE(encoding.ok());
+  BottomUpEngine engine(&encoding->program.rules, &encoding->program.db);
+  Fact accept;
+  accept.predicate =
+      encoding->program.symbols->FindPredicate(encoding->accept_predicate);
+  auto got = engine.ProveFact(accept);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(*got);
+}
+
+TEST(TmEncodingTest, RejectsBadGeometry) {
+  EXPECT_FALSE(EncodeCascade({MakeFirstCellIsOneMachine()}, {}, 1).ok());
+  EXPECT_FALSE(EncodeCascade({MakeFirstCellIsOneMachine()},
+                             {kSym1, kSym1, kSym1}, 2)
+                   .ok());
+  EXPECT_FALSE(EncodeCascade({}, {}, 4).ok());
+}
+
+}  // namespace
+}  // namespace hypo

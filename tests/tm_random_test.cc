@@ -1,0 +1,126 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "encode/tm_encoder.h"
+#include "engine/stratified_prover.h"
+#include "engine/tabled.h"
+#include "tm/machines_library.h"
+#include "tm/simulator.h"
+
+namespace hypo {
+namespace {
+
+/// Generates a random valid non-deterministic machine. With
+/// `with_oracle`, the oracle protocol states exist and every transition
+/// writes the oracle tape (as ValidateMachine requires).
+MachineSpec RandomMachine(Random* rng, bool with_oracle) {
+  MachineSpec m;
+  m.name = "random";
+  m.num_symbols = 3;
+  int base_states = 3 + static_cast<int>(rng->Uniform(3));  // 3..5
+  m.num_states = base_states + (with_oracle ? 3 : 0);
+  m.initial_state = 0;
+  m.accepting_states = {base_states - 1};
+  if (with_oracle) {
+    m.query_state = base_states;
+    m.yes_state = base_states + 1;
+    m.no_state = base_states + 2;
+  }
+  // For each (state, symbol), 0..2 random transitions. Transitions may
+  // originate from q_y/q_n but never from q?.
+  std::vector<int> sources;
+  for (int q = 0; q < base_states; ++q) sources.push_back(q);
+  if (with_oracle) {
+    sources.push_back(m.yes_state);
+    sources.push_back(m.no_state);
+  }
+  for (int q : sources) {
+    for (int sym = 0; sym < m.num_symbols; ++sym) {
+      int count = static_cast<int>(rng->Uniform(3));
+      for (int t = 0; t < count; ++t) {
+        Transition tr;
+        tr.state = q;
+        tr.read = sym;
+        // Target any state, including q? when the machine has an oracle.
+        tr.next_state = static_cast<int>(rng->Uniform(m.num_states));
+        tr.write = static_cast<int>(rng->Uniform(m.num_symbols));
+        tr.move_work = static_cast<int>(rng->Uniform(3)) - 1;
+        if (with_oracle) {
+          tr.oracle_write = static_cast<int>(rng->Uniform(m.num_symbols));
+          tr.move_oracle = static_cast<int>(rng->Uniform(3)) - 1;
+        }
+        m.transitions.push_back(tr);
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<int> RandomInput(Random* rng, int max_len) {
+  std::vector<int> input;
+  int len = static_cast<int>(rng->Uniform(max_len + 1));
+  for (int i = 0; i < len; ++i) {
+    input.push_back(static_cast<int>(rng->Uniform(3)));
+  }
+  return input;
+}
+
+TEST(TmRandomDifferentialTest, SingleMachinesMatchSimulator) {
+  const int kN = 4;  // Counter size: keeps each case sub-millisecond.
+  int agreements = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Random rng(seed);
+    MachineSpec machine = RandomMachine(&rng, /*with_oracle=*/false);
+    ASSERT_TRUE(ValidateMachine(machine).ok()) << "seed " << seed;
+    std::vector<int> input = RandomInput(&rng, kN);
+
+    CascadeSimulator sim({machine}, kN, kN);
+    auto expected = sim.Accepts(input);
+    ASSERT_TRUE(expected.ok()) << "seed " << seed << ": "
+                               << expected.status();
+
+    auto encoding = EncodeCascade({machine}, input, kN);
+    ASSERT_TRUE(encoding.ok()) << encoding.status();
+    StratifiedProver prover(&encoding->program.rules,
+                            &encoding->program.db);
+    ASSERT_TRUE(prover.Init().ok()) << "seed " << seed;
+    Fact accept;
+    accept.predicate = encoding->program.symbols->FindPredicate("accept");
+    auto got = prover.ProveFact(accept);
+    ASSERT_TRUE(got.ok()) << "seed " << seed << ": " << got.status();
+    EXPECT_EQ(*got, *expected) << "seed " << seed;
+    if (*got == *expected) ++agreements;
+  }
+  EXPECT_EQ(agreements, 60);
+}
+
+TEST(TmRandomDifferentialTest, OracleCascadesMatchSimulator) {
+  const int kN = 4;
+  for (uint64_t seed = 100; seed < 130; ++seed) {
+    Random rng(seed);
+    MachineSpec top = RandomMachine(&rng, /*with_oracle=*/true);
+    MachineSpec bottom = RandomMachine(&rng, /*with_oracle=*/false);
+    ASSERT_TRUE(ValidateCascade({top, bottom}).ok()) << "seed " << seed;
+    std::vector<int> input = RandomInput(&rng, kN);
+
+    CascadeSimulator sim({top, bottom}, kN, kN);
+    auto expected = sim.Accepts(input);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+
+    auto encoding = EncodeCascade({top, bottom}, input, kN);
+    ASSERT_TRUE(encoding.ok()) << encoding.status();
+    // Use the general engine here so the test also exercises a second
+    // evaluation path over the same rulebases.
+    TabledEngine engine(&encoding->program.rules, &encoding->program.db);
+    Fact accept;
+    accept.predicate = encoding->program.symbols->FindPredicate("accept");
+    auto got = engine.ProveFact(accept);
+    ASSERT_TRUE(got.ok()) << "seed " << seed << ": " << got.status();
+    EXPECT_EQ(*got, *expected) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace hypo

@@ -1,0 +1,156 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tm/machine.h"
+#include "tm/machines_library.h"
+#include "tm/simulator.h"
+
+namespace hypo {
+namespace {
+
+TEST(ValidateMachineTest, AcceptsLibraryMachines) {
+  EXPECT_TRUE(ValidateMachine(MakeFirstCellIsOneMachine()).ok());
+  EXPECT_TRUE(ValidateMachine(MakeParityMachine(true)).ok());
+  EXPECT_TRUE(ValidateMachine(MakeParityMachine(false)).ok());
+  EXPECT_TRUE(ValidateMachine(MakeContainsOneMachine()).ok());
+  EXPECT_TRUE(ValidateMachine(MakeGuessMachine()).ok());
+  EXPECT_TRUE(ValidateMachine(MakeAskOracleMachine(true)).ok());
+  EXPECT_TRUE(ValidateMachine(MakeExpectNoMachine()).ok());
+}
+
+TEST(ValidateMachineTest, RejectsBadSpecs) {
+  MachineSpec m = MakeFirstCellIsOneMachine();
+  m.accepting_states.clear();
+  EXPECT_FALSE(ValidateMachine(m).ok());
+
+  m = MakeFirstCellIsOneMachine();
+  m.transitions[0].next_state = 99;
+  EXPECT_FALSE(ValidateMachine(m).ok());
+
+  m = MakeFirstCellIsOneMachine();
+  m.transitions[0].move_work = 2;
+  EXPECT_FALSE(ValidateMachine(m).ok());
+
+  // A machine without q? must not touch the oracle tape.
+  m = MakeFirstCellIsOneMachine();
+  m.transitions[0].oracle_write = kSym1;
+  EXPECT_FALSE(ValidateMachine(m).ok());
+
+  // An oracle-using machine must write the oracle tape on every step.
+  m = MakeAskOracleMachine(true);
+  m.transitions[0].oracle_write = -1;
+  EXPECT_FALSE(ValidateMachine(m).ok());
+}
+
+TEST(ValidateCascadeTest, BottomMachineMayNotUseOracle) {
+  EXPECT_FALSE(ValidateCascade({MakeAskOracleMachine(true)}).ok());
+  EXPECT_TRUE(ValidateCascade(
+                  {MakeAskOracleMachine(true), MakeFirstCellIsOneMachine()})
+                  .ok());
+  EXPECT_FALSE(ValidateCascade({}).ok());
+}
+
+TEST(SimulatorTest, FirstCellIsOne) {
+  CascadeSimulator sim({MakeFirstCellIsOneMachine()}, 4, 4);
+  EXPECT_TRUE(*sim.Accepts({kSym1}));
+  EXPECT_FALSE(*sim.Accepts({kSym0}));
+  EXPECT_FALSE(*sim.Accepts({}));
+  EXPECT_TRUE(*sim.Accepts({kSym1, kSym0}));
+}
+
+TEST(SimulatorTest, ContainsOne) {
+  CascadeSimulator sim({MakeContainsOneMachine()}, 6, 6);
+  EXPECT_TRUE(*sim.Accepts({kSym0, kSym0, kSym1}));
+  EXPECT_FALSE(*sim.Accepts({kSym0, kSym0, kSym0}));
+  EXPECT_TRUE(*sim.Accepts({kSym1}));
+  EXPECT_FALSE(*sim.Accepts({}));
+}
+
+TEST(SimulatorTest, ParityScansCorrectly) {
+  for (bool accept_even : {true, false}) {
+    CascadeSimulator sim({MakeParityMachine(accept_even)}, 8, 8);
+    for (int ones = 0; ones <= 4; ++ones) {
+      std::vector<int> input;
+      for (int i = 0; i < ones; ++i) input.push_back(kSym1);
+      for (int i = ones; i < 5; ++i) input.push_back(kSym0);
+      bool expected = accept_even == (ones % 2 == 0);
+      EXPECT_EQ(*sim.Accepts(input), expected)
+          << "ones=" << ones << " accept_even=" << accept_even;
+    }
+  }
+}
+
+TEST(SimulatorTest, TimeBoundKillsLongRuns) {
+  // parity on 5 cells needs ~6 ticks; 4 are not enough.
+  CascadeSimulator sim({MakeParityMachine(true)}, 8, 4);
+  EXPECT_FALSE(*sim.Accepts({kSym0, kSym0, kSym0, kSym0, kSym0}));
+}
+
+TEST(SimulatorTest, TapeEdgeKillsBranch) {
+  // contains-one walking right off a 2-cell tape dies without accepting.
+  CascadeSimulator sim({MakeContainsOneMachine()}, 2, 8);
+  EXPECT_FALSE(*sim.Accepts({kSym0, kSym0}));
+}
+
+TEST(SimulatorTest, NondeterministicGuess) {
+  CascadeSimulator sim({MakeGuessMachine()}, 4, 4);
+  EXPECT_TRUE(*sim.Accepts({kSym0}));
+  EXPECT_TRUE(*sim.Accepts({}));
+  EXPECT_GT(sim.branches_explored(), 0);
+}
+
+TEST(SimulatorTest, OracleCascadeYes) {
+  // M_2 copies its first cell to the oracle; M_1 accepts iff it is '1'.
+  CascadeSimulator sim(
+      {MakeAskOracleMachine(/*accept_on_yes=*/true),
+       MakeFirstCellIsOneMachine()},
+      4, 8);
+  EXPECT_TRUE(*sim.Accepts({kSym1}));
+  EXPECT_FALSE(*sim.Accepts({kSym0}));
+}
+
+TEST(SimulatorTest, OracleCascadeNo) {
+  // M_2 accepts iff the oracle answers *no* (the coNP-flavored boundary).
+  CascadeSimulator sim(
+      {MakeAskOracleMachine(/*accept_on_yes=*/false),
+       MakeFirstCellIsOneMachine()},
+      4, 8);
+  EXPECT_FALSE(*sim.Accepts({kSym1}));
+  EXPECT_TRUE(*sim.Accepts({kSym0}));
+}
+
+TEST(SimulatorTest, ExpectNoCascadeAlwaysAccepts) {
+  CascadeSimulator sim(
+      {MakeExpectNoMachine(), MakeFirstCellIsOneMachine()}, 4, 8);
+  EXPECT_TRUE(*sim.Accepts({kSym0}));
+  EXPECT_TRUE(*sim.Accepts({kSym1}));
+}
+
+TEST(SimulatorTest, ThreeLevelCascade) {
+  // M_3 = expect-no over (M_2 = ask-oracle-yes over M_1 = first-cell-is-1).
+  // M_3 writes '0' to M_2's tape; M_2 copies that '0' down to M_1, which
+  // rejects; M_2 rejects; M_3 sees "no" and accepts. Always accepts.
+  CascadeSimulator sim({MakeExpectNoMachine(), MakeAskOracleMachine(true),
+                        MakeFirstCellIsOneMachine()},
+                       4, 12);
+  EXPECT_TRUE(*sim.Accepts({kSym1}));
+  EXPECT_TRUE(*sim.Accepts({}));
+}
+
+TEST(SimulatorTest, BranchBudgetSurfacesCleanly) {
+  CascadeSimulator sim({MakeGuessMachine()}, 4, 4);
+  sim.set_max_branches(1);
+  auto r = sim.Accepts({kSym0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SimulatorTest, InputValidation) {
+  CascadeSimulator sim({MakeFirstCellIsOneMachine()}, 2, 2);
+  EXPECT_FALSE(sim.Accepts({kSym1, kSym1, kSym1}).ok()) << "input too long";
+  EXPECT_FALSE(sim.Accepts({99}).ok()) << "symbol out of range";
+}
+
+}  // namespace
+}  // namespace hypo
