@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chains.dir/bench_chains.cc.o"
+  "CMakeFiles/bench_chains.dir/bench_chains.cc.o.d"
+  "bench_chains"
+  "bench_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expressibility.dir/bench_expressibility.cc.o"
+  "CMakeFiles/bench_expressibility.dir/bench_expressibility.cc.o.d"
+  "bench_expressibility"
+  "bench_expressibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hamiltonian.dir/bench_hamiltonian.cc.o"
+  "CMakeFiles/bench_hamiltonian.dir/bench_hamiltonian.cc.o.d"
+  "bench_hamiltonian"
+  "bench_hamiltonian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

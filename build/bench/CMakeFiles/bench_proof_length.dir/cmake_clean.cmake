@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proof_length.dir/bench_proof_length.cc.o"
+  "CMakeFiles/bench_proof_length.dir/bench_proof_length.cc.o.d"
+  "bench_proof_length"
+  "bench_proof_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proof_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

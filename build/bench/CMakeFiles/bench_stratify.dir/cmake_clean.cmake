@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stratify.dir/bench_stratify.cc.o"
+  "CMakeFiles/bench_stratify.dir/bench_stratify.cc.o.d"
+  "bench_stratify"
+  "bench_stratify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stratify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tm_encoding.dir/bench_tm_encoding.cc.o"
+  "CMakeFiles/bench_tm_encoding.dir/bench_tm_encoding.cc.o.d"
+  "bench_tm_encoding"
+  "bench_tm_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tm_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

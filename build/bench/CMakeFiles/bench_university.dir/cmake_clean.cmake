@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_university.dir/bench_university.cc.o"
+  "CMakeFiles/bench_university.dir/bench_university.cc.o.d"
+  "bench_university"
+  "bench_university.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_university.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expressibility.dir/expressibility.cpp.o"
+  "CMakeFiles/expressibility.dir/expressibility.cpp.o.d"
+  "expressibility"
+  "expressibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamiltonian.dir/hamiltonian.cpp.o"
+  "CMakeFiles/hamiltonian.dir/hamiltonian.cpp.o.d"
+  "hamiltonian"
+  "hamiltonian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

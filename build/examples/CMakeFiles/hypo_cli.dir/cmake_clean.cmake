@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_cli.dir/hypo_cli.cpp.o"
+  "CMakeFiles/hypo_cli.dir/hypo_cli.cpp.o.d"
+  "hypo_cli"
+  "hypo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legal_reasoning.dir/legal_reasoning.cpp.o"
+  "CMakeFiles/legal_reasoning.dir/legal_reasoning.cpp.o.d"
+  "legal_reasoning"
+  "legal_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legal_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

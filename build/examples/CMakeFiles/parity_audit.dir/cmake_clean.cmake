@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parity_audit.dir/parity_audit.cpp.o"
+  "CMakeFiles/parity_audit.dir/parity_audit.cpp.o.d"
+  "parity_audit"
+  "parity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

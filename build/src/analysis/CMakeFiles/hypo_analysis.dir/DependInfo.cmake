@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependency_graph.cc" "src/analysis/CMakeFiles/hypo_analysis.dir/dependency_graph.cc.o" "gcc" "src/analysis/CMakeFiles/hypo_analysis.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/hypo_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/hypo_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/scc.cc" "src/analysis/CMakeFiles/hypo_analysis.dir/scc.cc.o" "gcc" "src/analysis/CMakeFiles/hypo_analysis.dir/scc.cc.o.d"
+  "/root/repo/src/analysis/stratification.cc" "src/analysis/CMakeFiles/hypo_analysis.dir/stratification.cc.o" "gcc" "src/analysis/CMakeFiles/hypo_analysis.dir/stratification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/hypo_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hypo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_analysis.dir/dependency_graph.cc.o"
+  "CMakeFiles/hypo_analysis.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/hypo_analysis.dir/report.cc.o"
+  "CMakeFiles/hypo_analysis.dir/report.cc.o.d"
+  "CMakeFiles/hypo_analysis.dir/scc.cc.o"
+  "CMakeFiles/hypo_analysis.dir/scc.cc.o.d"
+  "CMakeFiles/hypo_analysis.dir/stratification.cc.o"
+  "CMakeFiles/hypo_analysis.dir/stratification.cc.o.d"
+  "libhypo_analysis.a"
+  "libhypo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/printer.cc" "src/ast/CMakeFiles/hypo_ast.dir/printer.cc.o" "gcc" "src/ast/CMakeFiles/hypo_ast.dir/printer.cc.o.d"
+  "/root/repo/src/ast/rule_builder.cc" "src/ast/CMakeFiles/hypo_ast.dir/rule_builder.cc.o" "gcc" "src/ast/CMakeFiles/hypo_ast.dir/rule_builder.cc.o.d"
+  "/root/repo/src/ast/rulebase.cc" "src/ast/CMakeFiles/hypo_ast.dir/rulebase.cc.o" "gcc" "src/ast/CMakeFiles/hypo_ast.dir/rulebase.cc.o.d"
+  "/root/repo/src/ast/symbol_table.cc" "src/ast/CMakeFiles/hypo_ast.dir/symbol_table.cc.o" "gcc" "src/ast/CMakeFiles/hypo_ast.dir/symbol_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hypo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

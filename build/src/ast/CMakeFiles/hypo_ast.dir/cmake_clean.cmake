@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_ast.dir/printer.cc.o"
+  "CMakeFiles/hypo_ast.dir/printer.cc.o.d"
+  "CMakeFiles/hypo_ast.dir/rule_builder.cc.o"
+  "CMakeFiles/hypo_ast.dir/rule_builder.cc.o.d"
+  "CMakeFiles/hypo_ast.dir/rulebase.cc.o"
+  "CMakeFiles/hypo_ast.dir/rulebase.cc.o.d"
+  "CMakeFiles/hypo_ast.dir/symbol_table.cc.o"
+  "CMakeFiles/hypo_ast.dir/symbol_table.cc.o.d"
+  "libhypo_ast.a"
+  "libhypo_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

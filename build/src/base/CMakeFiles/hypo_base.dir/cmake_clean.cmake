@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_base.dir/status.cc.o"
+  "CMakeFiles/hypo_base.dir/status.cc.o.d"
+  "CMakeFiles/hypo_base.dir/string_util.cc.o"
+  "CMakeFiles/hypo_base.dir/string_util.cc.o.d"
+  "libhypo_base.a"
+  "libhypo_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

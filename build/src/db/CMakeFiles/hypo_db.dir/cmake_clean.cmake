@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_db.dir/database.cc.o"
+  "CMakeFiles/hypo_db.dir/database.cc.o.d"
+  "CMakeFiles/hypo_db.dir/overlay.cc.o"
+  "CMakeFiles/hypo_db.dir/overlay.cc.o.d"
+  "libhypo_db.a"
+  "libhypo_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhypo_db.a"
+)

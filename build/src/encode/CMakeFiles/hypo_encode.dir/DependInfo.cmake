@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encode/bitmap.cc" "src/encode/CMakeFiles/hypo_encode.dir/bitmap.cc.o" "gcc" "src/encode/CMakeFiles/hypo_encode.dir/bitmap.cc.o.d"
+  "/root/repo/src/encode/counter.cc" "src/encode/CMakeFiles/hypo_encode.dir/counter.cc.o" "gcc" "src/encode/CMakeFiles/hypo_encode.dir/counter.cc.o.d"
+  "/root/repo/src/encode/generic_query.cc" "src/encode/CMakeFiles/hypo_encode.dir/generic_query.cc.o" "gcc" "src/encode/CMakeFiles/hypo_encode.dir/generic_query.cc.o.d"
+  "/root/repo/src/encode/order.cc" "src/encode/CMakeFiles/hypo_encode.dir/order.cc.o" "gcc" "src/encode/CMakeFiles/hypo_encode.dir/order.cc.o.d"
+  "/root/repo/src/encode/tm_encoder.cc" "src/encode/CMakeFiles/hypo_encode.dir/tm_encoder.cc.o" "gcc" "src/encode/CMakeFiles/hypo_encode.dir/tm_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tm/CMakeFiles/hypo_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/hypo_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hypo_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hypo_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hypo_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/hypo_parser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_encode.dir/bitmap.cc.o"
+  "CMakeFiles/hypo_encode.dir/bitmap.cc.o.d"
+  "CMakeFiles/hypo_encode.dir/counter.cc.o"
+  "CMakeFiles/hypo_encode.dir/counter.cc.o.d"
+  "CMakeFiles/hypo_encode.dir/generic_query.cc.o"
+  "CMakeFiles/hypo_encode.dir/generic_query.cc.o.d"
+  "CMakeFiles/hypo_encode.dir/order.cc.o"
+  "CMakeFiles/hypo_encode.dir/order.cc.o.d"
+  "CMakeFiles/hypo_encode.dir/tm_encoder.cc.o"
+  "CMakeFiles/hypo_encode.dir/tm_encoder.cc.o.d"
+  "libhypo_encode.a"
+  "libhypo_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bottom_up.cc" "src/engine/CMakeFiles/hypo_engine.dir/bottom_up.cc.o" "gcc" "src/engine/CMakeFiles/hypo_engine.dir/bottom_up.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/hypo_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/hypo_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/hypo_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/hypo_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/proof.cc" "src/engine/CMakeFiles/hypo_engine.dir/proof.cc.o" "gcc" "src/engine/CMakeFiles/hypo_engine.dir/proof.cc.o.d"
+  "/root/repo/src/engine/stratified_prover.cc" "src/engine/CMakeFiles/hypo_engine.dir/stratified_prover.cc.o" "gcc" "src/engine/CMakeFiles/hypo_engine.dir/stratified_prover.cc.o.d"
+  "/root/repo/src/engine/tabled.cc" "src/engine/CMakeFiles/hypo_engine.dir/tabled.cc.o" "gcc" "src/engine/CMakeFiles/hypo_engine.dir/tabled.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hypo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hypo_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hypo_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hypo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

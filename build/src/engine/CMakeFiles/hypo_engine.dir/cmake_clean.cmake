@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_engine.dir/bottom_up.cc.o"
+  "CMakeFiles/hypo_engine.dir/bottom_up.cc.o.d"
+  "CMakeFiles/hypo_engine.dir/engine.cc.o"
+  "CMakeFiles/hypo_engine.dir/engine.cc.o.d"
+  "CMakeFiles/hypo_engine.dir/plan.cc.o"
+  "CMakeFiles/hypo_engine.dir/plan.cc.o.d"
+  "CMakeFiles/hypo_engine.dir/proof.cc.o"
+  "CMakeFiles/hypo_engine.dir/proof.cc.o.d"
+  "CMakeFiles/hypo_engine.dir/stratified_prover.cc.o"
+  "CMakeFiles/hypo_engine.dir/stratified_prover.cc.o.d"
+  "CMakeFiles/hypo_engine.dir/tabled.cc.o"
+  "CMakeFiles/hypo_engine.dir/tabled.cc.o.d"
+  "libhypo_engine.a"
+  "libhypo_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_parser.dir/lexer.cc.o"
+  "CMakeFiles/hypo_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/hypo_parser.dir/parser.cc.o"
+  "CMakeFiles/hypo_parser.dir/parser.cc.o.d"
+  "libhypo_parser.a"
+  "libhypo_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queries/chains.cc" "src/queries/CMakeFiles/hypo_queries.dir/chains.cc.o" "gcc" "src/queries/CMakeFiles/hypo_queries.dir/chains.cc.o.d"
+  "/root/repo/src/queries/graphs.cc" "src/queries/CMakeFiles/hypo_queries.dir/graphs.cc.o" "gcc" "src/queries/CMakeFiles/hypo_queries.dir/graphs.cc.o.d"
+  "/root/repo/src/queries/hamiltonian.cc" "src/queries/CMakeFiles/hypo_queries.dir/hamiltonian.cc.o" "gcc" "src/queries/CMakeFiles/hypo_queries.dir/hamiltonian.cc.o.d"
+  "/root/repo/src/queries/ladder.cc" "src/queries/CMakeFiles/hypo_queries.dir/ladder.cc.o" "gcc" "src/queries/CMakeFiles/hypo_queries.dir/ladder.cc.o.d"
+  "/root/repo/src/queries/nationality.cc" "src/queries/CMakeFiles/hypo_queries.dir/nationality.cc.o" "gcc" "src/queries/CMakeFiles/hypo_queries.dir/nationality.cc.o.d"
+  "/root/repo/src/queries/parity.cc" "src/queries/CMakeFiles/hypo_queries.dir/parity.cc.o" "gcc" "src/queries/CMakeFiles/hypo_queries.dir/parity.cc.o.d"
+  "/root/repo/src/queries/university.cc" "src/queries/CMakeFiles/hypo_queries.dir/university.cc.o" "gcc" "src/queries/CMakeFiles/hypo_queries.dir/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/hypo_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hypo_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hypo_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hypo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

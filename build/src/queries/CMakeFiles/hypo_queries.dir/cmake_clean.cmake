@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_queries.dir/chains.cc.o"
+  "CMakeFiles/hypo_queries.dir/chains.cc.o.d"
+  "CMakeFiles/hypo_queries.dir/graphs.cc.o"
+  "CMakeFiles/hypo_queries.dir/graphs.cc.o.d"
+  "CMakeFiles/hypo_queries.dir/hamiltonian.cc.o"
+  "CMakeFiles/hypo_queries.dir/hamiltonian.cc.o.d"
+  "CMakeFiles/hypo_queries.dir/ladder.cc.o"
+  "CMakeFiles/hypo_queries.dir/ladder.cc.o.d"
+  "CMakeFiles/hypo_queries.dir/nationality.cc.o"
+  "CMakeFiles/hypo_queries.dir/nationality.cc.o.d"
+  "CMakeFiles/hypo_queries.dir/parity.cc.o"
+  "CMakeFiles/hypo_queries.dir/parity.cc.o.d"
+  "CMakeFiles/hypo_queries.dir/university.cc.o"
+  "CMakeFiles/hypo_queries.dir/university.cc.o.d"
+  "libhypo_queries.a"
+  "libhypo_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

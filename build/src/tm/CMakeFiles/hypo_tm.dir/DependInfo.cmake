@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/machine.cc" "src/tm/CMakeFiles/hypo_tm.dir/machine.cc.o" "gcc" "src/tm/CMakeFiles/hypo_tm.dir/machine.cc.o.d"
+  "/root/repo/src/tm/machines_library.cc" "src/tm/CMakeFiles/hypo_tm.dir/machines_library.cc.o" "gcc" "src/tm/CMakeFiles/hypo_tm.dir/machines_library.cc.o.d"
+  "/root/repo/src/tm/simulator.cc" "src/tm/CMakeFiles/hypo_tm.dir/simulator.cc.o" "gcc" "src/tm/CMakeFiles/hypo_tm.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hypo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

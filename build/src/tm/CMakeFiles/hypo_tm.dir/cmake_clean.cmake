@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_tm.dir/machine.cc.o"
+  "CMakeFiles/hypo_tm.dir/machine.cc.o.d"
+  "CMakeFiles/hypo_tm.dir/machines_library.cc.o"
+  "CMakeFiles/hypo_tm.dir/machines_library.cc.o.d"
+  "CMakeFiles/hypo_tm.dir/simulator.cc.o"
+  "CMakeFiles/hypo_tm.dir/simulator.cc.o.d"
+  "libhypo_tm.a"
+  "libhypo_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

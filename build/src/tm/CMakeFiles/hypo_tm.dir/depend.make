@@ -1,0 +1,2 @@
+# Empty dependencies file for hypo_tm.
+# This may be replaced when dependencies are built.

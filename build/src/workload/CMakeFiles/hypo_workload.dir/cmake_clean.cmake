@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypo_workload.dir/random_programs.cc.o"
+  "CMakeFiles/hypo_workload.dir/random_programs.cc.o.d"
+  "libhypo_workload.a"
+  "libhypo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

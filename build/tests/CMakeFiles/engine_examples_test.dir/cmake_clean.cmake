@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_examples_test.dir/engine_examples_test.cc.o"
+  "CMakeFiles/engine_examples_test.dir/engine_examples_test.cc.o.d"
+  "engine_examples_test"
+  "engine_examples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expressibility_test.dir/expressibility_test.cc.o"
+  "CMakeFiles/expressibility_test.dir/expressibility_test.cc.o.d"
+  "expressibility_test"
+  "expressibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expressibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

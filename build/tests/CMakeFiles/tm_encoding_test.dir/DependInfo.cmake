@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tm_encoding_test.cc" "tests/CMakeFiles/tm_encoding_test.dir/tm_encoding_test.cc.o" "gcc" "tests/CMakeFiles/tm_encoding_test.dir/tm_encoding_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/hypo_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hypo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/hypo_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/hypo_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hypo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/hypo_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/hypo_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hypo_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hypo_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hypo_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

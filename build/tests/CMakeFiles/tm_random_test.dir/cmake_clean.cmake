@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_random_test.dir/tm_random_test.cc.o"
+  "CMakeFiles/tm_random_test.dir/tm_random_test.cc.o.d"
+  "tm_random_test"
+  "tm_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
