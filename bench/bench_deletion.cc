@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "queries/graphs.h"
 
@@ -60,4 +61,4 @@ BENCHMARK(BM_SingleLinkFailure)
 }  // namespace
 }  // namespace hypo
 
-BENCHMARK_MAIN();
+HYPO_BENCHMARK_MAIN_WITH_JSON();

@@ -11,8 +11,10 @@
 
 #include <string>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "encode/tm_encoder.h"
+#include "queries/chains.h"
 #include "queries/graphs.h"
 #include "tm/machines_library.h"
 
@@ -82,7 +84,36 @@ void BM_FrameAxiomModels(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameAxiomModels)->ArgsProduct({{0, 1}, {8, 12}});
 
+/// Overlay-heavy tabled workloads: goal-directed proofs whose memo keys
+/// live under deep hypothetical contexts. Every ProveGoal call builds a
+/// memo key for the current overlay state, so these isolate the cost of
+/// context keying (formerly an O(|overlay| log |overlay|) canonical-key
+/// rebuild per goal, now an O(1) interned id).
+void BM_OverlayHeavyOrderLoop(benchmark::State& state) {
+  bench::Kind kind = static_cast<bench::Kind>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  ProgramFixture fixture = MakeOrderLoopFixture(n);
+  Query query = bench::MustParseQuery(fixture, "a");
+  bench::ProveOnce(state, kind, fixture, query, /*expected=*/1);
+  state.SetLabel(std::string(bench::KindName(kind)) +
+                 " overlay-heavy order loop n=" + std::to_string(n));
+}
+BENCHMARK(BM_OverlayHeavyOrderLoop)
+    ->ArgsProduct({{0, 1}, {32, 64, 96}});
+
+void BM_OverlayHeavyCascade(benchmark::State& state) {
+  bench::Kind kind = static_cast<bench::Kind>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  ProgramFixture fixture = MakeAddCascadeFixture(n, /*db_prefix=*/0);
+  Query query = bench::MustParseQuery(fixture, "a1");
+  bench::ProveOnce(state, kind, fixture, query, /*expected=*/1);
+  state.SetLabel(std::string(bench::KindName(kind)) +
+                 " overlay-heavy cascade n=" + std::to_string(n));
+}
+BENCHMARK(BM_OverlayHeavyCascade)
+    ->ArgsProduct({{0, 1}, {32, 64, 96}});
+
 }  // namespace
 }  // namespace hypo
 
-BENCHMARK_MAIN();
+HYPO_BENCHMARK_MAIN_WITH_JSON();

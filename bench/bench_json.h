@@ -1,0 +1,37 @@
+#ifndef HYPO_BENCH_BENCH_JSON_H_
+#define HYPO_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits
+/// machine-readable results: when $HYPO_BENCH_JSON is set, it is spliced
+/// into the flags as --benchmark_out=<file> --benchmark_out_format=json
+/// (before Initialize, so explicit flags still win), keeping the
+/// human-readable console table. scripts/bench_snapshot.sh uses this to
+/// assemble BENCH_engine.json (see README "Benchmark snapshots").
+#define HYPO_BENCHMARK_MAIN_WITH_JSON()                                   \
+  int main(int argc, char** argv) {                                       \
+    std::vector<std::string> args(argv, argv + argc);                     \
+    if (const char* json_path = std::getenv("HYPO_BENCH_JSON")) {         \
+      args.insert(args.begin() + 1,                                       \
+                  {std::string("--benchmark_out=") + json_path,           \
+                   "--benchmark_out_format=json"});                       \
+    }                                                                     \
+    std::vector<char*> args_cstr;                                         \
+    for (std::string& a : args) args_cstr.push_back(a.data());            \
+    int args_argc = static_cast<int>(args_cstr.size());                   \
+    benchmark::Initialize(&args_argc, args_cstr.data());                  \
+    if (benchmark::ReportUnrecognizedArguments(args_argc,                 \
+                                               args_cstr.data())) {       \
+      return 1;                                                           \
+    }                                                                     \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    benchmark::Shutdown();                                                \
+    return 0;                                                             \
+  }
+
+#endif  // HYPO_BENCH_BENCH_JSON_H_

@@ -1,0 +1,68 @@
+#include "db/context_interner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace hypo {
+
+ContextInterner::ContextInterner() {
+  ContextId id = InternElements({});
+  HYPO_CHECK(id == kEmptyContext);
+}
+
+ContextId ContextInterner::InternElements(std::vector<int64_t> elems) {
+  auto [it, inserted] =
+      index_.emplace(std::move(elems),
+                     static_cast<ContextId>(elements_by_id_.size()));
+  if (inserted) elements_by_id_.push_back(&it->first);
+  return it->second;
+}
+
+ContextId ContextInterner::Apply(ContextId from, int64_t elem, bool insert) {
+  ++transitions_;
+  EdgeKey key{from, elem, insert};
+  auto it = edges_.find(key);
+  if (it != edges_.end()) {
+    ++transition_hits_;
+    return it->second;
+  }
+  const std::vector<int64_t>& cur = Elements(from);
+  std::vector<int64_t> next;
+  next.reserve(cur.size() + (insert ? 1 : 0));
+  auto pos = std::lower_bound(cur.begin(), cur.end(), elem);
+  if (insert) {
+    HYPO_DCHECK(pos == cur.end() || *pos != elem)
+        << "inserting an element already in the context";
+    next.insert(next.end(), cur.begin(), pos);
+    next.push_back(elem);
+    next.insert(next.end(), pos, cur.end());
+  } else {
+    HYPO_DCHECK(pos != cur.end() && *pos == elem)
+        << "erasing an element not in the context";
+    next.insert(next.end(), cur.begin(), pos);
+    next.insert(next.end(), pos + 1, cur.end());
+  }
+  ContextId to = InternElements(std::move(next));
+  edges_.emplace(key, to);
+  // The inverse edge is free knowledge: record it so the pop side of a
+  // push/pop pair never rebuilds a set either.
+  edges_.emplace(EdgeKey{to, elem, !insert}, from);
+  return to;
+}
+
+size_t ContextInterner::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [elems, id] : index_) {
+    (void)id;
+    bytes += sizeof(std::vector<int64_t>) + elems.capacity() * sizeof(int64_t) +
+             sizeof(ContextId) + 2 * sizeof(void*);  // Map node overhead.
+  }
+  bytes += elements_by_id_.capacity() * sizeof(void*);
+  bytes += edges_.size() * (sizeof(EdgeKey) + sizeof(ContextId) +
+                            2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace hypo

@@ -1,25 +1,47 @@
 #include "db/overlay.h"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "base/logging.h"
 
 namespace hypo {
 
+// CanonicalKey uses -1 as the additions/masked separator, which is only
+// collision-free while FactIds are non-negative int32s. The interned
+// context path encodes the mask bit explicitly and has no such reliance,
+// but the legacy key remains the validation oracle — keep it sound.
+static_assert(std::is_same_v<FactId, int32_t>,
+              "CanonicalKey's -1 separator assumes FactId == int32_t; "
+              "update the separator encoding if FactId changes");
+
 bool OverlayDatabase::Add(const Fact& fact) {
   FactId id = interner_->Intern(fact);
   if (masked_.count(id) > 0) {
-    // Re-adding a hypothetically deleted fact: unmask it.
+    // Re-adding a hypothetically deleted fact: unmask it. A base fact
+    // leaves the masked-base context element; an added fact re-enters
+    // the visible-additions element set.
     masked_.erase(id);
-    ops_.push_back(Op{OpKind::kDidUnmask, id});
+    if (base_->Contains(fact)) {
+      Transition(OpKind::kDidUnmask, id,
+                 ContextInterner::MaskedElement(id), /*inserted=*/false);
+    } else {
+      Transition(OpKind::kDidUnmask, id,
+                 ContextInterner::AddedElement(id), /*inserted=*/true);
+    }
     return true;
   }
   if (Contains(fact)) return false;
   AddedRelation& rel = added_[fact.predicate];
   rel.index.insert(fact.args);
   rel.tuples.push_back(fact.args);
+  if (!fact.args.empty()) {
+    rel.first_arg_index[fact.args[0]].push_back(
+        static_cast<int>(rel.tuples.size()) - 1);
+  }
   added_order_.push_back(id);
-  ops_.push_back(Op{OpKind::kDidAdd, id});
+  Transition(OpKind::kDidAdd, id, ContextInterner::AddedElement(id),
+             /*inserted=*/true);
   return true;
 }
 
@@ -27,7 +49,18 @@ bool OverlayDatabase::Delete(const Fact& fact) {
   if (!Contains(fact)) return false;  // Already absent: DB - {C} = DB.
   FactId id = interner_->Intern(fact);
   masked_.insert(id);
-  ops_.push_back(Op{OpKind::kDidMask, id});
+  // Masking an added fact removes its visible-additions element; masking
+  // a base fact contributes a masked-base element. (A fact is never in
+  // both stores: Add() refuses facts the base already contains.)
+  auto it = added_.find(fact.predicate);
+  bool is_added = it != added_.end() && it->second.index.count(fact.args) > 0;
+  if (is_added) {
+    Transition(OpKind::kDidMask, id, ContextInterner::AddedElement(id),
+               /*inserted=*/false);
+  } else {
+    Transition(OpKind::kDidMask, id, ContextInterner::MaskedElement(id),
+               /*inserted=*/true);
+  }
   return true;
 }
 
@@ -38,6 +71,9 @@ void OverlayDatabase::PopFrame() {
   while (ops_.size() > target) {
     const Op op = ops_.back();
     ops_.pop_back();
+    // Invert the recorded context transition (O(1) on revisited states).
+    context_ = op.inserted ? contexts_.Erase(context_, op.elem)
+                           : contexts_.Insert(context_, op.elem);
     switch (op.kind) {
       case OpKind::kDidAdd: {
         const Fact& fact = interner_->Get(op.id);
@@ -46,6 +82,13 @@ void OverlayDatabase::PopFrame() {
             << "overlay undo log out of sync";
         rel.index.erase(fact.args);
         rel.tuples.pop_back();
+        if (!fact.args.empty()) {
+          std::vector<int>& bucket = rel.first_arg_index[fact.args[0]];
+          HYPO_DCHECK(!bucket.empty() &&
+                      bucket.back() == static_cast<int>(rel.tuples.size()))
+              << "overlay first-arg index out of sync";
+          bucket.pop_back();
+        }
         HYPO_DCHECK(!added_order_.empty() && added_order_.back() == op.id);
         added_order_.pop_back();
         break;
@@ -67,16 +110,29 @@ const std::vector<Tuple>& OverlayDatabase::AddedTuplesFor(
   return it == added_.end() ? *kEmpty : it->second.tuples;
 }
 
+const std::vector<int>* OverlayDatabase::AddedTuplesWithFirstArg(
+    PredicateId pred, ConstId first) const {
+  auto it = added_.find(pred);
+  if (it == added_.end()) return nullptr;
+  auto bucket = it->second.first_arg_index.find(first);
+  if (bucket == it->second.first_arg_index.end() || bucket->second.empty()) {
+    return nullptr;
+  }
+  return &bucket->second;
+}
+
 std::vector<FactId> OverlayDatabase::CanonicalKey() const {
   std::vector<FactId> key;
   key.reserve(added_order_.size());
   for (FactId id : added_order_) {
+    HYPO_DCHECK(id >= 0) << "FactIds must be non-negative (separator is -1)";
     if (masked_.count(id) == 0) key.push_back(id);
   }
   std::sort(key.begin(), key.end());
   if (!masked_.empty()) {
     std::vector<FactId> masked_base;
     for (FactId id : masked_) {
+      HYPO_DCHECK(id >= 0) << "FactIds must be non-negative (separator is -1)";
       if (base_->Contains(interner_->Get(id))) masked_base.push_back(id);
     }
     if (!masked_base.empty()) {
@@ -86,6 +142,28 @@ std::vector<FactId> OverlayDatabase::CanonicalKey() const {
     }
   }
   return key;
+}
+
+bool OverlayDatabase::DebugContextConsistent() const {
+  // Decode the interned element set back into the CanonicalKey layout.
+  std::vector<FactId> from_context;
+  std::vector<FactId> masked_base;
+  for (int64_t elem : contexts_.Elements(context_)) {
+    FactId id = static_cast<FactId>(elem >> 1);
+    if ((elem & 1) == 0) {
+      from_context.push_back(id);
+    } else {
+      masked_base.push_back(id);
+    }
+  }
+  std::sort(from_context.begin(), from_context.end());
+  std::sort(masked_base.begin(), masked_base.end());
+  if (!masked_base.empty()) {
+    from_context.push_back(-1);
+    from_context.insert(from_context.end(), masked_base.begin(),
+                        masked_base.end());
+  }
+  return from_context == CanonicalKey();
 }
 
 }  // namespace hypo

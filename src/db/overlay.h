@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "db/context_interner.h"
 #include "db/database.h"
 #include "db/fact_interner.h"
 
@@ -23,8 +24,15 @@ namespace hypo {
 /// Deletions are implemented as a *mask*: a deleted fact (base or
 /// previously added) stays in storage but is invisible to Contains and
 /// must be filtered from scans via TupleVisible. Re-adding a masked fact
-/// unmasks it. CanonicalKey() canonicalizes the visible state:
-/// (still-visible additions, masked base facts).
+/// unmasks it.
+///
+/// The visible state has a hash-consed identity: context_id() is a dense
+/// ContextId maintained *incrementally* — every Add/Delete and every undo
+/// step in PopFrame is one ContextInterner transition (an O(1) cached
+/// hash lookup on revisited states), so the engines can memoize per
+/// (goal, context_id()) without rebuilding a key vector per goal. The
+/// legacy CanonicalKey() remains as the independent slow-path oracle the
+/// incremental id is validated against.
 ///
 /// The base database is never modified.
 class OverlayDatabase {
@@ -67,6 +75,14 @@ class OverlayDatabase {
   /// through TupleVisible), insertion order.
   const std::vector<Tuple>& AddedTuplesFor(PredicateId pred) const;
 
+  /// Positions (into AddedTuplesFor) of the added tuples of `pred` whose
+  /// first argument is `first`, or null when there are none. The classic
+  /// first-argument access path, mirroring Database::TuplesWithFirstArg,
+  /// so extensional matching over hypothetical additions stops scanning
+  /// every added tuple once the first argument is bound.
+  const std::vector<int>* AddedTuplesWithFirstArg(PredicateId pred,
+                                                  ConstId first) const;
+
   /// Scan filter: false iff the (stored) tuple is currently masked.
   /// Cheap when no deletions are active.
   bool TupleVisible(PredicateId pred, const Tuple& tuple) const {
@@ -77,11 +93,22 @@ class OverlayDatabase {
 
   bool has_deletions() const { return !masked_.empty(); }
 
-  /// Canonical state key: sorted FactIds of the visible additions, then —
-  /// only if any base facts are masked — a -1 separator followed by the
-  /// sorted masked base ids. States without deletions keep their old,
-  /// purely-additive keys.
+  /// Interned id of the current visible state. Two overlay states with
+  /// the same visible additions and the same masked base facts — however
+  /// they were reached — report the same id.
+  ContextId context_id() const { return context_; }
+  const ContextInterner& context_interner() const { return contexts_; }
+
+  /// Legacy canonical state key: sorted FactIds of the visible additions,
+  /// then — only if any base facts are masked — a -1 separator followed
+  /// by the sorted masked base ids. Kept as the slow-path oracle for
+  /// context_id() (see DebugContextConsistent) and for tests; the engines
+  /// themselves memoize on context_id().
   std::vector<FactId> CanonicalKey() const;
+
+  /// Cross-checks the incrementally maintained context_id() against a
+  /// from-scratch CanonicalKey(). O(|overlay|); test/debug only.
+  bool DebugContextConsistent() const;
 
   int num_added() const { return static_cast<int>(added_order_.size()); }
   const Database& base() const { return *base_; }
@@ -99,9 +126,13 @@ class OverlayDatabase {
   struct AddedRelation {
     std::vector<Tuple> tuples;
     std::unordered_set<Tuple, TupleHash> index;
+    // First-argument access path (empty for 0-ary relations).
+    std::unordered_map<ConstId, std::vector<int>> first_arg_index;
   };
 
-  /// What an operation did, so PopFrame can reverse it.
+  /// What an operation did, so PopFrame can reverse it. `elem`/`inserted`
+  /// record the context transition the operation performed, so the undo
+  /// is a single inverse transition (no base-database probing).
   enum class OpKind {
     kDidAdd,     // Appended to added storage.
     kDidMask,    // Inserted into masked_.
@@ -110,7 +141,16 @@ class OverlayDatabase {
   struct Op {
     OpKind kind;
     FactId id;
+    int64_t elem;   // Context element the op inserted or erased.
+    bool inserted;  // True if the op inserted `elem` into the context.
   };
+
+  /// Applies a context transition and records it in the undo log.
+  void Transition(OpKind kind, FactId id, int64_t elem, bool inserted) {
+    context_ = inserted ? contexts_.Insert(context_, elem)
+                        : contexts_.Erase(context_, elem);
+    ops_.push_back(Op{kind, id, elem, inserted});
+  }
 
   const Database* base_;
   FactInterner* interner_;
@@ -119,6 +159,9 @@ class OverlayDatabase {
   std::unordered_set<FactId> masked_;
   std::vector<Op> ops_;
   std::vector<size_t> frames_;
+
+  ContextInterner contexts_;
+  ContextId context_ = ContextInterner::kEmptyContext;
 };
 
 }  // namespace hypo

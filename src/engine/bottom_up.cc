@@ -63,6 +63,7 @@ Status BottomUpEngine::Init() {
   domain_set_.clear();
   domain_set_.insert(domain_.begin(), domain_.end());
   states_.clear();
+  ++stats_.domain_rebuilds;
   initialized_ = true;
   return Status::OK();
 }
@@ -70,7 +71,9 @@ Status BottomUpEngine::Init() {
 Status BottomUpEngine::EnsureConstants(const Query& query) {
   bool missing = false;
   for (ConstId c : QueryConstants(query)) {
-    if (domain_set_.count(c) == 0) {
+    // Insert into domain_set_ up front so a constant seen twice in one
+    // query (or across queries) lands in extra_constants_ exactly once.
+    if (domain_set_.insert(c).second) {
       extra_constants_.push_back(c);
       missing = true;
     }
@@ -85,7 +88,7 @@ Status BottomUpEngine::EnsureConstants(const Query& query) {
 Status BottomUpEngine::EnsureFactConstants(const Fact& fact) {
   bool missing = false;
   for (ConstId c : fact.args) {
-    if (domain_set_.count(c) == 0) {
+    if (domain_set_.insert(c).second) {
       extra_constants_.push_back(c);
       missing = true;
     }

@@ -27,6 +27,11 @@ struct EngineOptions {
   /// semi-naive filtering). Off = naive evaluation, kept as an ablation
   /// baseline for bench_engine.
   bool seminaive = true;
+
+  /// Cross-check the overlay's incrementally interned context id against
+  /// a from-scratch canonical key on every memoized goal lookup.
+  /// O(|overlay|) per goal — test/debug only.
+  bool validate_contexts = false;
 };
 
 /// Counters reported by the engines; reset per top-level call group via
@@ -38,6 +43,19 @@ struct EngineStats {
   int64_t facts_derived = 0;      // Facts inserted into models.
   int64_t fixpoint_rounds = 0;    // Bottom-up iteration rounds.
   int64_t max_goal_depth = 0;     // Deepest top-down proof chain.
+
+  int64_t enumerations = 0;       // Domain-grounding loop iterations.
+  int64_t domain_rebuilds = 0;    // Init() runs (1 + per-new-constant).
+
+  // Hypothetical-context interning (tabled / stratified provers).
+  int64_t contexts_interned = 0;     // Distinct overlay states seen.
+  int64_t context_transitions = 0;   // Add/Delete/undo context steps.
+  int64_t context_cache_hits = 0;    // Transitions answered from cache.
+  int64_t memo_bytes = 0;            // Approx. bytes held by memo tables.
+
+  // Per-Δ-stratum model-construction time (StratifiedProver only);
+  // stratum_micros[i] is the cumulative wall time building Δ_{i+1} models.
+  std::vector<int64_t> stratum_micros;
 };
 
 /// Common interface of the two evaluation procedures.

@@ -3,6 +3,7 @@
 
 #include "ast/rule.h"
 #include "db/database.h"
+#include "db/overlay.h"
 #include "engine/binding.h"
 
 namespace hypo {
@@ -40,6 +41,37 @@ bool ForEachBaseCandidate(const Database& db, const Atom& atom,
     return true;
   }
   const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (!fn(all[i])) return false;
+  }
+  return true;
+}
+
+/// The overlay-additions counterpart of ForEachBaseCandidate: invokes
+/// `fn(tuple)` for each hypothetically added tuple of `atom`'s predicate
+/// that can possibly match — the first-argument bucket when the first
+/// argument is bound, all added tuples otherwise. Masked tuples are NOT
+/// filtered here; callers check TupleVisible as part of `fn`. `fn` returns
+/// false to stop; ForEachAddedCandidate then returns false.
+///
+/// Like the base version, iteration is index-based over stable-by-prefix
+/// vectors, so `fn` may push and pop overlay frames (growing and shrinking
+/// the tail of the relation) while the scan is in flight.
+template <typename Fn>
+bool ForEachAddedCandidate(const OverlayDatabase& overlay, const Atom& atom,
+                           const Binding& binding, Fn&& fn) {
+  ConstId first = ResolvedFirstArg(atom, binding);
+  if (first != kInvalidConst) {
+    const std::vector<int>* subset =
+        overlay.AddedTuplesWithFirstArg(atom.predicate, first);
+    if (subset == nullptr) return true;
+    const std::vector<Tuple>& all = overlay.AddedTuplesFor(atom.predicate);
+    for (size_t i = 0; i < subset->size(); ++i) {
+      if (!fn(all[(*subset)[i]])) return false;
+    }
+    return true;
+  }
+  const std::vector<Tuple>& all = overlay.AddedTuplesFor(atom.predicate);
   for (size_t i = 0; i < all.size(); ++i) {
     if (!fn(all[i])) return false;
   }

@@ -1,5 +1,6 @@
 #include "engine/stratified_prover.h"
 
+#include "base/stopwatch.h"
 #include "engine/scan.h"
 
 #include <algorithm>
@@ -62,6 +63,7 @@ Status StratifiedProver::Init() {
   domain_set_.insert(domain_.begin(), domain_.end());
   overlay_ = std::make_unique<OverlayDatabase>(base_, &interner_);
   ClearMemos();
+  ++stats_.domain_rebuilds;
   initialized_ = true;
   return Status::OK();
 }
@@ -74,7 +76,10 @@ void StratifiedProver::ClearMemos() {
 Status StratifiedProver::EnsureConstants(const Query& query) {
   bool missing = false;
   for (ConstId c : QueryConstants(query)) {
-    if (domain_set_.count(c) == 0) {
+    // domain_set_ membership both dedupes extra_constants_ (repeated
+    // queries with the same out-of-domain constant must not grow it) and
+    // guards against re-adding a constant Init already folded in.
+    if (domain_set_.insert(c).second) {
       extra_constants_.push_back(c);
       missing = true;
     }
@@ -86,7 +91,7 @@ Status StratifiedProver::EnsureConstants(const Query& query) {
 Status StratifiedProver::EnsureFactConstants(const Fact& fact) {
   bool missing = false;
   for (ConstId c : fact.args) {
-    if (domain_set_.count(c) == 0) {
+    if (domain_set_.insert(c).second) {
       extra_constants_.push_back(c);
       missing = true;
     }
@@ -96,18 +101,44 @@ Status StratifiedProver::EnsureFactConstants(const Fact& fact) {
 }
 
 Status StratifiedProver::CheckLimits() {
-  if (stats_.goals_expanded > options_.max_steps) {
+  if (stats_.goals_expanded > options_.max_steps ||
+      stats_.enumerations > options_.max_steps) {
     return Status::ResourceExhausted(
         "evaluation exceeded max_steps = " +
         std::to_string(options_.max_steps));
   }
   if (static_cast<int64_t>(goal_memo_.size() + delta_models_.size()) >
-      options_.max_states) {
+          options_.max_states ||
+      overlay_->context_interner().num_contexts() > options_.max_states) {
     return Status::ResourceExhausted(
         "evaluation exceeded max_states = " +
         std::to_string(options_.max_states));
   }
   return Status::OK();
+}
+
+ContextId StratifiedProver::CurrentContext() const {
+  if (options_.validate_contexts) {
+    HYPO_CHECK(overlay_->DebugContextConsistent())
+        << "interned context id drifted from the canonical overlay key";
+  }
+  return overlay_->context_id();
+}
+
+const EngineStats& StratifiedProver::stats() const {
+  if (overlay_ != nullptr) {
+    const ContextInterner& contexts = overlay_->context_interner();
+    stats_.contexts_interned = contexts.num_contexts();
+    stats_.context_transitions = contexts.transitions();
+    stats_.context_cache_hits = contexts.transition_hits();
+    stats_.memo_bytes =
+        contexts.ApproxBytes() +
+        static_cast<int64_t>(goal_memo_.size() *
+                             (sizeof(GoalKey) + sizeof(GoalEntry))) +
+        static_cast<int64_t>(delta_models_.size() *
+                             (sizeof(DeltaKey) + sizeof(void*)));
+  }
+  return stats_;
 }
 
 StatusOr<bool> StratifiedProver::ProveGround(const Fact& goal,
@@ -138,7 +169,7 @@ StatusOr<bool> StratifiedProver::ProveSigma(const Fact& goal,
   // Inference rule 1: the goal may simply be a database entry.
   if (overlay_->Contains(goal)) return true;
 
-  GoalKey key{interner_.Intern(goal), overlay_->CanonicalKey()};
+  GoalKey key{interner_.Intern(goal), CurrentContext()};
   auto it = goal_memo_.find(key);
   if (it != goal_memo_.end()) {
     switch (it->second.status) {
@@ -206,7 +237,7 @@ StatusOr<bool> StratifiedProver::ProveSigma(const Fact& goal,
 }
 
 StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
-  DeltaKey key{stratum_i, overlay_->CanonicalKey()};
+  DeltaKey key{stratum_i, CurrentContext()};
   auto it = delta_models_.find(key);
   if (it != delta_models_.end()) {
     ++stats_.memo_hits;
@@ -214,6 +245,10 @@ StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
   }
   HYPO_RETURN_IF_ERROR(CheckLimits());
   ++stats_.states_evaluated;
+  if (static_cast<int>(stats_.stratum_micros.size()) < stratum_i) {
+    stats_.stratum_micros.resize(stratum_i, 0);
+  }
+  Stopwatch stratum_timer;
   auto ext = std::make_unique<Database>(base_->symbols_ptr());
   Database* model = ext.get();
   const int partition = 2 * stratum_i - 1;
@@ -270,8 +305,9 @@ StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
       first_round = false;
     }
   }
+  stats_.stratum_micros[stratum_i - 1] += stratum_timer.ElapsedMicros();
   const Database* result = ext.get();
-  delta_models_.emplace(std::move(key), std::move(ext));
+  delta_models_.emplace(key, std::move(ext));
   return result;
 }
 
@@ -295,6 +331,7 @@ StatusOr<bool> StratifiedProver::WalkPlan(
         VarIndex var = ps.enum_vars[v];
         if (binding->IsBound(var)) return enumerate(v + 1);
         for (ConstId c : domain_) {
+          HYPO_RETURN_IF_ERROR(CountEnumeration());
           binding->Set(var, c);
           StatusOr<bool> r = enumerate(v + 1);
           binding->Unset(var);
@@ -364,6 +401,7 @@ StatusOr<bool> StratifiedProver::MatchPositive(
         return next();
       }
       for (ConstId c : domain_) {
+        HYPO_RETURN_IF_ERROR(CountEnumeration());
         binding->Set(free[v], c);
         StatusOr<bool> r = enumerate(v + 1);
         binding->Unset(free[v]);
@@ -415,11 +453,9 @@ StatusOr<bool> StratifiedProver::MatchPositive(
   };
   bool keep = ForEachBaseCandidate(*base_, atom, *binding, try_tuple);
   if (keep) {
-    const std::vector<Tuple>& added =
-        overlay_->AddedTuplesFor(atom.predicate);
-    for (size_t i = 0; i < added.size() && keep; ++i) {
-      keep = try_tuple(added[i]);
-    }
+    // Overlay additions via the first-argument access path; deletions are
+    // rejected by Init, so every added tuple is visible.
+    keep = ForEachAddedCandidate(*overlay_, atom, *binding, try_tuple);
   }
   if (keep && model_ext != nullptr) {
     ForEachBaseCandidate(*model_ext, atom, *binding, try_tuple);
@@ -450,6 +486,7 @@ StatusOr<bool> StratifiedProver::TestNegated(const Atom& atom,
         return ProveGround(binding->Ground(atom), &sub);
       }
       for (ConstId c : domain_) {
+        HYPO_RETURN_IF_ERROR(CountEnumeration());
         binding->Set(free[v], c);
         StatusOr<bool> r = enumerate(v + 1);
         binding->Unset(free[v]);
@@ -483,21 +520,23 @@ bool StratifiedProver::ExistsStored(const Atom& atom, Binding* binding,
            (model_ext != nullptr && model_ext->Contains(f));
   }
   std::vector<VarIndex> trail;
-  std::vector<const std::vector<Tuple>*> sources = {
-      &base_->TuplesFor(atom.predicate),
-      &overlay_->AddedTuplesFor(atom.predicate)};
-  if (model_ext != nullptr) {
-    sources.push_back(&model_ext->TuplesFor(atom.predicate));
-  }
-  for (const std::vector<Tuple>* source : sources) {
-    for (const Tuple& tuple : *source) {
-      if (binding->MatchTuple(atom, tuple, &trail)) {
-        binding->Undo(&trail, 0);
-        return true;
-      }
+  bool found = false;
+  auto probe = [&](const Tuple& tuple) -> bool {
+    if (binding->MatchTuple(atom, tuple, &trail)) {
+      binding->Undo(&trail, 0);
+      found = true;
+      return false;
     }
+    return true;
+  };
+  // First-argument access path over base and overlay additions; the Δ
+  // model uses the base scan since it is a plain Database.
+  if (ForEachBaseCandidate(*base_, atom, *binding, probe) &&
+      ForEachAddedCandidate(*overlay_, atom, *binding, probe) &&
+      model_ext != nullptr) {
+    ForEachBaseCandidate(*model_ext, atom, *binding, probe);
   }
-  return false;
+  return found;
 }
 
 StatusOr<bool> StratifiedProver::ProveFact(const Fact& fact) {

@@ -52,7 +52,7 @@ class StratifiedProver : public Engine {
   StatusOr<bool> ProveQuery(const Query& query) override;
   StatusOr<std::vector<Tuple>> Answers(const Query& query) override;
 
-  const EngineStats& stats() const override { return stats_; }
+  const EngineStats& stats() const override;
   void ResetStats() override { stats_ = EngineStats(); }
   std::string name() const override { return "stratified-prover"; }
 
@@ -60,43 +60,40 @@ class StratifiedProver : public Engine {
   const LinearStratification& stratification() const { return strat_; }
 
  private:
-  using StateKey = std::vector<FactId>;
-  struct StateKeyHash {
-    size_t operator()(const StateKey& k) const {
-      return static_cast<size_t>(HashVector(k, k.size()));
-    }
-  };
-
   /// Tabling entry for a Σ goal.
   struct GoalEntry {
     enum class Status : uint8_t { kInProgress, kTrue, kFalse } status;
     int depth;  // DFS depth at which the goal was entered (kInProgress).
   };
+  /// Memo key: interned goal fact x interned hypothetical context. Both
+  /// ids are O(1) to obtain at lookup time — no per-goal vector build.
   struct GoalKey {
     FactId fact;
-    StateKey state;
+    ContextId context;
     friend bool operator==(const GoalKey& a, const GoalKey& b) {
-      return a.fact == b.fact && a.state == b.state;
+      return a.fact == b.fact && a.context == b.context;
     }
   };
   struct GoalKeyHash {
     size_t operator()(const GoalKey& k) const {
       return static_cast<size_t>(
-          HashVector(k.state, static_cast<uint64_t>(k.fact)));
+          HashCombine(static_cast<uint64_t>(k.fact),
+                      static_cast<uint64_t>(k.context)));
     }
   };
 
   struct DeltaKey {
     int stratum;
-    StateKey state;
+    ContextId context;
     friend bool operator==(const DeltaKey& a, const DeltaKey& b) {
-      return a.stratum == b.stratum && a.state == b.state;
+      return a.stratum == b.stratum && a.context == b.context;
     }
   };
   struct DeltaKeyHash {
     size_t operator()(const DeltaKey& k) const {
       return static_cast<size_t>(
-          HashVector(k.state, static_cast<uint64_t>(k.stratum) + 0x9e37));
+          HashCombine(static_cast<uint64_t>(k.context),
+                      static_cast<uint64_t>(k.stratum) + 0x9e37));
     }
   };
 
@@ -156,6 +153,18 @@ class StratifiedProver : public Engine {
   Status CheckLimits();
   void ClearMemos();
 
+  /// Counts one domain-grounding iteration and enforces max_steps on
+  /// enumeration-heavy plans (checked every 256 iterations). Inline: the
+  /// fast path must cost one increment and one predictable branch.
+  Status CountEnumeration() {
+    if ((++stats_.enumerations & 255) != 0) return Status::OK();
+    return CheckLimits();
+  }
+
+  /// Current interned context id, optionally cross-validated against the
+  /// legacy canonical key (options_.validate_contexts).
+  ContextId CurrentContext() const;
+
   const RuleBase* rulebase_;
   const Database* base_;
   EngineOptions options_;
@@ -173,7 +182,9 @@ class StratifiedProver : public Engine {
   std::unordered_map<DeltaKey, std::unique_ptr<Database>, DeltaKeyHash>
       delta_models_;
 
-  EngineStats stats_;
+  // stats() refreshes the derived fields (context counters, memo bytes)
+  // on read; the hot path only touches the plain counters.
+  mutable EngineStats stats_;
   bool initialized_ = false;
 };
 

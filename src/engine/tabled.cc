@@ -60,6 +60,7 @@ Status TabledEngine::Init() {
   domain_set_.insert(domain_.begin(), domain_.end());
   overlay_ = std::make_unique<OverlayDatabase>(base_, &interner_);
   goal_memo_.clear();
+  ++stats_.domain_rebuilds;
   initialized_ = true;
   return Status::OK();
 }
@@ -67,7 +68,10 @@ Status TabledEngine::Init() {
 Status TabledEngine::EnsureConstants(const Query& query) {
   bool missing = false;
   for (ConstId c : QueryConstants(query)) {
-    if (domain_set_.count(c) == 0) {
+    // insert() dedupes the pending list: the same out-of-domain constant
+    // named twice (in one query or across queries) is recorded once and
+    // triggers at most one Init() rebuild.
+    if (domain_set_.insert(c).second) {
       extra_constants_.push_back(c);
       missing = true;
     }
@@ -79,7 +83,7 @@ Status TabledEngine::EnsureConstants(const Query& query) {
 Status TabledEngine::EnsureFactConstants(const Fact& fact) {
   bool missing = false;
   for (ConstId c : fact.args) {
-    if (domain_set_.count(c) == 0) {
+    if (domain_set_.insert(c).second) {
       extra_constants_.push_back(c);
       missing = true;
     }
@@ -89,17 +93,42 @@ Status TabledEngine::EnsureFactConstants(const Fact& fact) {
 }
 
 Status TabledEngine::CheckLimits() {
-  if (stats_.goals_expanded > options_.max_steps) {
+  if (stats_.goals_expanded > options_.max_steps ||
+      stats_.enumerations > options_.max_steps) {
     return Status::ResourceExhausted(
         "evaluation exceeded max_steps = " +
         std::to_string(options_.max_steps));
   }
-  if (static_cast<int64_t>(goal_memo_.size()) > options_.max_states) {
+  if (static_cast<int64_t>(goal_memo_.size()) > options_.max_states ||
+      static_cast<int64_t>(overlay_->context_interner().num_contexts()) >
+          options_.max_states) {
     return Status::ResourceExhausted(
         "evaluation exceeded max_states = " +
         std::to_string(options_.max_states));
   }
   return Status::OK();
+}
+
+TabledEngine::GoalKey TabledEngine::KeyFor(const Fact& goal) {
+  if (options_.validate_contexts) {
+    HYPO_CHECK(overlay_->DebugContextConsistent())
+        << "interned context id drifted from the canonical overlay key";
+  }
+  return GoalKey{interner_.Intern(goal), overlay_->context_id()};
+}
+
+const EngineStats& TabledEngine::stats() const {
+  if (overlay_ != nullptr) {
+    const ContextInterner& contexts = overlay_->context_interner();
+    stats_.contexts_interned = contexts.num_contexts();
+    stats_.context_transitions = contexts.transitions();
+    stats_.context_cache_hits = contexts.transition_hits();
+    stats_.memo_bytes = static_cast<int64_t>(
+        goal_memo_.size() *
+            (sizeof(GoalKey) + sizeof(GoalEntry) + 2 * sizeof(void*)) +
+        contexts.ApproxBytes());
+  }
+  return stats_;
 }
 
 StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
@@ -108,7 +137,7 @@ StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
   if (overlay_->Contains(goal)) return true;
   if (!rulebase_->IsDefined(goal.predicate)) return false;
 
-  GoalKey key{interner_.Intern(goal), overlay_->CanonicalKey()};
+  GoalKey key = KeyFor(goal);
   auto it = goal_memo_.find(key);
   if (it != goal_memo_.end()) {
     switch (it->second.status) {
@@ -197,14 +226,10 @@ StatusOr<bool> TabledEngine::WalkPlan(
           }
           return true;
         };
-        // Base relation via the first-argument access path when possible.
-        ForEachBaseCandidate(*base_, atom, *binding, try_tuple);
-        HYPO_RETURN_IF_ERROR(error);
-        if (stopped) return false;
-        const std::vector<Tuple>& added =
-            overlay_->AddedTuplesFor(atom.predicate);
-        for (size_t i = 0; i < added.size(); ++i) {
-          if (!try_tuple(added[i])) break;
+        // Base relation, then overlay additions, both via the
+        // first-argument access path when the first argument is bound.
+        if (ForEachBaseCandidate(*base_, atom, *binding, try_tuple)) {
+          ForEachAddedCandidate(*overlay_, atom, *binding, try_tuple);
         }
         HYPO_RETURN_IF_ERROR(error);
         if (stopped) return false;
@@ -219,6 +244,9 @@ StatusOr<bool> TabledEngine::WalkPlan(
         VarIndex var = ps.enum_vars[v];
         if (binding->IsBound(var)) return enumerate(v + 1);
         for (ConstId c : domain_) {
+          // Purely extensional domain^n loops expand no goals, so they
+          // must be metered here or max_steps never triggers.
+          HYPO_RETURN_IF_ERROR(CountEnumeration());
           binding->Set(var, c);
           StatusOr<bool> r = enumerate(v + 1);
           binding->Unset(var);
@@ -277,6 +305,7 @@ StatusOr<bool> TabledEngine::MatchDefined(
       return next();
     }
     for (ConstId c : domain_) {
+      HYPO_RETURN_IF_ERROR(CountEnumeration());
       binding->Set(free[v], c);
       StatusOr<bool> r = enumerate(v + 1);
       binding->Unset(free[v]);
@@ -303,6 +332,7 @@ StatusOr<bool> TabledEngine::ExistsProvable(const Atom& atom,
       return ProveGoal(binding->Ground(atom), depth + 1, min_pruned);
     }
     for (ConstId c : domain_) {
+      HYPO_RETURN_IF_ERROR(CountEnumeration());
       binding->Set(free[v], c);
       StatusOr<bool> r = enumerate(v + 1);
       binding->Unset(free[v]);
@@ -393,7 +423,7 @@ StatusOr<bool> TabledEngine::Reconstruct(
   HYPO_ASSIGN_OR_RETURN(bool provable, ProveGoal(goal, 0, &min_pruned));
   if (!provable) return false;
 
-  GoalKey key{interner_.Intern(goal), overlay_->CanonicalKey()};
+  GoalKey key = KeyFor(goal);
   if (visiting->count(key) > 0) {
     // A justification through this goal would be circular; the caller
     // must pick a different rule or binding.
@@ -461,6 +491,7 @@ StatusOr<bool> TabledEngine::ReconstructBody(
           return true;
         }
         for (ConstId c : domain_) {
+          HYPO_RETURN_IF_ERROR(CountEnumeration());
           binding->Set(free[v], c);
           StatusOr<bool> r = enumerate(v + 1);
           binding->Unset(free[v]);
@@ -478,6 +509,7 @@ StatusOr<bool> TabledEngine::ReconstructBody(
         VarIndex var = ps.enum_vars[v];
         if (binding->IsBound(var)) return enumerate(v + 1);
         for (ConstId c : domain_) {
+          HYPO_RETURN_IF_ERROR(CountEnumeration());
           binding->Set(var, c);
           StatusOr<bool> r = enumerate(v + 1);
           binding->Unset(var);

@@ -56,27 +56,29 @@ class TabledEngine : public Engine {
   /// first non-circular justification it finds.
   StatusOr<ProofNode> ExplainFact(const Fact& fact);
 
-  const EngineStats& stats() const override { return stats_; }
+  const EngineStats& stats() const override;
   void ResetStats() override { stats_ = EngineStats(); }
   std::string name() const override { return "tabled"; }
 
  private:
-  using StateKey = std::vector<FactId>;
   struct GoalEntry {
     enum class Status : uint8_t { kInProgress, kTrue, kFalse } status;
     int depth;
   };
+  /// Memo key: interned goal fact x interned hypothetical context. Both
+  /// ids are O(1) to obtain at lookup time — no per-goal vector build.
   struct GoalKey {
     FactId fact;
-    StateKey state;
+    ContextId context;
     friend bool operator==(const GoalKey& a, const GoalKey& b) {
-      return a.fact == b.fact && a.state == b.state;
+      return a.fact == b.fact && a.context == b.context;
     }
   };
   struct GoalKeyHash {
     size_t operator()(const GoalKey& k) const {
       return static_cast<size_t>(
-          HashVector(k.state, static_cast<uint64_t>(k.fact)));
+          HashCombine(static_cast<uint64_t>(k.fact),
+                      static_cast<uint64_t>(k.context)));
     }
   };
 
@@ -105,6 +107,18 @@ class TabledEngine : public Engine {
   Status EnsureFactConstants(const Fact& fact);
   Status CheckLimits();
 
+  /// Counts one domain-grounding iteration and enforces max_steps on
+  /// enumeration-heavy plans (checked every 256 iterations so purely
+  /// extensional domain^n loops cannot run away unmetered). Inline: the
+  /// fast path must cost one increment and one predictable branch.
+  Status CountEnumeration() {
+    if ((++stats_.enumerations & 255) != 0) return Status::OK();
+    return CheckLimits();
+  }
+
+  /// Current (fact, context) memo key for `goal` — O(1), no vector build.
+  GoalKey KeyFor(const Fact& goal);
+
   /// Proof reconstruction: fills `out` with a justification of `goal`
   /// (which must be provable in the current overlay state), avoiding the
   /// goals in `visiting` so the derivation stays well-founded. Returns
@@ -132,7 +146,9 @@ class TabledEngine : public Engine {
   std::unique_ptr<OverlayDatabase> overlay_;
   std::unordered_map<GoalKey, GoalEntry, GoalKeyHash> goal_memo_;
 
-  EngineStats stats_;
+  // stats() refreshes the derived fields (context counters, memo bytes)
+  // on read; the hot path only touches the plain counters.
+  mutable EngineStats stats_;
   bool initialized_ = false;
 };
 

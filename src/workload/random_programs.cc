@@ -89,8 +89,16 @@ ProgramFixture MakeRandomProgram(const RandomProgramOptions& options,
       if (rng->Bernoulli(options.hypothetical_probability)) {
         // Additions insert EDB atoms so the state lattice stays small.
         int added = static_cast<int>(rng->Uniform(options.num_edb_predicates));
-        b.Hypothetical(std::move(atom),
-                       {RandomAtom(&b, pool, added, options, rng)});
+        std::vector<Atom> additions = {RandomAtom(&b, pool, added, options, rng)};
+        std::vector<Atom> deletions;
+        if (rng->Bernoulli(options.deletion_probability)) {
+          // Deletions also target EDB atoms (TabledEngine-only programs).
+          int deleted =
+              static_cast<int>(rng->Uniform(options.num_edb_predicates));
+          deletions.push_back(RandomAtom(&b, pool, deleted, options, rng));
+        }
+        b.Hypothetical(std::move(atom), std::move(additions),
+                       std::move(deletions));
       } else {
         b.Positive(std::move(atom));
       }

@@ -18,6 +18,11 @@ struct RandomProgramOptions {
   double negation_probability = 0.25;
   double hypothetical_probability = 0.3;
   double fact_probability = 0.4;  // Per possible EDB fact.
+
+  /// Probability that a hypothetical premise also carries a [del: ...]
+  /// group (an EDB atom). Deletions are TabledEngine-only, so differential
+  /// tests leave this at 0 except when exercising that engine alone.
+  double deletion_probability = 0.0;
 };
 
 /// Generates a random hypothetical rulebase with *stratified negation by

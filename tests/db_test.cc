@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "db/context_interner.h"
 #include "db/database.h"
 #include "db/fact_interner.h"
 #include "db/overlay.h"
@@ -283,6 +284,180 @@ TEST_F(OverlayTest, ForEachAddedSkipsMasked) {
   });
   EXPECT_EQ(count, 1);
   overlay_.PopFrame();
+}
+
+TEST(ContextInternerTest, EmptyContextIsIdZero) {
+  ContextInterner interner;
+  EXPECT_EQ(ContextInterner::kEmptyContext, 0);
+  EXPECT_EQ(interner.num_contexts(), 1);
+  EXPECT_TRUE(interner.Elements(ContextInterner::kEmptyContext).empty());
+}
+
+TEST(ContextInternerTest, InsertEraseRoundTrip) {
+  ContextInterner interner;
+  int64_t e = ContextInterner::AddedElement(7);
+  ContextId with = interner.Insert(ContextInterner::kEmptyContext, e);
+  EXPECT_NE(with, ContextInterner::kEmptyContext);
+  EXPECT_EQ(interner.Elements(with), std::vector<int64_t>{e});
+  EXPECT_EQ(interner.Erase(with, e), ContextInterner::kEmptyContext);
+  // The round trip is cached: replaying it hits the edge cache.
+  int64_t transitions_before = interner.transitions();
+  int64_t hits_before = interner.transition_hits();
+  EXPECT_EQ(interner.Insert(ContextInterner::kEmptyContext, e), with);
+  EXPECT_EQ(interner.transitions(), transitions_before + 1);
+  EXPECT_EQ(interner.transition_hits(), hits_before + 1);
+}
+
+TEST(ContextInternerTest, InsertionOrderIrrelevant) {
+  ContextInterner interner;
+  int64_t a = ContextInterner::AddedElement(1);
+  int64_t b = ContextInterner::MaskedElement(2);
+  ContextId ab = interner.Insert(interner.Insert(0, a), b);
+  ContextId ba = interner.Insert(interner.Insert(0, b), a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(interner.num_contexts(), 4) << "{}, {a}, {b}, {a,b}";
+}
+
+TEST(ContextInternerTest, AddedAndMaskedElementsAreDistinct) {
+  EXPECT_NE(ContextInterner::AddedElement(5),
+            ContextInterner::MaskedElement(5));
+}
+
+TEST_F(OverlayTest, ContextIdTracksMutations) {
+  Fact f1 = MakeFact("p", {"a"});
+  Fact f2 = MakeFact("p", {"b"});
+  EXPECT_EQ(overlay_.context_id(), ContextInterner::kEmptyContext);
+
+  overlay_.PushFrame();
+  overlay_.Add(f1);
+  ContextId c1 = overlay_.context_id();
+  EXPECT_NE(c1, ContextInterner::kEmptyContext);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+
+  overlay_.PushFrame();
+  overlay_.Add(f2);
+  ContextId c12 = overlay_.context_id();
+  EXPECT_NE(c12, c1);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+  overlay_.PopFrame();
+
+  EXPECT_EQ(overlay_.context_id(), c1) << "pop restores the context id";
+  overlay_.PopFrame();
+  EXPECT_EQ(overlay_.context_id(), ContextInterner::kEmptyContext);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+}
+
+TEST_F(OverlayTest, ContextIdOrderIndependent) {
+  Fact f1 = MakeFact("p", {"a"});
+  Fact f2 = MakeFact("p", {"b"});
+  overlay_.PushFrame();
+  overlay_.Add(f1);
+  overlay_.Add(f2);
+  ContextId c12 = overlay_.context_id();
+  overlay_.PopFrame();
+  overlay_.PushFrame();
+  overlay_.Add(f2);
+  overlay_.Add(f1);
+  EXPECT_EQ(overlay_.context_id(), c12)
+      << "same fact set must intern to the same context id";
+  overlay_.PopFrame();
+}
+
+TEST_F(OverlayTest, ContextIdReflectsDeletions) {
+  Fact base_fact = MakeFact("p", {"a"});
+  Fact added_fact = MakeFact("p", {"b"});
+  db_.Insert(base_fact);
+
+  // Masking a base fact is a distinct, non-empty context.
+  overlay_.PushFrame();
+  overlay_.Delete(base_fact);
+  EXPECT_NE(overlay_.context_id(), ContextInterner::kEmptyContext);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+  overlay_.PopFrame();
+  EXPECT_EQ(overlay_.context_id(), ContextInterner::kEmptyContext);
+
+  // Add-then-delete of a new fact is canonically the empty state.
+  overlay_.PushFrame();
+  overlay_.Add(added_fact);
+  overlay_.Delete(added_fact);
+  EXPECT_EQ(overlay_.context_id(), ContextInterner::kEmptyContext);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+  overlay_.PopFrame();
+
+  // Delete-then-re-add of a base fact is canonically the empty state.
+  overlay_.PushFrame();
+  overlay_.Delete(base_fact);
+  overlay_.Add(base_fact);
+  EXPECT_EQ(overlay_.context_id(), ContextInterner::kEmptyContext);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+  overlay_.PopFrame();
+}
+
+TEST_F(OverlayTest, DeleteReAddDeleteAcrossNestedFrames) {
+  // Regression for the kDidUnmask undo in PopFrame: delete a base fact,
+  // re-add (unmask) it in an inner frame, delete it again in a third
+  // frame, then unwind, checking visibility and context at every step.
+  Fact f = MakeFact("p", {"a"});
+  db_.Insert(f);
+
+  overlay_.PushFrame();
+  overlay_.Delete(f);
+  ContextId deleted = overlay_.context_id();
+  EXPECT_FALSE(overlay_.Contains(f));
+
+  overlay_.PushFrame();
+  overlay_.Add(f);  // Unmask.
+  EXPECT_TRUE(overlay_.Contains(f));
+  EXPECT_EQ(overlay_.context_id(), ContextInterner::kEmptyContext)
+      << "mask + unmask cancels back to the base state";
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+
+  overlay_.PushFrame();
+  overlay_.Delete(f);  // Mask again.
+  EXPECT_FALSE(overlay_.Contains(f));
+  EXPECT_EQ(overlay_.context_id(), deleted)
+      << "re-deleting reaches the same interned context";
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+
+  overlay_.PopFrame();  // Undo second delete.
+  EXPECT_TRUE(overlay_.Contains(f));
+  EXPECT_EQ(overlay_.context_id(), ContextInterner::kEmptyContext);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+
+  overlay_.PopFrame();  // Undo the unmask: the first delete is live again.
+  EXPECT_FALSE(overlay_.Contains(f));
+  EXPECT_EQ(overlay_.context_id(), deleted);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+
+  overlay_.PopFrame();  // Undo the first delete.
+  EXPECT_TRUE(overlay_.Contains(f));
+  EXPECT_EQ(overlay_.context_id(), ContextInterner::kEmptyContext);
+  EXPECT_TRUE(overlay_.DebugContextConsistent());
+}
+
+TEST_F(OverlayTest, AddedTuplesWithFirstArg) {
+  PredicateId edge = symbols_->InternPredicate("edge", 2).value();
+  ConstId a = symbols_->InternConst("a");
+  ConstId c = symbols_->InternConst("c");
+  EXPECT_EQ(overlay_.AddedTuplesWithFirstArg(edge, a), nullptr);
+
+  overlay_.PushFrame();
+  overlay_.Add(MakeFact("edge", {"a", "b"}));
+  overlay_.Add(MakeFact("edge", {"c", "d"}));
+  overlay_.Add(MakeFact("edge", {"a", "d"}));
+
+  const std::vector<int>* bucket = overlay_.AddedTuplesWithFirstArg(edge, a);
+  ASSERT_NE(bucket, nullptr);
+  ASSERT_EQ(bucket->size(), 2u);
+  const auto& all = overlay_.AddedTuplesFor(edge);
+  EXPECT_EQ(all[(*bucket)[0]][0], a);
+  EXPECT_EQ(all[(*bucket)[1]][0], a);
+  ASSERT_NE(overlay_.AddedTuplesWithFirstArg(edge, c), nullptr);
+  EXPECT_EQ(overlay_.AddedTuplesWithFirstArg(edge, c)->size(), 1u);
+
+  overlay_.PopFrame();
+  EXPECT_EQ(overlay_.AddedTuplesWithFirstArg(edge, a), nullptr)
+      << "popping the frame empties the first-arg buckets";
 }
 
 TEST_F(OverlayTest, ForEachAddedInInsertionOrder) {

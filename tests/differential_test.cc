@@ -66,6 +66,9 @@ TEST(DifferentialTest, EnginesAgreeOnRandomPrograms) {
     EngineOptions engine_options;
     engine_options.max_states = 40'000;
     engine_options.max_steps = 3'000'000;
+    // Cross-check every memoized goal lookup against the from-scratch
+    // canonical overlay key (cheap here: overlays stay small).
+    engine_options.validate_contexts = true;
 
     TabledEngine tabled(&fixture.rules, &fixture.db, engine_options);
     auto reference = DeriveAll(&tabled, fixture);
@@ -106,6 +109,113 @@ TEST(DifferentialTest, EnginesAgreeOnRandomPrograms) {
   EXPECT_GE(tested, 30) << "too many programs skipped (" << skipped << ")";
   EXPECT_GE(stratified_covered, 5)
       << "the generator should produce linearly stratifiable programs too";
+}
+
+TEST(DifferentialTest, DeletionProgramsTabledSelfConsistent) {
+  // Random programs whose hypothetical premises carry [del: ...] groups.
+  // Only the TabledEngine supports deletions: it must agree with itself
+  // memo-warm vs memo-cold (same engine asked twice, fresh engine), with
+  // the interned-context oracle enabled; the other engines must reject
+  // such programs cleanly at Init.
+  RandomProgramOptions options;
+  options.num_rules = 6;
+  options.hypothetical_probability = 0.5;
+  options.deletion_probability = 0.5;
+  int tested = 0;
+  for (uint64_t seed = 300; seed < 320; ++seed) {
+    Random rng(seed);
+    ProgramFixture fixture = MakeRandomProgram(options, &rng);
+    if (!fixture.rules.HasDeletions()) continue;
+
+    EngineOptions engine_options;
+    engine_options.max_states = 40'000;
+    engine_options.max_steps = 3'000'000;
+    engine_options.validate_contexts = true;
+
+    TabledEngine engine(&fixture.rules, &fixture.db, engine_options);
+    auto cold = DeriveAll(&engine, fixture);
+    if (!cold.ok()) {
+      ASSERT_EQ(cold.status().code(), StatusCode::kResourceExhausted)
+          << cold.status();
+      continue;
+    }
+    auto warm = DeriveAll(&engine, fixture);
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    EXPECT_EQ(*warm, *cold)
+        << "seed " << seed << ": memo-warm replay diverged, program:\n"
+        << RuleBaseToString(fixture.rules);
+
+    TabledEngine fresh(&fixture.rules, &fixture.db, engine_options);
+    auto refreshed = DeriveAll(&fresh, fixture);
+    ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+    EXPECT_EQ(*refreshed, *cold)
+        << "seed " << seed << ": fresh engine diverged, program:\n"
+        << RuleBaseToString(fixture.rules);
+
+    BottomUpEngine bottom_up(&fixture.rules, &fixture.db, engine_options);
+    EXPECT_EQ(bottom_up.Init().code(), StatusCode::kUnimplemented);
+    StratifiedProver prover(&fixture.rules, &fixture.db, engine_options);
+    EXPECT_EQ(prover.Init().code(), StatusCode::kUnimplemented);
+    ++tested;
+  }
+  EXPECT_GE(tested, 8) << "generator produced too few deletion programs";
+}
+
+TEST(DifferentialTest, NestedHypotheticalsAgreeAcrossEngines) {
+  // Hypothetical-dense programs: IDB predicates may be queried inside
+  // hypothetical premises, so proofs routinely stack overlay frames. All
+  // three engines must produce identical answer sets, with the interned
+  // context id cross-validated on every memoized lookup.
+  RandomProgramOptions options;
+  options.num_rules = 6;
+  options.hypothetical_probability = 0.6;
+  options.negation_probability = 0.15;
+  int tested = 0;
+  int stratified_covered = 0;
+  for (uint64_t seed = 400; seed < 420; ++seed) {
+    Random rng(seed);
+    ProgramFixture fixture = MakeRandomProgram(options, &rng);
+
+    EngineOptions engine_options;
+    engine_options.max_states = 40'000;
+    engine_options.max_steps = 3'000'000;
+    engine_options.validate_contexts = true;
+
+    TabledEngine tabled(&fixture.rules, &fixture.db, engine_options);
+    auto reference = DeriveAll(&tabled, fixture);
+    if (!reference.ok()) {
+      ASSERT_EQ(reference.status().code(), StatusCode::kResourceExhausted)
+          << reference.status();
+      continue;
+    }
+
+    BottomUpEngine bottom_up(&fixture.rules, &fixture.db, engine_options);
+    auto eager = DeriveAll(&bottom_up, fixture);
+    if (eager.ok()) {
+      EXPECT_EQ(*eager, *reference)
+          << "seed " << seed << " program:\n"
+          << RuleBaseToString(fixture.rules);
+    } else {
+      ASSERT_EQ(eager.status().code(), StatusCode::kResourceExhausted);
+    }
+
+    if (CheckLinearlyStratifiable(fixture.rules).ok()) {
+      StratifiedProver prover(&fixture.rules, &fixture.db, engine_options);
+      ASSERT_TRUE(prover.Init().ok());
+      auto strat = DeriveAll(&prover, fixture);
+      if (strat.ok()) {
+        EXPECT_EQ(*strat, *reference)
+            << "seed " << seed << " program:\n"
+            << RuleBaseToString(fixture.rules);
+        ++stratified_covered;
+      } else {
+        ASSERT_EQ(strat.status().code(), StatusCode::kResourceExhausted);
+      }
+    }
+    ++tested;
+  }
+  EXPECT_GE(tested, 12) << "too many hypothetical-dense programs skipped";
+  EXPECT_GE(stratified_covered, 3);
 }
 
 TEST(DifferentialTest, MonotoneForNegationFreePrograms) {

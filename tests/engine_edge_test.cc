@@ -191,6 +191,76 @@ TEST_F(EngineEdgeTest, MaxStepsLimitSurfaces) {
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST_F(EngineEdgeTest, ExtensionalEnumerationIsMetered) {
+  // The addition's variables occur nowhere else, so the plan runs a
+  // domain^3 kEnumerateVars loop that expands no goals at all. Before the
+  // enumeration counter, such loops ran to completion regardless of
+  // max_steps; they must surface ResourceExhausted instead.
+  RuleBase rules = Parse("p0 <- ghost[add: e0(X, Y, Z)].");
+  Database db(symbols_);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(db.Insert("el", {"c" + std::to_string(i)}).ok());
+  }
+  EngineOptions options;
+  options.max_steps = 1000;
+  {
+    TabledEngine engine(&rules, &db, options);
+    auto r = engine.ProveQuery(Q("p0"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_GT(engine.stats().enumerations, options.max_steps);
+  }
+  {
+    StratifiedProver prover(&rules, &db, options);
+    auto r = prover.ProveQuery(Q("p0"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST_F(EngineEdgeTest, NegatedEnumerationIsMetered) {
+  // ∄-reading of a negated extensional premise with three free variables:
+  // ExistsProvable grounds domain^3 instances, none of which expand a
+  // goal. The enumeration counter must trip max_steps here too.
+  RuleBase rules = Parse("q <- ~e0(X, Y, Z).");
+  Database db(symbols_);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(db.Insert("el", {"c" + std::to_string(i)}).ok());
+  }
+  EngineOptions options;
+  options.max_steps = 1000;
+  TabledEngine engine(&rules, &db, options);
+  auto r = engine.ProveQuery(Q("q"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EngineEdgeTest, RepeatedOutOfDomainConstantRebuildsOnce) {
+  // A query constant outside dom(R, DB) folds into the domain with one
+  // re-Init; asking again (even with the constant repeated inside one
+  // query) must not rebuild or grow the extra-constant list again.
+  RuleBase rules = Parse("p(X) <- el(X).");
+  Database db(symbols_);
+  ASSERT_TRUE(db.Insert("el", {"a"}).ok());
+  for (int kind = 0; kind < 3; ++kind) {
+    std::unique_ptr<Engine> engine;
+    if (kind == 0) engine = std::make_unique<TabledEngine>(&rules, &db);
+    if (kind == 1) engine = std::make_unique<BottomUpEngine>(&rules, &db);
+    if (kind == 2) engine = std::make_unique<StratifiedProver>(&rules, &db);
+    ASSERT_TRUE(engine->Init().ok()) << engine->name();
+    EXPECT_EQ(engine->stats().domain_rebuilds, 1) << engine->name();
+    EXPECT_FALSE(*engine->ProveQuery(Q("p(zz), p(zz)")));
+    EXPECT_EQ(engine->stats().domain_rebuilds, 2)
+        << engine->name() << ": one rebuild for the new constant";
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FALSE(*engine->ProveQuery(Q("p(zz)")));
+    }
+    EXPECT_EQ(engine->stats().domain_rebuilds, 2)
+        << engine->name()
+        << ": repeated queries with the same constant must not rebuild";
+  }
+}
+
 TEST_F(EngineEdgeTest, RecursionThroughNegationRejectedEverywhere) {
   RuleBase rules = Parse("p <- ~q. q <- ~p.");
   Database db(symbols_);
