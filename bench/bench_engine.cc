@@ -1,11 +1,13 @@
-// Ablation — the §5.2.2 bottom-up machinery: naive vs (rule-level)
-// semi-naive fixpoint evaluation.
+// Ablation — the §5.2.2 bottom-up machinery: naive vs rule-level
+// filtering vs tuple-level delta semi-naive fixpoint evaluation.
 //
 // DESIGN.md calls out the Δ-model evaluation strategy as a design choice:
-// PROVE_Δ re-applies rules to a fixpoint, and skipping rules none of
-// whose body predicates changed in the previous round (the `seminaive`
-// option) should cut fixpoint work on Horn-heavy workloads like
-// transitive closure and the §5.1 frame axioms.
+// PROVE_Δ re-applies rules to a fixpoint. `EvalStrategy::kRuleFilter`
+// skips rules none of whose body predicates changed in the previous
+// round but still rejoins full relations; `kDeltaSeminaive` additionally
+// restricts one positive premise per rule version to the tuples derived
+// in the previous round (per-round delta relations + generalized hash
+// indexes), which turns O(rounds × full-join) chains into O(delta-join).
 
 #include <benchmark/benchmark.h>
 
@@ -37,32 +39,81 @@ ProgramFixture MakeTransitiveClosure(int n) {
   return fixture;
 }
 
+const char* StrategyName(EvalStrategy strategy) {
+  switch (strategy) {
+    case EvalStrategy::kNaive: return "naive";
+    case EvalStrategy::kRuleFilter: return "rule-filter";
+    case EvalStrategy::kDeltaSeminaive: return "delta";
+  }
+  return "?";
+}
+
 void BM_TransitiveClosureFixpoint(benchmark::State& state) {
-  bool seminaive = state.range(0) == 1;
+  EvalStrategy strategy = static_cast<EvalStrategy>(state.range(0));
   int n = static_cast<int>(state.range(1));
   ProgramFixture fixture = MakeTransitiveClosure(n);
   EngineOptions options;
-  options.seminaive = seminaive;
+  options.eval_strategy = strategy;
   Query query = bench::MustParseQuery(fixture, "connected");
   int64_t rounds = 0;
+  int64_t probes = 0;
   for (auto _ : state) {
     BottomUpEngine engine(&fixture.rules, &fixture.db, options);
     auto got = engine.ProveQuery(query);
     HYPO_CHECK(got.ok() && *got);
     benchmark::DoNotOptimize(*got);
     rounds = engine.stats().fixpoint_rounds;
+    probes = engine.stats().join_probes;
   }
   state.counters["rounds"] = static_cast<double>(rounds);
-  state.SetLabel(std::string(seminaive ? "semi-naive" : "naive") +
+  state.counters["join_probes"] = static_cast<double>(probes);
+  state.SetLabel(std::string(StrategyName(strategy)) +
                  " path n=" + std::to_string(n));
 }
 BENCHMARK(BM_TransitiveClosureFixpoint)
-    ->ArgsProduct({{0, 1}, {8, 16, 32, 64}});
+    ->ArgsProduct({{0, 1, 2}, {8, 16, 32, 64}});
+
+/// A linear recursion over a long chain: each round derives exactly one
+/// new fact, the worst case for whole-relation rejoining and the best
+/// case for the delta rewrite.
+void BM_ChainReachFixpoint(benchmark::State& state) {
+  EvalStrategy strategy = static_cast<EvalStrategy>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  ProgramFixture fixture;
+  auto rules = ParseRuleBase(
+      "reach(X) <- start(X).\n"
+      "reach(Y) <- reach(X), edge(X, Y).\n"
+      "done <- reach(X), goal(X).\n",
+      fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  GraphToDatabase(MakePathGraph(n), &fixture.db);
+  HYPO_CHECK(fixture.db.Insert("start", {"v0"}).ok());
+  HYPO_CHECK(
+      fixture.db.Insert("goal", {"v" + std::to_string(n - 1)}).ok());
+  EngineOptions options;
+  options.eval_strategy = strategy;
+  Query query = bench::MustParseQuery(fixture, "done");
+  int64_t probes = 0;
+  for (auto _ : state) {
+    BottomUpEngine engine(&fixture.rules, &fixture.db, options);
+    auto got = engine.ProveQuery(query);
+    HYPO_CHECK(got.ok() && *got);
+    benchmark::DoNotOptimize(*got);
+    probes = engine.stats().join_probes;
+  }
+  state.counters["join_probes"] = static_cast<double>(probes);
+  state.SetLabel(std::string(StrategyName(strategy)) +
+                 " chain n=" + std::to_string(n));
+}
+BENCHMARK(BM_ChainReachFixpoint)
+    ->ArgsProduct({{0, 1, 2}, {64, 256, 1024}});
 
 void BM_FrameAxiomModels(benchmark::State& state) {
   // The §5.1 frame axioms stress the Δ-model fixpoint inside the
-  // stratified prover: one Δ model per machine step.
-  bool seminaive = state.range(0) == 1;
+  // stratified prover: one Δ model per machine step. The prover supports
+  // naive vs rule-filter (it treats kDeltaSeminaive as kRuleFilter).
+  EvalStrategy strategy = static_cast<EvalStrategy>(state.range(0));
   int n = static_cast<int>(state.range(1));
   std::vector<int> input;
   for (int i = 0; i < n - 4; ++i) input.push_back(i % 2 == 0 ? kSym1 : kSym0);
@@ -70,7 +121,7 @@ void BM_FrameAxiomModels(benchmark::State& state) {
   auto encoding = EncodeCascade({MakeContainsOneMachine()}, input, n);
   HYPO_CHECK(encoding.ok()) << encoding.status();
   EngineOptions options;
-  options.seminaive = seminaive;
+  options.eval_strategy = strategy;
   Query query = bench::MustParseQuery(encoding->program, "accept");
   for (auto _ : state) {
     StratifiedProver prover(&encoding->program.rules, &encoding->program.db,
@@ -79,7 +130,7 @@ void BM_FrameAxiomModels(benchmark::State& state) {
     HYPO_CHECK(got.ok() && *got);
     benchmark::DoNotOptimize(*got);
   }
-  state.SetLabel(std::string(seminaive ? "semi-naive" : "naive") +
+  state.SetLabel(std::string(StrategyName(strategy)) +
                  " frame axioms N=" + std::to_string(n));
 }
 BENCHMARK(BM_FrameAxiomModels)->ArgsProduct({{0, 1}, {8, 12}});

@@ -1,9 +1,31 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
 # This is the line CI and reviewers run; it must pass on every commit.
+#
+# Environment knobs (all optional):
+#   BUILD_TYPE  CMake build type (Debug, Release, RelWithDebInfo, ...).
+#   SANITIZE    comma-separated sanitizers for -fsanitize=, e.g.
+#               "address,undefined"; implies frame pointers.
+#   BUILD_DIR   build tree to use (default: build, or build-<sanitize>
+#               when SANITIZE is set, so sanitized trees don't clobber
+#               the regular one).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-cd build && ctest --output-on-failure -j "$(nproc)"
+cmake_args=()
+build_dir="${BUILD_DIR:-build}"
+if [ -n "${BUILD_TYPE:-}" ]; then
+  cmake_args+=("-DCMAKE_BUILD_TYPE=${BUILD_TYPE}")
+fi
+if [ -n "${SANITIZE:-}" ]; then
+  flags="-fsanitize=${SANITIZE} -fno-omit-frame-pointer"
+  cmake_args+=("-DCMAKE_CXX_FLAGS=${flags}"
+               "-DCMAKE_EXE_LINKER_FLAGS=${flags}")
+  if [ -z "${BUILD_DIR:-}" ]; then
+    build_dir="build-$(echo "${SANITIZE}" | tr ',' '-')"
+  fi
+fi
+
+cmake -B "$build_dir" -S . "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$(nproc)"
+cd "$build_dir" && ctest --output-on-failure -j "$(nproc)"

@@ -1,5 +1,6 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "base/logging.h"
@@ -36,10 +37,6 @@ bool Database::Insert(const Fact& fact) {
   (void)it;
   if (!inserted) return false;
   rel.tuples.push_back(fact.args);
-  if (!fact.args.empty()) {
-    rel.first_arg_index[fact.args[0]].push_back(
-        static_cast<int>(rel.tuples.size()) - 1);
-  }
   for (ConstId c : fact.args) constants_.insert(c);
   ++size_;
   return true;
@@ -47,10 +44,38 @@ bool Database::Insert(const Fact& fact) {
 
 const std::vector<int>* Database::TuplesWithFirstArg(PredicateId pred,
                                                      ConstId first) const {
+  return ProbeIndex(pred, /*mask=*/1u, {first});
+}
+
+const std::vector<int>* Database::ProbeIndex(PredicateId pred,
+                                             ColumnMask mask,
+                                             const Tuple& key) const {
+  HYPO_DCHECK(mask != 0) << "probe with no bound columns is a full scan";
   auto it = relations_.find(pred);
   if (it == relations_.end()) return nullptr;
-  auto jt = it->second.first_arg_index.find(first);
-  return jt == it->second.first_arg_index.end() ? nullptr : &jt->second;
+  const Relation& rel = it->second;
+  ++index_probes_;
+  auto [ci_it, created] = rel.column_indexes.try_emplace(mask);
+  ColumnIndex& ci = ci_it->second;
+  if (created) ++index_builds_;
+  if (ci.built_upto < rel.tuples.size()) {
+    // Catch up on tuples appended since the last probe. Insertions never
+    // reorder or remove tuples, so extending the buckets is sound.
+    Tuple probe;
+    for (size_t pos = ci.built_upto; pos < rel.tuples.size(); ++pos) {
+      const Tuple& t = rel.tuples[pos];
+      probe.clear();
+      int limit = std::min<int>(static_cast<int>(t.size()),
+                                kMaxIndexedColumns);
+      for (int c = 0; c < limit; ++c) {
+        if (mask & (1u << c)) probe.push_back(t[c]);
+      }
+      ci.buckets[probe].push_back(static_cast<int>(pos));
+    }
+    ci.built_upto = rel.tuples.size();
+  }
+  auto bucket = ci.buckets.find(key);
+  return bucket == ci.buckets.end() ? nullptr : &bucket->second;
 }
 
 Status Database::Insert(std::string_view predicate,
@@ -67,9 +92,13 @@ Status Database::Insert(std::string_view predicate,
 }
 
 bool Database::Contains(const Fact& fact) const {
-  auto it = relations_.find(fact.predicate);
+  return Contains(fact.predicate, fact.args);
+}
+
+bool Database::Contains(PredicateId pred, const Tuple& args) const {
+  auto it = relations_.find(pred);
   if (it == relations_.end()) return false;
-  return it->second.index.count(fact.args) > 0;
+  return it->second.index.count(args) > 0;
 }
 
 const std::vector<Tuple>& Database::TuplesFor(PredicateId pred) const {

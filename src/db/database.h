@@ -14,6 +14,14 @@
 
 namespace hypo {
 
+/// Bound-column signature for generalized access paths: bit i set means
+/// column i carries a bound value in index probes. Masks cover the first
+/// 32 columns; columns beyond that never participate in indexes (callers
+/// post-filter with MatchTuple anyway).
+using ColumnMask = uint32_t;
+
+constexpr int kMaxIndexedColumns = 32;
+
 /// A set of ground atomic formulas, organized per predicate.
 ///
 /// This is both the extensional database of Definition 3 and the storage
@@ -44,15 +52,38 @@ class Database {
 
   bool Contains(const Fact& fact) const;
 
+  /// Same membership test without materializing a Fact (hot-path overload
+  /// for candidate filtering in join loops).
+  bool Contains(PredicateId pred, const Tuple& args) const;
+
   /// All tuples of `pred`, in insertion order. Empty if none.
   const std::vector<Tuple>& TuplesFor(PredicateId pred) const;
 
   /// Positions (into TuplesFor) of the tuples of `pred` whose first
   /// argument is `first`, or null when the relation is absent/empty for
   /// that key. The classic Datalog access path: premise matching uses it
-  /// whenever the first argument is already bound.
+  /// whenever the first argument is already bound. Now a thin wrapper
+  /// over the generalized ProbeIndex with mask = 0b1.
   const std::vector<int>* TuplesWithFirstArg(PredicateId pred,
                                              ConstId first) const;
+
+  /// Generalized access path: positions (into TuplesFor) of the tuples of
+  /// `pred` whose columns selected by `mask` equal `key` (the bound
+  /// values, in increasing column order), or null when no tuple matches.
+  ///
+  /// The hash index for a (predicate, column-mask) pair is built lazily on
+  /// first probe and extended incrementally as the relation grows — safe
+  /// because relations are append-only — so repeated probes cost
+  /// O(matching bucket), and a signature probed once amortizes to one
+  /// relation scan. `mask` must be non-zero and `key` must have exactly
+  /// popcount(mask) values.
+  const std::vector<int>* ProbeIndex(PredicateId pred, ColumnMask mask,
+                                     const Tuple& key) const;
+
+  /// Number of distinct (predicate, column-mask) hash indexes built so
+  /// far, and the number of ProbeIndex calls served. Feed EngineStats.
+  int64_t index_builds() const { return index_builds_; }
+  int64_t index_probes() const { return index_probes_; }
 
   /// Number of tuples of `pred`.
   int CountFor(PredicateId pred) const {
@@ -77,17 +108,28 @@ class Database {
   const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
 
  private:
+  /// One lazily built hash index over a bound-column signature. Buckets
+  /// cover tuples[0..built_upto); probes extend them to the current end
+  /// of the relation first. unordered_map node stability keeps bucket
+  /// pointers handed to callers valid across later extensions.
+  struct ColumnIndex {
+    std::unordered_map<Tuple, std::vector<int>, TupleHash> buckets;
+    size_t built_upto = 0;
+  };
+
   struct Relation {
     std::vector<Tuple> tuples;
     std::unordered_set<Tuple, TupleHash> index;
-    // First-argument access path (empty for 0-ary relations).
-    std::unordered_map<ConstId, std::vector<int>> first_arg_index;
+    // Generalized access paths, built on demand per column mask.
+    mutable std::unordered_map<ColumnMask, ColumnIndex> column_indexes;
   };
 
   std::shared_ptr<SymbolTable> symbols_;
   std::unordered_map<PredicateId, Relation> relations_;
   std::unordered_set<ConstId> constants_;
   int64_t size_ = 0;
+  mutable int64_t index_builds_ = 0;
+  mutable int64_t index_probes_ = 0;
 };
 
 }  // namespace hypo

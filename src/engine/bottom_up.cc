@@ -57,8 +57,37 @@ Status BottomUpEngine::Init() {
   rule_plans_.reserve(rulebase_->num_rules());
   for (const Rule& rule : rulebase_->rules()) {
     rule_plans_.push_back(
-        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars()));
+        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars(), base_));
   }
+
+  // Per-stratum "changing" predicate sets (heads of the stratum's rules)
+  // drive the semi-naive rewrite: only those relations can gain tuples
+  // while their stratum's fixpoint runs.
+  std::vector<std::unordered_set<PredicateId>> changing(strata_.num_strata);
+  for (int s = 0; s < strata_.num_strata; ++s) {
+    for (int r : strata_.rules_by_stratum[s]) {
+      changing[s].insert(rulebase_->rule(r).head.predicate);
+    }
+  }
+  rule_delta_info_.assign(rulebase_->num_rules(), RuleDeltaInfo{});
+  for (int s = 0; s < strata_.num_strata; ++s) {
+    for (int r : strata_.rules_by_stratum[s]) {
+      const Rule& rule = rulebase_->rule(r);
+      RuleDeltaInfo& info = rule_delta_info_[r];
+      for (int i = 0; i < static_cast<int>(rule.premises.size()); ++i) {
+        const Premise& p = rule.premises[i];
+        if (changing[s].count(p.atom.predicate) == 0) continue;
+        if (p.kind == PremiseKind::kPositive) {
+          info.delta_premises.push_back(i);
+        } else if (p.kind == PremiseKind::kHypothetical) {
+          info.hypo_sensitive_preds.push_back(p.atom.predicate);
+        }
+        // Negated premises live strictly below their rule's stratum
+        // (stratified negation), so they can never flip mid-fixpoint.
+      }
+    }
+  }
+
   domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
   domain_set_.clear();
   domain_set_.insert(domain_.begin(), domain_.end());
@@ -134,42 +163,97 @@ StatusOr<BottomUpEngine::State*> BottomUpEngine::MaterializeState(
 }
 
 Status BottomUpEngine::ComputeModel(State* state) {
+  const EvalStrategy strategy = options_.eval_strategy;
   for (int s = 0; s < strata_.num_strata; ++s) {
     const std::vector<int>& stratum_rules = strata_.rules_by_stratum[s];
-    // Predicates whose relations changed in the previous round; used for
-    // rule-level semi-naive filtering.
-    std::unordered_set<PredicateId> changed_last_round;
+    // Predicates whose relations gained tuples in the previous round, and
+    // (delta mode) the new tuples themselves, rotated per round.
+    std::unordered_set<PredicateId> changed_last;
+    std::unordered_set<PredicateId> changed_now;
+    Database delta(base_->symbols_ptr());
+    Database next_delta(base_->symbols_ptr());
+    Database* track_delta =
+        strategy == EvalStrategy::kDeltaSeminaive ? &next_delta : nullptr;
     bool first_round = true;
     while (true) {
       ++stats_.fixpoint_rounds;
-      std::vector<PredicateId> changed_now;
       for (int rule_index : stratum_rules) {
-        if (options_.seminaive && !first_round) {
+        EvalCtx ctx;
+        ctx.state = state;
+        if (first_round || strategy == EvalStrategy::kNaive) {
+          // Round 0 instantiates every rule over the full relations (the
+          // semi-naive base case); naive mode keeps doing that forever.
+          HYPO_RETURN_IF_ERROR(
+              EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
+          continue;
+        }
+        if (strategy == EvalStrategy::kRuleFilter) {
           const Rule& rule = rulebase_->rule(rule_index);
           bool relevant = false;
           for (const Premise& p : rule.premises) {
-            if (changed_last_round.count(p.atom.predicate) > 0) {
+            if (changed_last.count(p.atom.predicate) > 0) {
               relevant = true;
               break;
             }
           }
           if (!relevant) continue;
+          HYPO_RETURN_IF_ERROR(
+              EvaluateRule(rule_index, &ctx, nullptr, &changed_now));
+          continue;
         }
-        HYPO_RETURN_IF_ERROR(EvaluateRule(rule_index, state, &changed_now));
+        // Delta semi-naive. A rule whose hypothetical premise watches a
+        // same-stratum predicate that just changed cannot be delta-
+        // restricted (the premise is a test, not a generator): fall back
+        // to a full instantiation for this round.
+        const RuleDeltaInfo& info = rule_delta_info_[rule_index];
+        bool full = false;
+        for (PredicateId p : info.hypo_sensitive_preds) {
+          if (changed_last.count(p) > 0) {
+            full = true;
+            break;
+          }
+        }
+        if (full) {
+          HYPO_RETURN_IF_ERROR(
+              EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
+          continue;
+        }
+        // The standard rewrite: one rule version per changed positive
+        // premise, that premise ranging over last round's delta only.
+        const std::vector<Premise>& premises =
+            rulebase_->rule(rule_index).premises;
+        for (int premise_index : info.delta_premises) {
+          if (changed_last.count(premises[premise_index].atom.predicate) ==
+              0) {
+            continue;
+          }
+          ctx.delta_premise = premise_index;
+          ctx.delta = &delta;
+          HYPO_RETURN_IF_ERROR(
+              EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
+        }
       }
       if (changed_now.empty()) break;
-      changed_last_round.clear();
-      changed_last_round.insert(changed_now.begin(), changed_now.end());
+      if (track_delta != nullptr) {
+        retired_index_builds_ += delta.index_builds();
+        delta = std::move(next_delta);
+        next_delta = Database(base_->symbols_ptr());
+      }
+      changed_last = std::move(changed_now);
+      changed_now.clear();
       first_round = false;
     }
+    retired_index_builds_ += delta.index_builds() + next_delta.index_builds();
   }
   return Status::OK();
 }
 
-Status BottomUpEngine::EvaluateRule(int rule_index, State* state,
-                                    std::vector<PredicateId>* changed) {
+Status BottomUpEngine::EvaluateRule(
+    int rule_index, EvalCtx* ctx, Database* next_delta,
+    std::unordered_set<PredicateId>* changed) {
   const Rule& rule = rulebase_->rule(rule_index);
   const BodyPlan& plan = rule_plans_[rule_index];
+  State* state = ctx->state;
   Binding binding(rule.num_vars());
   auto sink = [&](const Binding& b) -> StatusOr<bool> {
     ++stats_.goals_expanded;
@@ -178,25 +262,43 @@ Status BottomUpEngine::EvaluateRule(int rule_index, State* state,
     if (!Visible(*state, head)) {
       state->ext.Insert(head);
       ++stats_.facts_derived;
-      changed->push_back(head.predicate);
+      changed->insert(head.predicate);
+      if (next_delta != nullptr) {
+        next_delta->Insert(head);
+        ++stats_.delta_facts;
+      }
     }
     return true;  // Keep enumerating.
   };
-  return WalkPlan(rule.premises, plan, 0, &binding, state, sink).status();
+  return WalkPlan(rule.premises, plan, 0, &binding, ctx, sink).status();
 }
 
 StatusOr<bool> BottomUpEngine::WalkPlan(
     const std::vector<Premise>& premises, const BodyPlan& plan, size_t step,
-    Binding* binding, State* state,
+    Binding* binding, EvalCtx* ctx,
     const std::function<StatusOr<bool>(const Binding&)>& sink) {
   if (step == plan.steps.size()) return sink(*binding);
   const PlanStep& ps = plan.steps[step];
+  State* state = ctx->state;
   switch (ps.kind) {
     case PlanStep::Kind::kMatchPositive: {
       const Atom& atom = premises[ps.premise_index].atom;
+      // The designated delta premise of a semi-naive rule version ranges
+      // over last round's newly derived tuples only. Premises *before* the
+      // designated one (in source order) range over the pre-delta relation
+      // (total minus delta): each instantiation touching k ≥ 1 delta
+      // tuples then fires exactly once, in the version designating its
+      // first delta premise, instead of k times. Later premises see the
+      // full (base + ext) relations.
+      const bool designated = ps.premise_index == ctx->delta_premise;
+      const bool exclude_delta = !designated && ctx->delta != nullptr &&
+                                 ps.premise_index < ctx->delta_premise;
       if (binding->Grounds(atom)) {
-        if (!Visible(*state, binding->Ground(atom))) return true;
-        return WalkPlan(premises, plan, step + 1, binding, state, sink);
+        Fact f = binding->Ground(atom);
+        bool holds = designated ? ctx->delta->Contains(f) : Visible(*state, f);
+        if (holds && exclude_delta && ctx->delta->Contains(f)) holds = false;
+        if (!holds) return true;
+        return WalkPlan(premises, plan, step + 1, binding, ctx, sink);
       }
       // The model can grow while we iterate (the sink inserts facts);
       // index-based iteration over the stable prefix is safe because
@@ -206,9 +308,13 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       Status error;
       bool stopped = false;
       auto try_tuple = [&](const Tuple& tuple) -> bool {
+        ++stats_.join_probes;
+        if (exclude_delta && ctx->delta->Contains(atom.predicate, tuple)) {
+          return true;
+        }
         if (!binding->MatchTuple(atom, tuple, &trail)) return true;
         StatusOr<bool> r =
-            WalkPlan(premises, plan, step + 1, binding, state, sink);
+            WalkPlan(premises, plan, step + 1, binding, ctx, sink);
         binding->Undo(&trail, 0);
         if (!r.ok()) {
           error = r.status();
@@ -220,7 +326,9 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
         }
         return true;
       };
-      if (ForEachBaseCandidate(*base_, atom, *binding, try_tuple)) {
+      if (designated) {
+        ForEachBaseCandidate(*ctx->delta, atom, *binding, try_tuple);
+      } else if (ForEachBaseCandidate(*base_, atom, *binding, try_tuple)) {
         ForEachBaseCandidate(state->ext, atom, *binding, try_tuple);
       }
       HYPO_RETURN_IF_ERROR(error);
@@ -232,7 +340,7 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       std::function<StatusOr<bool>(size_t)> enumerate =
           [&](size_t v) -> StatusOr<bool> {
         if (v == ps.enum_vars.size()) {
-          return WalkPlan(premises, plan, step + 1, binding, state, sink);
+          return WalkPlan(premises, plan, step + 1, binding, ctx, sink);
         }
         VarIndex var = ps.enum_vars[v];
         if (binding->IsBound(var)) return enumerate(v + 1);
@@ -262,14 +370,14 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       HYPO_ASSIGN_OR_RETURN(bool holds,
                             TestHypothetical(state, query, additions));
       if (!holds) return true;
-      return WalkPlan(premises, plan, step + 1, binding, state, sink);
+      return WalkPlan(premises, plan, step + 1, binding, ctx, sink);
     }
     case PlanStep::Kind::kNegated: {
       const Atom& atom = premises[ps.premise_index].atom;
       // Variables still unbound here occur only under negation: the
       // premise succeeds iff *no* instance is visible (∄ reading).
       if (ExistsMatch(*state, atom, binding)) return true;
-      return WalkPlan(premises, plan, step + 1, binding, state, sink);
+      return WalkPlan(premises, plan, step + 1, binding, ctx, sink);
     }
   }
   return Status::Internal("unknown plan step");
@@ -306,17 +414,30 @@ bool BottomUpEngine::ExistsMatch(const State& state, const Atom& atom,
     return Visible(state, binding->Ground(atom));
   }
   std::vector<VarIndex> trail;
-  for (const std::vector<Tuple>* source :
-       {&base_->TuplesFor(atom.predicate),
-        &state.ext.TuplesFor(atom.predicate)}) {
-    for (const Tuple& tuple : *source) {
-      if (binding->MatchTuple(atom, tuple, &trail)) {
-        binding->Undo(&trail, 0);
-        return true;
-      }
+  bool found = false;
+  auto probe = [&](const Tuple& tuple) -> bool {
+    ++stats_.join_probes;
+    if (binding->MatchTuple(atom, tuple, &trail)) {
+      binding->Undo(&trail, 0);
+      found = true;
+      return false;  // One witness suffices.
     }
+    return true;
+  };
+  if (ForEachBaseCandidate(*base_, atom, *binding, probe)) {
+    ForEachBaseCandidate(state.ext, atom, *binding, probe);
   }
-  return false;
+  return found;
+}
+
+const EngineStats& BottomUpEngine::stats() const {
+  // Index builds live in the Databases themselves: the shared base, each
+  // memoized state's model, and the per-round deltas already retired.
+  stats_.index_builds = retired_index_builds_ + base_->index_builds();
+  for (const auto& [key, state] : states_) {
+    stats_.index_builds += state->ext.index_builds();
+  }
+  return stats_;
 }
 
 StatusOr<bool> BottomUpEngine::ProveFact(const Fact& fact) {
@@ -331,15 +452,18 @@ StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
   Atom head = PseudoHead(query);
-  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  BodyPlan plan =
+      BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
   Binding binding(query.num_vars());
+  EvalCtx ctx;
+  ctx.state = top;
   bool found = false;
   auto sink = [&found](const Binding&) -> StatusOr<bool> {
     found = true;
     return false;  // Stop at the first witness.
   };
   HYPO_RETURN_IF_ERROR(
-      WalkPlan(query.premises, plan, 0, &binding, top, sink).status());
+      WalkPlan(query.premises, plan, 0, &binding, &ctx, sink).status());
   return found;
 }
 
@@ -348,8 +472,11 @@ StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
   Atom head = PseudoHead(query);
-  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  BodyPlan plan =
+      BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
   Binding binding(query.num_vars());
+  EvalCtx ctx;
+  ctx.state = top;
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<Tuple> answers;
   auto sink = [&](const Binding& b) -> StatusOr<bool> {
@@ -358,7 +485,7 @@ StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
     return true;
   };
   HYPO_RETURN_IF_ERROR(
-      WalkPlan(query.premises, plan, 0, &binding, top, sink).status());
+      WalkPlan(query.premises, plan, 0, &binding, &ctx, sink).status());
   return answers;
 }
 

@@ -50,8 +50,11 @@ class BottomUpEngine : public Engine {
   /// derived). Convenience for examples and tests.
   StatusOr<std::vector<Tuple>> FactsFor(PredicateId pred);
 
-  const EngineStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = EngineStats(); }
+  const EngineStats& stats() const override;
+  void ResetStats() override {
+    stats_ = EngineStats();
+    retired_index_builds_ = 0;
+  }
   std::string name() const override { return "bottom-up"; }
 
   /// Number of distinct database states currently memoized.
@@ -75,6 +78,29 @@ class BottomUpEngine : public Engine {
         : ext(std::move(symbols)) {}
   };
 
+  /// Static per-rule facts for the tuple-level semi-naive rewrite,
+  /// computed once at Init against the rule's own stratum.
+  struct RuleDeltaInfo {
+    /// Positive premises whose predicate can gain tuples during the
+    /// rule's stratum fixpoint; each is designated as the delta premise
+    /// of one rewritten rule version.
+    std::vector<int> delta_premises;
+    /// Queried predicates of hypothetical premises that live in the same
+    /// stratum: `A[add: C̄]` degenerates to a Visible(A) check when every
+    /// C is already present, so the premise can flip as A's relation
+    /// grows — such rules fall back to full re-evaluation in rounds
+    /// where one of these predicates changed.
+    std::vector<PredicateId> hypo_sensitive_preds;
+  };
+
+  /// Per-round evaluation context threaded through WalkPlan: the state
+  /// under construction plus the optional delta designation.
+  struct EvalCtx {
+    State* state = nullptr;
+    int delta_premise = -1;          // Designated premise index, or -1.
+    const Database* delta = nullptr; // Last round's newly derived tuples.
+  };
+
   /// True iff `fact` holds in `state` (base database or ext model).
   bool Visible(const State& state, const Fact& fact) const {
     return base_->Contains(fact) || state.ext.Contains(fact);
@@ -94,17 +120,19 @@ class BottomUpEngine : public Engine {
 
   Status ComputeModel(State* state);
 
-  /// Evaluates one rule over `state`, inserting derived heads into the
-  /// model; appends predicates that gained tuples to `changed`.
-  Status EvaluateRule(int rule_index, State* state,
-                      std::vector<PredicateId>* changed);
+  /// Evaluates one rule version over `ctx->state`, inserting derived
+  /// heads into the model; predicates that gained tuples go to `changed`
+  /// (a set: one entry per predicate per round, not per fact), and the
+  /// new facts themselves to `next_delta` when delta tracking is on.
+  Status EvaluateRule(int rule_index, EvalCtx* ctx, Database* next_delta,
+                      std::unordered_set<PredicateId>* changed);
 
   /// Recursive plan walker shared by rule evaluation and queries.
   /// `sink` returns false to stop enumeration early. The walker returns
   /// false iff the sink stopped it.
   StatusOr<bool> WalkPlan(const std::vector<Premise>& premises,
                           const BodyPlan& plan, size_t step,
-                          Binding* binding, State* state,
+                          Binding* binding, EvalCtx* ctx,
                           const std::function<StatusOr<bool>(
                               const Binding&)>& sink);
 
@@ -112,7 +140,8 @@ class BottomUpEngine : public Engine {
   StatusOr<bool> TestHypothetical(State* state, const Fact& query,
                                   const std::vector<Fact>& additions);
 
-  /// True iff some extension of `binding` matches `atom` in `state`.
+  /// True iff some extension of `binding` matches `atom` in `state`;
+  /// probes the generalized access paths on all bound columns.
   bool ExistsMatch(const State& state, const Atom& atom, Binding* binding);
 
   Status CheckLimits();
@@ -123,6 +152,7 @@ class BottomUpEngine : public Engine {
 
   NegationStrata strata_;
   std::vector<BodyPlan> rule_plans_;
+  std::vector<RuleDeltaInfo> rule_delta_info_;
   std::vector<ConstId> domain_;
   std::unordered_set<ConstId> domain_set_;
   std::vector<ConstId> extra_constants_;
@@ -130,7 +160,10 @@ class BottomUpEngine : public Engine {
   FactInterner interner_;
   std::unordered_map<StateKey, std::unique_ptr<State>, StateKeyHash> states_;
 
-  EngineStats stats_;
+  mutable EngineStats stats_;
+  /// Index builds on per-round delta relations already destroyed;
+  /// stats() adds the live databases' counts on top.
+  int64_t retired_index_builds_ = 0;
   bool initialized_ = false;
 };
 

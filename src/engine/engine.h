@@ -12,6 +12,22 @@
 
 namespace hypo {
 
+/// How the bottom-up fixpoints (BottomUpEngine per-state models, the
+/// StratifiedProver's Δ segments) re-apply rules round after round.
+enum class EvalStrategy {
+  /// Re-run every rule over the full relations each round. O(rounds ×
+  /// full-join); the ablation floor.
+  kNaive = 0,
+  /// Skip whole rules none of whose body predicates gained tuples in the
+  /// previous round, but still join full relations for the rest.
+  kRuleFilter = 1,
+  /// Tuple-level semi-naive: per-round delta relations, with each rule
+  /// instantiated once per changed positive premise, that premise ranging
+  /// over the delta only (the standard rewrite). BottomUpEngine only; the
+  /// StratifiedProver treats it as kRuleFilter.
+  kDeltaSeminaive = 2,
+};
+
 /// Evaluation limits and switches shared by the engines.
 struct EngineOptions {
   /// Maximum number of memoized database states before evaluation aborts
@@ -22,11 +38,9 @@ struct EngineOptions {
   /// Maximum number of goal expansions / rule firings before aborting.
   int64_t max_steps = 500'000'000;
 
-  /// BottomUpEngine: skip re-evaluating rules none of whose body
-  /// predicates changed in the previous fixpoint round (rule-level
-  /// semi-naive filtering). Off = naive evaluation, kept as an ablation
-  /// baseline for bench_engine.
-  bool seminaive = true;
+  /// Fixpoint evaluation strategy; kNaive and kRuleFilter are kept as
+  /// ablation baselines for bench_engine.
+  EvalStrategy eval_strategy = EvalStrategy::kDeltaSeminaive;
 
   /// Cross-check the overlay's incrementally interned context id against
   /// a from-scratch canonical key on every memoized goal lookup.
@@ -46,6 +60,11 @@ struct EngineStats {
 
   int64_t enumerations = 0;       // Domain-grounding loop iterations.
   int64_t domain_rebuilds = 0;    // Init() runs (1 + per-new-constant).
+
+  // Join machinery (delta semi-naive + generalized access paths).
+  int64_t delta_facts = 0;        // Tuples routed through per-round deltas.
+  int64_t join_probes = 0;        // Candidate tuples offered to matching.
+  int64_t index_builds = 0;       // Distinct (predicate, mask) indexes built.
 
   // Hypothetical-context interning (tabled / stratified provers).
   int64_t contexts_interned = 0;     // Distinct overlay states seen.

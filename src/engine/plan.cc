@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "db/database.h"
+
 namespace hypo {
 
 namespace {
@@ -25,14 +27,27 @@ int CountUnbound(const Atom& atom, const std::vector<bool>& bound) {
   return n;
 }
 
+/// Columns whose value is fixed before the premise runs (a constant or an
+/// already-bound variable): each one narrows the index probe.
+int CountBoundColumns(const Atom& atom, const std::vector<bool>& bound) {
+  int n = 0;
+  for (const Term& t : atom.args) {
+    if (t.is_const() || bound[t.var_index()]) ++n;
+  }
+  return n;
+}
+
 }  // namespace
 
 BodyPlan BodyPlan::Build(const std::vector<Premise>& premises,
-                         const Atom* head, int num_vars) {
+                         const Atom* head, int num_vars,
+                         const Database* db) {
   BodyPlan plan;
   std::vector<bool> bound(num_vars, false);
 
-  // 1. Positive premises, greedily most-bound-first.
+  // 1. Positive premises, greedily cheapest-first: fewest unbound
+  // variables, then most bound columns (index probes beat scans), then
+  // smallest stored relation, then source order.
   std::vector<int> positive;
   for (int i = 0; i < static_cast<int>(premises.size()); ++i) {
     if (premises[i].kind == PremiseKind::kPositive) positive.push_back(i);
@@ -41,12 +56,20 @@ BodyPlan BodyPlan::Build(const std::vector<Premise>& premises,
   for (size_t picked = 0; picked < positive.size(); ++picked) {
     int best = -1;
     int best_unbound = 0;
+    int best_cols = 0;
+    int best_count = 0;
     for (int i : positive) {
       if (used[i]) continue;
       int u = CountUnbound(premises[i].atom, bound);
-      if (best == -1 || u < best_unbound) {
+      int cols = CountBoundColumns(premises[i].atom, bound);
+      int count = db == nullptr ? 0 : db->CountFor(premises[i].atom.predicate);
+      if (best == -1 || u < best_unbound ||
+          (u == best_unbound &&
+           (cols > best_cols || (cols == best_cols && count < best_count)))) {
         best = i;
         best_unbound = u;
+        best_cols = cols;
+        best_count = count;
       }
     }
     used[best] = true;

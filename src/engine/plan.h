@@ -28,23 +28,32 @@ struct PlanStep {
   std::vector<VarIndex> enum_vars;   // For kEnumerateVars.
 };
 
+class Database;
+
 /// An ordered evaluation plan for a conjunction of premises.
 ///
-/// Step order: positive premises first (greedily, most-bound-first, so
-/// joins stay selective), then for each hypothetical premise an enumeration
-/// of its still-unbound variables followed by the test itself, then an
-/// enumeration of any unbound head variables, then the negated premises.
-/// Negated premises come last so that a variable shared with any binding
-/// premise is bound before the negation is tested, leaving the ∄ reading
-/// only for genuinely negation-local variables.
+/// Step order: positive premises first (greedily, by the cost model
+/// below, so joins stay selective), then for each hypothetical premise an
+/// enumeration of its still-unbound variables followed by the test
+/// itself, then an enumeration of any unbound head variables, then the
+/// negated premises. Negated premises come last so that a variable shared
+/// with any binding premise is bound before the negation is tested,
+/// leaving the ∄ reading only for genuinely negation-local variables.
+///
+/// Positive-premise cost model (greedy, lexicographic): fewest unbound
+/// variables first (selectivity), then most bound columns (an indexed
+/// probe beats a scan), then — when `db` is supplied — smallest stored
+/// relation, then source order for determinism.
 struct BodyPlan {
   std::vector<PlanStep> steps;
 
   /// Builds a plan for `premises` with `num_vars` rule-local variables.
   /// `head` (optional) contributes variables that must be enumerated if no
-  /// premise binds them.
+  /// premise binds them. `db` (optional) supplies extensional relation
+  /// cardinalities as an ordering tie-break.
   static BodyPlan Build(const std::vector<Premise>& premises,
-                        const Atom* head, int num_vars);
+                        const Atom* head, int num_vars,
+                        const Database* db = nullptr);
 };
 
 }  // namespace hypo

@@ -1,6 +1,8 @@
 #ifndef HYPO_ENGINE_SCAN_H_
 #define HYPO_ENGINE_SCAN_H_
 
+#include <algorithm>
+
 #include "ast/rule.h"
 #include "db/database.h"
 #include "db/overlay.h"
@@ -19,29 +21,63 @@ inline ConstId ResolvedFirstArg(const Atom& atom, const Binding& binding) {
                                         : kInvalidConst;
 }
 
+/// Computes the bound-column signature of `atom` under `binding`: the
+/// mask of columns whose value is already fixed (a constant, or a bound
+/// variable) and, in `key`, the fixed values in increasing column order.
+/// Columns past kMaxIndexedColumns are ignored (left to MatchTuple's
+/// post-filter). Returns 0 when no column is fixed.
+inline ColumnMask BoundSignature(const Atom& atom, const Binding& binding,
+                                 Tuple* key) {
+  ColumnMask mask = 0;
+  key->clear();
+  int limit = std::min<int>(static_cast<int>(atom.args.size()),
+                            kMaxIndexedColumns);
+  for (int i = 0; i < limit; ++i) {
+    const Term& t = atom.args[i];
+    if (t.is_const()) {
+      mask |= 1u << i;
+      key->push_back(t.const_id());
+    } else if (binding.IsBound(t.var_index())) {
+      mask |= 1u << i;
+      key->push_back(binding.Value(t.var_index()));
+    }
+  }
+  return mask;
+}
+
 /// Invokes `fn(tuple)` for each stored tuple of `atom`'s predicate in
-/// `db` that can possibly match: the first-argument index bucket when the
-/// first argument is bound, the full relation otherwise. `fn` returns
+/// `db` that can possibly match: the hash-index bucket for the full
+/// bound-column signature when any column is bound (built on demand by
+/// Database::ProbeIndex), the full relation otherwise. `fn` returns
 /// false to stop; ForEachBaseCandidate then returns false.
 ///
-/// Safe against concurrent growth of the relation (iterates by index over
-/// a stable prefix), matching the fixpoint loops' expectations.
+/// The scan is *snapshot-bounded*: only tuples stored when the scan
+/// started are visited, even though `fn` may insert into the same
+/// relation while the scan is in flight. This keeps fixpoint rounds
+/// honest (a round joins exactly the previous rounds' tuples, so the
+/// naive/rule-filter/delta strategies do comparable per-round work) and
+/// is realloc-safe: iteration indexes through the stable vector objects
+/// (relation and bucket nodes never move in their unordered_maps), never
+/// through a saved data pointer.
 template <typename Fn>
 bool ForEachBaseCandidate(const Database& db, const Atom& atom,
                           const Binding& binding, Fn&& fn) {
-  ConstId first = ResolvedFirstArg(atom, binding);
-  if (first != kInvalidConst) {
+  Tuple key;
+  ColumnMask mask = BoundSignature(atom, binding, &key);
+  if (mask != 0) {
     const std::vector<int>* subset =
-        db.TuplesWithFirstArg(atom.predicate, first);
+        db.ProbeIndex(atom.predicate, mask, key);
     if (subset == nullptr) return true;
     const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
-    for (size_t i = 0; i < subset->size(); ++i) {
+    const size_t n = subset->size();
+    for (size_t i = 0; i < n; ++i) {
       if (!fn(all[(*subset)[i]])) return false;
     }
     return true;
   }
   const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
-  for (size_t i = 0; i < all.size(); ++i) {
+  const size_t n = all.size();
+  for (size_t i = 0; i < n; ++i) {
     if (!fn(all[i])) return false;
   }
   return true;

@@ -56,7 +56,7 @@ Status StratifiedProver::Init() {
   rule_plans_.reserve(rulebase_->num_rules());
   for (const Rule& rule : rulebase_->rules()) {
     rule_plans_.push_back(
-        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars()));
+        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars(), base_));
   }
   domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
   domain_set_.clear();
@@ -131,6 +131,10 @@ const EngineStats& StratifiedProver::stats() const {
     stats_.contexts_interned = contexts.num_contexts();
     stats_.context_transitions = contexts.transitions();
     stats_.context_cache_hits = contexts.transition_hits();
+    stats_.index_builds = base_->index_builds();
+    for (const auto& [key, model] : delta_models_) {
+      stats_.index_builds += model->index_builds();
+    }
     stats_.memo_bytes =
         contexts.ApproxBytes() +
         static_cast<int64_t>(goal_memo_.size() *
@@ -263,7 +267,7 @@ StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
       std::vector<PredicateId> changed_now;
       for (int rule_index : substratum) {
         const Rule& rule = rulebase_->rule(rule_index);
-        if (options_.seminaive && !first_round) {
+        if (options_.eval_strategy != EvalStrategy::kNaive && !first_round) {
           bool relevant = false;
           for (const Premise& p : rule.premises) {
             if (changed_last_round.count(p.atom.predicate) > 0) {
@@ -438,6 +442,7 @@ StatusOr<bool> StratifiedProver::MatchPositive(
   Status error;
   bool stopped = false;
   auto try_tuple = [&](const Tuple& tuple) -> bool {
+    ++stats_.join_probes;
     if (!binding->MatchTuple(atom, tuple, &trail)) return true;
     StatusOr<bool> r = next();
     binding->Undo(&trail, 0);
@@ -522,6 +527,7 @@ bool StratifiedProver::ExistsStored(const Atom& atom, Binding* binding,
   std::vector<VarIndex> trail;
   bool found = false;
   auto probe = [&](const Tuple& tuple) -> bool {
+    ++stats_.join_probes;
     if (binding->MatchTuple(atom, tuple, &trail)) {
       binding->Undo(&trail, 0);
       found = true;
@@ -552,7 +558,8 @@ StatusOr<bool> StratifiedProver::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   Atom head = PseudoHead(query);
-  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  BodyPlan plan =
+      BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
   Binding binding(query.num_vars());
   EvalContext ctx;
   int min_pruned = INT_MAX;
@@ -571,7 +578,8 @@ StatusOr<std::vector<Tuple>> StratifiedProver::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   Atom head = PseudoHead(query);
-  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  BodyPlan plan =
+      BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
   Binding binding(query.num_vars());
   EvalContext ctx;
   int min_pruned = INT_MAX;

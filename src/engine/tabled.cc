@@ -53,7 +53,7 @@ Status TabledEngine::Init() {
   rule_plans_.reserve(rulebase_->num_rules());
   for (const Rule& rule : rulebase_->rules()) {
     rule_plans_.push_back(
-        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars()));
+        BodyPlan::Build(rule.premises, &rule.head, rule.num_vars(), base_));
   }
   domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
   domain_set_.clear();
@@ -118,6 +118,7 @@ TabledEngine::GoalKey TabledEngine::KeyFor(const Fact& goal) {
 }
 
 const EngineStats& TabledEngine::stats() const {
+  stats_.index_builds = base_->index_builds();
   if (overlay_ != nullptr) {
     const ContextInterner& contexts = overlay_->context_interner();
     stats_.contexts_interned = contexts.num_contexts();
@@ -211,6 +212,7 @@ StatusOr<bool> TabledEngine::WalkPlan(
         Status error;
         bool stopped = false;
         auto try_tuple = [&](const Tuple& tuple) -> bool {
+          ++stats_.join_probes;
           // Hypothetically deleted facts are masked, not removed.
           if (!overlay_->TupleVisible(atom.predicate, tuple)) return true;
           if (!binding->MatchTuple(atom, tuple, &trail)) return true;
@@ -355,7 +357,8 @@ StatusOr<bool> TabledEngine::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   Atom head = PseudoHead(query);
-  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  BodyPlan plan =
+      BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
   Binding binding(query.num_vars());
   int min_pruned = INT_MAX;
   bool found = false;
@@ -373,7 +376,8 @@ StatusOr<std::vector<Tuple>> TabledEngine::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   Atom head = PseudoHead(query);
-  BodyPlan plan = BodyPlan::Build(query.premises, &head, query.num_vars());
+  BodyPlan plan =
+      BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
   Binding binding(query.num_vars());
   int min_pruned = INT_MAX;
   std::unordered_set<Tuple, TupleHash> seen;

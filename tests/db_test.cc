@@ -89,6 +89,72 @@ TEST_F(DbTest, ClearEmpties) {
   EXPECT_TRUE(db_.constants().empty());
 }
 
+TEST_F(DbTest, FirstArgIndexFindsTuples) {
+  db_.Insert(MakeFact("edge", {"a", "b"}));
+  db_.Insert(MakeFact("edge", {"c", "d"}));
+  db_.Insert(MakeFact("edge", {"a", "d"}));
+  PredicateId edge = symbols_->FindPredicate("edge");
+  ConstId a = symbols_->FindConst("a");
+  const std::vector<int>* bucket = db_.TuplesWithFirstArg(edge, a);
+  ASSERT_NE(bucket, nullptr);
+  ASSERT_EQ(bucket->size(), 2u);
+  const auto& all = db_.TuplesFor(edge);
+  EXPECT_EQ(all[(*bucket)[0]][0], a);
+  EXPECT_EQ(all[(*bucket)[1]][0], a);
+}
+
+TEST_F(DbTest, ProbeIndexOnAnyColumnMask) {
+  db_.Insert(MakeFact("t", {"a", "x"}));
+  db_.Insert(MakeFact("t", {"b", "x"}));
+  db_.Insert(MakeFact("t", {"a", "y"}));
+  PredicateId t = symbols_->FindPredicate("t");
+  ConstId x = symbols_->FindConst("x");
+  ConstId a = symbols_->FindConst("a");
+
+  // Second column only (mask 0b10).
+  const std::vector<int>* by_second = db_.ProbeIndex(t, 0b10, {x});
+  ASSERT_NE(by_second, nullptr);
+  ASSERT_EQ(by_second->size(), 2u);
+  const auto& all = db_.TuplesFor(t);
+  for (int pos : *by_second) EXPECT_EQ(all[pos][1], x);
+
+  // Both columns (mask 0b11): a unique tuple.
+  const std::vector<int>* exact = db_.ProbeIndex(t, 0b11, {a, x});
+  ASSERT_NE(exact, nullptr);
+  ASSERT_EQ(exact->size(), 1u);
+  EXPECT_EQ(all[(*exact)[0]], (Tuple{a, x}));
+
+  // A key with no matching tuples yields null, and probing an unknown
+  // predicate is harmless.
+  ConstId b = symbols_->FindConst("b");
+  EXPECT_EQ(db_.ProbeIndex(t, 0b11, {b, symbols_->FindConst("y")}),
+            nullptr);
+  EXPECT_EQ(db_.ProbeIndex(999999, 0b1, {a}), nullptr);
+}
+
+TEST_F(DbTest, ProbeIndexExtendsLazilyAsRelationGrows) {
+  db_.Insert(MakeFact("p", {"a", "x"}));
+  PredicateId p = symbols_->FindPredicate("p");
+  ConstId x = symbols_->FindConst("x");
+  ASSERT_EQ(db_.ProbeIndex(p, 0b10, {x})->size(), 1u);
+  int64_t builds = db_.index_builds();
+
+  // Tuples inserted after the index was built show up on the next probe
+  // without a rebuild: the index is extended incrementally.
+  db_.Insert(MakeFact("p", {"b", "x"}));
+  const std::vector<int>* bucket = db_.ProbeIndex(p, 0b10, {x});
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 2u);
+  EXPECT_EQ(db_.index_builds(), builds)
+      << "re-probing the same (predicate, mask) must not count as a build";
+
+  // A different mask on the same relation is a distinct index.
+  ConstId a = symbols_->FindConst("a");
+  ASSERT_NE(db_.ProbeIndex(p, 0b01, {a}), nullptr);
+  EXPECT_EQ(db_.index_builds(), builds + 1);
+  EXPECT_EQ(db_.index_probes(), 3);
+}
+
 TEST_F(DbTest, FactToStringFormats) {
   Fact f = MakeFact("edge", {"a", "b"});
   EXPECT_EQ(FactToString(f, *symbols_), "edge(a, b)");

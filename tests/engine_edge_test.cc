@@ -77,17 +77,19 @@ TEST_F(EngineEdgeTest, MemoReuseAcrossQueries) {
   EXPECT_GT(prover.stats().memo_hits, 0);
 }
 
-TEST_F(EngineEdgeTest, SemiNaiveFlagDoesNotChangeAnswers) {
+TEST_F(EngineEdgeTest, EvalStrategyDoesNotChangeAnswers) {
   ProgramFixture fixture = MakeParityFixture(5);
-  for (bool seminaive : {false, true}) {
+  for (EvalStrategy strategy :
+       {EvalStrategy::kNaive, EvalStrategy::kRuleFilter,
+        EvalStrategy::kDeltaSeminaive}) {
     EngineOptions options;
-    options.seminaive = seminaive;
+    options.eval_strategy = strategy;
     BottomUpEngine engine(&fixture.rules, &fixture.db, options);
     Fact odd;
     odd.predicate = fixture.symbols->FindPredicate("odd");
     auto r = engine.ProveFact(odd);
     ASSERT_TRUE(r.ok()) << r.status();
-    EXPECT_TRUE(*r) << "seminaive=" << seminaive;
+    EXPECT_TRUE(*r) << "strategy=" << static_cast<int>(strategy);
   }
 }
 
