@@ -109,6 +109,99 @@ void BM_ChainReachFixpoint(benchmark::State& state) {
 BENCHMARK(BM_ChainReachFixpoint)
     ->ArgsProduct({{0, 1, 2}, {64, 256, 1024}});
 
+/// A forest of `k` disjoint chains of length `len`: node `c<i>_<j>` is
+/// the j-th node of chain i. Eager transitive closure must close every
+/// chain (k * len^2 / 2 facts); a query bound to chain 0's source only
+/// demands that one chain.
+ProgramFixture MakeChainForest(int k, int len, int gap = -1) {
+  ProgramFixture fixture;
+  auto rules = ParseRuleBase(
+      "t(X, Y) <- edge(X, Y).\n"
+      "t(X, Y) <- t(X, Z), edge(Z, Y).\n",
+      fixture.symbols);
+  HYPO_CHECK(rules.ok()) << rules.status();
+  fixture.rules = std::move(rules).value();
+  for (int i = 0; i < k; ++i) {
+    const std::string c = "c" + std::to_string(i) + "_";
+    for (int j = 0; j + 1 < len; ++j) {
+      if (i == 0 && j == gap) continue;  // Chain 0 may have a gap.
+      HYPO_CHECK(fixture.db
+                     .Insert("edge", {c + std::to_string(j),
+                                      c + std::to_string(j + 1)})
+                     .ok());
+    }
+  }
+  return fixture;
+}
+
+/// Demand ablation (EngineOptions::demand): a ground transitive-closure
+/// query over a chain forest. Eager evaluation closes all k chains; the
+/// magic-set rewrite touches only the demanded source's chain, so the
+/// gap scales with k.
+void BM_DemandBoundClosure(benchmark::State& state) {
+  bool demand = state.range(0) != 0;
+  int k = static_cast<int>(state.range(1));
+  const int len = 64;
+  ProgramFixture fixture = MakeChainForest(k, len);
+  EngineOptions options;
+  options.demand = demand;
+  Query query = bench::MustParseQuery(
+      fixture, "t(c0_0, c0_" + std::to_string(len - 1) + ")");
+  int64_t facts = 0;
+  int64_t magic = 0;
+  for (auto _ : state) {
+    BottomUpEngine engine(&fixture.rules, &fixture.db, options);
+    auto got = engine.ProveQuery(query);
+    HYPO_CHECK(got.ok() && *got) << got.status();
+    benchmark::DoNotOptimize(*got);
+    facts = engine.stats().facts_derived;
+    magic = engine.stats().magic_facts;
+  }
+  state.counters["facts_derived"] = static_cast<double>(facts);
+  state.counters["magic_facts"] = static_cast<double>(magic);
+  state.SetLabel(std::string(demand ? "demand" : "eager") +
+                 " bound closure forest k=" + std::to_string(k));
+}
+BENCHMARK(BM_DemandBoundClosure)->ArgsProduct({{0, 1}, {4, 16, 64}});
+
+/// Demand ablation on a ground hypothetical query: chain 0 of the
+/// forest has a gap in the middle and the query asks whether one added
+/// edge bridges it. The child state `DB + edge` is demand-seeded with
+/// the queried atom, so only the source's chain of the hypothetical
+/// world is computed — eager evaluation closes all k chains twice (base
+/// state and child state).
+void BM_DemandHypotheticalBridge(benchmark::State& state) {
+  bool demand = state.range(0) != 0;
+  int k = static_cast<int>(state.range(1));
+  const int len = 64;
+  const int gap = len / 2;
+  ProgramFixture fixture = MakeChainForest(k, len, gap);
+  EngineOptions options;
+  options.demand = demand;
+  Query query = bench::MustParseQuery(
+      fixture, "t(c0_0, c0_" + std::to_string(len - 1) + ")[add: edge(c0_" +
+                   std::to_string(gap) + ", c0_" + std::to_string(gap + 1) +
+                   ")]");
+  int64_t facts = 0;
+  int64_t magic = 0;
+  int64_t states = 0;
+  for (auto _ : state) {
+    BottomUpEngine engine(&fixture.rules, &fixture.db, options);
+    auto got = engine.ProveQuery(query);
+    HYPO_CHECK(got.ok() && *got) << got.status();
+    benchmark::DoNotOptimize(*got);
+    facts = engine.stats().facts_derived;
+    magic = engine.stats().magic_facts;
+    states = engine.num_states();
+  }
+  state.counters["facts_derived"] = static_cast<double>(facts);
+  state.counters["magic_facts"] = static_cast<double>(magic);
+  state.counters["db_states"] = static_cast<double>(states);
+  state.SetLabel(std::string(demand ? "demand" : "eager") +
+                 " hypothetical bridge forest k=" + std::to_string(k));
+}
+BENCHMARK(BM_DemandHypotheticalBridge)->ArgsProduct({{0, 1}, {4, 16, 64}});
+
 void BM_FrameAxiomModels(benchmark::State& state) {
   // The §5.1 frame axioms stress the Δ-model fixpoint inside the
   // stratified prover: one Δ model per machine step. The prover supports

@@ -1,6 +1,7 @@
 // hypo_cli: evaluate hypothetical-Datalog programs from the command line.
 //
 //   hypo_cli PROGRAM.hdl [-q QUERY]... [--engine tabled|stratified|bottomup]
+//   hypo_cli PROGRAM.hdl -q "..." --engine bottomup --demand  # magic sets
 //   hypo_cli PROGRAM.hdl --explain  # print the linear stratification
 //   hypo_cli PROGRAM.hdl --proof -q "grad(tony)"   # print a derivation
 //   hypo_cli PROGRAM.hdl            # interactive: one query per line
@@ -31,11 +32,15 @@ using namespace hypo;
 
 std::unique_ptr<Engine> MakeEngineByName(const std::string& name,
                                          const RuleBase* rules,
-                                         const Database* db) {
+                                         const Database* db, bool demand) {
   if (name == "stratified") {
     return std::make_unique<StratifiedProver>(rules, db);
   }
-  if (name == "bottomup") return std::make_unique<BottomUpEngine>(rules, db);
+  if (name == "bottomup") {
+    EngineOptions options;
+    options.demand = demand;
+    return std::make_unique<BottomUpEngine>(rules, db, options);
+  }
   return std::make_unique<TabledEngine>(rules, db);
 }
 
@@ -95,7 +100,7 @@ int RunQuery(Engine* engine, SymbolTable* symbols, const std::string& text) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
-              << " PROGRAM.hdl [-q QUERY]... [--engine NAME]\n";
+              << " PROGRAM.hdl [-q QUERY]... [--engine NAME] [--demand]\n";
     return 2;
   }
   std::string program_path;
@@ -103,12 +108,15 @@ int main(int argc, char** argv) {
   std::string engine_name = "tabled";
   bool explain = false;
   bool proof = false;
+  bool demand = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "-q" && i + 1 < argc) {
       queries.emplace_back(argv[++i]);
     } else if (arg == "--engine" && i + 1 < argc) {
       engine_name = argv[++i];
+    } else if (arg == "--demand") {
+      demand = true;
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--proof") {
@@ -143,8 +151,12 @@ int main(int argc, char** argv) {
     if (queries.empty()) return 0;
   }
 
-  auto engine =
-      MakeEngineByName(engine_name, &program->rules, &program->facts);
+  if (demand && engine_name != "bottomup") {
+    std::cerr << "--demand requires --engine bottomup\n";
+    return 2;
+  }
+  auto engine = MakeEngineByName(engine_name, &program->rules,
+                                 &program->facts, demand);
   if (Status s = engine->Init(); !s.ok()) {
     std::cerr << "engine init (" << engine->name() << "): " << s << "\n";
     return 1;

@@ -1,0 +1,288 @@
+#include "analysis/demand_transform.h"
+
+#include <algorithm>
+#include <string>
+
+#include "base/logging.h"
+
+namespace hypo {
+
+namespace {
+
+constexpr int kMaxAdornedColumns = 32;
+
+/// The site mask of `atom` given the currently bound variables: bit i set
+/// iff argument i is a constant or a bound variable (first 32 args only).
+AdornMask SiteMask(const Atom& atom, const std::vector<bool>& bound_vars) {
+  AdornMask mask = 0;
+  const int limit = std::min<int>(static_cast<int>(atom.args.size()),
+                                  kMaxAdornedColumns);
+  for (int i = 0; i < limit; ++i) {
+    const Term& t = atom.args[i];
+    if (t.is_const() ||
+        (t.var_index() < static_cast<int>(bound_vars.size()) &&
+         bound_vars[t.var_index()])) {
+      mask |= 1u << i;
+    }
+  }
+  return mask;
+}
+
+bool AtomTouchesBound(const Atom& atom, const std::vector<bool>& bound) {
+  for (const Term& t : atom.args) {
+    if (t.is_const() || bound[t.var_index()]) return true;
+  }
+  return false;
+}
+
+void BindAtomVars(const Atom& atom, std::vector<bool>* bound) {
+  for (const Term& t : atom.args) {
+    if (t.is_var()) (*bound)[t.var_index()] = true;
+  }
+}
+
+/// The extensional-only sideways pass for one rule: starting from the
+/// head arguments selected by `head_mask`, repeatedly absorbs positive
+/// extensional premises that share a constant or bound argument, binding
+/// their variables. Returns the bound-variable set and (optionally) the
+/// indices of the absorbed EDB premises — exactly the premises a magic
+/// propagation rule may join on without risking new stratification cycles.
+std::vector<bool> EdbBoundClosure(const RuleBase& rulebase, const Rule& rule,
+                                  AdornMask head_mask,
+                                  std::vector<int>* used_edb) {
+  std::vector<bool> bound(rule.num_vars(), false);
+  const int limit = std::min<int>(static_cast<int>(rule.head.args.size()),
+                                  kMaxAdornedColumns);
+  for (int i = 0; i < limit; ++i) {
+    if ((head_mask & (1u << i)) == 0) continue;
+    const Term& t = rule.head.args[i];
+    if (t.is_var()) bound[t.var_index()] = true;
+  }
+  std::vector<bool> used(rule.premises.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < rule.premises.size(); ++i) {
+      if (used[i]) continue;
+      const Premise& p = rule.premises[i];
+      if (p.kind != PremiseKind::kPositive) continue;
+      if (rulebase.IsDefined(p.atom.predicate)) continue;
+      if (!AtomTouchesBound(p.atom, bound)) continue;
+      used[i] = true;
+      BindAtomVars(p.atom, &bound);
+      changed = true;
+    }
+  }
+  if (used_edb != nullptr) {
+    used_edb->clear();
+    for (size_t i = 0; i < rule.premises.size(); ++i) {
+      if (used[i]) used_edb->push_back(static_cast<int>(i));
+    }
+  }
+  return bound;
+}
+
+/// Projects `atom`'s arguments at the positions of `mask` into a magic
+/// head/guard atom for `magic_pred`.
+Atom ProjectAtom(const Atom& atom, AdornMask mask, PredicateId magic_pred) {
+  Atom out;
+  out.predicate = magic_pred;
+  const int limit = std::min<int>(static_cast<int>(atom.args.size()),
+                                  kMaxAdornedColumns);
+  for (int i = 0; i < limit; ++i) {
+    if (mask & (1u << i)) out.args.push_back(atom.args[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void DemandProfile::EnsureSize(PredicateId pred) {
+  if (pred >= static_cast<int>(mode_.size())) {
+    mode_.resize(pred + 1, DemandMode::kNone);
+    adornment_.resize(pred + 1, 0);
+  }
+}
+
+bool DemandProfile::Join(PredicateId pred, AdornMask bound_mask,
+                         std::vector<PredicateId>* worklist) {
+  EnsureSize(pred);
+  // Positions beyond the predicate's arity can never be bound; clamp so a
+  // stray mask does not produce phantom adorned columns.
+  const int arity = rulebase_->symbols().PredicateArity(pred);
+  if (arity < kMaxAdornedColumns) {
+    bound_mask &= (arity == 0) ? 0u : ((1u << arity) - 1u);
+  }
+  switch (mode_[pred]) {
+    case DemandMode::kFull:
+      return false;  // Already top of the lattice.
+    case DemandMode::kNone: {
+      ++num_demanded_;
+      mode_[pred] = bound_mask == 0 ? DemandMode::kFull : DemandMode::kMagic;
+      adornment_[pred] = bound_mask;
+      worklist->push_back(pred);
+      return true;
+    }
+    case DemandMode::kMagic: {
+      AdornMask joined = adornment_[pred] & bound_mask;
+      if (joined == adornment_[pred]) return false;
+      adornment_[pred] = joined;
+      if (joined == 0) mode_[pred] = DemandMode::kFull;
+      worklist->push_back(pred);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DemandProfile::AddDemand(PredicateId pred, AdornMask bound_mask) {
+  if (pred < 0 || !rulebase_->IsDefined(pred)) return false;
+  std::vector<PredicateId> worklist;
+  bool widened = Join(pred, bound_mask, &worklist);
+  while (!worklist.empty()) {
+    PredicateId head = worklist.back();
+    worklist.pop_back();
+    const AdornMask head_mask =
+        mode_[head] == DemandMode::kMagic ? adornment_[head] : 0;
+    for (int rule_index : rulebase_->DefinitionOf(head)) {
+      const Rule& rule = rulebase_->rule(rule_index);
+      std::vector<bool> bound =
+          EdbBoundClosure(*rulebase_, rule, head_mask, nullptr);
+      for (const Premise& p : rule.premises) {
+        PredicateId q = p.atom.predicate;
+        if (!rulebase_->IsDefined(q)) continue;
+        if (p.kind == PremiseKind::kNegated) {
+          // Tekle-Liu: demand under negation is full demand for the
+          // negated predicate's stratum slice (its own body demands
+          // propagate from here with an empty adornment).
+          widened |= Join(q, 0, &worklist);
+        } else {
+          widened |= Join(q, SiteMask(p.atom, bound), &worklist);
+        }
+      }
+    }
+  }
+  return widened;
+}
+
+StatusOr<DemandProgram> BuildDemandProgram(const RuleBase& rulebase,
+                                           const DemandProfile& profile) {
+  DemandProgram program(rulebase.symbols_ptr());
+  SymbolTable* symbols = program.rules.mutable_symbols();
+  program.magic_of.assign(symbols->num_predicates(), kInvalidPredicate);
+
+  // Intern a magic predicate per kMagic predicate. The adornment is part
+  // of the name so a later profile widening (which shrinks adornments)
+  // gets a fresh predicate while an unchanged one is reused — reuse keeps
+  // previously seeded magic facts in memoized states meaningful.
+  for (PredicateId pred = 0;
+       pred < static_cast<int>(program.magic_of.size()); ++pred) {
+    if (profile.mode(pred) != DemandMode::kMagic) continue;
+    AdornMask mask = profile.adornment(pred);
+    std::string name = "__magic_" + symbols->PredicateName(pred) + "_" +
+                       std::to_string(mask);
+    HYPO_ASSIGN_OR_RETURN(
+        PredicateId magic,
+        symbols->InternPredicate(name, __builtin_popcount(mask)));
+    if (static_cast<int>(program.magic_of.size()) <= magic) {
+      program.magic_of.resize(magic + 1, kInvalidPredicate);
+    }
+    program.magic_of[pred] = magic;
+    program.magic_preds.insert(magic);
+  }
+
+  std::vector<int> used_edb;
+  for (const Rule& rule : rulebase.rules()) {
+    const PredicateId head = rule.head.predicate;
+    const DemandMode head_mode = profile.mode(head);
+    if (head_mode == DemandMode::kNone) continue;  // Rule dropped.
+
+    const AdornMask head_mask =
+        head_mode == DemandMode::kMagic ? profile.adornment(head) : 0;
+    std::vector<bool> bound =
+        EdbBoundClosure(rulebase, rule, head_mask, &used_edb);
+
+    Atom guard;  // Valid only when the head is magic-guarded.
+    if (head_mode == DemandMode::kMagic) {
+      guard = ProjectAtom(rule.head, head_mask, program.magic_of[head]);
+    }
+
+    // The guarded (or copied) rule version.
+    Rule guarded;
+    guarded.head = rule.head;
+    guarded.var_names = rule.var_names;
+    if (head_mode == DemandMode::kMagic) {
+      guarded.premises.push_back(Premise::Positive(guard));
+    }
+    for (const Premise& p : rule.premises) guarded.premises.push_back(p);
+    program.rules.AddRule(std::move(guarded));
+
+    // Magic propagation rules for kMagic body occurrences (positive and
+    // hypothetical queried atoms; negated ones are kFull by construction).
+    for (const Premise& p : rule.premises) {
+      if (p.kind == PremiseKind::kNegated) continue;
+      PredicateId q = p.atom.predicate;
+      if (profile.mode(q) != DemandMode::kMagic) continue;
+      AdornMask qmask = profile.adornment(q) & SiteMask(p.atom, bound);
+      // The profile guarantees adornment(q) is a subset of this site's
+      // mask (it is an intersection over all sites), so the projection
+      // below only sees bound positions.
+      HYPO_DCHECK(qmask == profile.adornment(q))
+          << "demand profile out of sync with rulebase";
+      Rule magic_rule;
+      magic_rule.head = ProjectAtom(p.atom, qmask, program.magic_of[q]);
+      magic_rule.var_names = rule.var_names;
+      if (head_mode == DemandMode::kMagic) {
+        magic_rule.premises.push_back(Premise::Positive(guard));
+      }
+      for (int i : used_edb) {
+        magic_rule.premises.push_back(rule.premises[i]);
+      }
+      // Skip the degenerate self-loop `__magic_p(x) <- __magic_p(x)`
+      // produced by left-linear recursion: it can derive nothing new.
+      if (magic_rule.premises.size() == 1 &&
+          magic_rule.premises[0].atom == magic_rule.head) {
+        continue;
+      }
+      program.rules.AddRule(std::move(magic_rule));
+    }
+  }
+  return program;
+}
+
+std::optional<Fact> MagicSeedForFact(const DemandProfile& profile,
+                                     const DemandProgram& program,
+                                     const Fact& goal) {
+  if (profile.mode(goal.predicate) != DemandMode::kMagic) return std::nullopt;
+  const AdornMask mask = profile.adornment(goal.predicate);
+  Fact seed;
+  seed.predicate = program.MagicOf(goal.predicate);
+  HYPO_DCHECK(seed.predicate != kInvalidPredicate);
+  const int limit = std::min<int>(static_cast<int>(goal.args.size()),
+                                  kMaxAdornedColumns);
+  for (int i = 0; i < limit; ++i) {
+    if (mask & (1u << i)) seed.args.push_back(goal.args[i]);
+  }
+  return seed;
+}
+
+std::optional<Fact> MagicSeedForAtom(const DemandProfile& profile,
+                                     const DemandProgram& program,
+                                     const Atom& atom) {
+  if (profile.mode(atom.predicate) != DemandMode::kMagic) return std::nullopt;
+  const AdornMask mask = profile.adornment(atom.predicate);
+  Fact seed;
+  seed.predicate = program.MagicOf(atom.predicate);
+  HYPO_DCHECK(seed.predicate != kInvalidPredicate);
+  const int limit = std::min<int>(static_cast<int>(atom.args.size()),
+                                  kMaxAdornedColumns);
+  for (int i = 0; i < limit; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    HYPO_DCHECK(atom.args[i].is_const())
+        << "adorned position of a demanded query atom must be a constant";
+    seed.args.push_back(atom.args[i].const_id());
+  }
+  return seed;
+}
+
+}  // namespace hypo

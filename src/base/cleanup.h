@@ -1,0 +1,42 @@
+#ifndef HYPO_BASE_CLEANUP_H_
+#define HYPO_BASE_CLEANUP_H_
+
+#include <utility>
+
+namespace hypo {
+
+/// Runs a callable at scope exit unless cancelled — the minimal
+/// absl::Cleanup. The engines use it to guarantee that transient memo
+/// entries (e.g. a goal marked "in progress" on the DFS stack) are rolled
+/// back on *every* exit path, including early error returns from
+/// HYPO_RETURN_IF_ERROR; leaking one poisons later queries on the same
+/// engine (a dead on-stack entry reads as a circular derivation).
+template <typename F>
+class Cleanup {
+ public:
+  explicit Cleanup(F fn) : fn_(std::move(fn)) {}
+  ~Cleanup() {
+    if (armed_) fn_();
+  }
+
+  Cleanup(const Cleanup&) = delete;
+  Cleanup& operator=(const Cleanup&) = delete;
+  Cleanup(Cleanup&& other) : fn_(std::move(other.fn_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+  Cleanup& operator=(Cleanup&&) = delete;
+
+  /// Disarms the guard: the callable will not run.
+  void Cancel() { armed_ = false; }
+
+ private:
+  F fn_;
+  bool armed_ = true;
+};
+
+template <typename F>
+Cleanup(F) -> Cleanup<F>;
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_CLEANUP_H_

@@ -35,6 +35,25 @@ Atom PseudoHead(const Query& query) {
   return head;
 }
 
+/// The demand mask a query-root atom contributes: its constant argument
+/// positions (variables are free at the root — bindings flowing in from
+/// sibling premises are not adornments, so this is conservative).
+AdornMask ConstMask(const Atom& atom) {
+  AdornMask mask = 0;
+  const int limit =
+      std::min<int>(static_cast<int>(atom.args.size()), kMaxIndexedColumns);
+  for (int i = 0; i < limit; ++i) {
+    if (atom.args[i].is_const()) mask |= 1u << i;
+  }
+  return mask;
+}
+
+/// All-positions-bound mask for a ground fact probe.
+AdornMask GroundMask(size_t arity) {
+  if (arity >= static_cast<size_t>(kMaxIndexedColumns)) return ~0u;
+  return arity == 0 ? 0u : ((1u << arity) - 1u);
+}
+
 }  // namespace
 
 BottomUpEngine::BottomUpEngine(const RuleBase* rulebase, const Database* db,
@@ -52,10 +71,30 @@ Status BottomUpEngine::Init() {
         "TabledEngine; the eager engine's state lattice relies on states "
         "only growing");
   }
-  HYPO_ASSIGN_OR_RETURN(strata_, ComputeNegationStrata(*rulebase_));
+  // The *original* program must stratify even when demand will evaluate
+  // the rewrite (the rewrite only adds positive dependencies on fresh
+  // magic predicates, so it stratifies whenever the original does).
+  HYPO_RETURN_IF_ERROR(ComputeNegationStrata(*rulebase_).status());
+  if (options_.demand && demand_profile_ == nullptr) {
+    demand_profile_ = std::make_unique<DemandProfile>(rulebase_);
+  }
+  HYPO_RETURN_IF_ERROR(RebuildActivePlans());
+
+  domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
+  domain_set_.clear();
+  domain_set_.insert(domain_.begin(), domain_.end());
+  states_.clear();
+  ++stats_.domain_rebuilds;
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status BottomUpEngine::RebuildActivePlans() {
+  const RuleBase& program = active();
+  HYPO_ASSIGN_OR_RETURN(strata_, ComputeNegationStrata(program));
   rule_plans_.clear();
-  rule_plans_.reserve(rulebase_->num_rules());
-  for (const Rule& rule : rulebase_->rules()) {
+  rule_plans_.reserve(program.num_rules());
+  for (const Rule& rule : program.rules()) {
     rule_plans_.push_back(
         BodyPlan::Build(rule.premises, &rule.head, rule.num_vars(), base_));
   }
@@ -66,13 +105,13 @@ Status BottomUpEngine::Init() {
   std::vector<std::unordered_set<PredicateId>> changing(strata_.num_strata);
   for (int s = 0; s < strata_.num_strata; ++s) {
     for (int r : strata_.rules_by_stratum[s]) {
-      changing[s].insert(rulebase_->rule(r).head.predicate);
+      changing[s].insert(program.rule(r).head.predicate);
     }
   }
-  rule_delta_info_.assign(rulebase_->num_rules(), RuleDeltaInfo{});
+  rule_delta_info_.assign(program.num_rules(), RuleDeltaInfo{});
   for (int s = 0; s < strata_.num_strata; ++s) {
     for (int r : strata_.rules_by_stratum[s]) {
-      const Rule& rule = rulebase_->rule(r);
+      const Rule& rule = program.rule(r);
       RuleDeltaInfo& info = rule_delta_info_[r];
       for (int i = 0; i < static_cast<int>(rule.premises.size()); ++i) {
         const Premise& p = rule.premises[i];
@@ -87,13 +126,84 @@ Status BottomUpEngine::Init() {
       }
     }
   }
+  return Status::OK();
+}
 
-  domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
-  domain_set_.clear();
-  domain_set_.insert(domain_.begin(), domain_.end());
-  states_.clear();
-  ++stats_.domain_rebuilds;
-  initialized_ = true;
+Status BottomUpEngine::RefreshDemandProgram(bool widened) {
+  if (demand_program_ != nullptr && !widened) return Status::OK();
+  HYPO_ASSIGN_OR_RETURN(DemandProgram program,
+                        BuildDemandProgram(*rulebase_, *demand_profile_));
+  demand_program_ = std::make_unique<DemandProgram>(std::move(program));
+  // Memoized states are kept: demand only widens, so their models hold
+  // true facts of a subset of the new demanded slice. The version bump
+  // makes MaterializeState re-extend each one lazily on its next touch.
+  ++demand_version_;
+  return RebuildActivePlans();
+}
+
+int BottomUpEngine::StratumCap(PredicateId pred) const {
+  if (!active().IsDefined(pred)) return -1;  // Extensional: no rules run.
+  if (pred < 0 ||
+      pred >= static_cast<int>(strata_.stratum_of_pred.size())) {
+    return strata_.num_strata - 1;
+  }
+  return strata_.stratum_of_pred[pred];
+}
+
+Status BottomUpEngine::PrepareFactDemand(const Fact& fact,
+                                         std::vector<Fact>* seeds,
+                                         int* through) {
+  if (!options_.demand) {
+    *through = strata_.num_strata - 1;
+    return Status::OK();
+  }
+  bool widened = demand_program_ == nullptr;
+  if (rulebase_->IsDefined(fact.predicate)) {
+    widened |= demand_profile_->AddDemand(fact.predicate,
+                                          GroundMask(fact.args.size()));
+  }
+  HYPO_RETURN_IF_ERROR(RefreshDemandProgram(widened));
+  *through = StratumCap(fact.predicate);
+  if (auto seed = MagicSeedForFact(*demand_profile_, *demand_program_, fact)) {
+    seeds->push_back(std::move(*seed));
+  }
+  return Status::OK();
+}
+
+Status BottomUpEngine::PrepareQueryDemand(const Query& query,
+                                          std::vector<Fact>* seeds,
+                                          int* through) {
+  if (!options_.demand) {
+    *through = strata_.num_strata - 1;
+    return Status::OK();
+  }
+  bool widened = demand_program_ == nullptr;
+  for (const Premise& p : query.premises) {
+    if (!rulebase_->IsDefined(p.atom.predicate)) continue;
+    if (p.kind == PremiseKind::kNegated) {
+      // ~A at the root needs A's complete relation (Tekle-Liu).
+      widened |= demand_profile_->AddFullDemand(p.atom.predicate);
+    } else {
+      widened |= demand_profile_->AddDemand(p.atom.predicate,
+                                            ConstMask(p.atom));
+    }
+  }
+  HYPO_RETURN_IF_ERROR(RefreshDemandProgram(widened));
+  int cap = -1;
+  for (const Premise& p : query.premises) {
+    if (!rulebase_->IsDefined(p.atom.predicate)) continue;
+    // Hypothetical premises are included: when the additions turn out to
+    // be already-present facts the test degenerates to a check against
+    // *this* state's model (non-degenerate tests seed the child state in
+    // TestHypothetical instead).
+    cap = std::max(cap, StratumCap(p.atom.predicate));
+    if (p.kind == PremiseKind::kNegated) continue;  // kFull: no seed.
+    if (auto seed =
+            MagicSeedForAtom(*demand_profile_, *demand_program_, p.atom)) {
+      seeds->push_back(std::move(*seed));
+    }
+  }
+  *through = cap;
   return Status::OK();
 }
 
@@ -132,7 +242,8 @@ Status BottomUpEngine::CheckLimits() {
         "evaluation exceeded max_states = " +
         std::to_string(options_.max_states));
   }
-  if (stats_.goals_expanded > options_.max_steps) {
+  if (stats_.goals_expanded > options_.max_steps ||
+      stats_.enumerations > options_.max_steps) {
     return Status::ResourceExhausted(
         "evaluation exceeded max_steps = " +
         std::to_string(options_.max_steps));
@@ -141,30 +252,56 @@ Status BottomUpEngine::CheckLimits() {
 }
 
 StatusOr<BottomUpEngine::State*> BottomUpEngine::MaterializeState(
-    const StateKey& key) {
+    const StateKey& key, int through, const std::vector<Fact>& seeds) {
+  State* state;
   auto it = states_.find(key);
   if (it != states_.end()) {
     ++stats_.memo_hits;
-    return it->second.get();
+    state = it->second.get();
+  } else {
+    HYPO_RETURN_IF_ERROR(CheckLimits());
+    auto owned = std::make_unique<State>(base_->symbols_ptr());
+    owned->key = key;
+    for (FactId id : key) {
+      owned->added_set.insert(id);
+      owned->ext.Insert(interner_.Get(id));
+    }
+    owned->demand_version = demand_version_;
+    state = owned.get();
+    states_.emplace(key, std::move(owned));
+    ++stats_.states_evaluated;
   }
-  HYPO_RETURN_IF_ERROR(CheckLimits());
-  auto state = std::make_unique<State>(base_->symbols_ptr());
-  state->key = key;
-  for (FactId id : key) {
-    state->added_set.insert(id);
-    state->ext.Insert(interner_.Get(id));
+
+  // A model computed under a narrower demand profile, or left incomplete
+  // by an aborted run, must be re-extended; so must one that has not yet
+  // reached `through`, or into which a query just injected a new magic
+  // seed. Re-extension re-runs the strata from 0: ext is append-only and
+  // every fact in it is a true fact of the (wider) demanded slice, so the
+  // re-run only adds facts — answers never change, work is only redone.
+  bool rerun =
+      state->dirty || state->demand_version != demand_version_;
+  for (const Fact& seed : seeds) {
+    if (state->ext.Insert(seed)) {
+      ++stats_.magic_facts;
+      rerun = true;
+    }
   }
-  State* raw = state.get();
-  states_.emplace(key, std::move(state));
-  ++stats_.states_evaluated;
-  HYPO_RETURN_IF_ERROR(ComputeModel(raw));
-  raw->complete = true;
-  return raw;
+  const int target = std::max(through, state->completed_through);
+  if (rerun || target > state->completed_through) {
+    state->dirty = true;
+    HYPO_RETURN_IF_ERROR(ComputeModel(state, target));
+    state->completed_through = target;
+    state->demand_version = demand_version_;
+    state->dirty = false;
+  }
+  return state;
 }
 
-Status BottomUpEngine::ComputeModel(State* state) {
+Status BottomUpEngine::ComputeModel(State* state, int through) {
   const EvalStrategy strategy = options_.eval_strategy;
-  for (int s = 0; s < strata_.num_strata; ++s) {
+  const RuleBase& program = active();
+  const int last = std::min(through, strata_.num_strata - 1);
+  for (int s = 0; s <= last; ++s) {
     const std::vector<int>& stratum_rules = strata_.rules_by_stratum[s];
     // Predicates whose relations gained tuples in the previous round, and
     // (delta mode) the new tuples themselves, rotated per round.
@@ -188,7 +325,7 @@ Status BottomUpEngine::ComputeModel(State* state) {
           continue;
         }
         if (strategy == EvalStrategy::kRuleFilter) {
-          const Rule& rule = rulebase_->rule(rule_index);
+          const Rule& rule = program.rule(rule_index);
           bool relevant = false;
           for (const Premise& p : rule.premises) {
             if (changed_last.count(p.atom.predicate) > 0) {
@@ -221,7 +358,7 @@ Status BottomUpEngine::ComputeModel(State* state) {
         // The standard rewrite: one rule version per changed positive
         // premise, that premise ranging over last round's delta only.
         const std::vector<Premise>& premises =
-            rulebase_->rule(rule_index).premises;
+            program.rule(rule_index).premises;
         for (int premise_index : info.delta_premises) {
           if (changed_last.count(premises[premise_index].atom.predicate) ==
               0) {
@@ -245,13 +382,16 @@ Status BottomUpEngine::ComputeModel(State* state) {
     }
     retired_index_builds_ += delta.index_builds() + next_delta.index_builds();
   }
+  if (last < strata_.num_strata - 1) {
+    stats_.strata_skipped += strata_.num_strata - 1 - last;
+  }
   return Status::OK();
 }
 
 Status BottomUpEngine::EvaluateRule(
     int rule_index, EvalCtx* ctx, Database* next_delta,
     std::unordered_set<PredicateId>* changed) {
-  const Rule& rule = rulebase_->rule(rule_index);
+  const Rule& rule = active().rule(rule_index);
   const BodyPlan& plan = rule_plans_[rule_index];
   State* state = ctx->state;
   Binding binding(rule.num_vars());
@@ -262,6 +402,10 @@ Status BottomUpEngine::EvaluateRule(
     if (!Visible(*state, head)) {
       state->ext.Insert(head);
       ++stats_.facts_derived;
+      if (demand_program_ != nullptr &&
+          demand_program_->IsMagic(head.predicate)) {
+        ++stats_.magic_facts;
+      }
       changed->insert(head.predicate);
       if (next_delta != nullptr) {
         next_delta->Insert(head);
@@ -345,6 +489,9 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
         VarIndex var = ps.enum_vars[v];
         if (binding->IsBound(var)) return enumerate(v + 1);
         for (ConstId c : domain_) {
+          // Purely extensional domain^n loops derive no heads, so they
+          // must be metered here or max_steps never triggers.
+          HYPO_RETURN_IF_ERROR(CountEnumeration());
           binding->Set(var, c);
           StatusOr<bool> r = enumerate(v + 1);
           binding->Unset(var);
@@ -397,14 +544,29 @@ StatusOr<bool> BottomUpEngine::TestHypothetical(
   }
   if (new_ids.empty()) {
     // Same state: behaves like a positive premise over the in-progress
-    // model (the enclosing fixpoint re-checks it every round).
+    // model (the enclosing fixpoint re-checks it every round). Under
+    // demand the static magic propagation rule for this premise has
+    // already demanded the queried slice in this state.
     return Visible(*state, query);
   }
   StateKey key = state->key;
   key.insert(key.end(), new_ids.begin(), new_ids.end());
   std::sort(key.begin(), key.end());
   key.erase(std::unique(key.begin(), key.end()), key.end());
-  HYPO_ASSIGN_OR_RETURN(State * bigger, MaterializeState(key));
+  // Demand propagates *into* the child state: seed its magic relation
+  // with the ground queried atom's bound projection, and compute its
+  // model only through the queried predicate's stratum.
+  int through = strata_.num_strata - 1;
+  std::vector<Fact> seeds;
+  if (options_.demand && demand_program_ != nullptr) {
+    through = StratumCap(query.predicate);
+    if (auto seed =
+            MagicSeedForFact(*demand_profile_, *demand_program_, query)) {
+      seeds.push_back(std::move(*seed));
+    }
+  }
+  HYPO_ASSIGN_OR_RETURN(State * bigger,
+                        MaterializeState(key, through, seeds));
   return Visible(*bigger, query);
 }
 
@@ -437,20 +599,28 @@ const EngineStats& BottomUpEngine::stats() const {
   for (const auto& [key, state] : states_) {
     stats_.index_builds += state->ext.index_builds();
   }
+  stats_.demanded_predicates =
+      demand_profile_ != nullptr ? demand_profile_->num_demanded() : 0;
   return stats_;
 }
 
 StatusOr<bool> BottomUpEngine::ProveFact(const Fact& fact) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
-  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
+  std::vector<Fact> seeds;
+  int through = 0;
+  HYPO_RETURN_IF_ERROR(PrepareFactDemand(fact, &seeds, &through));
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, seeds));
   return Visible(*top, fact);
 }
 
 StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
-  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
+  std::vector<Fact> seeds;
+  int through = 0;
+  HYPO_RETURN_IF_ERROR(PrepareQueryDemand(query, &seeds, &through));
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, seeds));
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
@@ -470,7 +640,10 @@ StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
 StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
-  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
+  std::vector<Fact> seeds;
+  int through = 0;
+  HYPO_RETURN_IF_ERROR(PrepareQueryDemand(query, &seeds, &through));
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, seeds));
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
@@ -491,7 +664,16 @@ StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
 
 StatusOr<std::vector<Tuple>> BottomUpEngine::FactsFor(PredicateId pred) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
-  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}));
+  int through = strata_.num_strata - 1;
+  if (options_.demand) {
+    bool widened = demand_program_ == nullptr;
+    if (rulebase_->IsDefined(pred)) {
+      widened |= demand_profile_->AddFullDemand(pred);
+    }
+    HYPO_RETURN_IF_ERROR(RefreshDemandProgram(widened));
+    through = StratumCap(pred);
+  }
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, {}));
   std::vector<Tuple> out = base_->TuplesFor(pred);
   for (const Tuple& t : top->ext.TuplesFor(pred)) out.push_back(t);
   return out;

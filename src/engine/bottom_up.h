@@ -8,6 +8,7 @@
 #include <vector>
 #include <functional>
 
+#include "analysis/demand_transform.h"
 #include "analysis/stratification.h"
 #include "base/hash.h"
 #include "db/fact_interner.h"
@@ -31,6 +32,16 @@ namespace hypo {
 /// exponential in the database (the paper's PSPACE-hardness), which the
 /// `max_states` option converts into a clean error.
 ///
+/// With `EngineOptions::demand` the engine evaluates the magic-set rewrite
+/// of the rulebase instead (analysis/demand_transform.h): each query seeds
+/// the magic relations of the state it probes, rules run guarded so only
+/// demanded slices are derived, and per-state models are computed only
+/// through the stratum the query needs (`State::completed_through`). The
+/// demand profile widens monotonically across queries; memoized states are
+/// kept and monotonically *re-extended* (their models are append-only sets
+/// of true facts, so re-running the strata under a wider profile only adds
+/// facts — see DESIGN.md for why answers are unchanged).
+///
 /// This engine makes no linearity assumption — it accepts every rulebase
 /// the paper's inference system defines (Definition 3 + stratified NAF) —
 /// and serves as the ground-truth oracle the StratifiedProver is
@@ -47,7 +58,8 @@ class BottomUpEngine : public Engine {
   StatusOr<std::vector<Tuple>> Answers(const Query& query) override;
 
   /// All tuples of `pred` derivable at the base state (extensional plus
-  /// derived). Convenience for examples and tests.
+  /// derived). Convenience for examples and tests. Under demand this
+  /// registers full demand for `pred` (the whole relation is asked for).
   StatusOr<std::vector<Tuple>> FactsFor(PredicateId pred);
 
   const EngineStats& stats() const override;
@@ -72,14 +84,26 @@ class BottomUpEngine : public Engine {
     StateKey key;                           // Sorted added-fact ids.
     std::unordered_set<FactId> added_set;   // Same ids, for membership.
     Database ext;                           // Added + derived facts.
-    bool complete = false;
+    /// Highest stratum whose fixpoint has completed for this state under
+    /// the current demand (-1 = none). Without demand every state is
+    /// computed through the last stratum on materialization; with demand
+    /// this grows monotonically as queries ask deeper.
+    int completed_through = -1;
+    /// The demand_version_ the model was last (re)computed under; a
+    /// mismatch means the transformed program changed (profile widened)
+    /// and the state must be re-extended before use.
+    int demand_version = 0;
+    /// True while a (re)computation is running: a model left behind by an
+    /// aborted ComputeModel is incomplete and must be recomputed on the
+    /// next touch, not served from the memo (abort recovery).
+    bool dirty = false;
 
     explicit State(std::shared_ptr<SymbolTable> symbols)
         : ext(std::move(symbols)) {}
   };
 
   /// Static per-rule facts for the tuple-level semi-naive rewrite,
-  /// computed once at Init against the rule's own stratum.
+  /// computed once per program build against the rule's own stratum.
   struct RuleDeltaInfo {
     /// Positive premises whose predicate can gain tuples during the
     /// rule's stratum fixpoint; each is designated as the delta premise
@@ -101,6 +125,12 @@ class BottomUpEngine : public Engine {
     const Database* delta = nullptr; // Last round's newly derived tuples.
   };
 
+  /// The program the fixpoint actually evaluates: the magic-set rewrite
+  /// when demand is active, the original rulebase otherwise.
+  const RuleBase& active() const {
+    return demand_program_ != nullptr ? demand_program_->rules : *rulebase_;
+  }
+
   /// True iff `fact` holds in `state` (base database or ext model).
   bool Visible(const State& state, const Fact& fact) const {
     return base_->Contains(fact) || state.ext.Contains(fact);
@@ -115,10 +145,38 @@ class BottomUpEngine : public Engine {
   /// constants the caller introduces).
   Status EnsureFactConstants(const Fact& fact);
 
-  /// Returns the completed state for `key`, computing its model if new.
-  StatusOr<State*> MaterializeState(const StateKey& key);
+  /// Recomputes strata / plans / delta info over active(). Called by
+  /// Init() and whenever the demand program is rebuilt.
+  Status RebuildActivePlans();
 
-  Status ComputeModel(State* state);
+  /// Rebuilds the demand program when forced or when the profile widened
+  /// since the last build; bumps demand_version_ so memoized states are
+  /// re-extended lazily on their next touch.
+  Status RefreshDemandProgram(bool widened);
+
+  /// Registers query/fact demand with the profile, rebuilds the program
+  /// if it widened, and emits the magic seed facts plus the stratum the
+  /// top state must be computed through. No-ops (through = last stratum)
+  /// when demand is off.
+  Status PrepareFactDemand(const Fact& fact, std::vector<Fact>* seeds,
+                           int* through);
+  Status PrepareQueryDemand(const Query& query, std::vector<Fact>* seeds,
+                            int* through);
+
+  /// Stratum the model must reach for `pred` to be complete: its stratum
+  /// in the active program (-1 for extensional predicates, which need no
+  /// rules at all). Only meaningful under demand; without it callers use
+  /// the last stratum.
+  int StratumCap(PredicateId pred) const;
+
+  /// Returns the state for `key` with `seeds` inserted into its magic
+  /// relations and its model computed through stratum `through` (both
+  /// monotone: a new seed or a wider program triggers a re-extension run,
+  /// a lower `through` never un-computes anything).
+  StatusOr<State*> MaterializeState(const StateKey& key, int through,
+                                    const std::vector<Fact>& seeds);
+
+  Status ComputeModel(State* state, int through);
 
   /// Evaluates one rule version over `ctx->state`, inserting derived
   /// heads into the model; predicates that gained tuples go to `changed`
@@ -146,6 +204,15 @@ class BottomUpEngine : public Engine {
 
   Status CheckLimits();
 
+  /// Counts one domain-grounding iteration and enforces max_steps on
+  /// enumeration-heavy plans (checked every 256 iterations so purely
+  /// extensional domain^n loops cannot run away unmetered). Inline: the
+  /// fast path must cost one increment and one predictable branch.
+  Status CountEnumeration() {
+    if ((++stats_.enumerations & 255) != 0) return Status::OK();
+    return CheckLimits();
+  }
+
   const RuleBase* rulebase_;
   const Database* base_;
   EngineOptions options_;
@@ -156,6 +223,13 @@ class BottomUpEngine : public Engine {
   std::vector<ConstId> domain_;
   std::unordered_set<ConstId> domain_set_;
   std::vector<ConstId> extra_constants_;
+
+  // Demand-driven evaluation (options_.demand). The profile accumulates
+  // monotonically over the engine's lifetime; the program is rebuilt (and
+  // demand_version_ bumped) whenever the profile widens.
+  std::unique_ptr<DemandProfile> demand_profile_;
+  std::unique_ptr<DemandProgram> demand_program_;
+  int demand_version_ = 0;
 
   FactInterner interner_;
   std::unordered_map<StateKey, std::unique_ptr<State>, StateKeyHash> states_;

@@ -46,6 +46,14 @@ struct EngineOptions {
   /// a from-scratch canonical key on every memoized goal lookup.
   /// O(|overlay|) per goal — test/debug only.
   bool validate_contexts = false;
+
+  /// Demand-driven (magic-set) evaluation for the BottomUpEngine: rewrite
+  /// the rulebase per query so each state materializes only the demanded
+  /// slice of its perfect model instead of the whole model. Answers are
+  /// unchanged (see DESIGN.md); off keeps the eager behavior as the
+  /// ablation baseline. Ignored by the top-down engines, which are
+  /// demand-driven by construction.
+  bool demand = false;
 };
 
 /// Counters reported by the engines; reset per top-level call group via
@@ -65,6 +73,11 @@ struct EngineStats {
   int64_t delta_facts = 0;        // Tuples routed through per-round deltas.
   int64_t join_probes = 0;        // Candidate tuples offered to matching.
   int64_t index_builds = 0;       // Distinct (predicate, mask) indexes built.
+
+  // Demand-driven evaluation (BottomUpEngine with EngineOptions::demand).
+  int64_t magic_facts = 0;          // Tuples derived into magic relations.
+  int64_t demanded_predicates = 0;  // Predicates demanded (magic or full).
+  int64_t strata_skipped = 0;       // Strata never run thanks to demand.
 
   // Hypothetical-context interning (tabled / stratified provers).
   int64_t contexts_interned = 0;     // Distinct overlay states seen.

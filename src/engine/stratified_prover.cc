@@ -1,5 +1,6 @@
 #include "engine/stratified_prover.h"
 
+#include "base/cleanup.h"
 #include "base/stopwatch.h"
 #include "engine/scan.h"
 
@@ -199,6 +200,18 @@ StatusOr<bool> StratifiedProver::ProveSigma(const Fact& goal,
   int depth = ctx->depth;
   stats_.max_goal_depth = std::max<int64_t>(stats_.max_goal_depth, depth);
   goal_memo_[key] = GoalEntry{GoalEntry::Status::kInProgress, depth};
+  // Same abort-recovery guard as TabledEngine::ProveGoal: an early error
+  // return (CheckLimits inside WalkPlan) must not leak the kInProgress
+  // entry, or later queries on this engine prune on a dead "on-stack"
+  // goal. DeltaModelFor needs no guard — it memoizes its model only after
+  // the fixpoint completes, so an abort leaves no partial Δ model behind.
+  Cleanup unmark([this, &key] {
+    auto entry = goal_memo_.find(key);
+    if (entry != goal_memo_.end() &&
+        entry->second.status == GoalEntry::Status::kInProgress) {
+      goal_memo_.erase(entry);
+    }
+  });
 
   int my_min = INT_MAX;
   bool proved = false;

@@ -1,6 +1,7 @@
 #include "engine/tabled.h"
 
 #include "ast/printer.h"
+#include "base/cleanup.h"
 #include "engine/scan.h"
 
 #include <algorithm>
@@ -158,6 +159,18 @@ StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
   HYPO_RETURN_IF_ERROR(CheckLimits());
   stats_.max_goal_depth = std::max<int64_t>(stats_.max_goal_depth, depth);
   goal_memo_[key] = GoalEntry{GoalEntry::Status::kInProgress, depth};
+  // Every exit below either resolves the entry (kTrue / kFalse) or erases
+  // it; the guard covers the remaining paths — the early error returns
+  // (CheckLimits tripping inside WalkPlan) — where a leaked kInProgress
+  // entry would read as a dead "on-stack" goal and make later queries on
+  // this engine prune on it, returning wrong answers after an abort.
+  Cleanup unmark([this, &key] {
+    auto entry = goal_memo_.find(key);
+    if (entry != goal_memo_.end() &&
+        entry->second.status == GoalEntry::Status::kInProgress) {
+      goal_memo_.erase(entry);
+    }
+  });
 
   int my_min = INT_MAX;
   bool proved = false;
