@@ -2,6 +2,7 @@
 //
 //   hypo_cli PROGRAM.hdl [-q QUERY]... [--engine tabled|stratified|bottomup]
 //   hypo_cli PROGRAM.hdl -q "..." --engine bottomup --demand  # magic sets
+//   hypo_cli PROGRAM.hdl -q "..." --engine bottomup --threads 4
 //   hypo_cli PROGRAM.hdl --explain  # print the linear stratification
 //   hypo_cli PROGRAM.hdl --proof -q "grad(tony)"   # print a derivation
 //   hypo_cli PROGRAM.hdl            # interactive: one query per line
@@ -12,6 +13,7 @@
 //   reach(a, c)[del: link(a, b)]
 //   one_away(S)
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -32,13 +34,15 @@ using namespace hypo;
 
 std::unique_ptr<Engine> MakeEngineByName(const std::string& name,
                                          const RuleBase* rules,
-                                         const Database* db, bool demand) {
+                                         const Database* db, bool demand,
+                                         int threads) {
   if (name == "stratified") {
     return std::make_unique<StratifiedProver>(rules, db);
   }
   if (name == "bottomup") {
     EngineOptions options;
     options.demand = demand;
+    options.num_threads = threads;
     return std::make_unique<BottomUpEngine>(rules, db, options);
   }
   return std::make_unique<TabledEngine>(rules, db);
@@ -100,7 +104,8 @@ int RunQuery(Engine* engine, SymbolTable* symbols, const std::string& text) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
-              << " PROGRAM.hdl [-q QUERY]... [--engine NAME] [--demand]\n";
+              << " PROGRAM.hdl [-q QUERY]... [--engine NAME] [--demand]"
+                 " [--threads N]\n";
     return 2;
   }
   std::string program_path;
@@ -109,6 +114,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool proof = false;
   bool demand = false;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "-q" && i + 1 < argc) {
@@ -117,6 +123,12 @@ int main(int argc, char** argv) {
       engine_name = argv[++i];
     } else if (arg == "--demand") {
       demand = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::cerr << "--threads needs a positive integer\n";
+        return 2;
+      }
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--proof") {
@@ -155,8 +167,12 @@ int main(int argc, char** argv) {
     std::cerr << "--demand requires --engine bottomup\n";
     return 2;
   }
+  if (threads > 1 && engine_name != "bottomup") {
+    std::cerr << "--threads requires --engine bottomup\n";
+    return 2;
+  }
   auto engine = MakeEngineByName(engine_name, &program->rules,
-                                 &program->facts, demand);
+                                 &program->facts, demand, threads);
   if (Status s = engine->Init(); !s.ok()) {
     std::cerr << "engine init (" << engine->name() << "): " << s << "\n";
     return 1;

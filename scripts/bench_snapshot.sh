@@ -35,7 +35,21 @@ doc = {"schema": "hypo-bench-v1", "runs": []}
 if os.path.exists(path):
     with open(path) as f:
         doc = json.load(f)
-run = {"label": label, "suites": {}}
+# Hardware context: thread-scaling numbers are meaningless without it.
+cpu = "unknown"
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith("model name"):
+                cpu = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
+run = {
+    "label": label,
+    "meta": {"nproc": os.cpu_count(), "cpu": cpu},
+    "suites": {},
+}
 for suite in suites:
     with open(os.path.join(tmp, suite + ".json")) as f:
         run["suites"][suite] = json.load(f)

@@ -5,10 +5,13 @@
 # Environment knobs (all optional):
 #   BUILD_TYPE  CMake build type (Debug, Release, RelWithDebInfo, ...).
 #   SANITIZE    comma-separated sanitizers for -fsanitize=, e.g.
-#               "address,undefined"; implies frame pointers.
+#               "address,undefined" or "thread" (the TSan run CI uses to
+#               race-check the parallel fixpoint); implies frame pointers.
 #   BUILD_DIR   build tree to use (default: build, or build-<sanitize>
 #               when SANITIZE is set, so sanitized trees don't clobber
 #               the regular one).
+#   TEST_FILTER ctest -R regex to run a subset of the suite (e.g.
+#               "parallel|abort" for the threaded tests only).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,4 +31,5 @@ fi
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$(nproc)"
-cd "$build_dir" && ctest --output-on-failure -j "$(nproc)"
+cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" \
+  ${TEST_FILTER:+-R "$TEST_FILTER"}

@@ -1,0 +1,170 @@
+#include "base/thread_pool.h"
+
+#include <chrono>
+
+namespace hypo {
+
+namespace {
+/// Identifies the pool (and deque) the current thread belongs to, so a
+/// nested RunBatch from inside a task prefers its own deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_index = -1;
+}  // namespace
+
+struct ThreadPool::Batch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 0;
+  std::vector<Status> results;
+};
+
+int ThreadPool::SelfIndex(const ThreadPool* pool) {
+  return tls_pool == pool ? tls_index : -1;
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 0) num_workers = 0;
+  queues_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+Status ThreadPool::RunBatch(std::vector<std::function<Status()>> tasks) {
+  if (tasks.empty()) return Status::OK();
+  if (queues_.empty()) {
+    // No workers: run inline, still executing *every* task (cooperative
+    // abort semantics match the threaded path).
+    Status first = Status::OK();
+    for (auto& fn : tasks) {
+      Status s = fn();
+      if (first.ok() && !s.ok()) first = std::move(s);
+    }
+    return first;
+  }
+
+  Batch batch;
+  batch.results.assign(tasks.size(), Status::OK());
+  batch.remaining = static_cast<int>(tasks.size());
+
+  // Spread tasks round-robin across the deques, starting at this thread's
+  // own deque when called from a worker (nested fork-join).
+  const int self = SelfIndex(this);
+  const uint32_t start =
+      self >= 0 ? static_cast<uint32_t>(self)
+                : rr_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const int home =
+        static_cast<int>((start + i) % static_cast<uint32_t>(queues_.size()));
+    std::lock_guard<std::mutex> lock(queues_[home]->mu);
+    queues_[home]->tasks.push_back(
+        Task{std::move(tasks[i]), &batch, static_cast<int>(i), home});
+  }
+  queued_.fetch_add(static_cast<int64_t>(tasks.size()),
+                    std::memory_order_release);
+  wake_cv_.notify_all();
+
+  // Help until the batch completes: run own/stolen tasks while any are
+  // queued, otherwise sleep briefly on the batch's condition variable
+  // (re-checking, because nested batches can add new stealable work).
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(batch.mu);
+      if (batch.remaining == 0) break;
+    }
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(batch.mu);
+    if (batch.remaining == 0) break;
+    batch.cv.wait_for(lock, std::chrono::milliseconds(1),
+                      [&] { return batch.remaining == 0; });
+  }
+
+  for (Status& s : batch.results) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+bool ThreadPool::TryRunOne(int self) {
+  const int n = static_cast<int>(queues_.size());
+  if (n == 0) return false;
+  if (self >= 0) {
+    WorkerQueue& q = *queues_[self];
+    std::unique_lock<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      Task task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      lock.unlock();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      RunTask(std::move(task), self);
+      return true;
+    }
+  }
+  const uint32_t start = self >= 0
+                             ? static_cast<uint32_t>(self + 1)
+                             : rr_.fetch_add(1, std::memory_order_relaxed);
+  for (int k = 0; k < n; ++k) {
+    const int victim = static_cast<int>((start + static_cast<uint32_t>(k)) %
+                                        static_cast<uint32_t>(n));
+    if (victim == self) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::unique_lock<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    Task task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    lock.unlock();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    RunTask(std::move(task), self);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(Task task, int runner) {
+  if (runner != task.home) {
+    tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  int active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int peak = peak_active_.load(std::memory_order_relaxed);
+  while (active > peak &&
+         !peak_active_.compare_exchange_weak(peak, active,
+                                             std::memory_order_relaxed)) {
+  }
+  Status s = task.fn();
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  // Record + signal under the batch mutex; notifying while holding it
+  // keeps the batch alive until the waiter actually observes remaining==0.
+  std::lock_guard<std::mutex> lock(task.batch->mu);
+  task.batch->results[task.index] = std::move(s);
+  if (--task.batch->remaining == 0) task.batch->cv.notify_all();
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  tls_pool = this;
+  tls_index = self;
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (shutdown_) return;
+    if (queued_.load(std::memory_order_acquire) > 0) continue;
+    // The timed fallback covers the benign race where a task finishes
+    // queueing between our scan and the wait; submits always notify.
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace hypo

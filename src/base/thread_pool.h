@@ -1,0 +1,120 @@
+#ifndef HYPO_BASE_THREAD_POOL_H_
+#define HYPO_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+
+namespace hypo {
+
+/// A small fixed-size work-stealing thread pool for fork-join parallelism.
+///
+/// Geometry: `num_workers` background threads, each owning a deque of
+/// tasks. An owner pops from the back of its deque (LIFO, cache-warm);
+/// an idle thread steals from the front of a victim's deque (FIFO, oldest
+/// first). The deques are mutex-guarded rather than lock-free: the tasks
+/// this library schedules are coarse — a rule shard or a whole state
+/// model, thousands of instructions each — so queue overhead is noise.
+///
+/// The unit of use is RunBatch(): submit a vector of Status-returning
+/// tasks and block until every one has run. The calling thread
+/// *participates* (it runs and steals tasks while waiting), so a pool
+/// with W workers gives W+1-way parallelism, and nested RunBatch calls
+/// from inside a task cannot deadlock: a nested caller keeps draining
+/// queues — its own batch's tasks or anyone else's — until its batch
+/// completes, and batches only ever wait on their own tasks (a DAG).
+///
+/// Abort is cooperative: every queued task runs to completion and its
+/// Status is recorded; RunBatch returns the first non-OK status in task
+/// order, which is deterministic and independent of scheduling. Making
+/// the *remaining* tasks cheap after a failure is the caller's job (the
+/// engines' shared step meter flips an atomic flag that short-circuits
+/// every in-flight task at its next metering check).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` background threads (>= 0; with 0 workers
+  /// RunBatch degenerates to running every task inline on the caller).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every task to completion (on the workers and on the calling
+  /// thread) and returns the first non-OK status in task-vector order.
+  Status RunBatch(std::vector<std::function<Status()>> tasks);
+
+  int num_workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Tasks executed by a thread other than the one whose deque they were
+  /// queued on (includes tasks the RunBatch caller picked up).
+  int64_t tasks_stolen() const {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+  int64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of tasks in flight at once (workers + helping
+  /// callers): a lower bound on the parallelism actually achieved.
+  int peak_active() const {
+    return peak_active_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the steal/run counters and re-arms the high-water mark (for
+  /// the engines' ResetStats). Call only while no batch is in flight.
+  void ResetCounters() {
+    tasks_stolen_.store(0, std::memory_order_relaxed);
+    tasks_run_.store(0, std::memory_order_relaxed);
+    peak_active_.store(active_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+
+ private:
+  struct Batch;
+  struct Task {
+    std::function<Status()> fn;
+    Batch* batch;
+    int index;  // Slot in the batch's result vector.
+    int home;   // Deque the task was queued on.
+  };
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  /// Pops one task (own deque first, then steals) and runs it. `self` is
+  /// the caller's deque index, or -1 for threads outside the pool.
+  bool TryRunOne(int self);
+  void RunTask(Task task, int runner);
+  void WorkerLoop(int self);
+
+  /// This thread's deque index in `pool`, or -1.
+  static int SelfIndex(const ThreadPool* pool);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool shutdown_ = false;
+
+  std::atomic<int64_t> queued_{0};  // Tasks currently sitting in a deque.
+  std::atomic<int64_t> tasks_stolen_{0};
+  std::atomic<int64_t> tasks_run_{0};
+  std::atomic<int> active_{0};
+  std::atomic<int> peak_active_{0};
+  std::atomic<uint32_t> rr_{0};  // Round-robin cursor for task placement.
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_THREAD_POOL_H_

@@ -20,6 +20,15 @@ ContextId ContextInterner::InternElements(std::vector<int64_t> elems) {
   return it->second;
 }
 
+ContextId ContextInterner::InternAddedSet(const std::vector<FactId>& added) {
+  std::vector<int64_t> elems;
+  elems.reserve(added.size());
+  for (FactId id : added) elems.push_back(AddedElement(id));
+  HYPO_DCHECK(std::is_sorted(elems.begin(), elems.end()))
+      << "InternAddedSet requires a sorted added-fact set";
+  return InternElements(std::move(elems));
+}
+
 ContextId ContextInterner::Apply(ContextId from, int64_t elem, bool insert) {
   ++transitions_;
   EdgeKey key{from, elem, insert};

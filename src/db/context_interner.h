@@ -57,6 +57,13 @@ class ContextInterner {
     return Apply(from, elem, /*insert=*/false);
   }
 
+  /// Interns the context whose elements are exactly the additions in
+  /// `added` (which must be sorted and duplicate-free). The direct route
+  /// to a ContextId for callers that hold a canonical added-fact set
+  /// rather than an overlay walk — the BottomUpEngine keys its sharded
+  /// state cache this way.
+  ContextId InternAddedSet(const std::vector<FactId>& added);
+
   /// The canonical (sorted) element set of `id`.
   const std::vector<int64_t>& Elements(ContextId id) const {
     return *elements_by_id_[id];

@@ -19,6 +19,28 @@ std::string FactToString(const Fact& fact, const SymbolTable& symbols) {
   return out;
 }
 
+Database::Database(Database&& other) noexcept
+    : symbols_(std::move(other.symbols_)),
+      relations_(std::move(other.relations_)),
+      constants_(std::move(other.constants_)),
+      size_(other.size_),
+      sealed_(other.sealed_),
+      index_builds_(other.index_builds_.load(std::memory_order_relaxed)),
+      index_probes_(other.index_probes_.load(std::memory_order_relaxed)) {}
+
+Database& Database::operator=(Database&& other) noexcept {
+  symbols_ = std::move(other.symbols_);
+  relations_ = std::move(other.relations_);
+  constants_ = std::move(other.constants_);
+  size_ = other.size_;
+  sealed_ = other.sealed_;
+  index_builds_.store(other.index_builds_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  index_probes_.store(other.index_probes_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  return *this;
+}
+
 Database Database::Clone() const {
   Database copy(symbols_);
   copy.relations_ = relations_;
@@ -28,6 +50,7 @@ Database Database::Clone() const {
 }
 
 bool Database::Insert(const Fact& fact) {
+  HYPO_DCHECK(!sealed_) << "insert into a sealed database";
   HYPO_DCHECK(fact.predicate >= 0) << "fact with invalid predicate";
   HYPO_DCHECK(static_cast<int>(fact.args.size()) ==
               symbols_->PredicateArity(fact.predicate))
@@ -47,17 +70,16 @@ const std::vector<int>* Database::TuplesWithFirstArg(PredicateId pred,
   return ProbeIndex(pred, /*mask=*/1u, {first});
 }
 
-const std::vector<int>* Database::ProbeIndex(PredicateId pred,
-                                             ColumnMask mask,
-                                             const Tuple& key) const {
-  HYPO_DCHECK(mask != 0) << "probe with no bound columns is a full scan";
-  auto it = relations_.find(pred);
-  if (it == relations_.end()) return nullptr;
-  const Relation& rel = it->second;
-  ++index_probes_;
+const std::vector<int>* Database::ScanAllMarker() {
+  static const std::vector<int>* const kMarker = new std::vector<int>();
+  return kMarker;
+}
+
+Database::ColumnIndex& Database::ExtendIndex(const Relation& rel,
+                                             ColumnMask mask) const {
   auto [ci_it, created] = rel.column_indexes.try_emplace(mask);
   ColumnIndex& ci = ci_it->second;
-  if (created) ++index_builds_;
+  if (created) index_builds_.fetch_add(1, std::memory_order_relaxed);
   if (ci.built_upto < rel.tuples.size()) {
     // Catch up on tuples appended since the last probe. Insertions never
     // reorder or remove tuples, so extending the buckets is sound.
@@ -74,8 +96,51 @@ const std::vector<int>* Database::ProbeIndex(PredicateId pred,
     }
     ci.built_upto = rel.tuples.size();
   }
+  return ci;
+}
+
+const std::vector<int>* Database::ProbeIndex(PredicateId pred,
+                                             ColumnMask mask,
+                                             const Tuple& key) const {
+  HYPO_DCHECK(mask != 0) << "probe with no bound columns is a full scan";
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return nullptr;
+  const Relation& rel = it->second;
+  index_probes_.fetch_add(1, std::memory_order_relaxed);
+  if (sealed_) {
+    // Strictly read-only: serve only indexes that were complete at seal
+    // time; anything else degrades to a caller-side full scan rather
+    // than mutating shared index state under concurrent readers.
+    auto ci_it = rel.column_indexes.find(mask);
+    if (ci_it == rel.column_indexes.end() ||
+        ci_it->second.built_upto < rel.tuples.size()) {
+      return ScanAllMarker();
+    }
+    auto bucket = ci_it->second.buckets.find(key);
+    return bucket == ci_it->second.buckets.end() ? nullptr : &bucket->second;
+  }
+  ColumnIndex& ci = ExtendIndex(rel, mask);
   auto bucket = ci.buckets.find(key);
   return bucket == ci.buckets.end() ? nullptr : &bucket->second;
+}
+
+void Database::PrepareIndex(PredicateId pred, ColumnMask mask) const {
+  HYPO_DCHECK(mask != 0) << "prepare with no bound columns";
+  HYPO_DCHECK(!sealed_) << "prepare indexes before sealing";
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return;
+  ExtendIndex(it->second, mask);
+}
+
+void Database::SealIndexes() const {
+  for (const auto& [pred, rel] : relations_) {
+    (void)pred;
+    for (const auto& [mask, ci] : rel.column_indexes) {
+      (void)ci;
+      ExtendIndex(rel, mask);
+    }
+  }
+  sealed_ = true;
 }
 
 Status Database::Insert(std::string_view predicate,

@@ -1,6 +1,7 @@
 #ifndef HYPO_DB_DATABASE_H_
 #define HYPO_DB_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string_view>
@@ -36,8 +37,8 @@ class Database {
   /// Databases are heavyweight; copying must be explicit via Clone().
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
 
   Database Clone() const;
 
@@ -80,10 +81,33 @@ class Database {
   const std::vector<int>* ProbeIndex(PredicateId pred, ColumnMask mask,
                                      const Tuple& key) const;
 
+  /// Eagerly builds (or catches up) the hash index for `(pred, mask)`.
+  /// A no-op when the relation is absent. Used by the parallel fixpoint
+  /// to hoist every index build out of the join loops before sealing.
+  void PrepareIndex(PredicateId pred, ColumnMask mask) const;
+
+  /// Seals the database for concurrent read-only probing: every existing
+  /// column index is extended to cover the full relation, and until
+  /// UnsealIndexes() every ProbeIndex call is strictly read-only. A probe
+  /// for a signature that has no up-to-date index returns ScanAllMarker()
+  /// instead of lazily building one (callers fall back to a full relation
+  /// scan — correct, just unindexed). Insertions are illegal while sealed.
+  void SealIndexes() const;
+  void UnsealIndexes() const { sealed_ = false; }
+  bool sealed() const { return sealed_; }
+
+  /// Distinguished ProbeIndex result meaning "no usable index — scan the
+  /// whole relation and post-filter". Never a real bucket.
+  static const std::vector<int>* ScanAllMarker();
+
   /// Number of distinct (predicate, column-mask) hash indexes built so
   /// far, and the number of ProbeIndex calls served. Feed EngineStats.
-  int64_t index_builds() const { return index_builds_; }
-  int64_t index_probes() const { return index_probes_; }
+  int64_t index_builds() const {
+    return index_builds_.load(std::memory_order_relaxed);
+  }
+  int64_t index_probes() const {
+    return index_probes_.load(std::memory_order_relaxed);
+  }
 
   /// Number of tuples of `pred`.
   int CountFor(PredicateId pred) const {
@@ -124,12 +148,21 @@ class Database {
     mutable std::unordered_map<ColumnMask, ColumnIndex> column_indexes;
   };
 
+  /// Builds or extends the column index for `mask` over `rel`. Must not
+  /// be called while sealed.
+  ColumnIndex& ExtendIndex(const Relation& rel, ColumnMask mask) const;
+
   std::shared_ptr<SymbolTable> symbols_;
   std::unordered_map<PredicateId, Relation> relations_;
   std::unordered_set<ConstId> constants_;
   int64_t size_ = 0;
-  mutable int64_t index_builds_ = 0;
-  mutable int64_t index_probes_ = 0;
+  /// While true, probes never mutate index state (see SealIndexes).
+  /// Flipped only between parallel phases, never concurrently with reads.
+  mutable bool sealed_ = false;
+  /// Counters are atomic so concurrent sealed probes stay exact (plain
+  /// mutable increments in a const method would be a data race).
+  mutable std::atomic<int64_t> index_builds_{0};
+  mutable std::atomic<int64_t> index_probes_{0};
 };
 
 }  // namespace hypo

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
+
+#include "base/stopwatch.h"
 
 namespace hypo {
 
@@ -54,6 +57,30 @@ AdornMask GroundMask(size_t arity) {
   return arity == 0 ? 0u : ((1u << arity) - 1u);
 }
 
+/// The premise a full (non-delta) rule version is sharded on: the plan's
+/// first positive match, whose candidate tuples partition the rule's
+/// instantiations. -1 when the rule has no positive premise (the version
+/// then runs whole in shard 0).
+int FirstPositivePremise(const BodyPlan& plan) {
+  for (const PlanStep& step : plan.steps) {
+    if (step.kind == PlanStep::Kind::kMatchPositive) return step.premise_index;
+  }
+  return -1;
+}
+
+/// RAII unseal for the databases a parallel phase froze; UnsealIndexes is
+/// idempotent, so early explicit unseals (before the barrier merge) are
+/// fine.
+struct Unsealer {
+  const Database* db;
+  explicit Unsealer(const Database* d) : db(d) {}
+  ~Unsealer() {
+    if (db != nullptr) db->UnsealIndexes();
+  }
+  Unsealer(const Unsealer&) = delete;
+  Unsealer& operator=(const Unsealer&) = delete;
+};
+
 }  // namespace
 
 BottomUpEngine::BottomUpEngine(const RuleBase* rulebase, const Database* db,
@@ -78,12 +105,17 @@ Status BottomUpEngine::Init() {
   if (options_.demand && demand_profile_ == nullptr) {
     demand_profile_ = std::make_unique<DemandProfile>(rulebase_);
   }
+  if (options_.num_threads >= 2 && pool_ == nullptr) {
+    // N-way parallelism = N-1 workers + the calling thread (RunBatch
+    // callers participate).
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads - 1);
+  }
   HYPO_RETURN_IF_ERROR(RebuildActivePlans());
 
   domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
   domain_set_.clear();
   domain_set_.insert(domain_.begin(), domain_.end());
-  states_.clear();
+  states_.Clear();
   ++stats_.domain_rebuilds;
   initialized_ = true;
   return Status::OK();
@@ -126,6 +158,30 @@ Status BottomUpEngine::RebuildActivePlans() {
       }
     }
   }
+
+  // Every probe signature any plan step can issue at runtime, for the
+  // parallel fixpoint's prepare-then-seal choreography. The static
+  // probe_mask equals the runtime BoundSignature exactly, so a sealed
+  // database prepared with these never degrades to a full scan.
+  static_sigs_.clear();
+  std::unordered_set<uint64_t> sig_seen;
+  for (int r = 0; r < program.num_rules(); ++r) {
+    const Rule& rule = program.rule(r);
+    for (const PlanStep& step : rule_plans_[r].steps) {
+      if (step.probe_mask == 0) continue;
+      if (step.kind != PlanStep::Kind::kMatchPositive &&
+          step.kind != PlanStep::Kind::kNegated) {
+        continue;
+      }
+      PredicateId pred = rule.premises[step.premise_index].atom.predicate;
+      uint64_t sig =
+          (static_cast<uint64_t>(static_cast<uint32_t>(pred)) << 32) |
+          step.probe_mask;
+      if (sig_seen.insert(sig).second) {
+        static_sigs_.emplace_back(pred, step.probe_mask);
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -136,7 +192,7 @@ Status BottomUpEngine::RefreshDemandProgram(bool widened) {
   demand_program_ = std::make_unique<DemandProgram>(std::move(program));
   // Memoized states are kept: demand only widens, so their models hold
   // true facts of a subset of the new demanded slice. The version bump
-  // makes MaterializeState re-extend each one lazily on its next touch.
+  // makes the state cache re-extend each one lazily on its next touch.
   ++demand_version_;
   return RebuildActivePlans();
 }
@@ -236,72 +292,145 @@ Status BottomUpEngine::EnsureFactConstants(const Fact& fact) {
   return Status::OK();
 }
 
-Status BottomUpEngine::CheckLimits() {
-  if (static_cast<int64_t>(states_.size()) > options_.max_states) {
-    return Status::ResourceExhausted(
+Status BottomUpEngine::CheckLimits(WorkCtx* work) {
+  if (states_.size() > options_.max_states) {
+    Status s = Status::ResourceExhausted(
         "evaluation exceeded max_states = " +
         std::to_string(options_.max_states));
+    if (work->meter != nullptr) work->meter->Record(s);
+    return s;
   }
-  if (stats_.goals_expanded > options_.max_steps ||
-      stats_.enumerations > options_.max_steps) {
-    return Status::ResourceExhausted(
+  if (work->meter == nullptr) {
+    // Sequential path: the accumulator is the engine's own stats_.
+    if (work->stats->goals_expanded > options_.max_steps ||
+        work->stats->enumerations > options_.max_steps) {
+      return Status::ResourceExhausted(
+          "evaluation exceeded max_steps = " +
+          std::to_string(options_.max_steps));
+    }
+    return Status::OK();
+  }
+  // Parallel path: publish this worker's unpublished counts, then enforce
+  // the limits against the global totals, so max_steps means the same
+  // thing at every thread count (up to one publish interval of slack).
+  ParallelMeter& m = *work->meter;
+  m.goals.fetch_add(work->stats->goals_expanded - work->published_goals,
+                    std::memory_order_relaxed);
+  work->published_goals = work->stats->goals_expanded;
+  m.enums.fetch_add(work->stats->enumerations - work->published_enums,
+                    std::memory_order_relaxed);
+  work->published_enums = work->stats->enumerations;
+  if (m.abort.load(std::memory_order_acquire)) return m.FirstError();
+  if (m.goals.load(std::memory_order_relaxed) > options_.max_steps ||
+      m.enums.load(std::memory_order_relaxed) > options_.max_steps) {
+    Status s = Status::ResourceExhausted(
         "evaluation exceeded max_steps = " +
         std::to_string(options_.max_steps));
+    m.Record(s);
+    return s;
   }
   return Status::OK();
 }
 
-StatusOr<BottomUpEngine::State*> BottomUpEngine::MaterializeState(
-    const StateKey& key, int through, const std::vector<Fact>& seeds) {
-  State* state;
-  auto it = states_.find(key);
-  if (it != states_.end()) {
-    ++stats_.memo_hits;
-    state = it->second.get();
-  } else {
-    HYPO_RETURN_IF_ERROR(CheckLimits());
+int64_t BottomUpEngine::InternStateKey(const StateKey& key) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return static_cast<int64_t>(ctx_interner_.InternAddedSet(key));
+}
+
+template <typename Read>
+Status BottomUpEngine::EnsureState(int64_t ckey, const StateKey& key,
+                                   int through,
+                                   const std::vector<Fact>& seeds,
+                                   WorkCtx* work, bool allow_parallel,
+                                   const Read& read) {
+  bool created = false;
+  int target = through;
+  auto factory = [&](int64_t) -> std::unique_ptr<State> {
+    created = true;
     auto owned = std::make_unique<State>(base_->symbols_ptr());
     owned->key = key;
-    for (FactId id : key) {
-      owned->added_set.insert(id);
-      owned->ext.Insert(interner_.Get(id));
+    {
+      // interner_ may be growing concurrently (TestHypothetical on other
+      // workers); Get must not race a rehash. Shard-lock-then-intern is
+      // the global lock order, so this nesting cannot deadlock.
+      std::lock_guard<std::mutex> lock(intern_mu_);
+      for (FactId id : key) {
+        owned->added_set.insert(id);
+        owned->ext.Insert(interner_.Get(id));
+      }
     }
     owned->demand_version = demand_version_;
-    state = owned.get();
-    states_.emplace(key, std::move(owned));
-    ++stats_.states_evaluated;
-  }
-
+    ++work->stats->states_evaluated;
+    return owned;
+  };
+  // Under the shard lock: decide whether the model must be (re)computed.
   // A model computed under a narrower demand profile, or left incomplete
   // by an aborted run, must be re-extended; so must one that has not yet
   // reached `through`, or into which a query just injected a new magic
   // seed. Re-extension re-runs the strata from 0: ext is append-only and
   // every fact in it is a true fact of the (wider) demanded slice, so the
   // re-run only adds facts — answers never change, work is only redone.
-  bool rerun =
-      state->dirty || state->demand_version != demand_version_;
-  for (const Fact& seed : seeds) {
-    if (state->ext.Insert(seed)) {
-      ++stats_.magic_facts;
-      rerun = true;
+  auto needs_run = [&](State* s) -> bool {
+    bool rerun = s->dirty || s->demand_version != demand_version_;
+    for (const Fact& seed : seeds) {
+      if (s->ext.Insert(seed)) {
+        ++work->stats->magic_facts;
+        rerun = true;
+      }
     }
-  }
-  const int target = std::max(through, state->completed_through);
-  if (rerun || target > state->completed_through) {
-    state->dirty = true;
-    HYPO_RETURN_IF_ERROR(ComputeModel(state, target));
-    state->completed_through = target;
-    state->demand_version = demand_version_;
-    state->dirty = false;
-  }
-  return state;
+    target = std::max(target, s->completed_through);
+    return rerun || target > s->completed_through;
+  };
+  auto compute = [&](State* s) -> Status {
+    // dirty stays raised until the model completes, so an abort mid-way
+    // leaves the state marked for recomputation, never served as-is.
+    s->dirty = true;
+    HYPO_RETURN_IF_ERROR(CheckLimits(work));
+    HYPO_RETURN_IF_ERROR(ComputeModel(s, target, work, allow_parallel));
+    s->completed_through = target;
+    s->demand_version = demand_version_;
+    s->dirty = false;
+    return Status::OK();
+  };
+  Status status =
+      states_.EnsureComputed(ckey, factory, needs_run, compute, read);
+  if (!created) ++work->stats->memo_hits;
+  return status;
 }
 
-Status BottomUpEngine::ComputeModel(State* state, int through) {
+StatusOr<BottomUpEngine::State*> BottomUpEngine::MaterializeState(
+    const StateKey& key, int through, const std::vector<Fact>& seeds,
+    WorkCtx* work) {
+  int64_t ckey = InternStateKey(key);
+  State* out = nullptr;
+  HYPO_RETURN_IF_ERROR(EnsureState(ckey, key, through, seeds, work,
+                                   /*allow_parallel=*/true,
+                                   [&](State* s) { out = s; }));
+  return out;
+}
+
+Status BottomUpEngine::ComputeModel(State* state, int through, WorkCtx* work,
+                                    bool allow_parallel) {
+  const bool parallel = allow_parallel && pool_ != nullptr;
+  Unsealer base_unsealer(parallel ? base_ : nullptr);
+  if (parallel) {
+    // Freeze the shared base for the whole region: every statically
+    // possible probe signature gets an up-to-date index, then concurrent
+    // probes (including the sequential child-state computations running
+    // on workers) are strictly read-only.
+    for (const auto& [pred, mask] : static_sigs_) {
+      base_->PrepareIndex(pred, mask);
+    }
+    base_->SealIndexes();
+  }
   const EvalStrategy strategy = options_.eval_strategy;
   const RuleBase& program = active();
   const int last = std::min(through, strata_.num_strata - 1);
   for (int s = 0; s <= last; ++s) {
+    if (parallel) {
+      HYPO_RETURN_IF_ERROR(ComputeStratumParallel(state, s, work));
+      continue;
+    }
     const std::vector<int>& stratum_rules = strata_.rules_by_stratum[s];
     // Predicates whose relations gained tuples in the previous round, and
     // (delta mode) the new tuples themselves, rotated per round.
@@ -313,10 +442,11 @@ Status BottomUpEngine::ComputeModel(State* state, int through) {
         strategy == EvalStrategy::kDeltaSeminaive ? &next_delta : nullptr;
     bool first_round = true;
     while (true) {
-      ++stats_.fixpoint_rounds;
+      ++work->stats->fixpoint_rounds;
       for (int rule_index : stratum_rules) {
         EvalCtx ctx;
         ctx.state = state;
+        ctx.work = work;
         if (first_round || strategy == EvalStrategy::kNaive) {
           // Round 0 instantiates every rule over the full relations (the
           // semi-naive base case); naive mode keeps doing that forever.
@@ -383,8 +513,182 @@ Status BottomUpEngine::ComputeModel(State* state, int through) {
     retired_index_builds_ += delta.index_builds() + next_delta.index_builds();
   }
   if (last < strata_.num_strata - 1) {
-    stats_.strata_skipped += strata_.num_strata - 1 - last;
+    work->stats->strata_skipped += strata_.num_strata - 1 - last;
   }
+  return Status::OK();
+}
+
+Status BottomUpEngine::ComputeStratumParallel(State* state, int stratum,
+                                              WorkCtx* work) {
+  const EvalStrategy strategy = options_.eval_strategy;
+  const RuleBase& program = active();
+  const std::vector<int>& stratum_rules = strata_.rules_by_stratum[stratum];
+  std::unordered_set<PredicateId> changed_last;
+  std::unordered_set<PredicateId> changed_now;
+  Database delta(base_->symbols_ptr());
+  Database next_delta(base_->symbols_ptr());
+  const bool track_delta = strategy == EvalStrategy::kDeltaSeminaive;
+  const int num_shards = pool_->num_workers() + 1;
+  struct Version {
+    int rule;
+    int delta_premise;  // -1 = full instantiation.
+  };
+  ParallelMeter meter;
+  bool first_round = true;
+  while (true) {
+    ++work->stats->fixpoint_rounds;
+    // Rule-version selection: identical to the sequential rounds, hoisted
+    // out of the tasks so every shard evaluates the same version list.
+    std::vector<Version> versions;
+    for (int rule_index : stratum_rules) {
+      if (first_round || strategy == EvalStrategy::kNaive) {
+        versions.push_back({rule_index, -1});
+        continue;
+      }
+      if (strategy == EvalStrategy::kRuleFilter) {
+        const Rule& rule = program.rule(rule_index);
+        bool relevant = false;
+        for (const Premise& p : rule.premises) {
+          if (changed_last.count(p.atom.predicate) > 0) {
+            relevant = true;
+            break;
+          }
+        }
+        if (relevant) versions.push_back({rule_index, -1});
+        continue;
+      }
+      const RuleDeltaInfo& info = rule_delta_info_[rule_index];
+      bool full = false;
+      for (PredicateId p : info.hypo_sensitive_preds) {
+        if (changed_last.count(p) > 0) {
+          full = true;
+          break;
+        }
+      }
+      if (full) {
+        versions.push_back({rule_index, -1});
+        continue;
+      }
+      const std::vector<Premise>& premises =
+          program.rule(rule_index).premises;
+      for (int premise_index : info.delta_premises) {
+        if (changed_last.count(premises[premise_index].atom.predicate) == 0) {
+          continue;
+        }
+        versions.push_back({rule_index, premise_index});
+      }
+    }
+    if (!versions.empty()) {
+      ++work->stats->parallel_rounds;
+      // Re-baseline the shared meter to the exact totals so far; tasks
+      // publish their deltas on top.
+      meter.goals.store(work->stats->goals_expanded,
+                        std::memory_order_relaxed);
+      meter.enums.store(work->stats->enumerations, std::memory_order_relaxed);
+      // Freeze the round's read set (model + delta) behind up-to-date
+      // indexes for every statically possible probe signature.
+      for (const auto& [pred, mask] : static_sigs_) {
+        state->ext.PrepareIndex(pred, mask);
+        delta.PrepareIndex(pred, mask);
+      }
+      state->ext.SealIndexes();
+      delta.SealIndexes();
+      Unsealer ext_unsealer(&state->ext);
+      Unsealer delta_unsealer(&delta);
+
+      std::vector<EngineStats> task_stats(num_shards);
+      std::vector<Database> buffers;
+      buffers.reserve(num_shards);
+      for (int i = 0; i < num_shards; ++i) {
+        buffers.emplace_back(base_->symbols_ptr());
+      }
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(num_shards);
+      for (int shard = 0; shard < num_shards; ++shard) {
+        tasks.push_back([this, shard, num_shards, state, &versions, &delta,
+                         &buffers, &task_stats, &meter]() -> Status {
+          WorkCtx tw;
+          tw.stats = &task_stats[shard];
+          tw.meter = &meter;
+          for (const Version& v : versions) {
+            const int sp = v.delta_premise >= 0
+                               ? v.delta_premise
+                               : FirstPositivePremise(rule_plans_[v.rule]);
+            if (sp < 0 && shard != 0) continue;
+            EvalCtx ctx;
+            ctx.state = state;
+            ctx.work = &tw;
+            ctx.buffer = &buffers[shard];
+            if (v.delta_premise >= 0) {
+              ctx.delta_premise = v.delta_premise;
+              ctx.delta = &delta;
+            }
+            if (sp >= 0) {
+              ctx.shard_premise = sp;
+              ctx.shard = shard;
+              ctx.num_shards = num_shards;
+            }
+            Status st = EvaluateRule(v.rule, &ctx, nullptr, nullptr);
+            if (!st.ok()) {
+              // Raise the shared abort flag so sibling tasks bail at
+              // their next metering check instead of finishing the round.
+              meter.Record(st);
+              return st;
+            }
+          }
+          return Status::OK();
+        });
+      }
+      Status round_status = pool_->RunBatch(std::move(tasks));
+
+      Stopwatch barrier;
+      state->ext.UnsealIndexes();
+      delta.UnsealIndexes();
+      // Per-worker counters merge exactly, success or abort.
+      for (const EngineStats& ts : task_stats) work->stats->Merge(ts);
+      HYPO_RETURN_IF_ERROR(round_status);
+
+      // Deterministic merge: buffered facts from all shards, sorted by
+      // (predicate, tuple), inserted once each. The round's resulting
+      // model — contents AND insertion order — is independent of both the
+      // scheduling and the thread count.
+      std::vector<Fact> merged;
+      for (const Database& b : buffers) {
+        b.ForEach([&merged](const Fact& f) { merged.push_back(f); });
+      }
+      std::sort(merged.begin(), merged.end(),
+                [](const Fact& a, const Fact& b) {
+                  if (a.predicate != b.predicate) {
+                    return a.predicate < b.predicate;
+                  }
+                  return a.args < b.args;
+                });
+      for (const Fact& f : merged) {
+        if (!state->ext.Insert(f)) continue;  // Cross-shard duplicate.
+        ++work->stats->facts_derived;
+        if (demand_program_ != nullptr &&
+            demand_program_->IsMagic(f.predicate)) {
+          ++work->stats->magic_facts;
+        }
+        changed_now.insert(f.predicate);
+        if (track_delta) {
+          next_delta.Insert(f);
+          ++work->stats->delta_facts;
+        }
+      }
+      work->stats->barrier_micros += barrier.ElapsedMicros();
+    }
+    if (changed_now.empty()) break;
+    if (track_delta) {
+      retired_index_builds_ += delta.index_builds();
+      delta = std::move(next_delta);
+      next_delta = Database(base_->symbols_ptr());
+    }
+    changed_last = std::move(changed_now);
+    changed_now.clear();
+    first_round = false;
+  }
+  retired_index_builds_ += delta.index_builds() + next_delta.index_builds();
   return Status::OK();
 }
 
@@ -396,20 +700,27 @@ Status BottomUpEngine::EvaluateRule(
   State* state = ctx->state;
   Binding binding(rule.num_vars());
   auto sink = [&](const Binding& b) -> StatusOr<bool> {
-    ++stats_.goals_expanded;
-    HYPO_RETURN_IF_ERROR(CheckLimits());
+    ++ctx->work->stats->goals_expanded;
+    HYPO_RETURN_IF_ERROR(CheckLimits(ctx->work));
     Fact head = b.Ground(rule.head);
+    if (ctx->buffer != nullptr) {
+      // Parallel round: the model is sealed. Buffer the head (deduped per
+      // task by the buffer's own hash set); the barrier merge inserts it
+      // and does the exact-once accounting.
+      if (!Visible(*state, head)) ctx->buffer->Insert(head);
+      return true;
+    }
     if (!Visible(*state, head)) {
       state->ext.Insert(head);
-      ++stats_.facts_derived;
+      ++ctx->work->stats->facts_derived;
       if (demand_program_ != nullptr &&
           demand_program_->IsMagic(head.predicate)) {
-        ++stats_.magic_facts;
+        ++ctx->work->stats->magic_facts;
       }
       changed->insert(head.predicate);
       if (next_delta != nullptr) {
         next_delta->Insert(head);
-        ++stats_.delta_facts;
+        ++ctx->work->stats->delta_facts;
       }
     }
     return true;  // Keep enumerating.
@@ -437,8 +748,18 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       const bool designated = ps.premise_index == ctx->delta_premise;
       const bool exclude_delta = !designated && ctx->delta != nullptr &&
                                  ps.premise_index < ctx->delta_premise;
+      // Parallel rounds partition instantiations across shards by the
+      // hash of the tuple matched at the shard premise.
+      const bool sharded =
+          ps.premise_index == ctx->shard_premise && ctx->num_shards > 1;
+      auto in_shard = [&](const Tuple& t) {
+        return static_cast<int>(TupleHash{}(t) %
+                                static_cast<size_t>(ctx->num_shards)) ==
+               ctx->shard;
+      };
       if (binding->Grounds(atom)) {
         Fact f = binding->Ground(atom);
+        if (sharded && !in_shard(f.args)) return true;  // Another shard's.
         bool holds = designated ? ctx->delta->Contains(f) : Visible(*state, f);
         if (holds && exclude_delta && ctx->delta->Contains(f)) holds = false;
         if (!holds) return true;
@@ -452,7 +773,8 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       Status error;
       bool stopped = false;
       auto try_tuple = [&](const Tuple& tuple) -> bool {
-        ++stats_.join_probes;
+        if (sharded && !in_shard(tuple)) return true;
+        ++ctx->work->stats->join_probes;
         if (exclude_delta && ctx->delta->Contains(atom.predicate, tuple)) {
           return true;
         }
@@ -491,7 +813,7 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
         for (ConstId c : domain_) {
           // Purely extensional domain^n loops derive no heads, so they
           // must be metered here or max_steps never triggers.
-          HYPO_RETURN_IF_ERROR(CountEnumeration());
+          HYPO_RETURN_IF_ERROR(CountEnumeration(ctx->work));
           binding->Set(var, c);
           StatusOr<bool> r = enumerate(v + 1);
           binding->Unset(var);
@@ -514,8 +836,8 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       for (const Atom& a : premise.additions) {
         additions.push_back(binding->Ground(a));
       }
-      HYPO_ASSIGN_OR_RETURN(bool holds,
-                            TestHypothetical(state, query, additions));
+      HYPO_ASSIGN_OR_RETURN(
+          bool holds, TestHypothetical(state, query, additions, ctx->work));
       if (!holds) return true;
       return WalkPlan(premises, plan, step + 1, binding, ctx, sink);
     }
@@ -523,7 +845,7 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       const Atom& atom = premises[ps.premise_index].atom;
       // Variables still unbound here occur only under negation: the
       // premise succeeds iff *no* instance is visible (∄ reading).
-      if (ExistsMatch(*state, atom, binding)) return true;
+      if (ExistsMatch(*state, atom, binding, ctx->work)) return true;
       return WalkPlan(premises, plan, step + 1, binding, ctx, sink);
     }
   }
@@ -531,16 +853,32 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
 }
 
 StatusOr<bool> BottomUpEngine::TestHypothetical(
-    State* state, const Fact& query, const std::vector<Fact>& additions) {
+    State* state, const Fact& query, const std::vector<Fact>& additions,
+    WorkCtx* work) {
   // Additions already present in the state's *database* (base or added
   // facts — derived facts do not count, they are conclusions, not entries)
   // leave the state unchanged.
   std::vector<FactId> new_ids;
-  for (const Fact& f : additions) {
-    if (base_->Contains(f)) continue;
-    FactId id = interner_.Intern(f);
-    if (state->added_set.count(id) > 0) continue;
-    new_ids.push_back(id);
+  StateKey key;
+  int64_t ckey = 0;
+  {
+    // One intern_mu_ hold covers both the fact interning and the child
+    // key's context id — this runs once per hypothetical premise test, so
+    // a second lock round-trip is measurable.
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    for (const Fact& f : additions) {
+      if (base_->Contains(f)) continue;
+      FactId id = interner_.Intern(f);
+      if (state->added_set.count(id) > 0) continue;
+      new_ids.push_back(id);
+    }
+    if (!new_ids.empty()) {
+      key = state->key;
+      key.insert(key.end(), new_ids.begin(), new_ids.end());
+      std::sort(key.begin(), key.end());
+      key.erase(std::unique(key.begin(), key.end()), key.end());
+      ckey = static_cast<int64_t>(ctx_interner_.InternAddedSet(key));
+    }
   }
   if (new_ids.empty()) {
     // Same state: behaves like a positive premise over the in-progress
@@ -549,10 +887,6 @@ StatusOr<bool> BottomUpEngine::TestHypothetical(
     // already demanded the queried slice in this state.
     return Visible(*state, query);
   }
-  StateKey key = state->key;
-  key.insert(key.end(), new_ids.begin(), new_ids.end());
-  std::sort(key.begin(), key.end());
-  key.erase(std::unique(key.begin(), key.end()), key.end());
   // Demand propagates *into* the child state: seed its magic relation
   // with the ground queried atom's bound projection, and compute its
   // model only through the queried predicate's stratum.
@@ -565,20 +899,26 @@ StatusOr<bool> BottomUpEngine::TestHypothetical(
       seeds.push_back(std::move(*seed));
     }
   }
-  HYPO_ASSIGN_OR_RETURN(State * bigger,
-                        MaterializeState(key, through, seeds));
-  return Visible(*bigger, query);
+  // Children are always computed sequentially (inter-state parallelism
+  // comes from different workers reaching *different* children); the
+  // visibility check runs under the cache-shard lock so a concurrent
+  // demand re-extension of the child can never be observed half-done.
+  bool holds = false;
+  HYPO_RETURN_IF_ERROR(
+      EnsureState(ckey, key, through, seeds, work, /*allow_parallel=*/false,
+                  [&](State* s) { holds = Visible(*s, query); }));
+  return holds;
 }
 
 bool BottomUpEngine::ExistsMatch(const State& state, const Atom& atom,
-                                 Binding* binding) {
+                                 Binding* binding, WorkCtx* work) {
   if (binding->Grounds(atom)) {
     return Visible(state, binding->Ground(atom));
   }
   std::vector<VarIndex> trail;
   bool found = false;
   auto probe = [&](const Tuple& tuple) -> bool {
-    ++stats_.join_probes;
+    ++work->stats->join_probes;
     if (binding->MatchTuple(atom, tuple, &trail)) {
       binding->Undo(&trail, 0);
       found = true;
@@ -595,13 +935,28 @@ bool BottomUpEngine::ExistsMatch(const State& state, const Atom& atom,
 const EngineStats& BottomUpEngine::stats() const {
   // Index builds live in the Databases themselves: the shared base, each
   // memoized state's model, and the per-round deltas already retired.
-  stats_.index_builds = retired_index_builds_ + base_->index_builds();
-  for (const auto& [key, state] : states_) {
-    stats_.index_builds += state->ext.index_builds();
-  }
+  stats_.index_builds = retired_index_builds_.load(std::memory_order_relaxed) +
+                        base_->index_builds();
+  states_.ForEach([this](const State& state) {
+    stats_.index_builds += state.ext.index_builds();
+  });
   stats_.demanded_predicates =
       demand_profile_ != nullptr ? demand_profile_->num_demanded() : 0;
+  // Non-empty hypothetical contexts interned as state-cache keys (the
+  // ever-present empty context is the base state, not a hypothesis).
+  stats_.contexts_interned = ctx_interner_.num_contexts() - 1;
+  if (pool_ != nullptr) {
+    stats_.tasks_stolen = pool_->tasks_stolen();
+    stats_.peak_workers =
+        std::max<int64_t>(stats_.peak_workers, pool_->peak_active());
+  }
   return stats_;
+}
+
+void BottomUpEngine::ResetStats() {
+  stats_ = EngineStats();
+  retired_index_builds_.store(0, std::memory_order_relaxed);
+  if (pool_ != nullptr) pool_->ResetCounters();
 }
 
 StatusOr<bool> BottomUpEngine::ProveFact(const Fact& fact) {
@@ -610,7 +965,10 @@ StatusOr<bool> BottomUpEngine::ProveFact(const Fact& fact) {
   std::vector<Fact> seeds;
   int through = 0;
   HYPO_RETURN_IF_ERROR(PrepareFactDemand(fact, &seeds, &through));
-  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, seeds));
+  WorkCtx work;
+  work.stats = &stats_;
+  HYPO_ASSIGN_OR_RETURN(State * top,
+                        MaterializeState({}, through, seeds, &work));
   return Visible(*top, fact);
 }
 
@@ -620,13 +978,17 @@ StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
   std::vector<Fact> seeds;
   int through = 0;
   HYPO_RETURN_IF_ERROR(PrepareQueryDemand(query, &seeds, &through));
-  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, seeds));
+  WorkCtx work;
+  work.stats = &stats_;
+  HYPO_ASSIGN_OR_RETURN(State * top,
+                        MaterializeState({}, through, seeds, &work));
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
   Binding binding(query.num_vars());
   EvalCtx ctx;
   ctx.state = top;
+  ctx.work = &work;
   bool found = false;
   auto sink = [&found](const Binding&) -> StatusOr<bool> {
     found = true;
@@ -643,13 +1005,17 @@ StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
   std::vector<Fact> seeds;
   int through = 0;
   HYPO_RETURN_IF_ERROR(PrepareQueryDemand(query, &seeds, &through));
-  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, seeds));
+  WorkCtx work;
+  work.stats = &stats_;
+  HYPO_ASSIGN_OR_RETURN(State * top,
+                        MaterializeState({}, through, seeds, &work));
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
   Binding binding(query.num_vars());
   EvalCtx ctx;
   ctx.state = top;
+  ctx.work = &work;
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<Tuple> answers;
   auto sink = [&](const Binding& b) -> StatusOr<bool> {
@@ -673,7 +1039,9 @@ StatusOr<std::vector<Tuple>> BottomUpEngine::FactsFor(PredicateId pred) {
     HYPO_RETURN_IF_ERROR(RefreshDemandProgram(widened));
     through = StratumCap(pred);
   }
-  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, {}));
+  WorkCtx work;
+  work.stats = &stats_;
+  HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, {}, &work));
   std::vector<Tuple> out = base_->TuplesFor(pred);
   for (const Tuple& t : top->ext.TuplesFor(pred)) out.push_back(t);
   return out;

@@ -1,20 +1,24 @@
 #ifndef HYPO_ENGINE_BOTTOM_UP_H_
 #define HYPO_ENGINE_BOTTOM_UP_H_
 
-#include <memory>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "analysis/demand_transform.h"
 #include "analysis/stratification.h"
-#include "base/hash.h"
+#include "base/thread_pool.h"
+#include "db/context_interner.h"
 #include "db/fact_interner.h"
 #include "engine/binding.h"
 #include "engine/engine.h"
 #include "engine/plan.h"
+#include "engine/state_cache.h"
 
 namespace hypo {
 
@@ -42,6 +46,19 @@ namespace hypo {
 /// of true facts, so re-running the strata under a wider profile only adds
 /// facts — see DESIGN.md for why answers are unchanged).
 ///
+/// With `EngineOptions::num_threads >= 2` the top-level state's fixpoint
+/// runs *parallel rounds* (see DESIGN.md "Parallel evaluation"): each
+/// round's rule versions are partitioned into hash shards of a designated
+/// premise's tuples, evaluated against frozen (sealed) relations on a
+/// work-stealing pool with per-worker insertion buffers, and merged
+/// deterministically (sorted by predicate, then tuple) at the round
+/// barrier. Hypothetical child states encountered by concurrent workers
+/// are materialized through a sharded, mutex-striped state cache keyed by
+/// interned ContextIds, so independent hypothetical branches proceed in
+/// parallel while duplicate requests for the same state wait instead of
+/// recomputing. Answers and models are identical at every thread count;
+/// only scheduling-dependent machinery counters (rounds, probes) differ.
+///
 /// This engine makes no linearity assumption — it accepts every rulebase
 /// the paper's inference system defines (Definition 3 + stratified NAF) —
 /// and serves as the ground-truth oracle the StratifiedProver is
@@ -63,22 +80,14 @@ class BottomUpEngine : public Engine {
   StatusOr<std::vector<Tuple>> FactsFor(PredicateId pred);
 
   const EngineStats& stats() const override;
-  void ResetStats() override {
-    stats_ = EngineStats();
-    retired_index_builds_ = 0;
-  }
+  void ResetStats() override;
   std::string name() const override { return "bottom-up"; }
 
   /// Number of distinct database states currently memoized.
-  int64_t num_states() const { return static_cast<int64_t>(states_.size()); }
+  int64_t num_states() const { return states_.size(); }
 
  private:
   using StateKey = std::vector<FactId>;
-  struct StateKeyHash {
-    size_t operator()(const StateKey& k) const {
-      return static_cast<size_t>(HashVector(k, k.size()));
-    }
-  };
 
   struct State {
     StateKey key;                           // Sorted added-fact ids.
@@ -97,9 +106,48 @@ class BottomUpEngine : public Engine {
     /// aborted ComputeModel is incomplete and must be recomputed on the
     /// next touch, not served from the memo (abort recovery).
     bool dirty = false;
+    /// ShardedStateCache's in-flight flag: true while some thread runs
+    /// the compute step for this state outside the shard lock.
+    bool computing = false;
 
     explicit State(std::shared_ptr<SymbolTable> symbols)
         : ext(std::move(symbols)) {}
+  };
+
+  /// Shared abort-and-metering state for one parallel fixpoint region.
+  /// Workers accumulate counters in private EngineStats and publish the
+  /// deltas here at metering checks, so max_steps is enforced against the
+  /// *global* totals and one worker's ResourceExhausted short-circuits
+  /// every in-flight task at its next check (cooperative abort).
+  struct ParallelMeter {
+    std::atomic<int64_t> goals{0};
+    std::atomic<int64_t> enums{0};
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    Status first_error = Status::OK();
+
+    /// Records the first error and raises the abort flag.
+    void Record(const Status& s) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = s;
+      abort.store(true, std::memory_order_release);
+    }
+    Status FirstError() {
+      std::lock_guard<std::mutex> lock(mu);
+      return first_error;
+    }
+  };
+
+  /// Per-evaluation-thread accumulator: all hot-path counters go to
+  /// `stats` (the engine's own stats_ on the sequential path, a private
+  /// per-task struct on workers, merged at the round barrier so counts
+  /// are exact), and `meter` (parallel regions only) carries the shared
+  /// abort flag plus published counter snapshots for limit enforcement.
+  struct WorkCtx {
+    EngineStats* stats = nullptr;
+    ParallelMeter* meter = nullptr;
+    int64_t published_goals = 0;
+    int64_t published_enums = 0;
   };
 
   /// Static per-rule facts for the tuple-level semi-naive rewrite,
@@ -118,11 +166,23 @@ class BottomUpEngine : public Engine {
   };
 
   /// Per-round evaluation context threaded through WalkPlan: the state
-  /// under construction plus the optional delta designation.
+  /// under construction, the optional delta designation, the calling
+  /// thread's work accumulator, and (parallel rounds) the private
+  /// insertion buffer plus the shard filter.
   struct EvalCtx {
     State* state = nullptr;
     int delta_premise = -1;          // Designated premise index, or -1.
     const Database* delta = nullptr; // Last round's newly derived tuples.
+    WorkCtx* work = nullptr;
+    /// Parallel rounds: derived heads go here (deduped per task) instead
+    /// of into state->ext, which is sealed; merged at the barrier.
+    Database* buffer = nullptr;
+    /// Shard filter: instantiations whose `shard_premise` tuple does not
+    /// hash to `shard` (mod num_shards) are skipped — each instantiation
+    /// fires in exactly one shard. -1 / 1 disables filtering.
+    int shard_premise = -1;
+    int shard = 0;
+    int num_shards = 1;
   };
 
   /// The program the fixpoint actually evaluates: the magic-set rewrite
@@ -145,8 +205,9 @@ class BottomUpEngine : public Engine {
   /// constants the caller introduces).
   Status EnsureFactConstants(const Fact& fact);
 
-  /// Recomputes strata / plans / delta info over active(). Called by
-  /// Init() and whenever the demand program is rebuilt.
+  /// Recomputes strata / plans / delta info / static probe signatures
+  /// over active(). Called by Init() and whenever the demand program is
+  /// rebuilt.
   Status RebuildActivePlans();
 
   /// Rebuilds the demand program when forced or when the profile widened
@@ -169,19 +230,48 @@ class BottomUpEngine : public Engine {
   /// the last stratum.
   int StratumCap(PredicateId pred) const;
 
-  /// Returns the state for `key` with `seeds` inserted into its magic
-  /// relations and its model computed through stratum `through` (both
-  /// monotone: a new seed or a wider program triggers a re-extension run,
-  /// a lower `through` never un-computes anything).
-  StatusOr<State*> MaterializeState(const StateKey& key, int through,
-                                    const std::vector<Fact>& seeds);
+  /// The cache key of `key` (a sorted added-fact id set): its interned
+  /// ContextId. Takes intern_mu_.
+  int64_t InternStateKey(const StateKey& key);
 
-  Status ComputeModel(State* state, int through);
+  /// Ensures the state for `ckey`/`key` exists with `seeds` inserted into
+  /// its magic relations and its model computed through stratum `through`
+  /// (both monotone), then runs `read` on it under the owning cache-shard
+  /// lock. All concurrent access to a memoized state funnels through
+  /// here: the shard lock covers creation, the needs-run decision, seed
+  /// insertion, and the caller's read, while the expensive model
+  /// computation runs outside it with the state marked in-flight
+  /// (duplicate requests wait; independent states proceed in parallel).
+  /// Template (instantiated only in bottom_up.cc) so the per-call read
+  /// closure needs no std::function erasure on the hypothetical hot path.
+  template <typename Read>
+  Status EnsureState(int64_t ckey, const StateKey& key, int through,
+                     const std::vector<Fact>& seeds, WorkCtx* work,
+                     bool allow_parallel, const Read& read);
+
+  /// Main-thread entry: EnsureState + return the raw State*. Only safe
+  /// outside parallel regions (top-level query evaluation), where no
+  /// worker can be mutating the state behind the pointer.
+  StatusOr<State*> MaterializeState(const StateKey& key, int through,
+                                    const std::vector<Fact>& seeds,
+                                    WorkCtx* work);
+
+  /// Computes (or re-extends) `state`'s model through stratum `through`.
+  /// With `allow_parallel` and a pool, each stratum runs parallel rounds;
+  /// child states reached during any round are always computed
+  /// sequentially on whichever worker gets there first.
+  Status ComputeModel(State* state, int through, WorkCtx* work,
+                      bool allow_parallel);
+
+  /// One stratum of ComputeModel as parallel rounds (see class comment).
+  Status ComputeStratumParallel(State* state, int stratum, WorkCtx* work);
 
   /// Evaluates one rule version over `ctx->state`, inserting derived
   /// heads into the model; predicates that gained tuples go to `changed`
   /// (a set: one entry per predicate per round, not per fact), and the
   /// new facts themselves to `next_delta` when delta tracking is on.
+  /// With ctx->buffer set (parallel rounds) derived heads go to the
+  /// buffer instead and both out-params must be null.
   Status EvaluateRule(int rule_index, EvalCtx* ctx, Database* next_delta,
                       std::unordered_set<PredicateId>* changed);
 
@@ -196,21 +286,23 @@ class BottomUpEngine : public Engine {
 
   /// Tests a fully ground hypothetical premise against `state`.
   StatusOr<bool> TestHypothetical(State* state, const Fact& query,
-                                  const std::vector<Fact>& additions);
+                                  const std::vector<Fact>& additions,
+                                  WorkCtx* work);
 
   /// True iff some extension of `binding` matches `atom` in `state`;
   /// probes the generalized access paths on all bound columns.
-  bool ExistsMatch(const State& state, const Atom& atom, Binding* binding);
+  bool ExistsMatch(const State& state, const Atom& atom, Binding* binding,
+                   WorkCtx* work);
 
-  Status CheckLimits();
+  Status CheckLimits(WorkCtx* work);
 
   /// Counts one domain-grounding iteration and enforces max_steps on
   /// enumeration-heavy plans (checked every 256 iterations so purely
   /// extensional domain^n loops cannot run away unmetered). Inline: the
   /// fast path must cost one increment and one predictable branch.
-  Status CountEnumeration() {
-    if ((++stats_.enumerations & 255) != 0) return Status::OK();
-    return CheckLimits();
+  Status CountEnumeration(WorkCtx* work) {
+    if ((++work->stats->enumerations & 255) != 0) return Status::OK();
+    return CheckLimits(work);
   }
 
   const RuleBase* rulebase_;
@@ -220,6 +312,11 @@ class BottomUpEngine : public Engine {
   NegationStrata strata_;
   std::vector<BodyPlan> rule_plans_;
   std::vector<RuleDeltaInfo> rule_delta_info_;
+  /// Every (predicate, probe-mask) signature any plan step of the active
+  /// program can probe at runtime, deduplicated. The parallel fixpoint
+  /// PrepareIndex()es all of them before sealing a database, so sealed
+  /// probes always find an up-to-date index.
+  std::vector<std::pair<PredicateId, ColumnMask>> static_sigs_;
   std::vector<ConstId> domain_;
   std::unordered_set<ConstId> domain_set_;
   std::vector<ConstId> extra_constants_;
@@ -231,13 +328,25 @@ class BottomUpEngine : public Engine {
   std::unique_ptr<DemandProgram> demand_program_;
   int demand_version_ = 0;
 
+  /// Guards interner_ and ctx_interner_ (the only tables workers mutate
+  /// outside the state cache). Never held while acquiring a cache-shard
+  /// lock, so the shard-then-intern lock order is acyclic.
+  std::mutex intern_mu_;
   FactInterner interner_;
-  std::unordered_map<StateKey, std::unique_ptr<State>, StateKeyHash> states_;
+  ContextInterner ctx_interner_;
+
+  ShardedStateCache<State> states_;
+
+  /// The work-stealing pool behind parallel rounds: num_threads - 1
+  /// workers (the calling thread participates). Null when num_threads
+  /// <= 1 — that path never touches any parallel machinery.
+  std::unique_ptr<ThreadPool> pool_;
 
   mutable EngineStats stats_;
   /// Index builds on per-round delta relations already destroyed;
-  /// stats() adds the live databases' counts on top.
-  int64_t retired_index_builds_ = 0;
+  /// stats() adds the live databases' counts on top. Atomic: child-state
+  /// computations on workers retire their own deltas concurrently.
+  std::atomic<int64_t> retired_index_builds_{0};
   bool initialized_ = false;
 };
 

@@ -1,6 +1,7 @@
 #ifndef HYPO_ENGINE_ENGINE_H_
 #define HYPO_ENGINE_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -54,6 +55,15 @@ struct EngineOptions {
   /// ablation baseline. Ignored by the top-down engines, which are
   /// demand-driven by construction.
   bool demand = false;
+
+  /// Worker threads for the BottomUpEngine's parallel fixpoint (see
+  /// DESIGN.md "Parallel evaluation"). 1 (the default) runs the exact
+  /// sequential code path; N >= 2 partitions each round's work across a
+  /// work-stealing pool of N-1 workers plus the calling thread, and
+  /// materializes independent hypothetical child states concurrently.
+  /// Answers and models are identical at every thread count. Ignored by
+  /// the top-down engines.
+  int num_threads = 1;
 };
 
 /// Counters reported by the engines; reset per top-level call group via
@@ -85,9 +95,50 @@ struct EngineStats {
   int64_t context_cache_hits = 0;    // Transitions answered from cache.
   int64_t memo_bytes = 0;            // Approx. bytes held by memo tables.
 
+  // Parallel fixpoint (BottomUpEngine with num_threads >= 2).
+  int64_t tasks_stolen = 0;       // Pool tasks run off their home deque.
+  int64_t parallel_rounds = 0;    // Fixpoint rounds evaluated sharded.
+  int64_t barrier_micros = 0;     // Wall time in round-barrier merges.
+  int64_t peak_workers = 0;       // Max tasks observed in flight at once.
+
   // Per-Δ-stratum model-construction time (StratifiedProver only);
   // stratum_micros[i] is the cumulative wall time building Δ_{i+1} models.
   std::vector<int64_t> stratum_micros;
+
+  /// Adds `other`'s counters into this one. Max-like fields (max_goal_depth,
+  /// peak_workers) take the max; stratum_micros merges element-wise. Used to
+  /// combine per-worker accumulators at round barriers so counts stay exact
+  /// under parallel evaluation.
+  void Merge(const EngineStats& other) {
+    states_evaluated += other.states_evaluated;
+    memo_hits += other.memo_hits;
+    goals_expanded += other.goals_expanded;
+    facts_derived += other.facts_derived;
+    fixpoint_rounds += other.fixpoint_rounds;
+    max_goal_depth = std::max(max_goal_depth, other.max_goal_depth);
+    enumerations += other.enumerations;
+    domain_rebuilds += other.domain_rebuilds;
+    delta_facts += other.delta_facts;
+    join_probes += other.join_probes;
+    index_builds += other.index_builds;
+    magic_facts += other.magic_facts;
+    demanded_predicates += other.demanded_predicates;
+    strata_skipped += other.strata_skipped;
+    contexts_interned += other.contexts_interned;
+    context_transitions += other.context_transitions;
+    context_cache_hits += other.context_cache_hits;
+    memo_bytes += other.memo_bytes;
+    tasks_stolen += other.tasks_stolen;
+    parallel_rounds += other.parallel_rounds;
+    barrier_micros += other.barrier_micros;
+    peak_workers = std::max(peak_workers, other.peak_workers);
+    if (other.stratum_micros.size() > stratum_micros.size()) {
+      stratum_micros.resize(other.stratum_micros.size(), 0);
+    }
+    for (size_t i = 0; i < other.stratum_micros.size(); ++i) {
+      stratum_micros[i] += other.stratum_micros[i];
+    }
+  }
 };
 
 /// Common interface of the two evaluation procedures.
@@ -95,7 +146,9 @@ struct EngineStats {
 /// An Engine is constructed over one (rulebase, database) pair; Init()
 /// performs the static analysis (stratification, plans, domain) and must
 /// be called before any query. Both referenced objects must outlive the
-/// engine. Engines are single-threaded.
+/// engine. The external interface is single-threaded — one query at a
+/// time — but the BottomUpEngine may fan work out to an internal pool
+/// when EngineOptions::num_threads >= 2.
 class Engine {
  public:
   virtual ~Engine() = default;

@@ -37,6 +37,19 @@ int CountBoundColumns(const Atom& atom, const std::vector<bool>& bound) {
   return n;
 }
 
+/// The bound-column mask the runtime BoundSignature will compute for
+/// `atom` given the variables bound before this step.
+ColumnMask StaticProbeMask(const Atom& atom, const std::vector<bool>& bound) {
+  ColumnMask mask = 0;
+  int limit = std::min<int>(static_cast<int>(atom.args.size()),
+                            kMaxIndexedColumns);
+  for (int i = 0; i < limit; ++i) {
+    const Term& t = atom.args[i];
+    if (t.is_const() || bound[t.var_index()]) mask |= 1u << i;
+  }
+  return mask;
+}
+
 }  // namespace
 
 BodyPlan BodyPlan::Build(const std::vector<Premise>& premises,
@@ -74,7 +87,8 @@ BodyPlan BodyPlan::Build(const std::vector<Premise>& premises,
     }
     used[best] = true;
     plan.steps.push_back(
-        PlanStep{PlanStep::Kind::kMatchPositive, best, {}});
+        PlanStep{PlanStep::Kind::kMatchPositive, best, {},
+                 StaticProbeMask(premises[best].atom, bound)});
     for (const Term& t : premises[best].atom.args) {
       if (t.is_var()) bound[t.var_index()] = true;
     }
@@ -113,7 +127,8 @@ BodyPlan BodyPlan::Build(const std::vector<Premise>& premises,
   // reading inside the engines.
   for (int i = 0; i < static_cast<int>(premises.size()); ++i) {
     if (premises[i].kind == PremiseKind::kNegated) {
-      plan.steps.push_back(PlanStep{PlanStep::Kind::kNegated, i, {}});
+      plan.steps.push_back(PlanStep{PlanStep::Kind::kNegated, i, {},
+                                    StaticProbeMask(premises[i].atom, bound)});
     }
   }
   return plan;

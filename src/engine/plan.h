@@ -5,6 +5,7 @@
 
 #include "ast/query.h"
 #include "ast/rule.h"
+#include "db/database.h"
 
 namespace hypo {
 
@@ -26,9 +27,15 @@ struct PlanStep {
   Kind kind;
   int premise_index = -1;            // For premise-backed steps.
   std::vector<VarIndex> enum_vars;   // For kEnumerateVars.
+  /// For kMatchPositive: the statically known bound-column signature the
+  /// runtime probe will use — column i is set iff argument i is a constant
+  /// or a variable bound by an earlier step. Matches BoundSignature's
+  /// runtime computation exactly (including the repeated-unbound-variable
+  /// case, since both computations look at the binding *before* this
+  /// premise matches). The parallel fixpoint uses it to PrepareIndex every
+  /// probe signature ahead of sealing.
+  ColumnMask probe_mask = 0;
 };
-
-class Database;
 
 /// An ordered evaluation plan for a conjunction of premises.
 ///

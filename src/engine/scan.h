@@ -68,12 +68,17 @@ bool ForEachBaseCandidate(const Database& db, const Atom& atom,
     const std::vector<int>* subset =
         db.ProbeIndex(atom.predicate, mask, key);
     if (subset == nullptr) return true;
-    const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
-    const size_t n = subset->size();
-    for (size_t i = 0; i < n; ++i) {
-      if (!fn(all[(*subset)[i]])) return false;
+    if (subset != Database::ScanAllMarker()) {
+      const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
+      const size_t n = subset->size();
+      for (size_t i = 0; i < n; ++i) {
+        if (!fn(all[(*subset)[i]])) return false;
+      }
+      return true;
     }
-    return true;
+    // Sealed database without an up-to-date index for this signature:
+    // fall through to the full scan. Callers post-filter with MatchTuple,
+    // so correctness is unaffected — only the access path degrades.
   }
   const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
   const size_t n = all.size();

@@ -1,0 +1,130 @@
+#ifndef HYPO_ENGINE_STATE_CACHE_H_
+#define HYPO_ENGINE_STATE_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "base/status.h"
+
+namespace hypo {
+
+/// A sharded, mutex-striped memo table from interned context keys to
+/// lazily computed state models, safe for concurrent lookups from the
+/// parallel fixpoint's workers.
+///
+/// S is the engine's state record. It must expose a `bool computing`
+/// member (false at rest) that the cache flips while a thread runs the
+/// expensive compute step outside the shard lock; concurrent requests for
+/// the same key wait on the shard's condition variable instead of
+/// duplicating the work or reading a half-built model.
+///
+/// The one subtlety EnsureComputed is shaped around: whether a memoized
+/// state needs (re)computation, and what a caller reads out of it, must
+/// both happen under the shard lock — demand-driven evaluation *mutates*
+/// memoized states (monotone re-extension when a later query demands a
+/// deeper slice), so a bare "return S*" API would hand out a pointer
+/// another worker might be extending. Callers therefore pass closures and
+/// never see a raw pointer outside the lock.
+///
+/// Deadlock-freedom: a compute step may recursively call EnsureComputed,
+/// but only ever for *strictly larger* hypothetical states (children add
+/// facts; states only grow — DESIGN.md §3). Waits thus follow a strict
+/// partial order on states and cannot cycle.
+template <typename S>
+class ShardedStateCache {
+ public:
+  /// `factory(key)` builds the record on first touch (under the shard
+  /// lock; must be cheap). `needs_run(s)` decides, under the lock, whether
+  /// `compute` must run for this request. `compute(s)` runs OUTSIDE the
+  /// lock with s->computing set; it may mutate *s freely and recurse into
+  /// the cache for larger states. `read(s)` runs under the lock after the
+  /// state is settled and extracts whatever the caller needs (a Visible()
+  /// check, a copy of answer tuples). Returns compute's status, or OK.
+  ///
+  /// Templated on the callables (rather than std::function) because this
+  /// sits on the engine's hottest path — every memoized hypothetical test
+  /// lands here, and four type-erased closures per hit measurably drag
+  /// the sequential fixpoint.
+  template <typename Factory, typename NeedsRun, typename Compute,
+            typename Read>
+  Status EnsureComputed(int64_t key, const Factory& factory,
+                        const NeedsRun& needs_run, const Compute& compute,
+                        const Read& read) {
+    Shard& shard = shards_[ShardOf(key)];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.states.find(key);
+    if (it == shard.states.end()) {
+      it = shard.states.emplace(key, factory(key)).first;
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    S* s = it->second.get();
+    for (;;) {
+      if (s->computing) {
+        // Another worker is materializing this state; wait for it, then
+        // re-check (it may have been computed for a shallower demand).
+        shard.cv.wait(lock, [&] { return !s->computing; });
+        continue;
+      }
+      if (!needs_run(s)) break;
+      s->computing = true;
+      lock.unlock();
+      Status status = compute(s);
+      lock.lock();
+      s->computing = false;
+      shard.cv.notify_all();
+      if (!status.ok()) return status;
+      // Loop: under demand, a concurrent deeper request may have queued
+      // behind us; needs_run re-evaluates against the fresh state.
+    }
+    read(s);
+    return Status::OK();
+  }
+
+  int64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.states.clear();
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Visits every state single-threadedly (between queries, for stats
+  /// aggregation). Not safe concurrently with EnsureComputed.
+  void ForEach(const std::function<void(const S&)>& fn) const {
+    for (const Shard& shard : shards_) {
+      for (const auto& [key, s] : shard.states) {
+        (void)key;
+        fn(*s);
+      }
+    }
+  }
+
+ private:
+  static constexpr int kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<int64_t, std::unique_ptr<S>> states;
+  };
+
+  static int ShardOf(int64_t key) {
+    // Mix so consecutive interned ids spread across shards.
+    uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+    return static_cast<int>(h >> 60) & (kShards - 1);
+  }
+
+  Shard shards_[kShards];
+  std::atomic<int64_t> size_{0};
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_STATE_CACHE_H_

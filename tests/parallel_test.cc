@@ -1,0 +1,356 @@
+// Tests for the parallel fixpoint layer: the work-stealing ThreadPool,
+// and the BottomUpEngine's determinism guarantee — answers, models, and
+// the core derivation counters are identical at every thread count.
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "base/thread_pool.h"
+#include "engine/bottom_up.h"
+#include "parser/parser.h"
+#include "workload/random_programs.h"
+
+namespace hypo {
+namespace {
+
+// ---------------------------------------------------------------------
+// ThreadPool.
+
+TEST(ThreadPoolTest, RunsEveryTaskInBatch) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&ran]() -> Status {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.RunBatch(std::move(tasks)).ok());
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(pool.tasks_run(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&ran]() -> Status {
+      ++ran;
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.RunBatch(std::move(tasks)).ok());
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolTest, ReturnsFirstErrorInTaskOrderNotCompletionOrder) {
+  ThreadPool pool(4);
+  // Every task runs; errors at indexes 2, 5, 7 — RunBatch must report
+  // index 2's regardless of which thread finished first.
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    std::atomic<int> ran{0};
+    std::vector<std::function<Status()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&ran, i]() -> Status {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i == 2 || i == 5 || i == 7) {
+          return Status::Internal("task " + std::to_string(i));
+        }
+        return Status::OK();
+      });
+    }
+    Status status = pool.RunBatch(std::move(tasks));
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "task 2");
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPoolTest, NestedBatchesComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_ran{0};
+  std::vector<std::function<Status()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &inner_ran]() -> Status {
+      std::vector<std::function<Status()>> inner;
+      for (int j = 0; j < 6; ++j) {
+        inner.push_back([&inner_ran]() -> Status {
+          inner_ran.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        });
+      }
+      return pool.RunBatch(std::move(inner));
+    });
+  }
+  ASSERT_TRUE(pool.RunBatch(std::move(outer)).ok());
+  EXPECT_EQ(inner_ran.load(), 24);
+}
+
+// ---------------------------------------------------------------------
+// BottomUpEngine determinism across thread counts.
+
+/// Collects, for every IDB predicate, the full set of derivable ground
+/// facts by querying each ground atom over the domain (same oracle as the
+/// engine differential test).
+StatusOr<std::set<std::string>> DeriveAll(Engine* engine,
+                                          const ProgramFixture& fixture) {
+  std::set<std::string> facts;
+  const SymbolTable& symbols = fixture.rules.symbols();
+  std::vector<ConstId> domain;
+  for (int c = 0; c < symbols.num_consts(); ++c) domain.push_back(c);
+
+  for (int pred = 0; pred < symbols.num_predicates(); ++pred) {
+    if (!fixture.rules.IsDefined(pred)) continue;
+    int arity = symbols.PredicateArity(pred);
+    std::vector<int> index(arity, 0);
+    while (true) {
+      Fact fact;
+      fact.predicate = pred;
+      for (int i = 0; i < arity; ++i) fact.args.push_back(domain[index[i]]);
+      HYPO_ASSIGN_OR_RETURN(bool holds, engine->ProveFact(fact));
+      if (holds) facts.insert(FactToString(fact, symbols));
+      int pos = arity - 1;
+      while (pos >= 0 && ++index[pos] == static_cast<int>(domain.size())) {
+        index[pos] = 0;
+        --pos;
+      }
+      if (pos < 0 || arity == 0) break;
+    }
+  }
+  return facts;
+}
+
+// Random programs with negation and hypothetical premises: at 8 threads
+// the engine must produce exactly the answer set of the sequential
+// engine, derive exactly the same number of facts, and materialize
+// exactly the same set of hypothetical states. (Scheduling-dependent
+// counters — join_probes, goals_expanded, memo_hits — are excluded:
+// buffered rounds legitimately revisit instantiations the sequential
+// engine resolved within a round.)
+TEST(ParallelDifferentialTest, EightThreadsMatchesSequential) {
+  RandomProgramOptions options;
+  for (bool demand : {false, true}) {
+    int tested = 0;
+    for (uint64_t seed = 100; seed < 120; ++seed) {
+      Random rng(seed);
+      ProgramFixture fixture = MakeRandomProgram(options, &rng);
+
+      EngineOptions sequential;
+      sequential.max_states = 40'000;
+      sequential.max_steps = 3'000'000;
+      sequential.demand = demand;
+      EngineOptions parallel = sequential;
+      parallel.num_threads = 8;
+
+      BottomUpEngine one(&fixture.rules, &fixture.db, sequential);
+      auto reference = DeriveAll(&one, fixture);
+      if (!reference.ok()) {
+        ASSERT_EQ(reference.status().code(), StatusCode::kResourceExhausted)
+            << reference.status();
+        continue;
+      }
+
+      BottomUpEngine eight(&fixture.rules, &fixture.db, parallel);
+      auto answers = DeriveAll(&eight, fixture);
+      ASSERT_TRUE(answers.ok()) << answers.status();
+      EXPECT_EQ(*answers, *reference)
+          << "seed " << seed << " demand " << demand << " program:\n"
+          << RuleBaseToString(fixture.rules);
+      EXPECT_EQ(eight.stats().facts_derived, one.stats().facts_derived)
+          << "seed " << seed << " demand " << demand;
+      EXPECT_EQ(eight.stats().states_evaluated, one.stats().states_evaluated)
+          << "seed " << seed << " demand " << demand;
+      EXPECT_EQ(eight.stats().magic_facts, one.stats().magic_facts)
+          << "seed " << seed << " demand " << demand;
+      ++tested;
+    }
+    EXPECT_GE(tested, 15) << "too many programs aborted (demand=" << demand
+                          << ")";
+  }
+}
+
+// [del: ...] programs are TabledEngine-only; the parallel engine must
+// reject them exactly like the sequential one (clean Unimplemented at
+// Init, never a crash or a wrong model).
+TEST(ParallelDifferentialTest, DeletionProgramsRejectedAtEveryThreadCount) {
+  RandomProgramOptions options;
+  options.hypothetical_probability = 0.6;
+  options.deletion_probability = 0.6;
+  int covered = 0;
+  for (uint64_t seed = 500; seed < 510; ++seed) {
+    Random rng(seed);
+    ProgramFixture fixture = MakeRandomProgram(options, &rng);
+    if (!fixture.rules.HasDeletions()) continue;
+    ++covered;
+    for (int threads : {1, 8}) {
+      EngineOptions opts;
+      opts.num_threads = threads;
+      BottomUpEngine engine(&fixture.rules, &fixture.db, opts);
+      Status status = engine.Init();
+      EXPECT_EQ(status.code(), StatusCode::kUnimplemented)
+          << "seed " << seed << " threads " << threads << ": " << status;
+    }
+  }
+  EXPECT_GE(covered, 3) << "the generator should produce [del:] programs";
+}
+
+// The models themselves must be bit-identical runs apart: FactsFor
+// exposes insertion order, so this checks the sorted barrier merge makes
+// derivation order (not just the answer set) thread-count independent.
+TEST(ParallelDifferentialTest, RepeatRunsAreDeterministic) {
+  RandomProgramOptions options;
+  options.num_rules = 10;
+  Random rng(7);
+  ProgramFixture fixture = MakeRandomProgram(options, &rng);
+  const SymbolTable& symbols = fixture.rules.symbols();
+
+  EngineOptions parallel;
+  parallel.num_threads = 4;
+
+  std::vector<std::vector<Tuple>> first_run;
+  for (int run = 0; run < 3; ++run) {
+    BottomUpEngine engine(&fixture.rules, &fixture.db, parallel);
+    std::vector<std::vector<Tuple>> models;
+    for (int pred = 0; pred < symbols.num_predicates(); ++pred) {
+      if (!fixture.rules.IsDefined(pred)) continue;
+      auto tuples = engine.FactsFor(pred);
+      ASSERT_TRUE(tuples.ok()) << tuples.status();
+      models.push_back(*tuples);
+    }
+    if (run == 0) {
+      first_run = std::move(models);
+    } else {
+      EXPECT_EQ(models, first_run) << "run " << run << " diverged";
+    }
+  }
+}
+
+// A program wide enough to actually trigger sharded rounds: sanity-check
+// the new counters and that the pool really engaged.
+TEST(ParallelDifferentialTest, ParallelRoundsEngage) {
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules = ParseRuleBase(
+      "t(X, Y) <- edge(X, Y).\n"
+      "t(X, Y) <- t(X, Z), edge(Z, Y).",
+      symbols);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  Database db(symbols);
+  for (int c = 0; c < 40; ++c) {
+    for (int len = 0; len < 20; ++len) {
+      ASSERT_TRUE(db.Insert("edge", {"n" + std::to_string(c) + "_" +
+                                         std::to_string(len),
+                                     "n" + std::to_string(c) + "_" +
+                                         std::to_string(len + 1)})
+                      .ok());
+    }
+  }
+  EngineOptions options;
+  options.num_threads = 4;
+  BottomUpEngine engine(&*rules, &db, options);
+  auto probe = ParseFact("t(n0_0, n0_20)", symbols.get());
+  ASSERT_TRUE(probe.ok());
+  auto result = engine.ProveFact(*probe);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(*result);
+  const EngineStats& stats = engine.stats();
+  EXPECT_GT(stats.parallel_rounds, 0);
+  EXPECT_GE(stats.peak_workers, 1);
+  EXPECT_EQ(stats.facts_derived, 40 * (20 * 21) / 2);  // All sub-chains.
+
+  // The sequential engine derives the identical closure.
+  BottomUpEngine sequential(&*rules, &db);
+  auto same = sequential.ProveFact(*probe);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same);
+  EXPECT_EQ(sequential.stats().facts_derived, stats.facts_derived);
+  EXPECT_EQ(sequential.stats().parallel_rounds, 0);
+}
+
+// ---------------------------------------------------------------------
+// Abort safety under parallel evaluation.
+
+// A budget abort raised on one worker must cancel the whole pool cleanly
+// and leave no half-computed model behind: subsequent queries either
+// answer correctly or fail loudly with ResourceExhausted again.
+TEST(ParallelAbortTest, AbortCancelsPoolAndMarksModelDirty) {
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules = ParseRuleBase(
+      "blow(X, Y, Z) <- d(X), d(Y), d(Z).\n"
+      "easy(X) <- ebase(X).",
+      symbols);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  Database db(symbols);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(db.Insert("d", {"c" + std::to_string(i)}).ok());
+  }
+  ASSERT_TRUE(db.Insert("ebase", {"a"}).ok());
+  auto easy = ParseFact("easy(a)", symbols.get());
+  auto scan = ParseQuery("blow(X, Y, Z)", symbols.get());
+  ASSERT_TRUE(easy.ok() && scan.ok());
+
+  EngineOptions tight;
+  tight.max_steps = 1'000;  // The blow rule alone derives 27'000 facts.
+  tight.num_threads = 8;
+  BottomUpEngine engine(&*rules, &db, tight);
+  auto first = engine.Answers(*scan);
+  ASSERT_FALSE(first.ok()) << "the budget should force an abort";
+  EXPECT_EQ(first.status().code(), StatusCode::kResourceExhausted);
+
+  engine.ResetStats();
+  auto second = engine.ProveFact(*easy);
+  if (second.ok()) {
+    EXPECT_TRUE(*second) << "an aborted parallel model was served as complete";
+  } else {
+    EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  }
+
+  // With the budget lifted, a fresh parallel engine answers everything.
+  EngineOptions roomy;
+  roomy.num_threads = 8;
+  BottomUpEngine fresh(&*rules, &db, roomy);
+  auto full = fresh.Answers(*scan);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_EQ(full->size(), 27'000u);
+  auto reference = fresh.ProveFact(*easy);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_TRUE(*reference);
+}
+
+// max_steps must bound parallel evaluation globally (the per-worker
+// counters publish into one shared meter), not per worker: 8 workers may
+// overshoot by at most one publish interval each, never by a factor.
+TEST(ParallelAbortTest, StepBudgetIsGlobalAcrossWorkers) {
+  auto symbols = std::make_shared<SymbolTable>();
+  auto rules =
+      ParseRuleBase("blow(X, Y, Z) <- d(X), d(Y), d(Z).", symbols);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  Database db(symbols);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(db.Insert("d", {"c" + std::to_string(i)}).ok());
+  }
+  auto probe = ParseFact("blow(c0, c0, c0)", symbols.get());
+  ASSERT_TRUE(probe.ok());
+
+  EngineOptions tight;
+  tight.max_steps = 2'000;
+  tight.num_threads = 8;
+  BottomUpEngine engine(&*rules, &db, tight);
+  auto result = engine.ProveFact(*probe);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // 27'000 derivations dwarf the budget; the abort must fire well before
+  // workers could each spend a private 2'000-step allowance times 8.
+  EXPECT_LT(engine.stats().goals_expanded, 27'000);
+}
+
+}  // namespace
+}  // namespace hypo
