@@ -3,6 +3,7 @@
 //   hypo_cli PROGRAM.hdl [-q QUERY]... [--engine tabled|stratified|bottomup]
 //   hypo_cli PROGRAM.hdl -q "..." --engine bottomup --demand  # magic sets
 //   hypo_cli PROGRAM.hdl -q "..." --engine bottomup --threads 4
+//   hypo_cli PROGRAM.hdl -q "..." --timeout-ms 500 --max-memory-mb 256
 //   hypo_cli PROGRAM.hdl --explain  # print the linear stratification
 //   hypo_cli PROGRAM.hdl --proof -q "grad(tony)"   # print a derivation
 //   hypo_cli PROGRAM.hdl            # interactive: one query per line
@@ -12,7 +13,14 @@
 //   grad(tony)[add: take(tony, cs452)]
 //   reach(a, c)[del: link(a, b)]
 //   one_away(S)
+//
+// Resource governance: --timeout-ms bounds each query's wall clock,
+// --max-memory-mb bounds the engine's approximate memory, and SIGINT
+// (ctrl-c) cancels the running query cooperatively. Exit codes: 0 ok,
+// 1 evaluation/parse error, 2 usage error, 3 deadline exceeded,
+// 4 resource limit exceeded, 5 cancelled.
 
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -32,20 +40,39 @@ namespace {
 
 using namespace hypo;
 
+/// SIGINT flips the token from the handler (Cancel() is async-signal
+/// safe); the running query aborts at its next metering check.
+CancellationToken* g_cancel = nullptr;
+
+void HandleSigint(int) {
+  if (g_cancel != nullptr) g_cancel->Cancel();
+}
+
+/// Documented process exit codes for governance trips (see file header).
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return 3;
+    case StatusCode::kResourceExhausted:
+      return 4;
+    case StatusCode::kCancelled:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
 std::unique_ptr<Engine> MakeEngineByName(const std::string& name,
                                          const RuleBase* rules,
-                                         const Database* db, bool demand,
-                                         int threads) {
+                                         const Database* db,
+                                         const EngineOptions& options) {
   if (name == "stratified") {
-    return std::make_unique<StratifiedProver>(rules, db);
+    return std::make_unique<StratifiedProver>(rules, db, options);
   }
   if (name == "bottomup") {
-    EngineOptions options;
-    options.demand = demand;
-    options.num_threads = threads;
     return std::make_unique<BottomUpEngine>(rules, db, options);
   }
-  return std::make_unique<TabledEngine>(rules, db);
+  return std::make_unique<TabledEngine>(rules, db, options);
 }
 
 int PrintProof(TabledEngine* engine, SymbolTable* symbols,
@@ -58,7 +85,7 @@ int PrintProof(TabledEngine* engine, SymbolTable* symbols,
   auto proof = engine->ExplainFact(*fact);
   if (!proof.ok()) {
     std::cerr << proof.status() << "\n";
-    return 1;
+    return ExitCodeFor(proof.status());
   }
   std::cout << ProofToString(*proof, *symbols);
   return 0;
@@ -74,7 +101,7 @@ int RunQuery(Engine* engine, SymbolTable* symbols, const std::string& text) {
     auto r = engine->ProveQuery(*query);
     if (!r.ok()) {
       std::cerr << "evaluation error: " << r.status() << "\n";
-      return 1;
+      return ExitCodeFor(r.status());
     }
     std::cout << (*r ? "yes" : "no") << "\n";
     return 0;
@@ -82,7 +109,7 @@ int RunQuery(Engine* engine, SymbolTable* symbols, const std::string& text) {
   auto answers = engine->Answers(*query);
   if (!answers.ok()) {
     std::cerr << "evaluation error: " << answers.status() << "\n";
-    return 1;
+    return ExitCodeFor(answers.status());
   }
   if (answers->empty()) {
     std::cout << "no answers\n";
@@ -105,7 +132,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " PROGRAM.hdl [-q QUERY]... [--engine NAME] [--demand]"
-                 " [--threads N]\n";
+                 " [--threads N] [--timeout-ms N] [--max-memory-mb N]\n";
     return 2;
   }
   std::string program_path;
@@ -115,6 +142,8 @@ int main(int argc, char** argv) {
   bool proof = false;
   bool demand = false;
   int threads = 1;
+  long timeout_ms = 0;
+  long max_memory_mb = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "-q" && i + 1 < argc) {
@@ -127,6 +156,18 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
       if (threads < 1) {
         std::cerr << "--threads needs a positive integer\n";
+        return 2;
+      }
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::atol(argv[++i]);
+      if (timeout_ms < 1) {
+        std::cerr << "--timeout-ms needs a positive integer\n";
+        return 2;
+      }
+    } else if (arg == "--max-memory-mb" && i + 1 < argc) {
+      max_memory_mb = std::atol(argv[++i]);
+      if (max_memory_mb < 1) {
+        std::cerr << "--max-memory-mb needs a positive integer\n";
         return 2;
       }
     } else if (arg == "--explain") {
@@ -171,13 +212,25 @@ int main(int argc, char** argv) {
     std::cerr << "--threads requires --engine bottomup\n";
     return 2;
   }
+  EngineOptions options;
+  options.demand = demand;
+  options.num_threads = threads;
+  options.timeout_micros = timeout_ms * 1000;
+  options.max_memory_bytes = max_memory_mb * 1024 * 1024;
+  auto cancel = std::make_shared<CancellationToken>();
+  options.cancel = cancel;
+  g_cancel = cancel.get();
+  std::signal(SIGINT, HandleSigint);
+
   auto engine = MakeEngineByName(engine_name, &program->rules,
-                                 &program->facts, demand, threads);
+                                 &program->facts, options);
   if (Status s = engine->Init(); !s.ok()) {
     std::cerr << "engine init (" << engine->name() << "): " << s << "\n";
     return 1;
   }
 
+  // First failure wins: a governance exit code (3/4/5) from query k must
+  // not be OR-mangled by later queries' codes.
   int rc = 0;
   if (proof) {
     auto* tabled = dynamic_cast<TabledEngine*>(engine.get());
@@ -187,14 +240,16 @@ int main(int argc, char** argv) {
     }
     for (const std::string& q : queries) {
       std::cout << "?- " << q << "\n";
-      rc |= PrintProof(tabled, symbols.get(), q);
+      int code = PrintProof(tabled, symbols.get(), q);
+      if (rc == 0) rc = code;
     }
     return rc;
   }
   if (!queries.empty()) {
     for (const std::string& q : queries) {
       std::cout << "?- " << q << "\n";
-      rc |= RunQuery(engine.get(), symbols.get(), q);
+      int code = RunQuery(engine.get(), symbols.get(), q);
+      if (rc == 0) rc = code;
     }
     return rc;
   }
@@ -203,6 +258,9 @@ int main(int argc, char** argv) {
   while (std::cout << "?- " && std::getline(std::cin, line)) {
     if (line.empty()) continue;
     RunQuery(engine.get(), symbols.get(), line);
+    // A ctrl-c that landed mid-query cancelled it; clear the token so
+    // the session keeps accepting queries (quit with ctrl-d).
+    if (cancel->cancelled()) cancel->Reset();
   }
   return 0;
 }

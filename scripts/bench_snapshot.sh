@@ -51,7 +51,12 @@ run = {
     "suites": {},
 }
 for suite in suites:
-    with open(os.path.join(tmp, suite + ".json")) as f:
+    # A filter that matches nothing in a suite leaves an empty out file;
+    # skip it rather than recording an unparseable entry.
+    suite_path = os.path.join(tmp, suite + ".json")
+    if os.path.getsize(suite_path) == 0:
+        continue
+    with open(suite_path) as f:
         run["suites"][suite] = json.load(f)
 doc["runs"] = [r for r in doc.get("runs", []) if r.get("label") != label]
 doc["runs"].append(run)

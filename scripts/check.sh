@@ -12,6 +12,9 @@
 #               the regular one).
 #   TEST_FILTER ctest -R regex to run a subset of the suite (e.g.
 #               "parallel|abort" for the threaded tests only).
+#   FAILPOINTS  1/0 to force the deterministic fault-injection sites on
+#               or off (-DHYPO_FAILPOINTS=...); unset leaves the CMake
+#               default (on except in Release builds).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +22,13 @@ cmake_args=()
 build_dir="${BUILD_DIR:-build}"
 if [ -n "${BUILD_TYPE:-}" ]; then
   cmake_args+=("-DCMAKE_BUILD_TYPE=${BUILD_TYPE}")
+fi
+if [ -n "${FAILPOINTS:-}" ]; then
+  case "${FAILPOINTS}" in
+    1|ON|on) cmake_args+=("-DHYPO_FAILPOINTS=ON") ;;
+    0|OFF|off) cmake_args+=("-DHYPO_FAILPOINTS=OFF") ;;
+    *) echo "FAILPOINTS must be 1/0 (got '${FAILPOINTS}')" >&2; exit 2 ;;
+  esac
 fi
 if [ -n "${SANITIZE:-}" ]; then
   flags="-fsanitize=${SANITIZE} -fno-omit-frame-pointer"

@@ -1,0 +1,67 @@
+#include "base/failpoint.h"
+
+#if HYPO_FAILPOINTS
+
+namespace hypo {
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* const kRegistry = new FailpointRegistry();
+  return *kRegistry;
+}
+
+void FailpointRegistry::Arm(const std::string& site, int64_t nth,
+                            Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.remaining = nth;
+  s.status = std::move(status);
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    (void)name;
+    site.remaining = 0;
+    site.status = Status::OK();
+  }
+}
+
+Status FailpointRegistry::Hit(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  ++s.hits;
+  if (s.remaining > 0 && --s.remaining == 0) {
+    Status fired = std::move(s.status);
+    s.status = Status::OK();
+    return fired;
+  }
+  return Status::OK();
+}
+
+int64_t FailpointRegistry::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, int64_t>> FailpointRegistry::HitSites()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [name, site] : sites_) {
+    if (site.hits > 0) out.emplace_back(name, site.hits);
+  }
+  return out;
+}
+
+void FailpointRegistry::ResetCounts() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    (void)name;
+    site.hits = 0;
+  }
+}
+
+}  // namespace hypo
+
+#endif  // HYPO_FAILPOINTS

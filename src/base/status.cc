@@ -20,8 +20,22 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
+}
+
+std::string LimitTripMessage(const char* limit, long long configured,
+                             long long observed) {
+  std::string msg = limit;
+  msg += " exceeded: configured ";
+  msg += std::to_string(configured);
+  msg += ", observed ";
+  msg += std::to_string(observed);
+  return msg;
 }
 
 std::string Status::ToString() const {

@@ -23,6 +23,8 @@ enum class StatusCode {
   kResourceExhausted, // Configured evaluation limit (memo entries, steps) hit.
   kUnimplemented,     // Feature intentionally not supported.
   kInternal,          // Invariant violation inside the library (a bug).
+  kDeadlineExceeded,  // Wall-clock deadline for the query passed.
+  kCancelled,         // Caller cancelled the query via a CancellationToken.
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"…).
@@ -74,6 +76,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -99,6 +107,13 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+/// Formats the message every limit trip in the library uses:
+/// "`<limit>` exceeded: configured <configured>, observed <observed>".
+/// Keeping one formatter makes trips grep-able and lets tests assert the
+/// shape once for every engine and limit kind.
+std::string LimitTripMessage(const char* limit, long long configured,
+                             long long observed);
 
 /// Evaluates `expr` (a Status expression); returns it from the enclosing
 /// function if it is not OK.

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "base/failpoint.h"
+
 namespace hypo {
 
 namespace {
@@ -44,6 +46,7 @@ ThreadPool::~ThreadPool() {
 }
 
 Status ThreadPool::RunBatch(std::vector<std::function<Status()>> tasks) {
+  HYPO_FAILPOINT("pool.run_batch");
   if (tasks.empty()) return Status::OK();
   if (queues_.empty()) {
     // No workers: run inline, still executing *every* task (cooperative

@@ -16,7 +16,14 @@ ContextId ContextInterner::InternElements(std::vector<int64_t> elems) {
   auto [it, inserted] =
       index_.emplace(std::move(elems),
                      static_cast<ContextId>(elements_by_id_.size()));
-  if (inserted) elements_by_id_.push_back(&it->first);
+  if (inserted) {
+    elements_by_id_.push_back(&it->first);
+    approx_bytes_.fetch_add(
+        static_cast<int64_t>(sizeof(std::vector<int64_t>) +
+                             it->first.capacity() * sizeof(int64_t) +
+                             sizeof(ContextId) + 3 * sizeof(void*)),
+        std::memory_order_relaxed);
+  }
   return it->second;
 }
 
@@ -54,24 +61,19 @@ ContextId ContextInterner::Apply(ContextId from, int64_t elem, bool insert) {
     next.insert(next.end(), pos + 1, cur.end());
   }
   ContextId to = InternElements(std::move(next));
-  edges_.emplace(key, to);
+  constexpr int64_t kEdgeBytes =
+      sizeof(EdgeKey) + sizeof(ContextId) + 2 * sizeof(void*);
+  int64_t edge_bytes = 0;
+  if (edges_.emplace(key, to).second) edge_bytes += kEdgeBytes;
   // The inverse edge is free knowledge: record it so the pop side of a
   // push/pop pair never rebuilds a set either.
-  edges_.emplace(EdgeKey{to, elem, !insert}, from);
-  return to;
-}
-
-size_t ContextInterner::ApproxBytes() const {
-  size_t bytes = 0;
-  for (const auto& [elems, id] : index_) {
-    (void)id;
-    bytes += sizeof(std::vector<int64_t>) + elems.capacity() * sizeof(int64_t) +
-             sizeof(ContextId) + 2 * sizeof(void*);  // Map node overhead.
+  if (edges_.emplace(EdgeKey{to, elem, !insert}, from).second) {
+    edge_bytes += kEdgeBytes;
   }
-  bytes += elements_by_id_.capacity() * sizeof(void*);
-  bytes += edges_.size() * (sizeof(EdgeKey) + sizeof(ContextId) +
-                            2 * sizeof(void*));
-  return bytes;
+  if (edge_bytes != 0) {
+    approx_bytes_.fetch_add(edge_bytes, std::memory_order_relaxed);
+  }
+  return to;
 }
 
 }  // namespace hypo

@@ -1,6 +1,7 @@
 #ifndef HYPO_DB_CONTEXT_INTERNER_H_
 #define HYPO_DB_CONTEXT_INTERNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -75,9 +76,14 @@ class ContextInterner {
   int64_t transitions() const { return transitions_; }
   int64_t transition_hits() const { return transition_hits_; }
 
-  /// Rough footprint of the interner (canonical sets + both hash maps),
-  /// for the engines' memo_bytes accounting.
-  size_t ApproxBytes() const;
+  /// Rough footprint of the interner (canonical sets + both hash maps).
+  /// Maintained incrementally, so reading is O(1) and safe from worker
+  /// threads while another thread interns (hence the atomic): the memory
+  /// budget in QueryGuard polls this at metering frequency.
+  size_t ApproxBytes() const {
+    return static_cast<size_t>(
+        approx_bytes_.load(std::memory_order_relaxed));
+  }
 
  private:
   struct EdgeKey {
@@ -113,6 +119,7 @@ class ContextInterner {
 
   int64_t transitions_ = 0;
   int64_t transition_hits_ = 0;
+  std::atomic<int64_t> approx_bytes_{0};
 };
 
 }  // namespace hypo

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "base/failpoint.h"
 #include "base/logging.h"
 
 namespace hypo {
@@ -24,6 +25,7 @@ Database::Database(Database&& other) noexcept
       relations_(std::move(other.relations_)),
       constants_(std::move(other.constants_)),
       size_(other.size_),
+      approx_bytes_(other.approx_bytes_),
       sealed_(other.sealed_),
       index_builds_(other.index_builds_.load(std::memory_order_relaxed)),
       index_probes_(other.index_probes_.load(std::memory_order_relaxed)) {}
@@ -33,6 +35,7 @@ Database& Database::operator=(Database&& other) noexcept {
   relations_ = std::move(other.relations_);
   constants_ = std::move(other.constants_);
   size_ = other.size_;
+  approx_bytes_ = other.approx_bytes_;
   sealed_ = other.sealed_;
   index_builds_.store(other.index_builds_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
@@ -46,6 +49,7 @@ Database Database::Clone() const {
   copy.relations_ = relations_;
   copy.constants_ = constants_;
   copy.size_ = size_;
+  copy.approx_bytes_ = approx_bytes_;
   return copy;
 }
 
@@ -62,6 +66,7 @@ bool Database::Insert(const Fact& fact) {
   rel.tuples.push_back(fact.args);
   for (ConstId c : fact.args) constants_.insert(c);
   ++size_;
+  approx_bytes_ += ApproxFactBytes(fact.args.size());
   return true;
 }
 
@@ -83,6 +88,8 @@ Database::ColumnIndex& Database::ExtendIndex(const Relation& rel,
   if (ci.built_upto < rel.tuples.size()) {
     // Catch up on tuples appended since the last probe. Insertions never
     // reorder or remove tuples, so extending the buckets is sound.
+    approx_bytes_ += kApproxIndexEntryBytes *
+                     static_cast<int64_t>(rel.tuples.size() - ci.built_upto);
     Tuple probe;
     for (size_t pos = ci.built_upto; pos < rel.tuples.size(); ++pos) {
       const Tuple& t = rel.tuples[pos];
@@ -145,6 +152,7 @@ void Database::SealIndexes() const {
 
 Status Database::Insert(std::string_view predicate,
                         const std::vector<std::string_view>& args) {
+  HYPO_FAILPOINT("db.insert");
   StatusOr<PredicateId> pred =
       symbols_->InternPredicate(predicate, static_cast<int>(args.size()));
   HYPO_RETURN_IF_ERROR(pred.status());
@@ -192,6 +200,7 @@ void Database::Clear() {
   relations_.clear();
   constants_.clear();
   size_ = 0;
+  approx_bytes_ = 0;
 }
 
 }  // namespace hypo

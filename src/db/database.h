@@ -23,6 +23,20 @@ using ColumnMask = uint32_t;
 
 constexpr int kMaxIndexedColumns = 32;
 
+/// Rough heap footprint of one stored ground fact of the given arity: the
+/// tuple appears twice (insertion-order vector + membership hash set) plus
+/// hash-node overhead. Shared by Database's own running total and the
+/// engines' live budget tracking so both speak the same scale.
+inline int64_t ApproxFactBytes(size_t arity) {
+  return 2 * static_cast<int64_t>(sizeof(Tuple) +
+                                  arity * sizeof(ConstId)) +
+         32;
+}
+
+/// Rough per-position footprint of a column-index entry (bucket slot plus
+/// amortized bucket/key overhead).
+constexpr int64_t kApproxIndexEntryBytes = 16;
+
 /// A set of ground atomic formulas, organized per predicate.
 ///
 /// This is both the extensional database of Definition 3 and the storage
@@ -127,6 +141,12 @@ class Database {
   bool empty() const { return size_ == 0; }
   void Clear();
 
+  /// Approximate heap bytes held by tuples, membership sets, and column
+  /// indexes. Maintained incrementally on every insert and index
+  /// extension, so reading it is O(1) — the memory-budget enforcement in
+  /// QueryGuard reads it at metering frequency.
+  int64_t ApproxBytes() const { return approx_bytes_; }
+
   const SymbolTable& symbols() const { return *symbols_; }
   SymbolTable* mutable_symbols() { return symbols_.get(); }
   const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
@@ -156,6 +176,9 @@ class Database {
   std::unordered_map<PredicateId, Relation> relations_;
   std::unordered_set<ConstId> constants_;
   int64_t size_ = 0;
+  /// Incremental ApproxBytes total. Mutable because lazy index builds
+  /// (const paths) grow it; never touched while sealed, so no atomics.
+  mutable int64_t approx_bytes_ = 0;
   /// While true, probes never mutate index state (see SealIndexes).
   /// Flipped only between parallel phases, never concurrently with reads.
   mutable bool sealed_ = false;

@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "base/failpoint.h"
 #include "base/stopwatch.h"
 
 namespace hypo {
@@ -116,6 +117,7 @@ Status BottomUpEngine::Init() {
   domain_set_.clear();
   domain_set_.insert(domain_.begin(), domain_.end());
   states_.Clear();
+  tracked_bytes_.store(0, std::memory_order_relaxed);
   ++stats_.domain_rebuilds;
   initialized_ = true;
   return Status::OK();
@@ -293,20 +295,35 @@ Status BottomUpEngine::EnsureFactConstants(const Fact& fact) {
 }
 
 Status BottomUpEngine::CheckLimits(WorkCtx* work) {
-  if (states_.size() > options_.max_states) {
+  const int64_t states = states_.size();
+  if (states > options_.max_states) {
     Status s = Status::ResourceExhausted(
-        "evaluation exceeded max_states = " +
-        std::to_string(options_.max_states));
+        LimitTripMessage("max_states", options_.max_states, states));
     if (work->meter != nullptr) work->meter->Record(s);
     return s;
+  }
+  // Flush this thread's incremental byte delta into the shared total:
+  // always while a guard is armed (its memory check must see the bytes),
+  // otherwise only past a threshold so unarmed metering costs no atomic
+  // traffic.
+  if (work->local_bytes != 0 &&
+      (guard_.armed() || work->local_bytes >= 4096 ||
+       work->local_bytes <= -4096)) {
+    tracked_bytes_.fetch_add(work->local_bytes, std::memory_order_relaxed);
+    work->local_bytes = 0;
   }
   if (work->meter == nullptr) {
     // Sequential path: the accumulator is the engine's own stats_.
     if (work->stats->goals_expanded > options_.max_steps ||
         work->stats->enumerations > options_.max_steps) {
-      return Status::ResourceExhausted(
-          "evaluation exceeded max_steps = " +
-          std::to_string(options_.max_steps));
+      return Status::ResourceExhausted(LimitTripMessage(
+          "max_steps", options_.max_steps,
+          std::max(work->stats->goals_expanded,
+                   work->stats->enumerations)));
+    }
+    if (guard_.armed()) {
+      ++work->stats->guard_checks;
+      return guard_.Check(guard_.wants_memory() ? MemoryBytes(work) : -1);
     }
     return Status::OK();
   }
@@ -321,15 +338,45 @@ Status BottomUpEngine::CheckLimits(WorkCtx* work) {
                     std::memory_order_relaxed);
   work->published_enums = work->stats->enumerations;
   if (m.abort.load(std::memory_order_acquire)) return m.FirstError();
-  if (m.goals.load(std::memory_order_relaxed) > options_.max_steps ||
-      m.enums.load(std::memory_order_relaxed) > options_.max_steps) {
-    Status s = Status::ResourceExhausted(
-        "evaluation exceeded max_steps = " +
-        std::to_string(options_.max_steps));
+  const int64_t goals = m.goals.load(std::memory_order_relaxed);
+  const int64_t enums = m.enums.load(std::memory_order_relaxed);
+  if (goals > options_.max_steps || enums > options_.max_steps) {
+    Status s = Status::ResourceExhausted(LimitTripMessage(
+        "max_steps", options_.max_steps, std::max(goals, enums)));
     m.Record(s);
     return s;
   }
+  if (guard_.armed()) {
+    ++work->stats->guard_checks;
+    Status gs = guard_.Check(guard_.wants_memory() ? MemoryBytes(work) : -1);
+    if (!gs.ok()) {
+      // Raise the shared abort flag so every sibling worker bails at its
+      // next metering check with the same trip status.
+      m.Record(gs);
+      return gs;
+    }
+  }
   return Status::OK();
+}
+
+int64_t BottomUpEngine::StateBytes(const State& s) {
+  return s.ext.ApproxBytes() + static_cast<int64_t>(sizeof(State)) + 64 +
+         static_cast<int64_t>(s.key.size() * sizeof(FactId)) +
+         static_cast<int64_t>(s.added_set.size() *
+                              (sizeof(FactId) + 2 * sizeof(void*)));
+}
+
+int64_t BottomUpEngine::MemoryBytes(const WorkCtx* work) const {
+  int64_t bytes = tracked_bytes_.load(std::memory_order_relaxed) +
+                  interner_.ApproxBytes() + ctx_interner_.ApproxBytes();
+  if (work != nullptr) bytes += work->local_bytes;
+  return bytes;
+}
+
+void BottomUpEngine::RecomputeTrackedBytes() {
+  int64_t bytes = 0;
+  states_.ForEach([&bytes](const State& s) { bytes += StateBytes(s); });
+  tracked_bytes_.store(bytes, std::memory_order_relaxed);
 }
 
 int64_t BottomUpEngine::InternStateKey(const StateKey& key) {
@@ -356,9 +403,16 @@ Status BottomUpEngine::EnsureState(int64_t ckey, const StateKey& key,
       std::lock_guard<std::mutex> lock(intern_mu_);
       for (FactId id : key) {
         owned->added_set.insert(id);
-        owned->ext.Insert(interner_.Get(id));
+        const Fact& added = interner_.Get(id);
+        owned->ext.Insert(added);
+        work->local_bytes += ApproxFactBytes(added.args.size());
       }
     }
+    // Fixed per-state overhead (struct, key, id set), mirroring StateBytes.
+    work->local_bytes +=
+        static_cast<int64_t>(sizeof(State)) + 64 +
+        static_cast<int64_t>(key.size() *
+                             (2 * sizeof(FactId) + 2 * sizeof(void*)));
     owned->demand_version = demand_version_;
     ++work->stats->states_evaluated;
     return owned;
@@ -375,6 +429,7 @@ Status BottomUpEngine::EnsureState(int64_t ckey, const StateKey& key,
     for (const Fact& seed : seeds) {
       if (s->ext.Insert(seed)) {
         ++work->stats->magic_facts;
+        work->local_bytes += ApproxFactBytes(seed.args.size());
         rerun = true;
       }
     }
@@ -385,6 +440,7 @@ Status BottomUpEngine::EnsureState(int64_t ckey, const StateKey& key,
     // dirty stays raised until the model completes, so an abort mid-way
     // leaves the state marked for recomputation, never served as-is.
     s->dirty = true;
+    HYPO_FAILPOINT("bottomup.compute_model");
     HYPO_RETURN_IF_ERROR(CheckLimits(work));
     HYPO_RETURN_IF_ERROR(ComputeModel(s, target, work, allow_parallel));
     s->completed_through = target;
@@ -443,6 +499,7 @@ Status BottomUpEngine::ComputeModel(State* state, int through, WorkCtx* work,
     bool first_round = true;
     while (true) {
       ++work->stats->fixpoint_rounds;
+      HYPO_FAILPOINT("bottomup.round");
       for (int rule_index : stratum_rules) {
         EvalCtx ctx;
         ctx.state = state;
@@ -537,6 +594,12 @@ Status BottomUpEngine::ComputeStratumParallel(State* state, int stratum,
   bool first_round = true;
   while (true) {
     ++work->stats->fixpoint_rounds;
+    HYPO_FAILPOINT("bottomup.round");
+    // The coordinator owns the bytes from the state's seeding and from
+    // every barrier merge; flush and guard-check them once per round, or
+    // the workers' memory checks would never see the growing model (their
+    // own inserts are buffered and deliberately uncounted).
+    HYPO_RETURN_IF_ERROR(CheckLimits(work));
     // Rule-version selection: identical to the sequential rounds, hoisted
     // out of the tasks so every shard evaluates the same version list.
     std::vector<Version> versions;
@@ -646,6 +709,9 @@ Status BottomUpEngine::ComputeStratumParallel(State* state, int stratum,
       delta.UnsealIndexes();
       // Per-worker counters merge exactly, success or abort.
       for (const EngineStats& ts : task_stats) work->stats->Merge(ts);
+      // After the merge, before the status gate: an injected barrier
+      // abort leaves the state dirty with the round's buffers dropped.
+      HYPO_FAILPOINT("bottomup.round_barrier");
       HYPO_RETURN_IF_ERROR(round_status);
 
       // Deterministic merge: buffered facts from all shards, sorted by
@@ -665,6 +731,7 @@ Status BottomUpEngine::ComputeStratumParallel(State* state, int stratum,
                 });
       for (const Fact& f : merged) {
         if (!state->ext.Insert(f)) continue;  // Cross-shard duplicate.
+        work->local_bytes += ApproxFactBytes(f.args.size());
         ++work->stats->facts_derived;
         if (demand_program_ != nullptr &&
             demand_program_->IsMagic(f.predicate)) {
@@ -712,6 +779,7 @@ Status BottomUpEngine::EvaluateRule(
     }
     if (!Visible(*state, head)) {
       state->ext.Insert(head);
+      ctx->work->local_bytes += ApproxFactBytes(head.args.size());
       ++ctx->work->stats->facts_derived;
       if (demand_program_ != nullptr &&
           demand_program_->IsMagic(head.predicate)) {
@@ -855,6 +923,7 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
 StatusOr<bool> BottomUpEngine::TestHypothetical(
     State* state, const Fact& query, const std::vector<Fact>& additions,
     WorkCtx* work) {
+  HYPO_FAILPOINT("bottomup.hypothetical");
   // Additions already present in the state's *database* (base or added
   // facts — derived facts do not count, they are conclusions, not entries)
   // leave the state unchanged.
@@ -937,8 +1006,10 @@ const EngineStats& BottomUpEngine::stats() const {
   // memoized state's model, and the per-round deltas already retired.
   stats_.index_builds = retired_index_builds_.load(std::memory_order_relaxed) +
                         base_->index_builds();
+  stats_.memo_bytes = interner_.ApproxBytes() + ctx_interner_.ApproxBytes();
   states_.ForEach([this](const State& state) {
     stats_.index_builds += state.ext.index_builds();
+    stats_.memo_bytes += StateBytes(state);
   });
   stats_.demanded_predicates =
       demand_profile_ != nullptr ? demand_profile_->num_demanded() : 0;
@@ -962,6 +1033,8 @@ void BottomUpEngine::ResetStats() {
 StatusOr<bool> BottomUpEngine::ProveFact(const Fact& fact) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
+  GuardScope guard_scope(&guard_, options_, &stats_);
+  if (guard_.wants_memory()) RecomputeTrackedBytes();
   std::vector<Fact> seeds;
   int through = 0;
   HYPO_RETURN_IF_ERROR(PrepareFactDemand(fact, &seeds, &through));
@@ -975,6 +1048,8 @@ StatusOr<bool> BottomUpEngine::ProveFact(const Fact& fact) {
 StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  GuardScope guard_scope(&guard_, options_, &stats_);
+  if (guard_.wants_memory()) RecomputeTrackedBytes();
   std::vector<Fact> seeds;
   int through = 0;
   HYPO_RETURN_IF_ERROR(PrepareQueryDemand(query, &seeds, &through));
@@ -1002,6 +1077,8 @@ StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
 StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  GuardScope guard_scope(&guard_, options_, &stats_);
+  if (guard_.wants_memory()) RecomputeTrackedBytes();
   std::vector<Fact> seeds;
   int through = 0;
   HYPO_RETURN_IF_ERROR(PrepareQueryDemand(query, &seeds, &through));
@@ -1030,6 +1107,8 @@ StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
 
 StatusOr<std::vector<Tuple>> BottomUpEngine::FactsFor(PredicateId pred) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  GuardScope guard_scope(&guard_, options_, &stats_);
+  if (guard_.wants_memory()) RecomputeTrackedBytes();
   int through = strata_.num_strata - 1;
   if (options_.demand) {
     bool widened = demand_program_ == nullptr;

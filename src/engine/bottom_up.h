@@ -86,6 +86,12 @@ class BottomUpEngine : public Engine {
   /// Number of distinct database states currently memoized.
   int64_t num_states() const { return states_.size(); }
 
+  /// The governance fields (timeout_micros, max_memory_bytes, cancel) may
+  /// be changed between queries — e.g. to retry a tripped query with a
+  /// larger budget on the same warm engine. Changing the evaluation
+  /// fields (strategy, demand, threads) after Init() is undefined.
+  EngineOptions* mutable_options() { return &options_; }
+
  private:
   using StateKey = std::vector<FactId>;
 
@@ -148,6 +154,9 @@ class BottomUpEngine : public Engine {
     ParallelMeter* meter = nullptr;
     int64_t published_goals = 0;
     int64_t published_enums = 0;
+    /// Unflushed local delta of tracked_bytes_: bytes this thread has
+    /// added to memoized models since its last flush (see CheckLimits).
+    int64_t local_bytes = 0;
   };
 
   /// Static per-rule facts for the tuple-level semi-naive rewrite,
@@ -296,6 +305,21 @@ class BottomUpEngine : public Engine {
 
   Status CheckLimits(WorkCtx* work);
 
+  /// Approximate bytes attributable to one memoized state: model contents
+  /// (ext.ApproxBytes()) plus struct/key/id-set overhead. The unit both
+  /// the incremental accounting and RecomputeTrackedBytes sum in.
+  static int64_t StateBytes(const State& s);
+
+  /// Total approximate engine memory for the QueryGuard budget: tracked
+  /// state bytes (plus this thread's unflushed delta) and both interners.
+  /// O(1), safe at metering frequency from any evaluation thread.
+  int64_t MemoryBytes(const WorkCtx* work) const;
+
+  /// Re-sums tracked_bytes_ exactly over the live states. Called when a
+  /// memory budget arms, so budgeted queries start from truth instead of
+  /// inheriting drift left by earlier error paths or abandoned buffers.
+  void RecomputeTrackedBytes();
+
   /// Counts one domain-grounding iteration and enforces max_steps on
   /// enumeration-heavy plans (checked every 256 iterations so purely
   /// extensional domain^n loops cannot run away unmetered). Inline: the
@@ -336,6 +360,15 @@ class BottomUpEngine : public Engine {
   ContextInterner ctx_interner_;
 
   ShardedStateCache<State> states_;
+
+  QueryGuard guard_;
+  /// Approximate bytes held by all memoized states' models (contents plus
+  /// per-state overhead), maintained incrementally: evaluation threads
+  /// accumulate into WorkCtx::local_bytes and flush here at metering
+  /// checks. Atomic because workers flush while others read it through
+  /// the guard's memory check. Per-round delta/buffer databases are
+  /// transient and deliberately uncounted.
+  std::atomic<int64_t> tracked_bytes_{0};
 
   /// The work-stealing pool behind parallel rounds: num_threads - 1
   /// workers (the calling thread participates). Null when num_threads

@@ -3,11 +3,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ast/query.h"
 #include "ast/rulebase.h"
+#include "base/query_guard.h"
 #include "base/statusor.h"
 #include "db/database.h"
 
@@ -64,6 +66,26 @@ struct EngineOptions {
   /// Answers and models are identical at every thread count. Ignored by
   /// the top-down engines.
   int num_threads = 1;
+
+  // Resource governance (DESIGN.md "Resource governance & failure
+  // semantics"). Each limit applies per top-level query; 0 / null means
+  // "no limit" and costs nothing on the metering path.
+
+  /// Wall-clock budget in microseconds for one top-level query. Enforced
+  /// at the same metering points as max_steps; a trip aborts all workers
+  /// and returns StatusCode::kDeadlineExceeded.
+  int64_t timeout_micros = 0;
+
+  /// Approximate memory budget in bytes across the engine's memo tables,
+  /// interners, derived models, and state cache. A trip returns
+  /// StatusCode::kResourceExhausted naming the limit.
+  int64_t max_memory_bytes = 0;
+
+  /// Cooperative cancellation: when set, Cancel() (safe from a signal
+  /// handler) aborts the running query with StatusCode::kCancelled at its
+  /// next metering check. Reset() the token to issue further queries on
+  /// the same engine.
+  std::shared_ptr<CancellationToken> cancel;
 };
 
 /// Counters reported by the engines; reset per top-level call group via
@@ -101,6 +123,14 @@ struct EngineStats {
   int64_t barrier_micros = 0;     // Wall time in round-barrier merges.
   int64_t peak_workers = 0;       // Max tasks observed in flight at once.
 
+  // Resource governance (QueryGuard).
+  int64_t guard_checks = 0;     // Armed-guard checks performed.
+  int64_t deadline_micros_remaining = 0;  // Headroom at query completion
+                                          // (negative if tripped); 0 when
+                                          // no deadline was set.
+  int64_t budget_bytes_peak = 0;  // Peak bytes observed while budgeted.
+  int64_t cancellations = 0;      // Queries aborted by a CancellationToken.
+
   // Per-Δ-stratum model-construction time (StratifiedProver only);
   // stratum_micros[i] is the cumulative wall time building Δ_{i+1} models.
   std::vector<int64_t> stratum_micros;
@@ -132,6 +162,15 @@ struct EngineStats {
     parallel_rounds += other.parallel_rounds;
     barrier_micros += other.barrier_micros;
     peak_workers = std::max(peak_workers, other.peak_workers);
+    guard_checks += other.guard_checks;
+    // Completion gauge, written only by the arming thread after every
+    // barrier: a non-zero incoming value is authoritative, 0 means "not
+    // set" (workers never write it).
+    if (other.deadline_micros_remaining != 0) {
+      deadline_micros_remaining = other.deadline_micros_remaining;
+    }
+    budget_bytes_peak = std::max(budget_bytes_peak, other.budget_bytes_peak);
+    cancellations += other.cancellations;
     if (other.stratum_micros.size() > stratum_micros.size()) {
       stratum_micros.resize(other.stratum_micros.size(), 0);
     }
@@ -139,6 +178,41 @@ struct EngineStats {
       stratum_micros[i] += other.stratum_micros[i];
     }
   }
+};
+
+/// Arms an engine's QueryGuard from the governance fields of its options
+/// for the duration of one public entry point, and records the completion
+/// gauges (deadline headroom, byte peak, cancellation count) into the
+/// engine's stats on the way out.
+///
+/// Arm() refuses to re-arm an already-armed guard, so a public entry
+/// reached from another public entry leaves the outer scope as owner and
+/// this one is a no-op — governance spans the *outermost* call.
+class GuardScope {
+ public:
+  GuardScope(QueryGuard* guard, const EngineOptions& options,
+             EngineStats* stats)
+      : guard_(guard),
+        stats_(stats),
+        owner_(guard->Arm(options.timeout_micros, options.max_memory_bytes,
+                          options.cancel)) {}
+
+  GuardScope(const GuardScope&) = delete;
+  GuardScope& operator=(const GuardScope&) = delete;
+
+  ~GuardScope() {
+    if (!owner_) return;
+    stats_->deadline_micros_remaining = guard_->micros_remaining();
+    stats_->budget_bytes_peak =
+        std::max(stats_->budget_bytes_peak, guard_->bytes_peak());
+    if (guard_->tripped_cancelled()) ++stats_->cancellations;
+    guard_->Disarm();
+  }
+
+ private:
+  QueryGuard* guard_;
+  EngineStats* stats_;
+  bool owner_;
 };
 
 /// Common interface of the two evaluation procedures.

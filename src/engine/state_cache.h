@@ -9,6 +9,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "base/failpoint.h"
 #include "base/status.h"
 
 namespace hypo {
@@ -71,6 +72,9 @@ class ShardedStateCache {
         continue;
       }
       if (!needs_run(s)) break;
+      // Injected abort between "must run" and "in flight": the state is
+      // left at rest (never half-marked), so recovery just re-enters.
+      HYPO_FAILPOINT("statecache.materialize");
       s->computing = true;
       lock.unlock();
       Status status = compute(s);

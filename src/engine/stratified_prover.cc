@@ -1,6 +1,7 @@
 #include "engine/stratified_prover.h"
 
 #include "base/cleanup.h"
+#include "base/failpoint.h"
 #include "base/stopwatch.h"
 #include "engine/scan.h"
 
@@ -72,6 +73,7 @@ Status StratifiedProver::Init() {
 void StratifiedProver::ClearMemos() {
   goal_memo_.clear();
   delta_models_.clear();
+  delta_model_bytes_ = 0;
 }
 
 Status StratifiedProver::EnsureConstants(const Query& query) {
@@ -104,18 +106,38 @@ Status StratifiedProver::EnsureFactConstants(const Fact& fact) {
 Status StratifiedProver::CheckLimits() {
   if (stats_.goals_expanded > options_.max_steps ||
       stats_.enumerations > options_.max_steps) {
-    return Status::ResourceExhausted(
-        "evaluation exceeded max_steps = " +
-        std::to_string(options_.max_steps));
+    return Status::ResourceExhausted(LimitTripMessage(
+        "max_steps", options_.max_steps,
+        std::max(stats_.goals_expanded, stats_.enumerations)));
   }
-  if (static_cast<int64_t>(goal_memo_.size() + delta_models_.size()) >
-          options_.max_states ||
-      overlay_->context_interner().num_contexts() > options_.max_states) {
+  int64_t states = std::max<int64_t>(
+      static_cast<int64_t>(goal_memo_.size() + delta_models_.size()),
+      overlay_->context_interner().num_contexts());
+  if (states > options_.max_states) {
     return Status::ResourceExhausted(
-        "evaluation exceeded max_states = " +
-        std::to_string(options_.max_states));
+        LimitTripMessage("max_states", options_.max_states, states));
+  }
+  if (guard_.armed()) {
+    ++stats_.guard_checks;
+    return guard_.Check(guard_.wants_memory() ? MemoryBytes() : -1);
   }
   return Status::OK();
+}
+
+int64_t StratifiedProver::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(
+      goal_memo_.size() *
+          (sizeof(GoalKey) + sizeof(GoalEntry) + 2 * sizeof(void*)) +
+      delta_models_.size() * (sizeof(DeltaKey) + sizeof(void*) +
+                              sizeof(Database) + 2 * sizeof(void*)));
+  bytes += delta_model_bytes_;
+  if (building_model_ != nullptr) bytes += building_model_->ApproxBytes();
+  bytes += interner_.ApproxBytes();
+  if (overlay_ != nullptr) {
+    bytes +=
+        static_cast<int64_t>(overlay_->context_interner().ApproxBytes());
+  }
+  return bytes;
 }
 
 ContextId StratifiedProver::CurrentContext() const {
@@ -136,13 +158,8 @@ const EngineStats& StratifiedProver::stats() const {
     for (const auto& [key, model] : delta_models_) {
       stats_.index_builds += model->index_builds();
     }
-    stats_.memo_bytes =
-        contexts.ApproxBytes() +
-        static_cast<int64_t>(goal_memo_.size() *
-                             (sizeof(GoalKey) + sizeof(GoalEntry))) +
-        static_cast<int64_t>(delta_models_.size() *
-                             (sizeof(DeltaKey) + sizeof(void*)));
   }
+  stats_.memo_bytes = MemoryBytes();
   return stats_;
 }
 
@@ -212,6 +229,8 @@ StatusOr<bool> StratifiedProver::ProveSigma(const Fact& goal,
       goal_memo_.erase(entry);
     }
   });
+  // After the unmark guard, so an injected abort exercises it.
+  HYPO_FAILPOINT("stratified.memo_insert");
 
   int my_min = INT_MAX;
   bool proved = false;
@@ -261,6 +280,7 @@ StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
     return it->second.get();
   }
   HYPO_RETURN_IF_ERROR(CheckLimits());
+  HYPO_FAILPOINT("stratified.delta_model");
   ++stats_.states_evaluated;
   if (static_cast<int>(stats_.stratum_micros.size()) < stratum_i) {
     stats_.stratum_micros.resize(stratum_i, 0);
@@ -269,6 +289,13 @@ StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
   auto ext = std::make_unique<Database>(base_->symbols_ptr());
   Database* model = ext.get();
   const int partition = 2 * stratum_i - 1;
+
+  // Expose the in-flight model to the memory budget; restore the outer
+  // one (lower-stratum oracle calls recurse through here) on every exit.
+  const Database* prev_building = building_model_;
+  building_model_ = model;
+  Cleanup restore_building(
+      [this, prev_building] { building_model_ = prev_building; });
 
   // §5.2.2: apply the substrata Δ_i1 ... Δ_im in order, each to fixpoint.
   for (const std::vector<int>& substratum :
@@ -324,6 +351,7 @@ StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
   }
   stats_.stratum_micros[stratum_i - 1] += stratum_timer.ElapsedMicros();
   const Database* result = ext.get();
+  delta_model_bytes_ += result->ApproxBytes();
   delta_models_.emplace(key, std::move(ext));
   return result;
 }
@@ -366,6 +394,7 @@ StatusOr<bool> StratifiedProver::WalkPlan(
             "hypothetical deletion is supported only by TabledEngine");
       }
       Fact query = binding->Ground(premise.atom);
+      HYPO_FAILPOINT("stratified.hypo_push");
       overlay_->PushFrame();
       for (const Atom& a : premise.additions) {
         overlay_->Add(binding->Ground(a));
@@ -561,6 +590,7 @@ bool StratifiedProver::ExistsStored(const Atom& atom, Binding* binding,
 StatusOr<bool> StratifiedProver::ProveFact(const Fact& fact) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
+  GuardScope guard_scope(&guard_, options_, &stats_);
   EvalContext ctx;
   int min_pruned = INT_MAX;
   ctx.min_pruned = &min_pruned;
@@ -570,6 +600,7 @@ StatusOr<bool> StratifiedProver::ProveFact(const Fact& fact) {
 StatusOr<bool> StratifiedProver::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  GuardScope guard_scope(&guard_, options_, &stats_);
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
@@ -590,6 +621,7 @@ StatusOr<bool> StratifiedProver::ProveQuery(const Query& query) {
 StatusOr<std::vector<Tuple>> StratifiedProver::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  GuardScope guard_scope(&guard_, options_, &stats_);
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);

@@ -56,6 +56,12 @@ class StratifiedProver : public Engine {
   void ResetStats() override { stats_ = EngineStats(); }
   std::string name() const override { return "stratified-prover"; }
 
+  /// The governance fields (timeout_micros, max_memory_bytes, cancel) may
+  /// be changed between queries — e.g. to retry a tripped query with a
+  /// larger budget on the same warm engine. Changing the evaluation
+  /// fields after Init() is undefined.
+  EngineOptions* mutable_options() { return &options_; }
+
   /// The stratification computed by Init (valid afterwards).
   const LinearStratification& stratification() const { return strat_; }
 
@@ -153,6 +159,11 @@ class StratifiedProver : public Engine {
   Status CheckLimits();
   void ClearMemos();
 
+  /// Approximate bytes held by the goal memo, interners, memoized Δ-model
+  /// contents, and any Δ model mid-construction — O(1), read by the
+  /// QueryGuard memory budget at metering frequency.
+  int64_t MemoryBytes() const;
+
   /// Counts one domain-grounding iteration and enforces max_steps on
   /// enumeration-heavy plans (checked every 256 iterations). Inline: the
   /// fast path must cost one increment and one predictable branch.
@@ -181,6 +192,15 @@ class StratifiedProver : public Engine {
   std::unordered_map<GoalKey, GoalEntry, GoalKeyHash> goal_memo_;
   std::unordered_map<DeltaKey, std::unique_ptr<Database>, DeltaKeyHash>
       delta_models_;
+  QueryGuard guard_;
+  /// Contents bytes of every memoized Δ model, accumulated at memoization
+  /// and reset by ClearMemos (closes the old accounting gap where only
+  /// the map entries, not the models, counted toward memo_bytes).
+  int64_t delta_model_bytes_ = 0;
+  /// Innermost Δ model currently under construction, so the memory budget
+  /// sees in-flight fixpoints. Nested DeltaModelFor calls save/restore it;
+  /// outer in-flight models go momentarily uncounted (approximation).
+  const Database* building_model_ = nullptr;
 
   // stats() refreshes the derived fields (context counters, memo bytes)
   // on read; the hot path only touches the plain counters.

@@ -2,6 +2,7 @@
 
 #include "ast/printer.h"
 #include "base/cleanup.h"
+#include "base/failpoint.h"
 #include "engine/scan.h"
 
 #include <algorithm>
@@ -96,18 +97,34 @@ Status TabledEngine::EnsureFactConstants(const Fact& fact) {
 Status TabledEngine::CheckLimits() {
   if (stats_.goals_expanded > options_.max_steps ||
       stats_.enumerations > options_.max_steps) {
-    return Status::ResourceExhausted(
-        "evaluation exceeded max_steps = " +
-        std::to_string(options_.max_steps));
+    return Status::ResourceExhausted(LimitTripMessage(
+        "max_steps", options_.max_steps,
+        std::max(stats_.goals_expanded, stats_.enumerations)));
   }
-  if (static_cast<int64_t>(goal_memo_.size()) > options_.max_states ||
-      static_cast<int64_t>(overlay_->context_interner().num_contexts()) >
-          options_.max_states) {
+  int64_t states = std::max<int64_t>(
+      static_cast<int64_t>(goal_memo_.size()),
+      overlay_->context_interner().num_contexts());
+  if (states > options_.max_states) {
     return Status::ResourceExhausted(
-        "evaluation exceeded max_states = " +
-        std::to_string(options_.max_states));
+        LimitTripMessage("max_states", options_.max_states, states));
+  }
+  if (guard_.armed()) {
+    ++stats_.guard_checks;
+    return guard_.Check(guard_.wants_memory() ? MemoryBytes() : -1);
   }
   return Status::OK();
+}
+
+int64_t TabledEngine::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(
+      goal_memo_.size() *
+      (sizeof(GoalKey) + sizeof(GoalEntry) + 2 * sizeof(void*)));
+  bytes += interner_.ApproxBytes();
+  if (overlay_ != nullptr) {
+    bytes +=
+        static_cast<int64_t>(overlay_->context_interner().ApproxBytes());
+  }
+  return bytes;
 }
 
 TabledEngine::GoalKey TabledEngine::KeyFor(const Fact& goal) {
@@ -125,11 +142,8 @@ const EngineStats& TabledEngine::stats() const {
     stats_.contexts_interned = contexts.num_contexts();
     stats_.context_transitions = contexts.transitions();
     stats_.context_cache_hits = contexts.transition_hits();
-    stats_.memo_bytes = static_cast<int64_t>(
-        goal_memo_.size() *
-            (sizeof(GoalKey) + sizeof(GoalEntry) + 2 * sizeof(void*)) +
-        contexts.ApproxBytes());
   }
+  stats_.memo_bytes = MemoryBytes();
   return stats_;
 }
 
@@ -171,6 +185,8 @@ StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
       goal_memo_.erase(entry);
     }
   });
+  // After the unmark guard, so an injected abort exercises it.
+  HYPO_FAILPOINT("tabled.memo_insert");
 
   int my_min = INT_MAX;
   bool proved = false;
@@ -275,6 +291,7 @@ StatusOr<bool> TabledEngine::WalkPlan(
     case PlanStep::Kind::kHypothetical: {
       const Premise& premise = premises[ps.premise_index];
       Fact query = binding->Ground(premise.atom);
+      HYPO_FAILPOINT("tabled.hypo_push");
       overlay_->PushFrame();
       // Deletions apply before additions; a fact in both ends up present.
       for (const Atom& a : premise.deletions) {
@@ -362,6 +379,7 @@ StatusOr<bool> TabledEngine::ExistsProvable(const Atom& atom,
 StatusOr<bool> TabledEngine::ProveFact(const Fact& fact) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
+  GuardScope guard_scope(&guard_, options_, &stats_);
   int min_pruned = INT_MAX;
   return ProveGoal(fact, 0, &min_pruned);
 }
@@ -369,6 +387,7 @@ StatusOr<bool> TabledEngine::ProveFact(const Fact& fact) {
 StatusOr<bool> TabledEngine::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  GuardScope guard_scope(&guard_, options_, &stats_);
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
@@ -388,6 +407,7 @@ StatusOr<bool> TabledEngine::ProveQuery(const Query& query) {
 StatusOr<std::vector<Tuple>> TabledEngine::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
+  GuardScope guard_scope(&guard_, options_, &stats_);
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
@@ -409,6 +429,7 @@ StatusOr<std::vector<Tuple>> TabledEngine::Answers(const Query& query) {
 StatusOr<ProofNode> TabledEngine::ExplainFact(const Fact& fact) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
   HYPO_RETURN_IF_ERROR(EnsureFactConstants(fact));
+  GuardScope guard_scope(&guard_, options_, &stats_);
   int min_pruned = INT_MAX;
   HYPO_ASSIGN_OR_RETURN(bool provable, ProveGoal(fact, 0, &min_pruned));
   if (!provable) {

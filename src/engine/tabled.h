@@ -60,6 +60,12 @@ class TabledEngine : public Engine {
   void ResetStats() override { stats_ = EngineStats(); }
   std::string name() const override { return "tabled"; }
 
+  /// The governance fields (timeout_micros, max_memory_bytes, cancel) may
+  /// be changed between queries — e.g. to retry a tripped query with a
+  /// larger budget on the same warm engine. Changing the evaluation
+  /// fields (strategy, demand, threads) after Init() is undefined.
+  EngineOptions* mutable_options() { return &options_; }
+
  private:
   struct GoalEntry {
     enum class Status : uint8_t { kInProgress, kTrue, kFalse } status;
@@ -107,6 +113,10 @@ class TabledEngine : public Engine {
   Status EnsureFactConstants(const Fact& fact);
   Status CheckLimits();
 
+  /// Approximate bytes held by the goal memo and both interners — O(1),
+  /// read by the QueryGuard memory budget at metering frequency.
+  int64_t MemoryBytes() const;
+
   /// Counts one domain-grounding iteration and enforces max_steps on
   /// enumeration-heavy plans (checked every 256 iterations so purely
   /// extensional domain^n loops cannot run away unmetered). Inline: the
@@ -145,6 +155,7 @@ class TabledEngine : public Engine {
   FactInterner interner_;
   std::unique_ptr<OverlayDatabase> overlay_;
   std::unordered_map<GoalKey, GoalEntry, GoalKeyHash> goal_memo_;
+  QueryGuard guard_;
 
   // stats() refreshes the derived fields (context counters, memo bytes)
   // on read; the hot path only touches the plain counters.

@@ -262,5 +262,63 @@ TEST_F(AbortRecoveryTest, BottomUpEnumerationIsMetered) {
   EXPECT_GT(fresh.stats().enumerations, 14'000);
 }
 
+// Governance trips (deadline, cancellation) must behave exactly like the
+// max_steps aborts above: fail loudly with the typed code, then answer
+// correctly on the *same* instance once the limit is relaxed or the
+// token reset — never serve a stale or partial result.
+TEST_F(AbortRecoveryTest, EnginesRecoverAfterDeadlineAndCancel) {
+  RuleBase rules = Parse(
+      "t(X, Y) <- edge(X, Y).\n"
+      "t(X, Y) <- t(X, Z), edge(Z, Y).");
+  Database db(symbols_);
+  for (int i = 0; i + 1 < 400; ++i) {
+    ASSERT_TRUE(db.Insert("edge", {"n" + std::to_string(i),
+                                   "n" + std::to_string(i + 1)})
+                    .ok());
+  }
+  auto goal = ParseFact("t(n0, n399)", symbols_.get());
+  ASSERT_TRUE(goal.ok());
+
+  auto run = [&](Engine* engine, EngineOptions* options) {
+    // An already-expired deadline trips at the very first guard check.
+    options->timeout_micros = 1;
+    auto tripped = engine->ProveFact(*goal);
+    ASSERT_FALSE(tripped.ok()) << engine->name();
+    EXPECT_EQ(tripped.status().code(), StatusCode::kDeadlineExceeded)
+        << engine->name() << ": " << tripped.status();
+
+    options->timeout_micros = 0;
+    options->cancel = std::make_shared<CancellationToken>();
+    options->cancel->Cancel();  // Pre-cancelled.
+    auto cancelled = engine->ProveFact(*goal);
+    ASSERT_FALSE(cancelled.ok()) << engine->name();
+    EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled)
+        << engine->name() << ": " << cancelled.status();
+
+    options->cancel->Reset();
+    engine->ResetStats();
+    auto answer = engine->ProveFact(*goal);
+    ASSERT_TRUE(answer.ok()) << engine->name() << ": " << answer.status();
+    EXPECT_TRUE(*answer) << engine->name()
+                         << " lost a provable fact after governance trips";
+  };
+
+  {
+    TabledEngine engine(&rules, &db);
+    run(&engine, engine.mutable_options());
+  }
+  {
+    StratifiedProver engine(&rules, &db);
+    ASSERT_TRUE(engine.Init().ok());
+    run(&engine, engine.mutable_options());
+  }
+  for (int threads : {1, 8}) {
+    EngineOptions options;
+    options.num_threads = threads;
+    BottomUpEngine engine(&rules, &db, options);
+    run(&engine, engine.mutable_options());
+  }
+}
+
 }  // namespace
 }  // namespace hypo

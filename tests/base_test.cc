@@ -50,9 +50,26 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument,
         StatusCode::kFailedPrecondition, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
-        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, GovernanceFactories) {
+  Status d = Status::DeadlineExceeded("late");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: late");
+  Status c = Status::Cancelled("stop");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: stop");
+}
+
+TEST(StatusTest, LimitTripMessageFormat) {
+  // The uniform shape every engine's limit trips use: limit name,
+  // configured value, observed value.
+  EXPECT_EQ(LimitTripMessage("max_steps", 100, 257),
+            "max_steps exceeded: configured 100, observed 257");
 }
 
 TEST(StatusTest, ReturnIfErrorPropagates) {
