@@ -23,6 +23,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "analysis/report.h"
+#include "base/string_util.h"
 #include "engine/proof.h"
 #include "engine/bottom_up.h"
 #include "engine/stratified_prover.h"
@@ -39,6 +41,22 @@
 namespace {
 
 using namespace hypo;
+
+/// Parses a positive integer flag value strictly (no trailing garbage,
+/// no silent overflow — `--threads 4abc` and `--timeout-ms 999…9` are
+/// usage errors, exit code 2). `max` defaults to a generous but finite
+/// bound so later unit conversions (ms -> us, MB -> bytes) cannot wrap.
+bool ParsePositiveFlag(const char* flag, const char* value, long* out,
+                       long max = std::numeric_limits<int32_t>::max()) {
+  auto parsed = ParseInt(value, 1, max);
+  if (!parsed.ok()) {
+    std::cerr << flag << " needs a positive integer: " << parsed.status()
+              << "\n";
+    return false;
+  }
+  *out = static_cast<long>(*parsed);
+  return true;
+}
 
 /// SIGINT flips the token from the handler (Cancel() is async-signal
 /// safe); the running query aborts at its next metering check.
@@ -153,21 +171,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--demand") {
       demand = true;
     } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-      if (threads < 1) {
-        std::cerr << "--threads needs a positive integer\n";
-        return 2;
-      }
+      long value = 0;
+      if (!ParsePositiveFlag("--threads", argv[++i], &value, 1024)) return 2;
+      threads = static_cast<int>(value);
     } else if (arg == "--timeout-ms" && i + 1 < argc) {
-      timeout_ms = std::atol(argv[++i]);
-      if (timeout_ms < 1) {
-        std::cerr << "--timeout-ms needs a positive integer\n";
+      if (!ParsePositiveFlag("--timeout-ms", argv[++i], &timeout_ms)) {
         return 2;
       }
     } else if (arg == "--max-memory-mb" && i + 1 < argc) {
-      max_memory_mb = std::atol(argv[++i]);
-      if (max_memory_mb < 1) {
-        std::cerr << "--max-memory-mb needs a positive integer\n";
+      if (!ParsePositiveFlag("--max-memory-mb", argv[++i], &max_memory_mb)) {
         return 2;
       }
     } else if (arg == "--explain") {

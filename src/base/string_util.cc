@@ -44,6 +44,47 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+StatusOr<int64_t> ParseInt(std::string_view s, int64_t min, int64_t max) {
+  if (s.empty()) return Status::InvalidArgument("expected an integer");
+  size_t i = 0;
+  bool negative = false;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = s[0] == '-';
+    ++i;
+  }
+  if (i == s.size()) {
+    return Status::InvalidArgument("expected an integer, got \"" +
+                                   std::string(s) + "\"");
+  }
+  // Accumulate negatively: |INT64_MIN| > INT64_MAX, so the negative range
+  // covers both signs without overflowing before the final check.
+  int64_t value = 0;
+  for (; i < s.size(); ++i) {
+    auto uc = static_cast<unsigned char>(s[i]);
+    if (!std::isdigit(uc)) {
+      return Status::InvalidArgument("expected an integer, got \"" +
+                                     std::string(s) + "\"");
+    }
+    int digit = s[i] - '0';
+    if (value < (INT64_MIN + digit) / 10) {
+      return Status::InvalidArgument("integer out of range: \"" +
+                                     std::string(s) + "\"");
+    }
+    value = value * 10 - digit;
+  }
+  if (!negative && value == INT64_MIN) {
+    return Status::InvalidArgument("integer out of range: \"" +
+                                   std::string(s) + "\"");
+  }
+  if (!negative) value = -value;
+  if (value < min || value > max) {
+    return Status::InvalidArgument(
+        "integer out of range [" + std::to_string(min) + ", " +
+        std::to_string(max) + "]: \"" + std::string(s) + "\"");
+  }
+  return value;
+}
+
 bool IsIdentifier(std::string_view s) {
   if (s.empty()) return false;
   auto head = static_cast<unsigned char>(s[0]);

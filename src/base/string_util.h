@@ -1,9 +1,12 @@
 #ifndef HYPO_BASE_STRING_UTIL_H_
 #define HYPO_BASE_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "base/statusor.h"
 
 namespace hypo {
 
@@ -22,6 +25,15 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// True iff `s` is a valid identifier for the surface syntax:
 /// [A-Za-z_][A-Za-z0-9_]*.
 bool IsIdentifier(std::string_view s);
+
+/// Strict base-10 integer parsing for flag and protocol values.
+///
+/// The whole of `s` must be a decimal integer (optional leading '-');
+/// trailing garbage ("4abc"), empty input, surrounding whitespace, and
+/// values outside [min, max] are all InvalidArgument. This exists because
+/// bare atoi/atol silently accept "4abc" as 4 and saturate on overflow
+/// with no error report.
+StatusOr<int64_t> ParseInt(std::string_view s, int64_t min, int64_t max);
 
 }  // namespace hypo
 

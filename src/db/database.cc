@@ -24,6 +24,7 @@ Database::Database(Database&& other) noexcept
     : symbols_(std::move(other.symbols_)),
       relations_(std::move(other.relations_)),
       constants_(std::move(other.constants_)),
+      constant_refs_(std::move(other.constant_refs_)),
       size_(other.size_),
       approx_bytes_(other.approx_bytes_),
       sealed_(other.sealed_),
@@ -34,6 +35,7 @@ Database& Database::operator=(Database&& other) noexcept {
   symbols_ = std::move(other.symbols_);
   relations_ = std::move(other.relations_);
   constants_ = std::move(other.constants_);
+  constant_refs_ = std::move(other.constant_refs_);
   size_ = other.size_;
   approx_bytes_ = other.approx_bytes_;
   sealed_ = other.sealed_;
@@ -48,13 +50,13 @@ Database Database::Clone() const {
   Database copy(symbols_);
   copy.relations_ = relations_;
   copy.constants_ = constants_;
+  copy.constant_refs_ = constant_refs_;
   copy.size_ = size_;
   copy.approx_bytes_ = approx_bytes_;
   return copy;
 }
 
 bool Database::Insert(const Fact& fact) {
-  HYPO_DCHECK(!sealed_) << "insert into a sealed database";
   HYPO_DCHECK(fact.predicate >= 0) << "fact with invalid predicate";
   HYPO_DCHECK(static_cast<int>(fact.args.size()) ==
               symbols_->PredicateArity(fact.predicate))
@@ -63,11 +65,76 @@ bool Database::Insert(const Fact& fact) {
   auto [it, inserted] = rel.index.insert(fact.args);
   (void)it;
   if (!inserted) return false;
+  // A real mutation on a sealed database starts a new epoch: drop the
+  // seal so lazy index extension resumes. Leaving the seal up would serve
+  // probes from indexes whose built_upto no longer covers the relation —
+  // silently incomplete candidate sets.
+  sealed_ = false;
   rel.tuples.push_back(fact.args);
-  for (ConstId c : fact.args) constants_.insert(c);
+  AddConstantRefs(fact.args);
   ++size_;
   approx_bytes_ += ApproxFactBytes(fact.args.size());
   return true;
+}
+
+bool Database::Retract(const Fact& fact) {
+  HYPO_DCHECK(fact.predicate >= 0) << "fact with invalid predicate";
+  auto it = relations_.find(fact.predicate);
+  if (it == relations_.end()) return false;
+  Relation& rel = it->second;
+  if (rel.index.erase(fact.args) == 0) return false;
+  sealed_ = false;
+  auto pos = std::find(rel.tuples.begin(), rel.tuples.end(), fact.args);
+  HYPO_DCHECK(pos != rel.tuples.end()) << "index/tuple vector out of sync";
+  rel.tuples.erase(pos);
+  DropRelationIndexes(rel);
+  DropConstantRefs(fact.args);
+  --size_;
+  approx_bytes_ -= ApproxFactBytes(fact.args.size());
+  if (rel.tuples.empty()) relations_.erase(it);
+  return true;
+}
+
+int64_t Database::ClearRelation(PredicateId pred) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return 0;
+  Relation& rel = it->second;
+  sealed_ = false;
+  const int64_t removed = static_cast<int64_t>(rel.tuples.size());
+  for (const Tuple& t : rel.tuples) {
+    DropConstantRefs(t);
+    approx_bytes_ -= ApproxFactBytes(t.size());
+  }
+  DropRelationIndexes(rel);
+  size_ -= removed;
+  relations_.erase(it);
+  return removed;
+}
+
+void Database::AddConstantRefs(const Tuple& args) {
+  for (ConstId c : args) {
+    if (++constant_refs_[c] == 1) constants_.insert(c);
+  }
+}
+
+void Database::DropConstantRefs(const Tuple& args) {
+  for (ConstId c : args) {
+    auto it = constant_refs_.find(c);
+    HYPO_DCHECK(it != constant_refs_.end()) << "unbalanced constant refcount";
+    if (it != constant_refs_.end() && --it->second == 0) {
+      constant_refs_.erase(it);
+      constants_.erase(c);
+    }
+  }
+}
+
+void Database::DropRelationIndexes(const Relation& rel) {
+  for (const auto& [mask, ci] : rel.column_indexes) {
+    (void)mask;
+    approx_bytes_ -=
+        kApproxIndexEntryBytes * static_cast<int64_t>(ci.built_upto);
+  }
+  rel.column_indexes.clear();
 }
 
 const std::vector<int>* Database::TuplesWithFirstArg(PredicateId pred,
@@ -153,6 +220,11 @@ void Database::SealIndexes() const {
 Status Database::Insert(std::string_view predicate,
                         const std::vector<std::string_view>& args) {
   HYPO_FAILPOINT("db.insert");
+  if (sealed_) {
+    return Status::FailedPrecondition(
+        "insert into a sealed database; call UnsealIndexes() to start a "
+        "new epoch first");
+  }
   StatusOr<PredicateId> pred =
       symbols_->InternPredicate(predicate, static_cast<int>(args.size()));
   HYPO_RETURN_IF_ERROR(pred.status());
@@ -199,8 +271,13 @@ std::vector<PredicateId> Database::NonEmptyPredicates() const {
 void Database::Clear() {
   relations_.clear();
   constants_.clear();
+  constant_refs_.clear();
   size_ = 0;
   approx_bytes_ = 0;
+  // A cleared database is a fresh epoch: without this reset a repopulated
+  // database would keep the read-only probe path forever and never build
+  // indexes for its new contents (every probe degrades to a full scan).
+  sealed_ = false;
 }
 
 }  // namespace hypo

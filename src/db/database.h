@@ -42,7 +42,9 @@ constexpr int64_t kApproxIndexEntryBytes = 16;
 /// This is both the extensional database of Definition 3 and the storage
 /// used for derived models inside the engines. Tuples are stored per
 /// predicate in insertion order (for deterministic iteration) with a hash
-/// set for O(1) membership. Append-only except for Clear().
+/// set for O(1) membership. Mostly append-only; Retract/ClearRelation
+/// support the long-lived server's epoch mutations and invalidate the
+/// affected relation's column indexes (rebuilt lazily on the next probe).
 class Database {
  public:
   explicit Database(std::shared_ptr<SymbolTable> symbols)
@@ -58,12 +60,30 @@ class Database {
 
   /// Inserts `fact`. Returns true if it was not already present.
   /// The fact's arity must match the predicate's registered arity.
+  /// Inserting into a sealed database auto-unseals it (the mutation starts
+  /// a new epoch; see SealIndexes) — callers coordinating concurrent
+  /// readers must quiesce them first, as src/server does.
   bool Insert(const Fact& fact);
 
   /// Convenience: interns the predicate (with arity = args.size()) and the
-  /// constants, then inserts. Fails on arity mismatch.
+  /// constants, then inserts. Fails on arity mismatch. Unlike the typed
+  /// overload this path REJECTS a sealed database with FailedPrecondition:
+  /// it is the user-facing loader entry point, where an insert racing a
+  /// sealed read phase is a caller bug worth surfacing, not an epoch turn.
   Status Insert(std::string_view predicate,
                 const std::vector<std::string_view>& args);
+
+  /// Removes `fact` if present; returns true when something was removed.
+  /// Order-preserving for the remaining tuples. Drops the predicate's
+  /// column indexes (stored positions shift) and auto-unseals, exactly
+  /// like Insert. O(|relation|) — retraction is an epoch-boundary
+  /// operation, not a join-loop one.
+  bool Retract(const Fact& fact);
+
+  /// Removes every tuple of `pred`; returns how many were removed. Used
+  /// by the engines' incremental repair to rebuild one stratum's derived
+  /// relation in place. Auto-unseals when it removes anything.
+  int64_t ClearRelation(PredicateId pred);
 
   bool Contains(const Fact& fact) const;
 
@@ -105,7 +125,9 @@ class Database {
   /// UnsealIndexes() every ProbeIndex call is strictly read-only. A probe
   /// for a signature that has no up-to-date index returns ScanAllMarker()
   /// instead of lazily building one (callers fall back to a full relation
-  /// scan — correct, just unindexed). Insertions are illegal while sealed.
+  /// scan — correct, just unindexed). Mutating a sealed database through
+  /// the typed Insert/Retract/ClearRelation paths drops the seal (a new
+  /// epoch begins); doing so with readers still probing is a caller bug.
   void SealIndexes() const;
   void UnsealIndexes() const { sealed_ = false; }
   bool sealed() const { return sealed_; }
@@ -131,7 +153,9 @@ class Database {
   /// Invokes `fn` for every fact in the database.
   void ForEach(const std::function<void(const Fact&)>& fn) const;
 
-  /// Every constant appearing in some tuple. Part of dom(R, DB).
+  /// Every constant appearing in some tuple. Part of dom(R, DB). Kept
+  /// exact under retraction by per-constant reference counts: a constant
+  /// leaves the set when its last occurrence is retracted.
   const std::unordered_set<ConstId>& constants() const { return constants_; }
 
   /// Predicates that have at least one tuple.
@@ -172,9 +196,20 @@ class Database {
   /// be called while sealed.
   ColumnIndex& ExtendIndex(const Relation& rel, ColumnMask mask) const;
 
+  /// Refcount bookkeeping behind constants(): every tuple position holds
+  /// one reference to its constant.
+  void AddConstantRefs(const Tuple& args);
+  void DropConstantRefs(const Tuple& args);
+
+  /// Discards every column index of `rel` (with byte accounting): stored
+  /// positions are invalidated by retraction, so the indexes are rebuilt
+  /// lazily from scratch on the next unsealed probe.
+  void DropRelationIndexes(const Relation& rel);
+
   std::shared_ptr<SymbolTable> symbols_;
   std::unordered_map<PredicateId, Relation> relations_;
   std::unordered_set<ConstId> constants_;
+  std::unordered_map<ConstId, int64_t> constant_refs_;
   int64_t size_ = 0;
   /// Incremental ApproxBytes total. Mutable because lazy index builds
   /// (const paths) grow it; never touched while sealed, so no atomics.

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_map>
 #include <utility>
 
 #include "base/failpoint.h"
@@ -468,8 +469,13 @@ StatusOr<BottomUpEngine::State*> BottomUpEngine::MaterializeState(
 Status BottomUpEngine::ComputeModel(State* state, int through, WorkCtx* work,
                                     bool allow_parallel) {
   const bool parallel = allow_parallel && pool_ != nullptr;
-  Unsealer base_unsealer(parallel ? base_ : nullptr);
-  if (parallel) {
+  // When a long-lived caller (src/server) has already sealed the base for
+  // an epoch, its seal — and the indexes it prepared — are shared with
+  // other concurrent readers; leave both alone. Probes for signatures the
+  // caller did not prepare degrade to full scans, which stays correct.
+  const bool own_base_seal = parallel && !base_->sealed();
+  Unsealer base_unsealer(own_base_seal ? base_ : nullptr);
+  if (own_base_seal) {
     // Freeze the shared base for the whole region: every statically
     // possible probe signature gets an up-to-date index, then concurrent
     // probes (including the sequential child-state computations running
@@ -479,99 +485,105 @@ Status BottomUpEngine::ComputeModel(State* state, int through, WorkCtx* work,
     }
     base_->SealIndexes();
   }
-  const EvalStrategy strategy = options_.eval_strategy;
-  const RuleBase& program = active();
   const int last = std::min(through, strata_.num_strata - 1);
   for (int s = 0; s <= last; ++s) {
     if (parallel) {
       HYPO_RETURN_IF_ERROR(ComputeStratumParallel(state, s, work));
-      continue;
+    } else {
+      HYPO_RETURN_IF_ERROR(ComputeStratumSequential(state, s, work));
     }
-    const std::vector<int>& stratum_rules = strata_.rules_by_stratum[s];
-    // Predicates whose relations gained tuples in the previous round, and
-    // (delta mode) the new tuples themselves, rotated per round.
-    std::unordered_set<PredicateId> changed_last;
-    std::unordered_set<PredicateId> changed_now;
-    Database delta(base_->symbols_ptr());
-    Database next_delta(base_->symbols_ptr());
-    Database* track_delta =
-        strategy == EvalStrategy::kDeltaSeminaive ? &next_delta : nullptr;
-    bool first_round = true;
-    while (true) {
-      ++work->stats->fixpoint_rounds;
-      HYPO_FAILPOINT("bottomup.round");
-      for (int rule_index : stratum_rules) {
-        EvalCtx ctx;
-        ctx.state = state;
-        ctx.work = work;
-        if (first_round || strategy == EvalStrategy::kNaive) {
-          // Round 0 instantiates every rule over the full relations (the
-          // semi-naive base case); naive mode keeps doing that forever.
-          HYPO_RETURN_IF_ERROR(
-              EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
-          continue;
-        }
-        if (strategy == EvalStrategy::kRuleFilter) {
-          const Rule& rule = program.rule(rule_index);
-          bool relevant = false;
-          for (const Premise& p : rule.premises) {
-            if (changed_last.count(p.atom.predicate) > 0) {
-              relevant = true;
-              break;
-            }
-          }
-          if (!relevant) continue;
-          HYPO_RETURN_IF_ERROR(
-              EvaluateRule(rule_index, &ctx, nullptr, &changed_now));
-          continue;
-        }
-        // Delta semi-naive. A rule whose hypothetical premise watches a
-        // same-stratum predicate that just changed cannot be delta-
-        // restricted (the premise is a test, not a generator): fall back
-        // to a full instantiation for this round.
-        const RuleDeltaInfo& info = rule_delta_info_[rule_index];
-        bool full = false;
-        for (PredicateId p : info.hypo_sensitive_preds) {
-          if (changed_last.count(p) > 0) {
-            full = true;
-            break;
-          }
-        }
-        if (full) {
-          HYPO_RETURN_IF_ERROR(
-              EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
-          continue;
-        }
-        // The standard rewrite: one rule version per changed positive
-        // premise, that premise ranging over last round's delta only.
-        const std::vector<Premise>& premises =
-            program.rule(rule_index).premises;
-        for (int premise_index : info.delta_premises) {
-          if (changed_last.count(premises[premise_index].atom.predicate) ==
-              0) {
-            continue;
-          }
-          ctx.delta_premise = premise_index;
-          ctx.delta = &delta;
-          HYPO_RETURN_IF_ERROR(
-              EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
-        }
-      }
-      if (changed_now.empty()) break;
-      if (track_delta != nullptr) {
-        retired_index_builds_ += delta.index_builds();
-        delta = std::move(next_delta);
-        next_delta = Database(base_->symbols_ptr());
-      }
-      changed_last = std::move(changed_now);
-      changed_now.clear();
-      first_round = false;
-    }
-    retired_index_builds_ += delta.index_builds() + next_delta.index_builds();
   }
   if (last < strata_.num_strata - 1) {
     work->stats->strata_skipped += strata_.num_strata - 1 - last;
   }
+  return Status::OK();
+}
+
+Status BottomUpEngine::ComputeStratumSequential(State* state, int stratum,
+                                                WorkCtx* work) {
+  const EvalStrategy strategy = options_.eval_strategy;
+  const RuleBase& program = active();
+  const std::vector<int>& stratum_rules = strata_.rules_by_stratum[stratum];
+  // Predicates whose relations gained tuples in the previous round, and
+  // (delta mode) the new tuples themselves, rotated per round.
+  std::unordered_set<PredicateId> changed_last;
+  std::unordered_set<PredicateId> changed_now;
+  Database delta(base_->symbols_ptr());
+  Database next_delta(base_->symbols_ptr());
+  Database* track_delta =
+      strategy == EvalStrategy::kDeltaSeminaive ? &next_delta : nullptr;
+  bool first_round = true;
+  while (true) {
+    ++work->stats->fixpoint_rounds;
+    HYPO_FAILPOINT("bottomup.round");
+    for (int rule_index : stratum_rules) {
+      EvalCtx ctx;
+      ctx.state = state;
+      ctx.work = work;
+      if (first_round || strategy == EvalStrategy::kNaive) {
+        // Round 0 instantiates every rule over the full relations (the
+        // semi-naive base case); naive mode keeps doing that forever.
+        HYPO_RETURN_IF_ERROR(
+            EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
+        continue;
+      }
+      if (strategy == EvalStrategy::kRuleFilter) {
+        const Rule& rule = program.rule(rule_index);
+        bool relevant = false;
+        for (const Premise& p : rule.premises) {
+          if (changed_last.count(p.atom.predicate) > 0) {
+            relevant = true;
+            break;
+          }
+        }
+        if (!relevant) continue;
+        HYPO_RETURN_IF_ERROR(
+            EvaluateRule(rule_index, &ctx, nullptr, &changed_now));
+        continue;
+      }
+      // Delta semi-naive. A rule whose hypothetical premise watches a
+      // same-stratum predicate that just changed cannot be delta-
+      // restricted (the premise is a test, not a generator): fall back
+      // to a full instantiation for this round.
+      const RuleDeltaInfo& info = rule_delta_info_[rule_index];
+      bool full = false;
+      for (PredicateId p : info.hypo_sensitive_preds) {
+        if (changed_last.count(p) > 0) {
+          full = true;
+          break;
+        }
+      }
+      if (full) {
+        HYPO_RETURN_IF_ERROR(
+            EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
+        continue;
+      }
+      // The standard rewrite: one rule version per changed positive
+      // premise, that premise ranging over last round's delta only.
+      const std::vector<Premise>& premises =
+          program.rule(rule_index).premises;
+      for (int premise_index : info.delta_premises) {
+        if (changed_last.count(premises[premise_index].atom.predicate) ==
+            0) {
+          continue;
+        }
+        ctx.delta_premise = premise_index;
+        ctx.delta = &delta;
+        HYPO_RETURN_IF_ERROR(
+            EvaluateRule(rule_index, &ctx, track_delta, &changed_now));
+      }
+    }
+    if (changed_now.empty()) break;
+    if (track_delta != nullptr) {
+      retired_index_builds_ += delta.index_builds();
+      delta = std::move(next_delta);
+      next_delta = Database(base_->symbols_ptr());
+    }
+    changed_last = std::move(changed_now);
+    changed_now.clear();
+    first_round = false;
+  }
+  retired_index_builds_ += delta.index_builds() + next_delta.index_builds();
   return Status::OK();
 }
 
@@ -829,6 +841,14 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
         Fact f = binding->Ground(atom);
         if (sharded && !in_shard(f.args)) return true;  // Another shard's.
         bool holds = designated ? ctx->delta->Contains(f) : Visible(*state, f);
+        if (!designated) {
+          // DRed old-model mode: this epoch's net insertions were not
+          // visible before it, its net deletions were (see EvalCtx).
+          if (holds && ctx->vis_minus != nullptr && ctx->vis_minus->Contains(f))
+            holds = false;
+          if (!holds && ctx->vis_plus != nullptr && ctx->vis_plus->Contains(f))
+            holds = true;
+        }
         if (holds && exclude_delta && ctx->delta->Contains(f)) holds = false;
         if (!holds) return true;
         return WalkPlan(premises, plan, step + 1, binding, ctx, sink);
@@ -844,6 +864,13 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
         if (sharded && !in_shard(tuple)) return true;
         ++ctx->work->stats->join_probes;
         if (exclude_delta && ctx->delta->Contains(atom.predicate, tuple)) {
+          return true;
+        }
+        // Old-model mode: skip this epoch's net insertions. (Deleted facts
+        // arrive via the extra vis_plus scan below; they are physically
+        // absent from base and ext, so the scans cannot duplicate them.)
+        if (!designated && ctx->vis_minus != nullptr &&
+            ctx->vis_minus->Contains(atom.predicate, tuple)) {
           return true;
         }
         if (!binding->MatchTuple(atom, tuple, &trail)) return true;
@@ -862,8 +889,10 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       };
       if (designated) {
         ForEachBaseCandidate(*ctx->delta, atom, *binding, try_tuple);
-      } else if (ForEachBaseCandidate(*base_, atom, *binding, try_tuple)) {
-        ForEachBaseCandidate(state->ext, atom, *binding, try_tuple);
+      } else if (ForEachBaseCandidate(*base_, atom, *binding, try_tuple) &&
+                 ForEachBaseCandidate(state->ext, atom, *binding, try_tuple) &&
+                 ctx->vis_plus != nullptr) {
+        ForEachBaseCandidate(*ctx->vis_plus, atom, *binding, try_tuple);
       }
       HYPO_RETURN_IF_ERROR(error);
       if (stopped) return false;
@@ -999,6 +1028,346 @@ bool BottomUpEngine::ExistsMatch(const State& state, const Atom& atom,
     ForEachBaseCandidate(state.ext, atom, *binding, probe);
   }
   return found;
+}
+
+Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
+  if (delta.empty()) return Status::OK();
+  if (!initialized_) return Status::OK();  // First query Init()s fresh.
+  ++stats_.base_deltas;
+  // A domain change invalidates every memoized enumeration, and demand's
+  // magic programs are seeded from base contents: both fall back to a
+  // full re-Init (models recompute lazily on the next query).
+  std::vector<ConstId> domain =
+      ComputeDomain(*rulebase_, *base_, extra_constants_);
+  if (domain != domain_ || options_.demand) return Init();
+
+  // Hypothetical child states are whole models over the old base: drop
+  // them (they rebuild lazily on their next touch) and repair the base
+  // state's model in place.
+  State* base_state = states_.RetainOnly(InternStateKey({}));
+  if (base_state == nullptr) {
+    RecomputeTrackedBytes();
+    return Status::OK();
+  }
+  if (base_state->dirty ||
+      base_state->completed_through < strata_.num_strata - 1) {
+    // Incomplete model (aborted run): dropping it is cheaper and simpler
+    // than repairing a partial fixpoint.
+    states_.Clear();
+    RecomputeTrackedBytes();
+    return Status::OK();
+  }
+  WorkCtx work;
+  work.stats = &stats_;
+  Status status = RepairBaseModel(base_state, delta, &work);
+  if (!status.ok()) {
+    // A half-repaired model must never be served: drop everything and
+    // surface the error; the next query recomputes from scratch.
+    states_.Clear();
+    RecomputeTrackedBytes();
+    return status;
+  }
+  RecomputeTrackedBytes();
+  return Status::OK();
+}
+
+Status BottomUpEngine::RepairBaseModel(State* state, const BaseDelta& delta,
+                                       WorkCtx* work) {
+  Database ins(base_->symbols_ptr());
+  Database del(base_->symbols_ptr());
+  for (const Fact& f : delta.inserts) {
+    if (state->ext.Contains(f)) {
+      // Already derived: the fact moves from "derived" to "stored" with
+      // no visibility change (ext must never shadow base facts).
+      state->ext.Retract(f);
+    } else {
+      ins.Insert(f);
+    }
+  }
+  for (const Fact& f : delta.retracts) {
+    // Physically gone from the base already. Its defining stratum (if
+    // any) will try to rederive it; until then it counts as deleted.
+    if (!state->ext.Contains(f)) del.Insert(f);
+  }
+  for (int s = 0; s < strata_.num_strata; ++s) {
+    HYPO_RETURN_IF_ERROR(RepairStratum(state, s, &ins, &del, work));
+  }
+  return Status::OK();
+}
+
+Status BottomUpEngine::RepairStratum(State* state, int stratum, Database* ins,
+                                     Database* del, WorkCtx* work) {
+  const RuleBase& program = active();
+  const bool any_delta = !ins->empty() || !del->empty();
+  bool has_hypo = false;
+  bool pos_touched = false;   // Some positive premise pred has a delta.
+  bool neg_touched = false;   // Some negated premise pred has a delta.
+  bool head_deleted = false;  // A deleted fact's pred is defined here.
+  for (int r : strata_.rules_by_stratum[stratum]) {
+    const Rule& rule = program.rule(r);
+    if (del->CountFor(rule.head.predicate) > 0) head_deleted = true;
+    for (const Premise& p : rule.premises) {
+      const PredicateId pred = p.atom.predicate;
+      const bool touched =
+          ins->CountFor(pred) > 0 || del->CountFor(pred) > 0;
+      switch (p.kind) {
+        case PremiseKind::kPositive:
+          if (touched) pos_touched = true;
+          break;
+        case PremiseKind::kNegated:
+          if (touched) neg_touched = true;
+          break;
+        case PremiseKind::kHypothetical:
+          has_hypo = true;
+          break;
+      }
+    }
+  }
+  if (!pos_touched && !neg_touched && !head_deleted &&
+      !(has_hypo && any_delta)) {
+    return Status::OK();  // The delta cannot reach this stratum.
+  }
+  if (neg_touched || (has_hypo && any_delta)) {
+    // A flipped negation retracts facts with no deleted support behind
+    // them, and a hypothetical premise consults a child model that
+    // changed wholesale: both are outside DRed's reach — rebuild + diff.
+    return RepairStratumRecompute(state, stratum, ins, del, work);
+  }
+  return RepairStratumIncremental(state, stratum, ins, del, work);
+}
+
+Status BottomUpEngine::RepairStratumIncremental(State* state, int stratum,
+                                                Database* ins, Database* del,
+                                                WorkCtx* work) {
+  ++work->stats->strata_repaired;
+  const RuleBase& program = active();
+  const std::vector<int>& stratum_rules = strata_.rules_by_stratum[stratum];
+
+  std::unordered_set<PredicateId> pos_preds;  // Delta routing targets.
+  std::unordered_set<PredicateId> head_preds;
+  for (int r : stratum_rules) {
+    const Rule& rule = program.rule(r);
+    head_preds.insert(rule.head.predicate);
+    for (const Premise& p : rule.premises) {
+      if (p.kind == PremiseKind::kPositive) pos_preds.insert(p.atom.predicate);
+    }
+  }
+
+  // One batch of delta rule versions: for every rule and every positive
+  // premise whose predicate appears in `round`, run the version with that
+  // premise designated over `round` (others in plus/minus mode), handing
+  // each ground head to `on_head`.
+  auto run_versions =
+      [&](const Database& round, const Database* plus, const Database* minus,
+          const std::function<StatusOr<bool>(const Fact&)>& on_head)
+      -> Status {
+    for (int rule_index : stratum_rules) {
+      const Rule& rule = program.rule(rule_index);
+      for (int i = 0; i < static_cast<int>(rule.premises.size()); ++i) {
+        const Premise& p = rule.premises[i];
+        if (p.kind != PremiseKind::kPositive) continue;
+        if (round.CountFor(p.atom.predicate) == 0) continue;
+        EvalCtx ctx;
+        ctx.state = state;
+        ctx.work = work;
+        ctx.delta_premise = i;
+        ctx.delta = &round;
+        ctx.vis_plus = plus;
+        ctx.vis_minus = minus;
+        Binding binding(rule.num_vars());
+        auto sink = [&](const Binding& b) -> StatusOr<bool> {
+          ++work->stats->goals_expanded;
+          HYPO_RETURN_IF_ERROR(CheckLimits(work));
+          return on_head(b.Ground(rule.head));
+        };
+        HYPO_RETURN_IF_ERROR(WalkPlan(rule.premises, rule_plans_[rule_index],
+                                      0, &binding, &ctx, sink)
+                                 .status());
+      }
+    }
+    return Status::OK();
+  };
+
+  // DRed overdeletion: every derived fact with SOME derivation through a
+  // deleted fact, to fixpoint. Non-designated premises evaluate against
+  // the PRE-epoch model (plus = deletions so far, minus = insertions so
+  // far); same-stratum overdeleted facts are still physically present
+  // until the fixpoint completes, so they stay visible here too.
+  Database overdeleted(base_->symbols_ptr());
+  {
+    Database round(base_->symbols_ptr());
+    del->ForEach([&](const Fact& f) {
+      if (pos_preds.count(f.predicate) > 0) round.Insert(f);
+    });
+    while (!round.empty()) {
+      Database next(base_->symbols_ptr());
+      HYPO_RETURN_IF_ERROR(run_versions(
+          round, /*plus=*/del, /*minus=*/ins,
+          [&](const Fact& h) -> StatusOr<bool> {
+            // Only currently derived facts can be overdeleted: base facts
+            // are stored, not derived, and already-queued heads are done.
+            if (!state->ext.Contains(h)) return true;
+            if (!overdeleted.Insert(h)) return true;
+            ++work->stats->facts_overdeleted;
+            if (pos_preds.count(h.predicate) > 0) next.Insert(h);
+            return true;
+          }));
+      round = std::move(next);
+    }
+  }
+  // Physically prune before rederiving, so an overdeleted fact can never
+  // support itself (or a cycle partner) through a stale derivation. Each
+  // touched relation is rebuilt once from its survivors — Retract per
+  // fact would cost O(overdeleted × |relation|) in erase scans and
+  // repeated index invalidations.
+  {
+    std::unordered_set<PredicateId> touched;
+    overdeleted.ForEach([&](const Fact& f) { touched.insert(f.predicate); });
+    for (PredicateId p : touched) {
+      std::vector<Tuple> survivors;
+      for (const Tuple& t : state->ext.TuplesFor(p)) {
+        if (!overdeleted.Contains(p, t)) survivors.push_back(t);
+      }
+      state->ext.ClearRelation(p);
+      for (Tuple& t : survivors) state->ext.Insert(Fact{p, std::move(t)});
+    }
+  }
+
+  // Rederivation: overdeleted facts — and this stratum's retracted base
+  // facts — that still have a derivation in the pruned model survive the
+  // epoch. Late restorations cascade through the insertion rounds below.
+  Database restored(base_->symbols_ptr());
+  Database reinserted(base_->symbols_ptr());
+  std::vector<Fact> candidates;
+  overdeleted.ForEach([&](const Fact& f) { candidates.push_back(f); });
+  del->ForEach([&](const Fact& f) {
+    if (head_preds.count(f.predicate) > 0) candidates.push_back(f);
+  });
+  for (const Fact& f : candidates) {
+    HYPO_ASSIGN_OR_RETURN(bool derivable,
+                          HeadDerivable(f, stratum, state, work));
+    if (!derivable) continue;
+    state->ext.Insert(f);
+    ++work->stats->facts_rederived;
+    reinserted.Insert(f);
+    if (overdeleted.Contains(f)) {
+      restored.Insert(f);
+    } else {
+      del->Retract(f);  // A retracted base fact that is still derivable.
+    }
+  }
+
+  // Insertion semi-naive rounds: this epoch's newly visible facts plus
+  // every rederived fact propagate through the stratum's rules against
+  // the CURRENT model.
+  {
+    Database round(base_->symbols_ptr());
+    ins->ForEach([&](const Fact& f) {
+      if (pos_preds.count(f.predicate) > 0) round.Insert(f);
+    });
+    reinserted.ForEach([&](const Fact& f) {
+      if (pos_preds.count(f.predicate) > 0) round.Insert(f);
+    });
+    while (!round.empty()) {
+      Database next(base_->symbols_ptr());
+      HYPO_RETURN_IF_ERROR(run_versions(
+          round, /*plus=*/nullptr, /*minus=*/nullptr,
+          [&](const Fact& h) -> StatusOr<bool> {
+            if (Visible(*state, h)) return true;
+            state->ext.Insert(h);
+            ++work->stats->facts_derived;
+            // Net bookkeeping: a fact visible before the epoch
+            // (overdeleted above, or a retracted base fact) is merely
+            // restored; everything else is a genuine insertion.
+            if (overdeleted.Contains(h)) {
+              restored.Insert(h);
+            } else if (del->Contains(h)) {
+              del->Retract(h);
+            } else {
+              ins->Insert(h);
+            }
+            if (pos_preds.count(h.predicate) > 0) next.Insert(h);
+            return true;
+          }));
+      round = std::move(next);
+    }
+  }
+
+  // Commit this stratum's net deletions for the strata above.
+  overdeleted.ForEach([&](const Fact& f) {
+    if (!restored.Contains(f)) del->Insert(f);
+  });
+  return Status::OK();
+}
+
+Status BottomUpEngine::RepairStratumRecompute(State* state, int stratum,
+                                              Database* ins, Database* del,
+                                              WorkCtx* work) {
+  ++work->stats->strata_recomputed;
+  const RuleBase& program = active();
+  std::unordered_set<PredicateId> head_preds;
+  for (int r : strata_.rules_by_stratum[stratum]) {
+    head_preds.insert(program.rule(r).head.predicate);
+  }
+  // Pre-epoch visible set of each head predicate: what is stored now,
+  // minus this epoch's insertions, plus its deletions.
+  std::unordered_map<PredicateId, std::unordered_set<Tuple, TupleHash>>
+      old_visible;
+  for (PredicateId p : head_preds) {
+    auto& old_set = old_visible[p];
+    for (const Tuple& t : base_->TuplesFor(p)) {
+      if (!ins->Contains(p, t)) old_set.insert(t);
+    }
+    for (const Tuple& t : state->ext.TuplesFor(p)) {
+      if (!ins->Contains(p, t)) old_set.insert(t);
+    }
+    for (const Tuple& t : del->TuplesFor(p)) old_set.insert(t);
+    // The predicate's net delta is recomputed from scratch by the diff.
+    ins->ClearRelation(p);
+    del->ClearRelation(p);
+    state->ext.ClearRelation(p);
+  }
+  HYPO_RETURN_IF_ERROR(ComputeStratumSequential(state, stratum, work));
+  for (PredicateId p : head_preds) {
+    const auto& old_set = old_visible[p];
+    std::unordered_set<Tuple, TupleHash> new_set;
+    for (const Tuple& t : base_->TuplesFor(p)) new_set.insert(t);
+    for (const Tuple& t : state->ext.TuplesFor(p)) new_set.insert(t);
+    for (const Tuple& t : new_set) {
+      if (old_set.count(t) == 0) ins->Insert(Fact{p, t});
+    }
+    for (const Tuple& t : old_set) {
+      if (new_set.count(t) == 0) del->Insert(Fact{p, t});
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> BottomUpEngine::HeadDerivable(const Fact& fact, int stratum,
+                                             State* state, WorkCtx* work) {
+  const RuleBase& program = active();
+  for (int rule_index : strata_.rules_by_stratum[stratum]) {
+    const Rule& rule = program.rule(rule_index);
+    if (rule.head.predicate != fact.predicate) continue;
+    Binding binding(rule.num_vars());
+    std::vector<VarIndex> trail;
+    // Bind the head against the fact; a constant mismatch or inconsistent
+    // repeated variable rules this rule out immediately.
+    if (!binding.MatchTuple(rule.head, fact.args, &trail)) continue;
+    EvalCtx ctx;
+    ctx.state = state;
+    ctx.work = work;
+    bool found = false;
+    auto sink = [&found](const Binding&) -> StatusOr<bool> {
+      found = true;
+      return false;  // One witness suffices.
+    };
+    HYPO_RETURN_IF_ERROR(WalkPlan(rule.premises, rule_plans_[rule_index], 0,
+                                  &binding, &ctx, sink)
+                             .status());
+    if (found) return true;
+  }
+  return false;
 }
 
 const EngineStats& BottomUpEngine::stats() const {

@@ -90,7 +90,22 @@ class BottomUpEngine : public Engine {
   /// be changed between queries — e.g. to retry a tripped query with a
   /// larger budget on the same warm engine. Changing the evaluation
   /// fields (strategy, demand, threads) after Init() is undefined.
-  EngineOptions* mutable_options() { return &options_; }
+  EngineOptions* mutable_options() override { return &options_; }
+
+  /// Incremental repair of the memoized base-state model after the caller
+  /// mutated the base Database (see Engine::ApplyBaseDelta). Hypothetical
+  /// child states are dropped (they recompute lazily); the base model is
+  /// repaired stratum by stratum — insertion semi-naive rounds for pure
+  /// growth, DRed delete-and-rederive for retractions, and a recompute-
+  /// and-diff fallback for strata whose negated or hypothetical premises
+  /// the delta can flip. Falls back to a full Init() when the domain
+  /// changed or demand-driven evaluation is active.
+  Status ApplyBaseDelta(const BaseDelta& delta) override;
+
+  std::vector<std::pair<PredicateId, ColumnMask>> BaseProbeSignatures()
+      const override {
+    return static_sigs_;
+  }
 
  private:
   using StateKey = std::vector<FactId>;
@@ -183,6 +198,13 @@ class BottomUpEngine : public Engine {
     int delta_premise = -1;          // Designated premise index, or -1.
     const Database* delta = nullptr; // Last round's newly derived tuples.
     WorkCtx* work = nullptr;
+    /// DRed overdeletion evaluates non-designated positive premises
+    /// against the PRE-epoch model: facts deleted so far this epoch
+    /// (physically gone) count as visible again (`vis_plus`) and facts
+    /// newly visible this epoch are filtered out (`vis_minus`). Null on
+    /// every other path — one predictable branch per candidate.
+    const Database* vis_plus = nullptr;
+    const Database* vis_minus = nullptr;
     /// Parallel rounds: derived heads go here (deduped per task) instead
     /// of into state->ext, which is sealed; merged at the barrier.
     Database* buffer = nullptr;
@@ -274,6 +296,46 @@ class BottomUpEngine : public Engine {
 
   /// One stratum of ComputeModel as parallel rounds (see class comment).
   Status ComputeStratumParallel(State* state, int stratum, WorkCtx* work);
+
+  /// One stratum of ComputeModel as sequential rounds; also the rebuild
+  /// step of ApplyBaseDelta's recompute-and-diff fallback.
+  Status ComputeStratumSequential(State* state, int stratum, WorkCtx* work);
+
+  // --- Incremental base-delta repair (ApplyBaseDelta) ---------------------
+  //
+  // `ins` / `del` accumulate the NET visibility changes of the epoch,
+  // bottom-up: seeded from the base mutation, then extended by each
+  // stratum's own derived-fact changes before the next stratum runs. The
+  // two are kept disjoint (a fact restored by rederivation simply leaves
+  // `del` again), so a premise's pre-epoch truth is exactly
+  //   (Visible(state, f) && !ins.Contains(f)) || del.Contains(f).
+
+  /// Repairs the base state's model stratum by stratum against `delta`.
+  /// On error the model is only partially repaired; the caller must drop
+  /// it (ApplyBaseDelta does).
+  Status RepairBaseModel(State* state, const BaseDelta& delta, WorkCtx* work);
+
+  /// Repairs one stratum: skip (irrelevant), delta rounds (insertions
+  /// and/or DRed), or recompute-and-diff, extending ins/del in place.
+  Status RepairStratum(State* state, int stratum, Database* ins,
+                       Database* del, WorkCtx* work);
+
+  /// The delta-round path: DRed overdeletion + physical removal +
+  /// rederivation for retractions, then insertion semi-naive rounds.
+  Status RepairStratumIncremental(State* state, int stratum, Database* ins,
+                                  Database* del, WorkCtx* work);
+
+  /// The fallback path: snapshot the stratum's pre-repair visible head
+  /// relations, clear and recompute them from scratch, and diff old vs
+  /// new into ins/del. Used when the delta can flip a negated premise or
+  /// reaches a hypothetical one (child models change wholesale).
+  Status RepairStratumRecompute(State* state, int stratum, Database* ins,
+                                Database* del, WorkCtx* work);
+
+  /// True iff some rule of `stratum` derives `fact` in the CURRENT model
+  /// (DRed's rederivation test, run after overdeleted facts are removed).
+  StatusOr<bool> HeadDerivable(const Fact& fact, int stratum, State* state,
+                               WorkCtx* work);
 
   /// Evaluates one rule version over `ctx->state`, inserting derived
   /// heads into the model; predicates that gained tuples go to `changed`

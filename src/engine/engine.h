@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ast/query.h"
@@ -88,6 +89,20 @@ struct EngineOptions {
   std::shared_ptr<CancellationToken> cancel;
 };
 
+/// A batch of base-database mutations that have ALREADY been applied to
+/// the engine's Database by the caller (src/server's epoch turn, or a
+/// test driving Database::Insert/Retract directly). Engines receive it
+/// through ApplyBaseDelta so their memoized models can be repaired
+/// incrementally instead of recomputed. Facts the caller's mutation did
+/// not actually change (duplicate insert, absent retract) must not
+/// appear here.
+struct BaseDelta {
+  std::vector<Fact> inserts;
+  std::vector<Fact> retracts;
+
+  bool empty() const { return inserts.empty() && retracts.empty(); }
+};
+
 /// Counters reported by the engines; reset per top-level call group via
 /// ResetStats(). These back the Appendix-A measurements (E10).
 struct EngineStats {
@@ -122,6 +137,13 @@ struct EngineStats {
   int64_t parallel_rounds = 0;    // Fixpoint rounds evaluated sharded.
   int64_t barrier_micros = 0;     // Wall time in round-barrier merges.
   int64_t peak_workers = 0;       // Max tasks observed in flight at once.
+
+  // Incremental base-fact maintenance (ApplyBaseDelta).
+  int64_t base_deltas = 0;        // Delta batches applied incrementally.
+  int64_t facts_overdeleted = 0;  // DRed overdeletion removals.
+  int64_t facts_rederived = 0;    // Overdeleted facts with other support.
+  int64_t strata_repaired = 0;    // Strata repaired by delta rounds.
+  int64_t strata_recomputed = 0;  // Strata rebuilt and diffed (fallback).
 
   // Resource governance (QueryGuard).
   int64_t guard_checks = 0;     // Armed-guard checks performed.
@@ -158,6 +180,11 @@ struct EngineStats {
     context_transitions += other.context_transitions;
     context_cache_hits += other.context_cache_hits;
     memo_bytes += other.memo_bytes;
+    base_deltas += other.base_deltas;
+    facts_overdeleted += other.facts_overdeleted;
+    facts_rederived += other.facts_rederived;
+    strata_repaired += other.strata_repaired;
+    strata_recomputed += other.strata_recomputed;
     tasks_stolen += other.tasks_stolen;
     parallel_rounds += other.parallel_rounds;
     barrier_micros += other.barrier_micros;
@@ -245,6 +272,36 @@ class Engine {
 
   /// Human-readable engine name for logs and benchmark labels.
   virtual std::string name() const = 0;
+
+  /// The governance fields (timeout_micros, max_memory_bytes, cancel) may
+  /// be changed between queries — e.g. to retry a tripped query with a
+  /// larger budget on the same warm engine. Changing the evaluation
+  /// fields (strategy, demand, threads) after Init() is undefined.
+  virtual EngineOptions* mutable_options() = 0;
+
+  /// Notifies the engine that the caller has mutated the base Database
+  /// (the facts in `delta` are already inserted/retracted). Memoized
+  /// models derived from the old base must not be served afterwards.
+  ///
+  /// The default discards everything and re-runs the static analysis —
+  /// always correct, since the top-down engines rebuild their memos
+  /// lazily per query anyway. The BottomUpEngine overrides this with
+  /// true incremental repair (DRed-style delete-and-rederive plus
+  /// insertion semi-naive rounds) of the base state's model.
+  virtual Status ApplyBaseDelta(const BaseDelta& delta) {
+    (void)delta;
+    return Init();
+  }
+
+  /// Every (predicate, bound-column mask) signature this engine's plans
+  /// can probe against the BASE database. A caller that seals the base
+  /// for an epoch (src/server) prepares these first so sealed probes stay
+  /// indexed; engines that cannot enumerate their probes return nothing
+  /// and their sealed probes degrade to correct full scans.
+  virtual std::vector<std::pair<PredicateId, ColumnMask>>
+  BaseProbeSignatures() const {
+    return {};
+  }
 };
 
 /// dom(R, DB) of Definition 3: every constant in the rulebase or the

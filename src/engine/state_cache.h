@@ -99,6 +99,32 @@ class ShardedStateCache {
     size_.store(0, std::memory_order_relaxed);
   }
 
+  /// Removes every memoized state except `keep`'s record, returning the
+  /// retained record (null when `keep` is not present). Single-threaded
+  /// use only (between queries, like ForEach): the returned pointer is
+  /// handed out raw, which is exactly what EnsureComputed avoids during
+  /// concurrent evaluation.
+  S* RetainOnly(int64_t keep) {
+    S* kept = nullptr;
+    for (int i = 0; i < kShards; ++i) {
+      Shard& shard = shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (i == ShardOf(keep)) {
+        auto it = shard.states.find(keep);
+        if (it != shard.states.end()) {
+          std::unique_ptr<S> node = std::move(it->second);
+          shard.states.clear();
+          kept = node.get();
+          shard.states.emplace(keep, std::move(node));
+          continue;
+        }
+      }
+      shard.states.clear();
+    }
+    size_.store(kept != nullptr ? 1 : 0, std::memory_order_relaxed);
+    return kept;
+  }
+
   /// Visits every state single-threadedly (between queries, for stats
   /// aggregation). Not safe concurrently with EnsureComputed.
   void ForEach(const std::function<void(const S&)>& fn) const {

@@ -60,7 +60,7 @@ class StratifiedProver : public Engine {
   /// be changed between queries — e.g. to retry a tripped query with a
   /// larger budget on the same warm engine. Changing the evaluation
   /// fields after Init() is undefined.
-  EngineOptions* mutable_options() { return &options_; }
+  EngineOptions* mutable_options() override { return &options_; }
 
   /// The stratification computed by Init (valid afterwards).
   const LinearStratification& stratification() const { return strat_; }

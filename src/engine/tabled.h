@@ -64,7 +64,7 @@ class TabledEngine : public Engine {
   /// be changed between queries — e.g. to retry a tripped query with a
   /// larger budget on the same warm engine. Changing the evaluation
   /// fields (strategy, demand, threads) after Init() is undefined.
-  EngineOptions* mutable_options() { return &options_; }
+  EngineOptions* mutable_options() override { return &options_; }
 
  private:
   struct GoalEntry {

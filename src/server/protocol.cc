@@ -1,0 +1,176 @@
+#include "server/protocol.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace hypo {
+
+namespace {
+
+/// Splits "cmd rest-of-line" on the first whitespace run.
+void SplitCommand(std::string_view line, std::string_view* cmd,
+                  std::string_view* arg) {
+  size_t space = line.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    *cmd = line;
+    *arg = std::string_view();
+    return;
+  }
+  *cmd = line.substr(0, space);
+  *arg = StripWhitespace(line.substr(space + 1));
+}
+
+void WriteError(std::ostream& out, const Status& status) {
+  out << "err " << status << "\n";
+}
+
+void WriteMutation(std::ostream& out, const MutationOutcome& outcome) {
+  out << "ok epoch=" << outcome.epoch << " changed=" << outcome.changed
+      << "\n";
+}
+
+void WriteQuery(std::ostream& out, const QueryOutcome& outcome) {
+  if (outcome.boolean) {
+    out << "ok " << (outcome.proven ? "yes" : "no") << "\n";
+    return;
+  }
+  out << "ok " << outcome.answers.size() << " answers\n";
+  for (const auto& row : outcome.answers) {
+    out << "-";
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? " " : ", ") << outcome.var_names[i] << "=" << row[i];
+    }
+    out << "\n";
+  }
+}
+
+/// `set key=value` with a strictly parsed non-negative value; 0 restores
+/// the server default (QuerySpec treats negative as "default").
+bool HandleSet(std::string_view arg, QuerySpec* spec, std::ostream& out) {
+  size_t eq = arg.find('=');
+  if (eq == std::string_view::npos) {
+    WriteError(out, Status::InvalidArgument(
+                        "set needs key=value (timeout_ms, max_memory_mb)"));
+    return false;
+  }
+  std::string_view key = StripWhitespace(arg.substr(0, eq));
+  auto value = ParseInt(StripWhitespace(arg.substr(eq + 1)), 0,
+                        std::numeric_limits<int32_t>::max());
+  if (!value.ok()) {
+    WriteError(out, value.status());
+    return false;
+  }
+  if (key == "timeout_ms") {
+    spec->timeout_micros = *value == 0 ? -1 : *value * 1000;
+  } else if (key == "max_memory_mb") {
+    spec->max_memory_bytes = *value == 0 ? -1 : *value * 1024 * 1024;
+  } else {
+    WriteError(out, Status::InvalidArgument("unknown set key \"" +
+                                            std::string(key) + "\""));
+    return false;
+  }
+  out << "ok set\n";
+  return true;
+}
+
+}  // namespace
+
+int RunSession(QueryServer* server, std::istream& in, std::ostream& out) {
+  QuerySpec spec;
+  bool in_batch = false;
+  std::vector<QueryServer::Mutation> batch;
+
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::string_view cmd, arg;
+    SplitCommand(line, &cmd, &arg);
+
+    if (cmd == "query") {
+      auto outcome = server->Query(arg, spec);
+      if (!outcome.ok()) {
+        WriteError(out, outcome.status());
+      } else {
+        WriteQuery(out, *outcome);
+      }
+    } else if (cmd == "insert" || cmd == "retract") {
+      auto mutation = server->ParseMutation(arg, cmd == "insert");
+      if (!mutation.ok()) {
+        WriteError(out, mutation.status());
+        continue;
+      }
+      if (in_batch) {
+        batch.push_back(std::move(*mutation));
+        out << "ok queued\n";
+        continue;
+      }
+      auto outcome = server->ApplyBatch({std::move(*mutation)});
+      if (!outcome.ok()) {
+        WriteError(out, outcome.status());
+      } else {
+        WriteMutation(out, *outcome);
+      }
+    } else if (cmd == "begin") {
+      if (in_batch) {
+        WriteError(out, Status::FailedPrecondition("already in a batch"));
+        continue;
+      }
+      in_batch = true;
+      batch.clear();
+      out << "ok batch\n";
+    } else if (cmd == "commit") {
+      if (!in_batch) {
+        WriteError(out, Status::FailedPrecondition("no batch to commit"));
+        continue;
+      }
+      in_batch = false;
+      auto outcome = server->ApplyBatch(batch);
+      batch.clear();
+      if (!outcome.ok()) {
+        WriteError(out, outcome.status());
+      } else {
+        WriteMutation(out, *outcome);
+      }
+    } else if (cmd == "abort") {
+      if (!in_batch) {
+        WriteError(out, Status::FailedPrecondition("no batch to abort"));
+        continue;
+      }
+      in_batch = false;
+      batch.clear();
+      out << "ok aborted\n";
+    } else if (cmd == "set") {
+      HandleSet(arg, &spec, out);
+    } else if (cmd == "epoch") {
+      out << "ok epoch=" << server->epoch() << "\n";
+    } else if (cmd == "stats") {
+      QueryServer::Counters c = server->counters();
+      out << "ok epoch=" << server->epoch() << " queries=" << c.queries
+          << " mutations=" << c.mutation_batches
+          << " noop_mutations=" << c.noop_batches
+          << " base_facts=" << c.base_facts
+          << " base_deltas=" << c.repair.base_deltas
+          << " strata_repaired=" << c.repair.strata_repaired
+          << " strata_recomputed=" << c.repair.strata_recomputed
+          << " overdeleted=" << c.repair.facts_overdeleted
+          << " rederived=" << c.repair.facts_rederived << "\n";
+    } else if (cmd == "ping") {
+      out << "ok pong\n";
+    } else if (cmd == "shutdown") {
+      out << "ok bye\n";
+      return 0;
+    } else {
+      WriteError(out, Status::InvalidArgument("unknown command \"" +
+                                              std::string(cmd) + "\""));
+    }
+    out.flush();
+  }
+  return 0;
+}
+
+}  // namespace hypo

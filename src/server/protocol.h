@@ -1,0 +1,41 @@
+#ifndef HYPO_SERVER_PROTOCOL_H_
+#define HYPO_SERVER_PROTOCOL_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "server/query_server.h"
+
+namespace hypo {
+
+/// The hypo_serve line protocol. One command per line; every command
+/// produces at least one response line beginning `ok` or `err`, so a
+/// scripted session can be checked by pairing requests with responses.
+///
+///   query <premises>      evaluate; ground: `ok yes|no`; with variables:
+///                         `ok N answers` then N lines `- X=a, Y=b`
+///   insert <fact>         epoch turn; `ok epoch=E changed=K`
+///   retract <fact>        epoch turn; `ok epoch=E changed=K`
+///   begin                 start a batch; inserts/retracts queue (`ok queued`)
+///   commit                apply the batch atomically; `ok epoch=E changed=K`
+///   abort                 drop the batch; `ok aborted`
+///   set timeout_ms=N      per-session governance override; `ok set`
+///   set max_memory_mb=N   (0 clears back to the server default)
+///   epoch                 `ok epoch=E`
+///   stats                 `ok epoch=E queries=... strata_repaired=...`
+///   ping                  `ok pong`
+///   shutdown              `ok bye`, session ends
+///
+/// Blank lines and lines starting with `#` are ignored (script comments).
+/// Unknown commands and malformed arguments answer `err <Status>`.
+///
+/// Drives `server` from `in` to EOF or `shutdown`, writing responses to
+/// `out`. Returns the process exit code (0 on clean shutdown/EOF). The
+/// loop itself is sequential — concurrency lives in QueryServer, which
+/// any number of sessions could share.
+int RunSession(QueryServer* server, std::istream& in, std::ostream& out);
+
+}  // namespace hypo
+
+#endif  // HYPO_SERVER_PROTOCOL_H_

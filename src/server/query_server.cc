@@ -1,0 +1,269 @@
+#include "server/query_server.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "engine/bottom_up.h"
+#include "engine/stratified_prover.h"
+#include "engine/tabled.h"
+#include "parser/parser.h"
+
+namespace hypo {
+
+namespace {
+
+std::unique_ptr<Engine> MakeEngine(const std::string& name,
+                                   const RuleBase* rules, const Database* db,
+                                   const EngineOptions& options) {
+  if (name == "tabled") {
+    return std::make_unique<TabledEngine>(rules, db, options);
+  }
+  if (name == "stratified") {
+    return std::make_unique<StratifiedProver>(rules, db, options);
+  }
+  if (name == "bottomup") {
+    return std::make_unique<BottomUpEngine>(rules, db, options);
+  }
+  return nullptr;
+}
+
+/// Returns the checked-out engine even when evaluation fails or throws.
+class EngineLease {
+ public:
+  EngineLease(QueryServer* server, Engine* engine,
+              void (QueryServer::*release)(Engine*))
+      : server_(server), engine_(engine), release_(release) {}
+  ~EngineLease() { (server_->*release_)(engine_); }
+  Engine* get() const { return engine_; }
+
+ private:
+  QueryServer* server_;
+  Engine* engine_;
+  void (QueryServer::*release_)(Engine*);
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<QueryServer>> QueryServer::Create(
+    std::string_view program, ServerOptions options) {
+  if (options.pool_size < 1) {
+    return Status::InvalidArgument("server pool_size must be >= 1");
+  }
+  if (options.engine_options.demand) {
+    return Status::InvalidArgument(
+        "the server requires demand=false: demand-driven evaluation "
+        "rewrites the rulebase per query, which defeats shared-model "
+        "incremental maintenance");
+  }
+  auto symbols = std::make_shared<SymbolTable>();
+  auto parsed = ParseProgram(program, symbols);
+  if (!parsed.ok()) return parsed.status();
+
+  std::unique_ptr<QueryServer> server(
+      new QueryServer(std::move(options), std::move(symbols),
+                      std::move(parsed->rules), std::move(parsed->facts)));
+  if (Status s = server->InitEngines(); !s.ok()) return s;
+  server->PrepareAndSeal();
+  server->epoch_ = 1;
+  return server;
+}
+
+QueryServer::QueryServer(ServerOptions options,
+                         std::shared_ptr<SymbolTable> symbols, RuleBase rules,
+                         Database base)
+    : options_(std::move(options)),
+      symbols_(std::move(symbols)),
+      rules_(std::move(rules)),
+      base_(std::move(base)) {}
+
+QueryServer::~QueryServer() {
+  // Quiesce: no query may still hold a lease while engines are destroyed.
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+}
+
+Status QueryServer::InitEngines() {
+  engines_.reserve(options_.pool_size);
+  free_.reserve(options_.pool_size);
+  for (int i = 0; i < options_.pool_size; ++i) {
+    auto engine = MakeEngine(options_.engine_name, &rules_, &base_,
+                             options_.engine_options);
+    if (engine == nullptr) {
+      return Status::InvalidArgument("unknown engine \"" +
+                                     options_.engine_name +
+                                     "\" (tabled|stratified|bottomup)");
+    }
+    if (Status s = engine->Init(); !s.ok()) return s;
+    free_.push_back(engine.get());
+    engines_.push_back(std::move(engine));
+  }
+  return Status::OK();
+}
+
+void QueryServer::PrepareAndSeal() {
+  for (const auto& engine : engines_) {
+    for (const auto& [pred, mask] : engine->BaseProbeSignatures()) {
+      base_.PrepareIndex(pred, mask);
+    }
+  }
+  base_.SealIndexes();
+}
+
+Engine* QueryServer::CheckOut() {
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  pool_cv_.wait(lock, [&] { return !free_.empty(); });
+  Engine* engine = free_.back();
+  free_.pop_back();
+  return engine;
+}
+
+void QueryServer::CheckIn(Engine* engine) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    free_.push_back(engine);
+  }
+  pool_cv_.notify_one();
+}
+
+StatusOr<QueryOutcome> QueryServer::Query(std::string_view text,
+                                          const QuerySpec& spec) {
+  hypo::Query query;
+  {
+    std::unique_lock<std::shared_mutex> symbols_lock(symbols_mu_);
+    auto parsed = ParseQuery(text, symbols_.get());
+    if (!parsed.ok()) return parsed.status();
+    query = std::move(*parsed);
+  }
+
+  // Held shared for the whole evaluation: an epoch turn waits for us.
+  std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  EngineLease lease(this, CheckOut(), &QueryServer::CheckIn);
+  Engine* engine = lease.get();
+
+  EngineOptions* opts = engine->mutable_options();
+  opts->timeout_micros = spec.timeout_micros >= 0
+                             ? spec.timeout_micros
+                             : options_.engine_options.timeout_micros;
+  opts->max_memory_bytes = spec.max_memory_bytes >= 0
+                               ? spec.max_memory_bytes
+                               : options_.engine_options.max_memory_bytes;
+  engine->ResetStats();
+
+  QueryOutcome out;
+  out.epoch = epoch_;
+
+  std::shared_lock<std::shared_mutex> symbols_lock(symbols_mu_);
+  if (query.num_vars() == 0) {
+    auto proven = engine->ProveQuery(query);
+    if (!proven.ok()) return proven.status();
+    out.boolean = true;
+    out.proven = *proven;
+  } else {
+    auto answers = engine->Answers(query);
+    if (!answers.ok()) return answers.status();
+    out.var_names = query.var_names;
+    out.answers.reserve(answers->size());
+    for (const Tuple& tuple : *answers) {
+      std::vector<std::string> row;
+      row.reserve(tuple.size());
+      for (ConstId c : tuple) row.push_back(symbols_->ConstName(c));
+      out.answers.push_back(std::move(row));
+    }
+  }
+  out.stats = engine->stats();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+StatusOr<QueryServer::Mutation> QueryServer::ParseMutation(
+    std::string_view fact_text, bool insert) {
+  std::unique_lock<std::shared_mutex> symbols_lock(symbols_mu_);
+  auto fact = ParseFact(fact_text, symbols_.get());
+  if (!fact.ok()) return fact.status();
+  Mutation m;
+  m.insert = insert;
+  m.fact = std::move(*fact);
+  return m;
+}
+
+StatusOr<MutationOutcome> QueryServer::Insert(std::string_view fact_text) {
+  auto m = ParseMutation(fact_text, /*insert=*/true);
+  if (!m.ok()) return m.status();
+  return ApplyBatch({std::move(*m)});
+}
+
+StatusOr<MutationOutcome> QueryServer::Retract(std::string_view fact_text) {
+  auto m = ParseMutation(fact_text, /*insert=*/false);
+  if (!m.ok()) return m.status();
+  return ApplyBatch({std::move(*m)});
+}
+
+StatusOr<MutationOutcome> QueryServer::ApplyBatch(
+    const std::vector<Mutation>& batch) {
+  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  ++mutation_batches_;
+
+  // The BaseDelta contract wants NET changes only: record each touched
+  // fact's pre-batch presence, apply the batch in order, then diff final
+  // against initial (insert-then-retract of the same fact nets out).
+  std::unordered_map<Fact, bool, FactHash> initial;
+  for (const Mutation& m : batch) {
+    initial.emplace(m.fact, base_.Contains(m.fact));
+    if (m.insert) {
+      base_.Insert(m.fact);
+    } else {
+      base_.Retract(m.fact);
+    }
+  }
+  BaseDelta delta;
+  for (const auto& [fact, was_present] : initial) {
+    bool now_present = base_.Contains(fact);
+    if (now_present == was_present) continue;
+    (now_present ? delta.inserts : delta.retracts).push_back(fact);
+  }
+
+  MutationOutcome out;
+  out.changed =
+      static_cast<int64_t>(delta.inserts.size() + delta.retracts.size());
+  if (delta.empty()) {
+    // Nothing moved; keep the current epoch's seal (mutating members may
+    // have unsealed transiently on not-actually-changing paths — reseal
+    // is idempotent and cheap when indexes are already caught up).
+    base_.SealIndexes();
+    ++noop_batches_;
+    out.epoch = epoch_;
+    return out;
+  }
+
+  // New epoch: re-prepare the engines' probe signatures over the mutated
+  // relations, reseal, then let each engine repair its memoized models.
+  PrepareAndSeal();
+  Status first_error = Status::OK();
+  for (const auto& engine : engines_) {
+    engine->ResetStats();
+    Status s = engine->ApplyBaseDelta(delta);
+    repair_stats_.Merge(engine->stats());
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  ++epoch_;
+  out.epoch = epoch_;
+  if (!first_error.ok()) return first_error;
+  return out;
+}
+
+int64_t QueryServer::epoch() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+QueryServer::Counters QueryServer::counters() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  Counters c;
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.mutation_batches = mutation_batches_;
+  c.noop_batches = noop_batches_;
+  c.base_facts = base_.size();
+  c.repair = repair_stats_;
+  return c;
+}
+
+}  // namespace hypo

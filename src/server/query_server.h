@@ -1,0 +1,177 @@
+#ifndef HYPO_SERVER_QUERY_SERVER_H_
+#define HYPO_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/rulebase.h"
+#include "base/statusor.h"
+#include "db/database.h"
+#include "engine/engine.h"
+
+namespace hypo {
+
+/// Configuration for a resident QueryServer.
+struct ServerOptions {
+  /// Engine family every pooled engine is built from:
+  /// "tabled" | "stratified" | "bottomup".
+  std::string engine_name = "tabled";
+
+  /// Number of pooled engines == maximum queries in flight at once.
+  int pool_size = 2;
+
+  /// Template options for every pooled engine. The governance fields
+  /// (timeout_micros, max_memory_bytes) become per-query defaults that a
+  /// QuerySpec may override; `demand` must be false (demand rewrites the
+  /// rulebase per query, which fights the shared-model repair the server
+  /// exists for — Create rejects it).
+  EngineOptions engine_options;
+};
+
+/// Per-query governance overrides; negative fields fall back to the
+/// server-wide defaults from ServerOptions::engine_options.
+struct QuerySpec {
+  int64_t timeout_micros = -1;
+  int64_t max_memory_bytes = -1;
+};
+
+/// One answered query. Variable bindings are rendered to strings under
+/// the server's symbol lock, so the caller never touches the shared
+/// SymbolTable.
+struct QueryOutcome {
+  bool boolean = false;  // num_vars == 0: `proven` is the answer.
+  bool proven = false;
+  std::vector<std::string> var_names;
+  /// One row per answer; row[i] is the constant bound to var_names[i].
+  std::vector<std::vector<std::string>> answers;
+  int64_t epoch = 0;       // Epoch the query evaluated against.
+  EngineStats stats;       // This query's engine counters.
+};
+
+/// One applied mutation batch.
+struct MutationOutcome {
+  /// Net base-database changes (a batch that inserts then retracts the
+  /// same fact nets to zero and does not turn the epoch).
+  int64_t changed = 0;
+  int64_t epoch = 0;  // Epoch after the batch.
+};
+
+/// A long-lived query server: one shared base Database + rulebase, a pool
+/// of warm engines answering concurrent queries, and epoch-turn mutations
+/// that repair the engines' memoized models incrementally instead of
+/// rebuilding them (DESIGN.md "Resident server & incremental
+/// maintenance").
+///
+/// Concurrency discipline:
+///  * `epoch_mu_` (shared_mutex): queries hold it shared for their whole
+///    evaluation; a mutation batch takes it exclusive, so it observes a
+///    quiesced pool — no engine is mid-query while the base moves.
+///  * Between epochs the base stays sealed (SealIndexes): pooled engines
+///    probe its column indexes concurrently without mutating index state.
+///    The epoch turn unseals (implicitly, via Insert/Retract), applies
+///    the batch, re-prepares every engine-declared probe signature, and
+///    reseals before readers return.
+///  * `symbols_mu_` (shared_mutex): parsing interns symbols (exclusive);
+///    evaluation and answer rendering only read them (shared).
+///
+/// Thread-safe: any number of threads may call Query/Insert/Retract/
+/// ApplyBatch concurrently.
+class QueryServer {
+ public:
+  /// A single base-fact mutation, parsed and validated up front so batch
+  /// errors surface at the offending line, not at commit.
+  struct Mutation {
+    bool insert = false;  // false: retract.
+    Fact fact;
+  };
+
+  /// Builds a server over `program` (rules + initial facts in the surface
+  /// syntax). Initializes every pooled engine eagerly and seals the base,
+  /// so the first query pays no cold-start beyond its own model.
+  static StatusOr<std::unique_ptr<QueryServer>> Create(
+      std::string_view program, ServerOptions options);
+
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Parses and answers one query on a pooled engine under its own
+  /// governance budget. Blocks while all engines are busy.
+  StatusOr<QueryOutcome> Query(std::string_view text,
+                               const QuerySpec& spec = QuerySpec());
+
+  /// Parses `fact_text` as a ground atom ("edge(a, b)") into a Mutation.
+  StatusOr<Mutation> ParseMutation(std::string_view fact_text, bool insert);
+
+  /// Convenience single-fact epoch turns.
+  StatusOr<MutationOutcome> Insert(std::string_view fact_text);
+  StatusOr<MutationOutcome> Retract(std::string_view fact_text);
+
+  /// Applies a batch atomically: one exclusive epoch turn, one BaseDelta,
+  /// one incremental repair per engine. Duplicate inserts and absent
+  /// retracts are no-ops; a batch whose net effect is empty does not turn
+  /// the epoch. On repair failure the affected engines have dropped their
+  /// memos (next query recomputes from the new base) and the error is
+  /// returned — the server stays serviceable.
+  StatusOr<MutationOutcome> ApplyBatch(const std::vector<Mutation>& batch);
+
+  int64_t epoch() const;
+
+  /// Monotone service counters plus the cumulative incremental-repair
+  /// stats accumulated across every epoch turn.
+  struct Counters {
+    int64_t queries = 0;
+    int64_t mutation_batches = 0;
+    int64_t noop_batches = 0;
+    int64_t base_facts = 0;
+    EngineStats repair;  // base_deltas, strata_repaired, overdeleted, ...
+  };
+  Counters counters() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  QueryServer(ServerOptions options, std::shared_ptr<SymbolTable> symbols,
+              RuleBase rules, Database base);
+
+  Status InitEngines();
+
+  /// Prepares every pooled engine's declared base probe signature and
+  /// seals the base for the coming read phase. Exclusive access assumed.
+  void PrepareAndSeal();
+
+  Engine* CheckOut();
+  void CheckIn(Engine* engine);
+
+  ServerOptions options_;
+  std::shared_ptr<SymbolTable> symbols_;
+  RuleBase rules_;
+  Database base_;
+
+  /// Queries shared, epoch turns exclusive (see class comment).
+  mutable std::shared_mutex epoch_mu_;
+  /// Parsing exclusive, evaluation/rendering shared.
+  mutable std::shared_mutex symbols_mu_;
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::vector<Engine*> free_;
+
+  int64_t epoch_ = 0;           // Guarded by epoch_mu_.
+  int64_t mutation_batches_ = 0;  // Guarded by epoch_mu_.
+  int64_t noop_batches_ = 0;      // Guarded by epoch_mu_.
+  EngineStats repair_stats_;      // Guarded by epoch_mu_.
+  std::atomic<int64_t> queries_{0};
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_SERVER_QUERY_SERVER_H_

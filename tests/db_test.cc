@@ -89,6 +89,131 @@ TEST_F(DbTest, ClearEmpties) {
   EXPECT_TRUE(db_.constants().empty());
 }
 
+TEST_F(DbTest, ClearResetsSeal) {
+  // Regression: Clear() used to leave sealed_ = true, so a cleared-and-
+  // refilled database served stale ScanAllMarker probes forever.
+  db_.Insert(MakeFact("edge", {"a", "b"}));
+  PredicateId edge = symbols_->FindPredicate("edge");
+  ConstId a = symbols_->FindConst("a");
+  db_.PrepareIndex(edge, 0b1);
+  db_.SealIndexes();
+  ASSERT_TRUE(db_.sealed());
+
+  db_.Clear();
+  EXPECT_FALSE(db_.sealed()) << "Clear must start a fresh, unsealed epoch";
+
+  // Reinsert and probe: the index must be rebuilt lazily over the new
+  // contents, not answered from sealed (and now empty) state.
+  db_.Insert(MakeFact("edge", {"a", "c"}));
+  const std::vector<int>* bucket = db_.TuplesWithFirstArg(edge, a);
+  ASSERT_NE(bucket, nullptr);
+  ASSERT_NE(bucket, Database::ScanAllMarker());
+  EXPECT_EQ(bucket->size(), 1u);
+}
+
+TEST_F(DbTest, TypedInsertWhileSealedStartsNewEpoch) {
+  // Regression: inserting into a sealed database used to leave every
+  // column index frozen at its pre-seal built_upto, silently hiding the
+  // new tuples from all subsequent probes.
+  db_.Insert(MakeFact("edge", {"a", "b"}));
+  PredicateId edge = symbols_->FindPredicate("edge");
+  ConstId a = symbols_->FindConst("a");
+  ASSERT_EQ(db_.TuplesWithFirstArg(edge, a)->size(), 1u);
+  db_.SealIndexes();
+
+  EXPECT_TRUE(db_.Insert(MakeFact("edge", {"a", "c"})));
+  EXPECT_FALSE(db_.sealed()) << "typed Insert auto-unseals";
+  const std::vector<int>* bucket = db_.TuplesWithFirstArg(edge, a);
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 2u) << "the index catches up past built_upto";
+
+  // A duplicate insert is not a mutation and must not break the seal.
+  db_.SealIndexes();
+  EXPECT_FALSE(db_.Insert(MakeFact("edge", {"a", "c"})));
+  EXPECT_TRUE(db_.sealed());
+}
+
+TEST_F(DbTest, StringInsertWhileSealedIsRejected) {
+  ASSERT_TRUE(db_.Insert("edge", {"a", "b"}).ok());
+  db_.SealIndexes();
+  Status s = db_.Insert("edge", {"a", "c"});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(db_.sealed()) << "the rejected insert must not mutate";
+  EXPECT_EQ(db_.size(), 1);
+  db_.UnsealIndexes();
+  EXPECT_TRUE(db_.Insert("edge", {"a", "c"}).ok());
+}
+
+TEST_F(DbTest, RetractRemovesFactAndConstants) {
+  Fact ab = MakeFact("edge", {"a", "b"});
+  Fact bc = MakeFact("edge", {"b", "c"});
+  db_.Insert(ab);
+  db_.Insert(bc);
+  ASSERT_EQ(db_.constants().size(), 3u);
+
+  EXPECT_TRUE(db_.Retract(ab));
+  EXPECT_FALSE(db_.Contains(ab));
+  EXPECT_EQ(db_.size(), 1);
+  // "b" survives (still in bc); "a" lost its last reference.
+  EXPECT_EQ(db_.constants().count(symbols_->FindConst("a")), 0u);
+  EXPECT_EQ(db_.constants().count(symbols_->FindConst("b")), 1u);
+
+  EXPECT_FALSE(db_.Retract(ab)) << "retracting an absent fact is a no-op";
+  EXPECT_EQ(db_.size(), 1);
+}
+
+TEST_F(DbTest, RetractInvalidatesIndexes) {
+  db_.Insert(MakeFact("edge", {"a", "b"}));
+  db_.Insert(MakeFact("edge", {"c", "d"}));
+  db_.Insert(MakeFact("edge", {"a", "e"}));
+  PredicateId edge = symbols_->FindPredicate("edge");
+  ConstId a = symbols_->FindConst("a");
+  ASSERT_EQ(db_.TuplesWithFirstArg(edge, a)->size(), 2u);
+
+  // Retraction shifts stored positions; the rebuilt index must agree
+  // with the surviving tuples, not the stale positions.
+  ASSERT_TRUE(db_.Retract(MakeFact("edge", {"a", "b"})));
+  const std::vector<int>* bucket = db_.TuplesWithFirstArg(edge, a);
+  ASSERT_NE(bucket, nullptr);
+  ASSERT_EQ(bucket->size(), 1u);
+  const auto& all = db_.TuplesFor(edge);
+  EXPECT_EQ(symbols_->ConstName(all[(*bucket)[0]][1]), "e");
+}
+
+TEST_F(DbTest, RetractWhileSealedUnseals) {
+  Fact ab = MakeFact("edge", {"a", "b"});
+  db_.Insert(ab);
+  db_.SealIndexes();
+  EXPECT_TRUE(db_.Retract(ab));
+  EXPECT_FALSE(db_.sealed());
+  EXPECT_TRUE(db_.empty());
+}
+
+TEST_F(DbTest, RetractLastTupleDropsRelation) {
+  Fact f = MakeFact("p", {"a"});
+  db_.Insert(f);
+  PredicateId p = symbols_->FindPredicate("p");
+  EXPECT_TRUE(db_.Retract(f));
+  EXPECT_TRUE(db_.TuplesFor(p).empty());
+  EXPECT_TRUE(db_.NonEmptyPredicates().empty());
+  EXPECT_EQ(db_.ApproxBytes(), 0);
+}
+
+TEST_F(DbTest, ClearRelationRemovesAllTuplesOfPredicate) {
+  db_.Insert(MakeFact("p", {"a"}));
+  db_.Insert(MakeFact("p", {"b"}));
+  db_.Insert(MakeFact("q", {"a"}));
+  PredicateId p = symbols_->FindPredicate("p");
+  EXPECT_EQ(db_.ClearRelation(p), 2);
+  EXPECT_EQ(db_.size(), 1);
+  EXPECT_FALSE(db_.Contains(MakeFact("p", {"a"})));
+  EXPECT_TRUE(db_.Contains(MakeFact("q", {"a"})));
+  // "b" only appeared in p; "a" survives via q.
+  EXPECT_EQ(db_.constants().count(symbols_->FindConst("b")), 0u);
+  EXPECT_EQ(db_.constants().count(symbols_->FindConst("a")), 1u);
+  EXPECT_EQ(db_.ClearRelation(p), 0) << "clearing again is a no-op";
+}
+
 TEST_F(DbTest, FirstArgIndexFindsTuples) {
   db_.Insert(MakeFact("edge", {"a", "b"}));
   db_.Insert(MakeFact("edge", {"c", "d"}));
