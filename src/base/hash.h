@@ -15,6 +15,21 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
   return seed;
 }
 
+/// Finalizer (MurmurHash3 fmix64) that diffuses entropy into every bit.
+/// HashCombine alone leaves sequential inputs clustered in the low bits —
+/// harmless under prime-modulo bucketing, catastrophic under a
+/// power-of-two mask — so anything that masks a hash (e.g. the columnar
+/// open-addressing table) must finalize first. Bijective: applying it
+/// never introduces or removes collisions over the full 64-bit value.
+inline uint64_t HashFinalize(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
 /// Hashes a span of integer ids (e.g. the argument tuple of a ground atom).
 template <typename Int>
 uint64_t HashRange(const Int* data, size_t n, uint64_t seed = 0) {

@@ -1,0 +1,70 @@
+#include "db/columnar.h"
+
+namespace hypo {
+
+namespace {
+constexpr size_t kMinSlots = 16;
+}  // namespace
+
+bool ColumnStore::Insert(const Tuple& vals) {
+  HYPO_DCHECK(static_cast<int>(vals.size()) == arity_)
+      << "arity mismatch in columnar insert";
+  if (arity_ == 0) {
+    if (rows_ > 0) return false;
+    rows_ = 1;
+    return true;
+  }
+  // Keep the load factor under 70% *before* probing so the probe always
+  // terminates on an empty slot and the found slot stays valid for the
+  // store below.
+  if (slots_.empty() ||
+      (static_cast<size_t>(rows_) + 1) * 10 > slots_.size() * 7) {
+    Rehash(slots_.empty() ? kMinSlots : slots_.size() * 2);
+  }
+  size_t slot = FindSlot(vals, HashRowLike(vals));
+  if (slots_[slot] >= 0) return false;
+  for (int c = 0; c < arity_; ++c) cols_[c].push_back(vals[c]);
+  slots_[slot] = rows_;
+  ++rows_;
+  return true;
+}
+
+bool ColumnStore::Erase(const Tuple& vals) {
+  RowId row = Find(vals);
+  if (row < 0) return false;
+  if (arity_ == 0) {
+    rows_ = 0;
+    return true;
+  }
+  for (int c = 0; c < arity_; ++c) {
+    cols_[c].erase(cols_[c].begin() + row);
+  }
+  --rows_;
+  // Every row id at or past the hole shifted down by one: rebuild the
+  // dedup table from the surviving rows.
+  Rehash(slots_.size());
+  return true;
+}
+
+void ColumnStore::Clear() {
+  for (auto& col : cols_) col.clear();
+  slots_.clear();
+  slot_mask_ = 0;
+  rows_ = 0;
+}
+
+void ColumnStore::Rehash(size_t min_slots) {
+  size_t n = kMinSlots;
+  while (n < min_slots) n *= 2;
+  slots_.assign(n, -1);
+  slot_mask_ = n - 1;
+  for (RowId row = 0; row < rows_; ++row) {
+    // Hash straight off the columns via RowRef — no per-row Tuple copy.
+    uint64_t hash = HashFinalize(HashRowLike(RowRef(this, row)));
+    size_t slot = static_cast<size_t>(hash) & slot_mask_;
+    while (slots_[slot] >= 0) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = row;
+  }
+}
+
+}  // namespace hypo

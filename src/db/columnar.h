@@ -1,0 +1,133 @@
+#ifndef HYPO_DB_COLUMNAR_H_
+#define HYPO_DB_COLUMNAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+#include "db/fact.h"
+
+namespace hypo {
+
+/// Position of a tuple inside its relation's columnar store (and inside
+/// the reference backend's tuple vector). Row ids are dense, stable under
+/// insertion, and only shift on Retract — an epoch-boundary operation
+/// that drops every index over the relation anyway.
+using RowId = int32_t;
+
+/// Flat struct-of-arrays tuple storage for one relation: `arity` parallel
+/// arena-backed `std::vector<ConstId>` columns plus an open-addressing
+/// dedup table of row ids. No per-tuple heap nodes anywhere — the CaDiCaL
+/// "plain vector pools" idiom — so a stored fact costs exactly
+/// arity * sizeof(ConstId) of column arena plus one int32 dedup slot,
+/// and byte accounting can be exact instead of estimated.
+class ColumnStore {
+ public:
+  explicit ColumnStore(int arity) : arity_(arity), cols_(arity) {}
+
+  int arity() const { return arity_; }
+  RowId size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  ConstId At(RowId row, size_t col) const { return cols_[col][row]; }
+  const std::vector<ConstId>& Column(size_t col) const { return cols_[col]; }
+
+  /// Appends `vals` unless an equal row is already stored. Returns true
+  /// iff a new row was appended (its id is size() - 1).
+  bool Insert(const Tuple& vals);
+
+  /// Row id of the row equal to `vals`, or -1. `Row` is anything with
+  /// size() and operator[] over ConstId (Tuple, RowRef, ...).
+  template <typename Row>
+  RowId Find(const Row& vals) const {
+    if (arity_ == 0) return rows_ > 0 ? 0 : -1;
+    if (rows_ == 0) return -1;
+    size_t slot = FindSlot(vals, HashRowLike(vals));
+    return slots_[slot];
+  }
+
+  template <typename Row>
+  bool Contains(const Row& vals) const {
+    return Find(vals) >= 0;
+  }
+
+  /// Removes the row equal to `vals` if present, compacting the columns
+  /// while preserving the order of the remaining rows (matching
+  /// vector::erase semantics in the reference backend). Rebuilds the
+  /// dedup table — O(rows * arity); retraction is an epoch-boundary
+  /// operation, not a join-loop one.
+  bool Erase(const Tuple& vals);
+
+  void Clear();
+
+  /// Exact heap bytes held: column arena capacities plus the dedup table.
+  int64_t ArenaBytes() const {
+    int64_t bytes =
+        static_cast<int64_t>(slots_.capacity()) * sizeof(RowId);
+    for (const auto& col : cols_) {
+      bytes += static_cast<int64_t>(col.capacity()) * sizeof(ConstId);
+    }
+    return bytes;
+  }
+
+ private:
+  template <typename Row>
+  bool RowEquals(RowId row, const Row& vals) const {
+    for (int c = 0; c < arity_; ++c) {
+      if (cols_[c][row] != static_cast<ConstId>(vals[c])) return false;
+    }
+    return true;
+  }
+
+  /// Linear-probe slot for `vals`: either holds the matching row id or is
+  /// the empty slot where it would go. slots_ must be non-empty. The hash
+  /// is finalized before masking: HashRowLike's low bits cluster badly on
+  /// sequential ConstIds, and under a power-of-two mask that degrades
+  /// linear probing to near-linear scans (the reference backend never
+  /// sees this because unordered_set buckets by prime modulo).
+  template <typename Row>
+  size_t FindSlot(const Row& vals, uint64_t hash) const {
+    size_t slot = static_cast<size_t>(HashFinalize(hash)) & slot_mask_;
+    while (slots_[slot] >= 0 && !RowEquals(slots_[slot], vals)) {
+      slot = (slot + 1) & slot_mask_;
+    }
+    return slot;
+  }
+
+  /// Grows the dedup table to at least `min_slots` (power of two) and
+  /// reinserts every live row id.
+  void Rehash(size_t min_slots);
+
+  int arity_;
+  RowId rows_ = 0;
+  std::vector<std::vector<ConstId>> cols_;
+  std::vector<RowId> slots_;  // -1 = empty; else a row id.
+  size_t slot_mask_ = 0;
+};
+
+/// A borrowed view of one stored row: tuple-shaped (size / operator[])
+/// so generic join code monomorphizes over it without materializing a
+/// Tuple. Valid until the store is next mutated.
+class RowRef {
+ public:
+  RowRef(const ColumnStore* store, RowId row) : store_(store), row_(row) {}
+
+  size_t size() const { return static_cast<size_t>(store_->arity()); }
+  ConstId operator[](size_t i) const { return store_->At(row_, i); }
+  RowId row() const { return row_; }
+
+  Tuple ToTuple() const {
+    Tuple t;
+    t.reserve(size());
+    for (size_t i = 0; i < size(); ++i) t.push_back((*this)[i]);
+    return t;
+  }
+
+ private:
+  const ColumnStore* store_;
+  RowId row_;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_DB_COLUMNAR_H_

@@ -1,7 +1,11 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <numeric>
 
 #include "base/failpoint.h"
 #include "base/logging.h"
@@ -20,39 +24,89 @@ std::string FactToString(const Fact& fact, const SymbolTable& symbols) {
   return out;
 }
 
+namespace {
+
+std::atomic<int>& DefaultBackendSlot() {
+  // -1 = uninitialized; else a StorageBackend value. Initialized from the
+  // environment on first use so bench/fuzz harnesses can flip the whole
+  // process (every fixture- and parser-created database) per run.
+  static std::atomic<int> slot{-1};
+  return slot;
+}
+
+}  // namespace
+
+StorageBackend Database::DefaultBackend() {
+  std::atomic<int>& slot = DefaultBackendSlot();
+  int v = slot.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("HYPO_STORAGE");
+    StorageBackend backend =
+        (env != nullptr && std::strcmp(env, "hash") == 0)
+            ? StorageBackend::kReferenceHash
+            : StorageBackend::kColumnar;
+    v = static_cast<int>(backend);
+    slot.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<StorageBackend>(v);
+}
+
+void Database::SetDefaultBackend(StorageBackend backend) {
+  DefaultBackendSlot().store(static_cast<int>(backend),
+                             std::memory_order_relaxed);
+}
+
 Database::Database(Database&& other) noexcept
     : symbols_(std::move(other.symbols_)),
+      backend_(other.backend_),
       relations_(std::move(other.relations_)),
       constants_(std::move(other.constants_)),
       constant_refs_(std::move(other.constant_refs_)),
       size_(other.size_),
       approx_bytes_(other.approx_bytes_),
       sealed_(other.sealed_),
+      sorted_on_seal_(other.sorted_on_seal_),
       index_builds_(other.index_builds_.load(std::memory_order_relaxed)),
-      index_probes_(other.index_probes_.load(std::memory_order_relaxed)) {}
+      index_probes_(other.index_probes_.load(std::memory_order_relaxed)),
+      sorted_probes_(other.sorted_probes_.load(std::memory_order_relaxed)),
+      merge_join_rows_(
+          other.merge_join_rows_.load(std::memory_order_relaxed)),
+      index_sort_micros_(
+          other.index_sort_micros_.load(std::memory_order_relaxed)) {}
 
 Database& Database::operator=(Database&& other) noexcept {
   symbols_ = std::move(other.symbols_);
+  backend_ = other.backend_;
   relations_ = std::move(other.relations_);
   constants_ = std::move(other.constants_);
   constant_refs_ = std::move(other.constant_refs_);
   size_ = other.size_;
   approx_bytes_ = other.approx_bytes_;
   sealed_ = other.sealed_;
+  sorted_on_seal_ = other.sorted_on_seal_;
   index_builds_.store(other.index_builds_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   index_probes_.store(other.index_probes_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+  sorted_probes_.store(other.sorted_probes_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  merge_join_rows_.store(
+      other.merge_join_rows_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  index_sort_micros_.store(
+      other.index_sort_micros_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   return *this;
 }
 
 Database Database::Clone() const {
-  Database copy(symbols_);
+  Database copy(symbols_, backend_);
   copy.relations_ = relations_;
   copy.constants_ = constants_;
   copy.constant_refs_ = constant_refs_;
   copy.size_ = size_;
   copy.approx_bytes_ = approx_bytes_;
+  copy.sorted_on_seal_ = sorted_on_seal_;
   return copy;
 }
 
@@ -61,19 +115,28 @@ bool Database::Insert(const Fact& fact) {
   HYPO_DCHECK(static_cast<int>(fact.args.size()) ==
               symbols_->PredicateArity(fact.predicate))
       << "arity mismatch inserting " << symbols_->PredicateName(fact.predicate);
-  Relation& rel = relations_[fact.predicate];
-  auto [it, inserted] = rel.index.insert(fact.args);
-  (void)it;
-  if (!inserted) return false;
+  auto [it, created] = relations_.try_emplace(
+      fact.predicate, static_cast<int>(fact.args.size()));
+  Relation& rel = it->second;
+  if (backend_ == StorageBackend::kColumnar) {
+    const int64_t arena_before = rel.store.ArenaBytes();
+    if (!rel.store.Insert(fact.args)) return false;
+    approx_bytes_ += rel.store.ArenaBytes() - arena_before;
+  } else {
+    auto [dit, inserted] = rel.dedup.insert(fact.args);
+    (void)dit;
+    if (!inserted) return false;
+    rel.tuples.push_back(fact.args);
+    approx_bytes_ += ApproxFactBytes(fact.args.size());
+  }
   // A real mutation on a sealed database starts a new epoch: drop the
   // seal so lazy index extension resumes. Leaving the seal up would serve
   // probes from indexes whose built_upto no longer covers the relation —
   // silently incomplete candidate sets.
   sealed_ = false;
-  rel.tuples.push_back(fact.args);
+  ++rel.version;
   AddConstantRefs(fact.args);
   ++size_;
-  approx_bytes_ += ApproxFactBytes(fact.args.size());
   return true;
 }
 
@@ -82,16 +145,26 @@ bool Database::Retract(const Fact& fact) {
   auto it = relations_.find(fact.predicate);
   if (it == relations_.end()) return false;
   Relation& rel = it->second;
-  if (rel.index.erase(fact.args) == 0) return false;
+  if (backend_ == StorageBackend::kColumnar) {
+    const int64_t arena_before = rel.store.ArenaBytes();
+    if (!rel.store.Erase(fact.args)) return false;
+    approx_bytes_ += rel.store.ArenaBytes() - arena_before;
+  } else {
+    if (rel.dedup.erase(fact.args) == 0) return false;
+    auto pos = std::find(rel.tuples.begin(), rel.tuples.end(), fact.args);
+    HYPO_DCHECK(pos != rel.tuples.end()) << "dedup/tuple vector out of sync";
+    rel.tuples.erase(pos);
+    approx_bytes_ -= ApproxFactBytes(fact.args.size());
+  }
   sealed_ = false;
-  auto pos = std::find(rel.tuples.begin(), rel.tuples.end(), fact.args);
-  HYPO_DCHECK(pos != rel.tuples.end()) << "index/tuple vector out of sync";
-  rel.tuples.erase(pos);
+  ++rel.version;
   DropRelationIndexes(rel);
   DropConstantRefs(fact.args);
   --size_;
-  approx_bytes_ -= ApproxFactBytes(fact.args.size());
-  if (rel.tuples.empty()) relations_.erase(it);
+  if (RelationSize(rel) == 0) {
+    approx_bytes_ -= rel.store.ArenaBytes();
+    relations_.erase(it);
+  }
   return true;
 }
 
@@ -100,10 +173,18 @@ int64_t Database::ClearRelation(PredicateId pred) {
   if (it == relations_.end()) return 0;
   Relation& rel = it->second;
   sealed_ = false;
-  const int64_t removed = static_cast<int64_t>(rel.tuples.size());
-  for (const Tuple& t : rel.tuples) {
-    DropConstantRefs(t);
-    approx_bytes_ -= ApproxFactBytes(t.size());
+  const int64_t removed = static_cast<int64_t>(RelationSize(rel));
+  if (backend_ == StorageBackend::kColumnar) {
+    const RowId n = rel.store.size();
+    for (RowId row = 0; row < n; ++row) {
+      DropConstantRefs(RowRef(&rel.store, row).ToTuple());
+    }
+    approx_bytes_ -= rel.store.ArenaBytes();
+  } else {
+    for (const Tuple& t : rel.tuples) {
+      DropConstantRefs(t);
+      approx_bytes_ -= ApproxFactBytes(t.size());
+    }
   }
   DropRelationIndexes(rel);
   size_ -= removed;
@@ -131,20 +212,9 @@ void Database::DropConstantRefs(const Tuple& args) {
 void Database::DropRelationIndexes(const Relation& rel) {
   for (const auto& [mask, ci] : rel.column_indexes) {
     (void)mask;
-    approx_bytes_ -=
-        kApproxIndexEntryBytes * static_cast<int64_t>(ci.built_upto);
+    approx_bytes_ -= IndexBytes(ci);
   }
   rel.column_indexes.clear();
-}
-
-const std::vector<int>* Database::TuplesWithFirstArg(PredicateId pred,
-                                                     ConstId first) const {
-  return ProbeIndex(pred, /*mask=*/1u, {first});
-}
-
-const std::vector<int>* Database::ScanAllMarker() {
-  static const std::vector<int>* const kMarker = new std::vector<int>();
-  return kMarker;
 }
 
 Database::ColumnIndex& Database::ExtendIndex(const Relation& rel,
@@ -152,50 +222,244 @@ Database::ColumnIndex& Database::ExtendIndex(const Relation& rel,
   auto [ci_it, created] = rel.column_indexes.try_emplace(mask);
   ColumnIndex& ci = ci_it->second;
   if (created) index_builds_.fetch_add(1, std::memory_order_relaxed);
-  if (ci.built_upto < rel.tuples.size()) {
+  const size_t rel_size = RelationSize(rel);
+  if (ci.built_upto < rel_size) {
     // Catch up on tuples appended since the last probe. Insertions never
     // reorder or remove tuples, so extending the buckets is sound.
     approx_bytes_ += kApproxIndexEntryBytes *
-                     static_cast<int64_t>(rel.tuples.size() - ci.built_upto);
+                     static_cast<int64_t>(rel_size - ci.built_upto);
+    const bool columnar = backend_ == StorageBackend::kColumnar;
+    const size_t arity =
+        columnar ? static_cast<size_t>(rel.store.arity())
+                 : (rel.tuples.empty() ? 0 : rel.tuples[0].size());
+    const size_t limit = std::min<size_t>(
+        arity, static_cast<size_t>(kMaxIndexedColumns));
     Tuple probe;
-    for (size_t pos = ci.built_upto; pos < rel.tuples.size(); ++pos) {
-      const Tuple& t = rel.tuples[pos];
+    for (size_t pos = ci.built_upto; pos < rel_size; ++pos) {
       probe.clear();
-      int limit = std::min<int>(static_cast<int>(t.size()),
-                                kMaxIndexedColumns);
-      for (int c = 0; c < limit; ++c) {
-        if (mask & (1u << c)) probe.push_back(t[c]);
+      for (size_t c = 0; c < limit; ++c) {
+        if ((mask & (1u << c)) == 0) continue;
+        probe.push_back(columnar
+                            ? rel.store.At(static_cast<RowId>(pos), c)
+                            : rel.tuples[pos][c]);
       }
-      ci.buckets[probe].push_back(static_cast<int>(pos));
+      ci.buckets[probe].push_back(static_cast<RowId>(pos));
     }
-    ci.built_upto = rel.tuples.size();
+    ci.built_upto = rel_size;
   }
   return ci;
 }
 
-const std::vector<int>* Database::ProbeIndex(PredicateId pred,
-                                             ColumnMask mask,
-                                             const Tuple& key) const {
+void Database::SortIndex(const Relation& rel, ColumnMask mask,
+                         ColumnIndex& ci) const {
+  if (ci.sorted_version == rel.version) return;  // O(1) reseal.
+  const auto start = std::chrono::steady_clock::now();
+  // The sorted permutation supersedes this mask's hash buckets: release
+  // them (and their byte charge) rather than keep two indexes current.
+  approx_bytes_ -= IndexBytes(ci);
+  ci.buckets.clear();
+  ci.built_upto = 0;
+  const ColumnStore& store = rel.store;
+  std::vector<int> cols;
+  const size_t limit = std::min<size_t>(
+      static_cast<size_t>(store.arity()),
+      static_cast<size_t>(kMaxIndexedColumns));
+  for (size_t c = 0; c < limit; ++c) {
+    if (mask & (1u << c)) cols.push_back(static_cast<int>(c));
+  }
+  ci.perm.resize(static_cast<size_t>(store.size()));
+  std::iota(ci.perm.begin(), ci.perm.end(), 0);
+  // Order by the masked columns, then by row id: equal-key runs ascend in
+  // insertion order, so range iteration visits exactly the rows a hash
+  // bucket would, in the same order — bit-identical results across
+  // access paths.
+  std::sort(ci.perm.begin(), ci.perm.end(), [&](RowId a, RowId b) {
+    for (int c : cols) {
+      const ConstId va = store.At(a, c);
+      const ConstId vb = store.At(b, c);
+      if (va != vb) return va < vb;
+    }
+    return a < b;
+  });
+  // Materialize the sorted key values as one flat row-major array so
+  // SortedLookup's binary search never chases perm -> column pointers.
+  ci.key_width = static_cast<int>(cols.size());
+  ci.keys.clear();
+  ci.keys.reserve(ci.perm.size() * cols.size());
+  for (RowId row : ci.perm) {
+    for (int c : cols) ci.keys.push_back(store.At(row, c));
+  }
+  // Dense-domain CSR offsets for single-column indexes: interned
+  // ConstIds cluster near zero, so the key domain is usually within a
+  // small factor of the row count and point probes collapse to one
+  // offset-table load instead of a binary search.
+  ci.starts.clear();
+  ci.key_min = 0;
+  if (cols.size() == 1 && !ci.keys.empty()) {
+    const ConstId kmin = ci.keys.front();
+    const ConstId kmax = ci.keys.back();
+    const int64_t domain = static_cast<int64_t>(kmax) - kmin + 1;
+    if (domain <= 2 * static_cast<int64_t>(ci.keys.size()) + 16) {
+      ci.key_min = kmin;
+      ci.starts.resize(static_cast<size_t>(domain) + 1);
+      size_t pos = 0;
+      for (int64_t d = 0; d < domain; ++d) {
+        ci.starts[static_cast<size_t>(d)] = static_cast<uint32_t>(pos);
+        const ConstId k = kmin + static_cast<ConstId>(d);
+        while (pos < ci.keys.size() && ci.keys[pos] == k) ++pos;
+      }
+      ci.starts[static_cast<size_t>(domain)] =
+          static_cast<uint32_t>(ci.keys.size());
+    }
+  }
+  ci.sorted_version = rel.version;
+  approx_bytes_ += IndexBytes(ci);
+  index_builds_.fetch_add(1, std::memory_order_relaxed);
+  index_sort_micros_.fetch_add(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count(),
+      std::memory_order_relaxed);
+}
+
+Database::ProbeOutcome Database::SortedLookup(const Relation& rel,
+                                              const ColumnIndex& ci,
+                                              ColumnMask mask,
+                                              const Tuple& key) const {
+  (void)rel;
+  (void)mask;
+  const size_t w = static_cast<size_t>(ci.key_width);
+  HYPO_DCHECK(w == key.size()) << "probe key arity does not match mask";
+  const ConstId* keys = ci.keys.data();
+  const ConstId* k = key.data();
+  if (w == 1 && !ci.starts.empty()) {
+    // Dense single-column domain: one offset-table load bounds the run.
+    const int64_t d = static_cast<int64_t>(k[0]) - ci.key_min;
+    ProbeOutcome outcome;
+    if (d < 0 || d + 1 >= static_cast<int64_t>(ci.starts.size()) ||
+        ci.starts[static_cast<size_t>(d)] ==
+            ci.starts[static_cast<size_t>(d) + 1]) {
+      outcome.kind = ProbeOutcome::kNone;
+      return outcome;
+    }
+    const size_t begin = ci.starts[static_cast<size_t>(d)];
+    const size_t end = ci.starts[static_cast<size_t>(d) + 1];
+    sorted_probes_.fetch_add(1, std::memory_order_relaxed);
+    merge_join_rows_.fetch_add(static_cast<int64_t>(end - begin),
+                               std::memory_order_relaxed);
+    outcome.kind = ProbeOutcome::kRange;
+    outcome.rows = ci.perm.data() + begin;
+    outcome.count = end - begin;
+    return outcome;
+  }
+  // Binary search over the flat sorted key array (stride w), tracking
+  // positions rather than iterators: position i holds the key of row
+  // ci.perm[i], so the [lo, hi) answer maps straight onto perm.
+  size_t lo = 0;
+  size_t hi = ci.perm.size();
+  while (lo < hi) {  // lower bound
+    const size_t mid = lo + (hi - lo) / 2;
+    const ConstId* row = keys + mid * w;
+    bool row_below = false;
+    for (size_t i = 0; i < w; ++i) {
+      if (row[i] != k[i]) {
+        row_below = row[i] < k[i];
+        break;
+      }
+    }
+    if (row_below) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t begin = lo;
+  hi = ci.perm.size();
+  while (lo < hi) {  // upper bound, resumed from the lower bound
+    const size_t mid = lo + (hi - lo) / 2;
+    const ConstId* row = keys + mid * w;
+    bool key_below = false;
+    for (size_t i = 0; i < w; ++i) {
+      if (row[i] != k[i]) {
+        key_below = k[i] < row[i];
+        break;
+      }
+    }
+    if (key_below) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ProbeOutcome outcome;
+  if (begin == hi) {
+    outcome.kind = ProbeOutcome::kNone;
+    return outcome;
+  }
+  sorted_probes_.fetch_add(1, std::memory_order_relaxed);
+  merge_join_rows_.fetch_add(static_cast<int64_t>(hi - begin),
+                             std::memory_order_relaxed);
+  outcome.kind = ProbeOutcome::kRange;
+  outcome.rows = ci.perm.data() + begin;
+  outcome.count = hi - begin;
+  return outcome;
+}
+
+Database::ProbeOutcome Database::ProbeInternal(const Relation& rel,
+                                               ColumnMask mask,
+                                               const Tuple& key) const {
   HYPO_DCHECK(mask != 0) << "probe with no bound columns is a full scan";
-  auto it = relations_.find(pred);
-  if (it == relations_.end()) return nullptr;
-  const Relation& rel = it->second;
   index_probes_.fetch_add(1, std::memory_order_relaxed);
+  ProbeOutcome outcome;
+  if (backend_ == StorageBackend::kColumnar) {
+    auto ci_it = rel.column_indexes.find(mask);
+    if (ci_it != rel.column_indexes.end() &&
+        ci_it->second.sorted_version == rel.version) {
+      // Current sorted permutation: binary-search it whether sealed or
+      // not — the lookup is strictly read-only either way.
+      return SortedLookup(rel, ci_it->second, mask, key);
+    }
+  }
   if (sealed_) {
     // Strictly read-only: serve only indexes that were complete at seal
     // time; anything else degrades to a caller-side full scan rather
     // than mutating shared index state under concurrent readers.
     auto ci_it = rel.column_indexes.find(mask);
     if (ci_it == rel.column_indexes.end() ||
-        ci_it->second.built_upto < rel.tuples.size()) {
-      return ScanAllMarker();
+        ci_it->second.built_upto < RelationSize(rel)) {
+      outcome.kind = ProbeOutcome::kScanAll;
+      return outcome;
     }
     auto bucket = ci_it->second.buckets.find(key);
-    return bucket == ci_it->second.buckets.end() ? nullptr : &bucket->second;
+    if (bucket == ci_it->second.buckets.end()) return outcome;  // kNone.
+    outcome.kind = ProbeOutcome::kBucket;
+    outcome.bucket = &bucket->second;
+    return outcome;
   }
   ColumnIndex& ci = ExtendIndex(rel, mask);
   auto bucket = ci.buckets.find(key);
-  return bucket == ci.buckets.end() ? nullptr : &bucket->second;
+  if (bucket == ci.buckets.end()) return outcome;  // kNone.
+  outcome.kind = ProbeOutcome::kBucket;
+  outcome.bucket = &bucket->second;
+  return outcome;
+}
+
+Database::RowRange Database::ProbeIndex(PredicateId pred, ColumnMask mask,
+                                        const Tuple& key) const {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return RowRange{};
+  ProbeOutcome outcome = ProbeInternal(it->second, mask, key);
+  switch (outcome.kind) {
+    case ProbeOutcome::kNone:
+      return RowRange{};
+    case ProbeOutcome::kBucket:
+      return RowRange{outcome.bucket->data(), outcome.bucket->size(), false};
+    case ProbeOutcome::kRange:
+      return RowRange{outcome.rows, outcome.count, false};
+    case ProbeOutcome::kScanAll:
+      return ScanAllMarker();
+  }
+  return RowRange{};
 }
 
 void Database::PrepareIndex(PredicateId pred, ColumnMask mask) const {
@@ -203,15 +467,26 @@ void Database::PrepareIndex(PredicateId pred, ColumnMask mask) const {
   HYPO_DCHECK(!sealed_) << "prepare indexes before sealing";
   auto it = relations_.find(pred);
   if (it == relations_.end()) return;
+  if (backend_ == StorageBackend::kColumnar && sorted_on_seal_) {
+    // Registration is enough: the seal sorts every registered mask, so
+    // building hash buckets here would be thrown away immediately.
+    auto [ci_it, created] = it->second.column_indexes.try_emplace(mask);
+    (void)ci_it;
+    if (created) index_builds_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   ExtendIndex(it->second, mask);
 }
 
 void Database::SealIndexes() const {
   for (const auto& [pred, rel] : relations_) {
     (void)pred;
-    for (const auto& [mask, ci] : rel.column_indexes) {
-      (void)ci;
-      ExtendIndex(rel, mask);
+    for (auto& [mask, ci] : rel.column_indexes) {
+      if (backend_ == StorageBackend::kColumnar && sorted_on_seal_) {
+        SortIndex(rel, mask, ci);
+      } else {
+        ExtendIndex(rel, mask);
+      }
     }
   }
   sealed_ = true;
@@ -236,26 +511,55 @@ Status Database::Insert(std::string_view predicate,
   return Status::OK();
 }
 
-bool Database::Contains(const Fact& fact) const {
-  return Contains(fact.predicate, fact.args);
-}
-
-bool Database::Contains(PredicateId pred, const Tuple& args) const {
-  auto it = relations_.find(pred);
-  if (it == relations_.end()) return false;
-  return it->second.index.count(args) > 0;
-}
-
-const std::vector<Tuple>& Database::TuplesFor(PredicateId pred) const {
+Database::RowsView Database::TuplesFor(PredicateId pred) const {
   static const std::vector<Tuple>* const kEmpty = new std::vector<Tuple>();
+  RowsView view;
   auto it = relations_.find(pred);
-  return it == relations_.end() ? *kEmpty : it->second.tuples;
+  if (it == relations_.end()) {
+    view.tuples_ = kEmpty;
+    return view;
+  }
+  if (backend_ == StorageBackend::kColumnar) {
+    view.store_ = &it->second.store;
+    view.size_ = static_cast<size_t>(it->second.store.size());
+  } else {
+    view.tuples_ = &it->second.tuples;
+    view.size_ = it->second.tuples.size();
+  }
+  return view;
+}
+
+int Database::CountFor(PredicateId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? 0
+                                : static_cast<int>(RelationSize(it->second));
+}
+
+int64_t Database::ArenaBytes() const {
+  if (backend_ != StorageBackend::kColumnar) return 0;
+  int64_t bytes = 0;
+  for (const auto& [pred, rel] : relations_) {
+    (void)pred;
+    bytes += rel.store.ArenaBytes();
+    for (const auto& [mask, ci] : rel.column_indexes) {
+      (void)mask;
+      bytes += static_cast<int64_t>(ci.perm.capacity()) * sizeof(RowId);
+    }
+  }
+  return bytes;
 }
 
 void Database::ForEach(const std::function<void(const Fact&)>& fn) const {
   for (const auto& [pred, rel] : relations_) {
-    for (const Tuple& t : rel.tuples) {
-      fn(Fact{pred, t});
+    if (backend_ == StorageBackend::kColumnar) {
+      const RowId n = rel.store.size();
+      for (RowId row = 0; row < n; ++row) {
+        fn(Fact{pred, RowRef(&rel.store, row).ToTuple()});
+      }
+    } else {
+      for (const Tuple& t : rel.tuples) {
+        fn(Fact{pred, t});
+      }
     }
   }
 }
@@ -263,7 +567,7 @@ void Database::ForEach(const std::function<void(const Fact&)>& fn) const {
 std::vector<PredicateId> Database::NonEmptyPredicates() const {
   std::vector<PredicateId> out;
   for (const auto& [pred, rel] : relations_) {
-    if (!rel.tuples.empty()) out.push_back(pred);
+    if (RelationSize(rel) > 0) out.push_back(pred);
   }
   return out;
 }

@@ -5,12 +5,14 @@
 #include <functional>
 #include <memory>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "ast/symbol_table.h"
 #include "base/status.h"
+#include "db/columnar.h"
 #include "db/fact.h"
 
 namespace hypo {
@@ -23,32 +25,66 @@ using ColumnMask = uint32_t;
 
 constexpr int kMaxIndexedColumns = 32;
 
-/// Rough heap footprint of one stored ground fact of the given arity: the
-/// tuple appears twice (insertion-order vector + membership hash set) plus
-/// hash-node overhead. Shared by Database's own running total and the
-/// engines' live budget tracking so both speak the same scale.
+/// How a Database stores its tuples.
+///
+/// kColumnar (the default) is flat struct-of-arrays column arenas with an
+/// open-addressing row-id dedup table and optional sorted permutation
+/// indexes built at seal time. kReferenceHash is the original node-based
+/// layout (vector<Tuple> + unordered_set + lazy hash buckets), kept as
+/// the differential-testing oracle the columnar path is fuzzed against.
+/// Both backends store, iterate, and probe rows in identical order, so
+/// query results are bit-identical across backends.
+enum class StorageBackend { kColumnar, kReferenceHash };
+
+/// Budget-tracking estimate of one stored ground fact of the given arity.
+/// This is the *reference-hash* footprint (tuple stored twice plus hash
+/// node overhead); the engines use it as the per-fact increment for live
+/// budget tracking on both backends — deliberately conservative for
+/// columnar storage, whose exact arena bytes (Database::ApproxBytes) true
+/// up the tracked total at every metering checkpoint.
 inline int64_t ApproxFactBytes(size_t arity) {
   return 2 * static_cast<int64_t>(sizeof(Tuple) +
                                   arity * sizeof(ConstId)) +
          32;
 }
 
-/// Rough per-position footprint of a column-index entry (bucket slot plus
-/// amortized bucket/key overhead).
+/// Rough per-position footprint of a hash-bucket column-index entry
+/// (bucket slot plus amortized bucket/key overhead). Sorted permutation
+/// indexes are accounted exactly instead (sizeof(RowId) per row).
 constexpr int64_t kApproxIndexEntryBytes = 16;
 
 /// A set of ground atomic formulas, organized per predicate.
 ///
 /// This is both the extensional database of Definition 3 and the storage
 /// used for derived models inside the engines. Tuples are stored per
-/// predicate in insertion order (for deterministic iteration) with a hash
-/// set for O(1) membership. Mostly append-only; Retract/ClearRelation
-/// support the long-lived server's epoch mutations and invalidate the
-/// affected relation's column indexes (rebuilt lazily on the next probe).
+/// predicate in insertion order (for deterministic iteration) with O(1)
+/// dedup. Mostly append-only; Retract/ClearRelation support the
+/// long-lived server's epoch mutations and invalidate the affected
+/// relation's column indexes (rebuilt lazily on the next probe).
+///
+/// Access paths: every (predicate, ColumnMask) signature gets an index.
+/// Unsealed, that is a lazily extended hash-bucket index on either
+/// backend. On a columnar database with EnableSortedIndexes(), sealing
+/// instead sorts a permutation of row ids per registered mask, so sealed
+/// probes binary-search to a contiguous sorted range — the merge-join
+/// access path — and re-sealing an unchanged relation is O(1) via a
+/// version check (crucial when many hypothetical child states re-seal
+/// the same base).
 class Database {
  public:
   explicit Database(std::shared_ptr<SymbolTable> symbols)
-      : symbols_(std::move(symbols)) {}
+      : Database(std::move(symbols), DefaultBackend()) {}
+
+  Database(std::shared_ptr<SymbolTable> symbols, StorageBackend backend)
+      : symbols_(std::move(symbols)), backend_(backend) {}
+
+  /// Backend used when none is given to the constructor. Initialized from
+  /// the HYPO_STORAGE environment variable ("columnar" | "hash") on first
+  /// use, overridable for tests/benches. Process-wide.
+  static StorageBackend DefaultBackend();
+  static void SetDefaultBackend(StorageBackend backend);
+
+  StorageBackend backend() const { return backend_; }
 
   /// Databases are heavyweight; copying must be explicit via Clone().
   Database(const Database&) = delete;
@@ -75,7 +111,7 @@ class Database {
 
   /// Removes `fact` if present; returns true when something was removed.
   /// Order-preserving for the remaining tuples. Drops the predicate's
-  /// column indexes (stored positions shift) and auto-unseals, exactly
+  /// column indexes (stored row ids shift) and auto-unseals, exactly
   /// like Insert. O(|relation|) — retraction is an epoch-boundary
   /// operation, not a join-loop one.
   bool Retract(const Fact& fact);
@@ -85,59 +121,192 @@ class Database {
   /// relation in place. Auto-unseals when it removes anything.
   int64_t ClearRelation(PredicateId pred);
 
-  bool Contains(const Fact& fact) const;
+  bool Contains(const Fact& fact) const { return Contains(fact.predicate, fact.args); }
 
-  /// Same membership test without materializing a Fact (hot-path overload
-  /// for candidate filtering in join loops).
-  bool Contains(PredicateId pred, const Tuple& args) const;
+  /// Membership test for anything tuple-shaped (Tuple or RowRef) without
+  /// materializing a Fact — the hot-path filter in join loops.
+  template <typename Row>
+  bool Contains(PredicateId pred, const Row& row) const {
+    auto it = relations_.find(pred);
+    if (it == relations_.end()) return false;
+    if (backend_ == StorageBackend::kColumnar) {
+      return it->second.store.Contains(row);
+    }
+    if constexpr (std::is_same_v<std::decay_t<Row>, Tuple>) {
+      return it->second.dedup.count(row) > 0;
+    } else {
+      Tuple t;
+      t.reserve(row.size());
+      for (size_t i = 0; i < row.size(); ++i) t.push_back(row[i]);
+      return it->second.dedup.count(t) > 0;
+    }
+  }
+
+  /// Backend-neutral view of one relation's rows, in insertion order.
+  /// Row ids index into it. Cold-path API (repair diffs, FactsFor,
+  /// tests): hot join loops go through ForEachCandidate, which iterates
+  /// backend-native rows without materializing Tuples.
+  class RowsView {
+   public:
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    ConstId At(size_t row, size_t col) const {
+      return store_ != nullptr ? store_->At(static_cast<RowId>(row), col)
+                               : (*tuples_)[row][col];
+    }
+
+    Tuple TupleAt(size_t row) const {
+      if (store_ == nullptr) return (*tuples_)[row];
+      return RowRef(store_, static_cast<RowId>(row)).ToTuple();
+    }
+
+   private:
+    friend class Database;
+    const ColumnStore* store_ = nullptr;
+    const std::vector<Tuple>* tuples_ = nullptr;
+    size_t size_ = 0;
+  };
 
   /// All tuples of `pred`, in insertion order. Empty if none.
-  const std::vector<Tuple>& TuplesFor(PredicateId pred) const;
+  RowsView TuplesFor(PredicateId pred) const;
 
-  /// Positions (into TuplesFor) of the tuples of `pred` whose first
-  /// argument is `first`, or null when the relation is absent/empty for
-  /// that key. The classic Datalog access path: premise matching uses it
-  /// whenever the first argument is already bound. Now a thin wrapper
-  /// over the generalized ProbeIndex with mask = 0b1.
-  const std::vector<int>* TuplesWithFirstArg(PredicateId pred,
-                                             ConstId first) const;
+  /// A resolved index probe: row ids of the tuples matching the probed
+  /// key. `scan_all` set means "no usable index — scan the whole relation
+  /// and post-filter" (the sealed-degraded path). When the serving index
+  /// is a sorted permutation the ids are a contiguous sorted slice of it
+  /// (the merge-join access path); bucket-served ids are in insertion
+  /// order. Either way ids ascend, so iteration order matches a filtered
+  /// full scan exactly. Valid until the database is next mutated.
+  struct RowRange {
+    const RowId* data = nullptr;
+    size_t count = 0;
+    bool scan_all = false;
 
-  /// Generalized access path: positions (into TuplesFor) of the tuples of
-  /// `pred` whose columns selected by `mask` equal `key` (the bound
-  /// values, in increasing column order), or null when no tuple matches.
+    bool empty() const { return count == 0 && !scan_all; }
+    friend bool operator==(const RowRange& a, const RowRange& b) {
+      return a.data == b.data && a.count == b.count &&
+             a.scan_all == b.scan_all;
+    }
+    friend bool operator!=(const RowRange& a, const RowRange& b) {
+      return !(a == b);
+    }
+  };
+
+  /// Generalized access path: the row ids (into TuplesFor) of the tuples
+  /// of `pred` whose columns selected by `mask` equal `key` (the bound
+  /// values, in increasing column order).
   ///
-  /// The hash index for a (predicate, column-mask) pair is built lazily on
-  /// first probe and extended incrementally as the relation grows — safe
-  /// because relations are append-only — so repeated probes cost
-  /// O(matching bucket), and a signature probed once amortizes to one
-  /// relation scan. `mask` must be non-zero and `key` must have exactly
-  /// popcount(mask) values.
-  const std::vector<int>* ProbeIndex(PredicateId pred, ColumnMask mask,
-                                     const Tuple& key) const;
+  /// Unsealed, the hash index for a (predicate, column-mask) pair is
+  /// built lazily on first probe and extended incrementally as the
+  /// relation grows — safe because relations are append-only between
+  /// epoch boundaries. Sealed with sorted indexes enabled, the probe
+  /// binary-searches the mask's sorted permutation instead. `mask` must
+  /// be non-zero and `key` must have exactly popcount(mask) values.
+  RowRange ProbeIndex(PredicateId pred, ColumnMask mask,
+                      const Tuple& key) const;
 
-  /// Eagerly builds (or catches up) the hash index for `(pred, mask)`.
-  /// A no-op when the relation is absent. Used by the parallel fixpoint
-  /// to hoist every index build out of the join loops before sealing.
+  /// Distinguished ProbeIndex result meaning "no usable index — scan the
+  /// whole relation and post-filter".
+  static RowRange ScanAllMarker() { return RowRange{nullptr, 0, true}; }
+
+  /// Hot-path join funnel: invokes `fn(row)` for each stored tuple of
+  /// `pred` that can match the bound-column signature — the probed index
+  /// subset when one is available, the full relation otherwise (mask 0,
+  /// or the sealed-degraded scan-all path). `row` is backend-native
+  /// (const Tuple& or RowRef) so `fn` must be generic; it returns false
+  /// to stop, and then ForEachCandidate returns false.
+  ///
+  /// The scan is *snapshot-bounded*: only tuples stored when the scan
+  /// started are visited, even though `fn` may insert into the same
+  /// relation while the scan is in flight. Bucket iteration indexes
+  /// through the stable vector object (bucket nodes never move in their
+  /// unordered_map); sorted ranges are frozen permutation slices that
+  /// inserts never touch (re-sorting happens only at the next seal).
+  template <typename Fn>
+  bool ForEachCandidate(PredicateId pred, ColumnMask mask, const Tuple& key,
+                        Fn&& fn) const {
+    auto it = relations_.find(pred);
+    if (it == relations_.end()) return true;
+    const Relation& rel = it->second;
+    const bool columnar = backend_ == StorageBackend::kColumnar;
+    if (mask != 0) {
+      ProbeOutcome outcome = ProbeInternal(rel, mask, key);
+      switch (outcome.kind) {
+        case ProbeOutcome::kNone:
+          return true;
+        case ProbeOutcome::kBucket: {
+          const std::vector<RowId>& bucket = *outcome.bucket;
+          const size_t n = bucket.size();
+          for (size_t i = 0; i < n; ++i) {
+            if (columnar) {
+              if (!fn(RowRef(&rel.store, bucket[i]))) return false;
+            } else {
+              if (!fn(rel.tuples[bucket[i]])) return false;
+            }
+          }
+          return true;
+        }
+        case ProbeOutcome::kRange: {
+          // Columnar-only: a frozen slice of the sorted permutation.
+          for (size_t i = 0; i < outcome.count; ++i) {
+            if (!fn(RowRef(&rel.store, outcome.rows[i]))) return false;
+          }
+          return true;
+        }
+        case ProbeOutcome::kScanAll:
+          break;  // Degrade to the full scan below.
+      }
+    }
+    if (columnar) {
+      const RowId n = rel.store.size();
+      for (RowId row = 0; row < n; ++row) {
+        if (!fn(RowRef(&rel.store, row))) return false;
+      }
+    } else {
+      const size_t n = rel.tuples.size();
+      for (size_t i = 0; i < n; ++i) {
+        if (!fn(rel.tuples[i])) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Eagerly registers (and on the unsealed hash path, catches up) the
+  /// index for `(pred, mask)`. A no-op when the relation is absent. The
+  /// engines hoist every join signature through this before sealing; on
+  /// a sorted-index database registration is enough — the seal itself
+  /// builds the sorted permutation.
   void PrepareIndex(PredicateId pred, ColumnMask mask) const;
 
-  /// Seals the database for concurrent read-only probing: every existing
-  /// column index is extended to cover the full relation, and until
-  /// UnsealIndexes() every ProbeIndex call is strictly read-only. A probe
-  /// for a signature that has no up-to-date index returns ScanAllMarker()
-  /// instead of lazily building one (callers fall back to a full relation
-  /// scan — correct, just unindexed). Mutating a sealed database through
-  /// the typed Insert/Retract/ClearRelation paths drops the seal (a new
-  /// epoch begins); doing so with readers still probing is a caller bug.
+  /// Seals the database for concurrent read-only probing: every
+  /// registered column index is brought up to date — sorted permutations
+  /// rebuilt where enabled (O(1) when the relation is unchanged since
+  /// they were last sorted), hash buckets extended to the full relation
+  /// otherwise — and until UnsealIndexes() every probe is strictly
+  /// read-only. A sealed probe for a signature with no up-to-date index
+  /// returns ScanAllMarker() instead of lazily building one. Mutating a
+  /// sealed database through the typed Insert/Retract/ClearRelation
+  /// paths drops the seal (a new epoch begins); doing so with readers
+  /// still probing is a caller bug.
   void SealIndexes() const;
   void UnsealIndexes() const { sealed_ = false; }
   bool sealed() const { return sealed_; }
 
-  /// Distinguished ProbeIndex result meaning "no usable index — scan the
-  /// whole relation and post-filter". Never a real bucket.
-  static const std::vector<int>* ScanAllMarker();
+  /// Opts this database into sort-on-seal permutation indexes (columnar
+  /// backend only; a no-op otherwise). Off by default because the
+  /// engines' short-lived delta/ext databases reseal every fixpoint
+  /// round — sorting those would be O(n log n) per round for indexes the
+  /// incremental hash extension serves at O(new rows). The long-lived,
+  /// read-mostly bases (the engine-owned seal in ComputeModel, the
+  /// server's epoch base) enable it. One-way and logically const: an
+  /// index-strategy hint, not data.
+  void EnableSortedIndexes() const { sorted_on_seal_ = true; }
+  bool sorted_indexes_enabled() const { return sorted_on_seal_; }
 
-  /// Number of distinct (predicate, column-mask) hash indexes built so
-  /// far, and the number of ProbeIndex calls served. Feed EngineStats.
+  /// Number of distinct (predicate, column-mask) indexes built so far
+  /// (hash builds and sorted sorts both count), and the number of
+  /// ProbeIndex calls served. Feed EngineStats.
   int64_t index_builds() const {
     return index_builds_.load(std::memory_order_relaxed);
   }
@@ -145,10 +314,25 @@ class Database {
     return index_probes_.load(std::memory_order_relaxed);
   }
 
-  /// Number of tuples of `pred`.
-  int CountFor(PredicateId pred) const {
-    return static_cast<int>(TuplesFor(pred).size());
+  /// Probes answered from a sorted permutation range, total rows those
+  /// ranges contained, and microseconds spent sorting permutations at
+  /// seal time. Feed the PR 7 EngineStats counters.
+  int64_t sorted_probes() const {
+    return sorted_probes_.load(std::memory_order_relaxed);
   }
+  int64_t merge_join_rows() const {
+    return merge_join_rows_.load(std::memory_order_relaxed);
+  }
+  int64_t index_sort_micros() const {
+    return index_sort_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Exact bytes held by columnar arenas (column vectors, dedup tables,
+  /// sorted permutations). Zero on the reference-hash backend. O(#relations).
+  int64_t ArenaBytes() const;
+
+  /// Number of tuples of `pred`.
+  int CountFor(PredicateId pred) const;
 
   /// Invokes `fn` for every fact in the database.
   void ForEach(const std::function<void(const Fact&)>& fn) const;
@@ -165,9 +349,10 @@ class Database {
   bool empty() const { return size_ == 0; }
   void Clear();
 
-  /// Approximate heap bytes held by tuples, membership sets, and column
-  /// indexes. Maintained incrementally on every insert and index
-  /// extension, so reading it is O(1) — the memory-budget enforcement in
+  /// Heap bytes held by tuple storage and column indexes — exact arena
+  /// bytes on the columnar backend, the ApproxFactBytes estimate on the
+  /// reference one. Maintained incrementally on every insert and index
+  /// build, so reading it is O(1) — the memory-budget enforcement in
   /// QueryGuard reads it at metering frequency.
   int64_t ApproxBytes() const { return approx_bytes_; }
 
@@ -176,25 +361,74 @@ class Database {
   const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
 
  private:
-  /// One lazily built hash index over a bound-column signature. Buckets
-  /// cover tuples[0..built_upto); probes extend them to the current end
-  /// of the relation first. unordered_map node stability keeps bucket
-  /// pointers handed to callers valid across later extensions.
+  /// One per-mask access path. Unsealed service comes from the lazily
+  /// extended hash buckets covering rows [0, built_upto). On sorted-index
+  /// databases the seal replaces them with `perm`: every row id, ordered
+  /// by the masked columns and then by row id (so equal-key runs ascend
+  /// in insertion order — the same visit order buckets give). `perm` is
+  /// valid iff sorted_version == the relation's version.
   struct ColumnIndex {
-    std::unordered_map<Tuple, std::vector<int>, TupleHash> buckets;
+    std::unordered_map<Tuple, std::vector<RowId>, TupleHash> buckets;
     size_t built_upto = 0;
+    std::vector<RowId> perm;
+    /// Masked column values of perm[i], row-major with stride key_width:
+    /// the binary search runs over this flat array with no perm->column
+    /// indirection, so each probe step is one contiguous load.
+    std::vector<ConstId> keys;
+    int key_width = 0;
+    /// Single-column dense-domain acceleration (CSR offsets): when the
+    /// key domain [key_min, key_min + starts.size() - 2] is dense —
+    /// interned ConstIds usually are — starts[k - key_min] and the next
+    /// entry bound the key's run in perm, making point probes O(1)
+    /// instead of a binary search. Empty when unbuilt or too sparse.
+    std::vector<uint32_t> starts;
+    ConstId key_min = 0;
+    uint64_t sorted_version = 0;
   };
 
   struct Relation {
-    std::vector<Tuple> tuples;
-    std::unordered_set<Tuple, TupleHash> index;
-    // Generalized access paths, built on demand per column mask.
+    explicit Relation(int arity) : store(arity) {}
+    ColumnStore store;                           // kColumnar rows.
+    std::vector<Tuple> tuples;                   // kReferenceHash rows.
+    std::unordered_set<Tuple, TupleHash> dedup;  // kReferenceHash membership.
+    // Generalized access paths, registered/built on demand per mask.
     mutable std::unordered_map<ColumnMask, ColumnIndex> column_indexes;
+    // Bumped on every mutation; sorted permutations cache it so an
+    // unchanged relation re-seals without re-sorting.
+    uint64_t version = 1;
   };
 
-  /// Builds or extends the column index for `mask` over `rel`. Must not
-  /// be called while sealed.
+  /// How ProbeInternal answered; consumed by ForEachCandidate and
+  /// repackaged as a RowRange by the public ProbeIndex.
+  struct ProbeOutcome {
+    enum Kind { kNone, kBucket, kRange, kScanAll };
+    Kind kind = kNone;
+    const std::vector<RowId>* bucket = nullptr;  // kBucket
+    const RowId* rows = nullptr;                 // kRange
+    size_t count = 0;                            // kRange
+  };
+
+  size_t RelationSize(const Relation& rel) const {
+    return backend_ == StorageBackend::kColumnar
+               ? static_cast<size_t>(rel.store.size())
+               : rel.tuples.size();
+  }
+
+  ProbeOutcome ProbeInternal(const Relation& rel, ColumnMask mask,
+                             const Tuple& key) const;
+
+  /// Binary-searches `ci.perm` for the rows matching `key` under `mask`.
+  ProbeOutcome SortedLookup(const Relation& rel, const ColumnIndex& ci,
+                            ColumnMask mask, const Tuple& key) const;
+
+  /// Builds or extends the hash-bucket index for `mask` over `rel`. Must
+  /// not be called while sealed.
   ColumnIndex& ExtendIndex(const Relation& rel, ColumnMask mask) const;
+
+  /// (Re)sorts the permutation index for `mask`; O(1) when the relation
+  /// is unchanged since the last sort. Drops the mask's hash buckets —
+  /// the sorted permutation supersedes them.
+  void SortIndex(const Relation& rel, ColumnMask mask, ColumnIndex& ci) const;
 
   /// Refcount bookkeeping behind constants(): every tuple position holds
   /// one reference to its constant.
@@ -202,11 +436,20 @@ class Database {
   void DropConstantRefs(const Tuple& args);
 
   /// Discards every column index of `rel` (with byte accounting): stored
-  /// positions are invalidated by retraction, so the indexes are rebuilt
+  /// row ids are invalidated by retraction, so the indexes are rebuilt
   /// lazily from scratch on the next unsealed probe.
   void DropRelationIndexes(const Relation& rel);
 
+  /// Bytes currently charged to `ci` in approx_bytes_.
+  static int64_t IndexBytes(const ColumnIndex& ci) {
+    return kApproxIndexEntryBytes * static_cast<int64_t>(ci.built_upto) +
+           static_cast<int64_t>(ci.perm.capacity()) * sizeof(RowId) +
+           static_cast<int64_t>(ci.keys.capacity()) * sizeof(ConstId) +
+           static_cast<int64_t>(ci.starts.capacity()) * sizeof(uint32_t);
+  }
+
   std::shared_ptr<SymbolTable> symbols_;
+  StorageBackend backend_;
   std::unordered_map<PredicateId, Relation> relations_;
   std::unordered_set<ConstId> constants_;
   std::unordered_map<ConstId, int64_t> constant_refs_;
@@ -217,10 +460,15 @@ class Database {
   /// While true, probes never mutate index state (see SealIndexes).
   /// Flipped only between parallel phases, never concurrently with reads.
   mutable bool sealed_ = false;
+  /// See EnableSortedIndexes().
+  mutable bool sorted_on_seal_ = false;
   /// Counters are atomic so concurrent sealed probes stay exact (plain
   /// mutable increments in a const method would be a data race).
   mutable std::atomic<int64_t> index_builds_{0};
   mutable std::atomic<int64_t> index_probes_{0};
+  mutable std::atomic<int64_t> sorted_probes_{0};
+  mutable std::atomic<int64_t> merge_join_rows_{0};
+  mutable std::atomic<int64_t> index_sort_micros_{0};
 };
 
 }  // namespace hypo

@@ -13,9 +13,22 @@ namespace hypo {
 /// The argument tuple of a ground atom.
 using Tuple = std::vector<ConstId>;
 
+/// Hashes anything tuple-shaped (size() + operator[] over ConstId): a
+/// materialized Tuple or a columnar RowRef. One definition so both
+/// storage backends — and the parallel fixpoint's hash sharding — agree
+/// on every row's hash bit-for-bit.
+template <typename Row>
+uint64_t HashRowLike(const Row& row) {
+  uint64_t h = row.size();
+  for (size_t i = 0; i < row.size(); ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(row[i]));
+  }
+  return h;
+}
+
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
-    return static_cast<size_t>(HashVector(t, /*seed=*/t.size()));
+    return static_cast<size_t>(HashRowLike(t));
   }
 };
 

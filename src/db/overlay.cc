@@ -35,10 +35,8 @@ bool OverlayDatabase::Add(const Fact& fact) {
   AddedRelation& rel = added_[fact.predicate];
   rel.index.insert(fact.args);
   rel.tuples.push_back(fact.args);
-  if (!fact.args.empty()) {
-    rel.first_arg_index[fact.args[0]].push_back(
-        static_cast<int>(rel.tuples.size()) - 1);
-  }
+  // Mask indexes are NOT extended here: they catch up lazily on the next
+  // AddedProbe, so un-probed signatures cost nothing per Add.
   added_order_.push_back(id);
   Transition(OpKind::kDidAdd, id, ContextInterner::AddedElement(id),
              /*inserted=*/true);
@@ -82,12 +80,21 @@ void OverlayDatabase::PopFrame() {
             << "overlay undo log out of sync";
         rel.index.erase(fact.args);
         rel.tuples.pop_back();
-        if (!fact.args.empty()) {
-          std::vector<int>& bucket = rel.first_arg_index[fact.args[0]];
-          HYPO_DCHECK(!bucket.empty() &&
-                      bucket.back() == static_cast<int>(rel.tuples.size()))
-              << "overlay first-arg index out of sync";
-          bucket.pop_back();
+        // Trim any mask index that had caught up past the popped tuple
+        // (built_upto never exceeds the pre-pop size, and ops are undone
+        // one at a time, so "stale" here means exactly one entry over).
+        for (auto& [mask, aidx] : rel.mask_indexes) {
+          if (aidx.built_upto != rel.tuples.size() + 1) continue;
+          auto bucket = aidx.buckets.find(MaskKey(fact.args, mask));
+          HYPO_DCHECK(bucket != aidx.buckets.end() &&
+                      !bucket->second.empty() &&
+                      bucket->second.back() ==
+                          static_cast<RowId>(rel.tuples.size()))
+              << "overlay mask index out of sync";
+          // pop_back only — never erase the (possibly empty) bucket node:
+          // an in-flight scan may still hold a pointer to it.
+          bucket->second.pop_back();
+          aidx.built_upto = rel.tuples.size();
         }
         HYPO_DCHECK(!added_order_.empty() && added_order_.back() == op.id);
         added_order_.pop_back();
@@ -110,14 +117,32 @@ const std::vector<Tuple>& OverlayDatabase::AddedTuplesFor(
   return it == added_.end() ? *kEmpty : it->second.tuples;
 }
 
-const std::vector<int>* OverlayDatabase::AddedTuplesWithFirstArg(
-    PredicateId pred, ConstId first) const {
+Tuple OverlayDatabase::MaskKey(const Tuple& args, ColumnMask mask) {
+  Tuple key;
+  const size_t limit = std::min<size_t>(
+      args.size(), static_cast<size_t>(kMaxIndexedColumns));
+  for (size_t c = 0; c < limit; ++c) {
+    if (mask & (1u << c)) key.push_back(args[c]);
+  }
+  return key;
+}
+
+const std::vector<RowId>* OverlayDatabase::AddedProbe(PredicateId pred,
+                                                      ColumnMask mask,
+                                                      const Tuple& key) const {
+  HYPO_DCHECK(mask != 0) << "added probe with no bound columns";
   auto it = added_.find(pred);
   if (it == added_.end()) return nullptr;
-  auto bucket = it->second.first_arg_index.find(first);
-  if (bucket == it->second.first_arg_index.end() || bucket->second.empty()) {
-    return nullptr;
+  const AddedRelation& rel = it->second;
+  AddedIndex& aidx = rel.mask_indexes[mask];
+  // Catch up on tuples added since the last probe of this signature.
+  for (size_t pos = aidx.built_upto; pos < rel.tuples.size(); ++pos) {
+    aidx.buckets[MaskKey(rel.tuples[pos], mask)].push_back(
+        static_cast<RowId>(pos));
   }
+  aidx.built_upto = rel.tuples.size();
+  auto bucket = aidx.buckets.find(key);
+  if (bucket == aidx.buckets.end() || bucket->second.empty()) return nullptr;
   return &bucket->second;
 }
 

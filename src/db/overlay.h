@@ -76,18 +76,27 @@ class OverlayDatabase {
   const std::vector<Tuple>& AddedTuplesFor(PredicateId pred) const;
 
   /// Positions (into AddedTuplesFor) of the added tuples of `pred` whose
-  /// first argument is `first`, or null when there are none. The classic
-  /// first-argument access path, mirroring Database::TuplesWithFirstArg,
-  /// so extensional matching over hypothetical additions stops scanning
-  /// every added tuple once the first argument is bound.
-  const std::vector<int>* AddedTuplesWithFirstArg(PredicateId pred,
-                                                  ConstId first) const;
+  /// columns selected by `mask` equal `key`, or null when there are none.
+  /// Mirrors Database::ProbeIndex for hypothetical additions: the index
+  /// for each (pred, mask) pair is built lazily on first probe, extended
+  /// as the frame stack grows, and trimmed as frames pop, so extensional
+  /// matching over additions stops scanning every added tuple once any
+  /// column is bound. `mask` must be non-zero.
+  const std::vector<RowId>* AddedProbe(PredicateId pred, ColumnMask mask,
+                                       const Tuple& key) const;
 
   /// Scan filter: false iff the (stored) tuple is currently masked.
-  /// Cheap when no deletions are active.
-  bool TupleVisible(PredicateId pred, const Tuple& tuple) const {
+  /// Cheap when no deletions are active. `Row` is anything tuple-shaped
+  /// (Tuple or a columnar RowRef); the Fact is only materialized on the
+  /// cold masked path.
+  template <typename Row>
+  bool TupleVisible(PredicateId pred, const Row& tuple) const {
     if (masked_.empty()) return true;
-    FactId id = interner_->Find(Fact{pred, tuple});
+    Fact fact;
+    fact.predicate = pred;
+    fact.args.reserve(tuple.size());
+    for (size_t i = 0; i < tuple.size(); ++i) fact.args.push_back(tuple[i]);
+    FactId id = interner_->Find(fact);
     return id < 0 || masked_.count(id) == 0;
   }
 
@@ -123,12 +132,23 @@ class OverlayDatabase {
   }
 
  private:
+  /// One lazily built per-mask index over the added tuples, mirroring
+  /// Database::ColumnIndex: buckets cover tuples[0..built_upto). Probes
+  /// extend it; PopFrame trims it back in lockstep with the tuple stack.
+  struct AddedIndex {
+    std::unordered_map<Tuple, std::vector<RowId>, TupleHash> buckets;
+    size_t built_upto = 0;
+  };
+
   struct AddedRelation {
     std::vector<Tuple> tuples;
     std::unordered_set<Tuple, TupleHash> index;
-    // First-argument access path (empty for 0-ary relations).
-    std::unordered_map<ConstId, std::vector<int>> first_arg_index;
+    // Generalized bound-column access paths, built on demand per mask.
+    mutable std::unordered_map<ColumnMask, AddedIndex> mask_indexes;
   };
+
+  /// The key of `args` under `mask` (bound values in column order).
+  static Tuple MaskKey(const Tuple& args, ColumnMask mask);
 
   /// What an operation did, so PopFrame can reverse it. `elem`/`inserted`
   /// record the context transition the operation performed, so the undo

@@ -29,8 +29,11 @@ class Binding {
   /// Unifies `atom`'s arguments with the ground `tuple`, binding fresh
   /// variables. On success returns true and appends newly bound variables
   /// to `trail` (so the caller can undo them); on failure the binding is
-  /// left exactly as it was.
-  bool MatchTuple(const Atom& atom, const Tuple& tuple,
+  /// left exactly as it was. `Row` is anything tuple-shaped — a
+  /// materialized Tuple or a columnar RowRef — so the join walker
+  /// monomorphizes per storage backend instead of rebuilding Tuples.
+  template <typename Row>
+  bool MatchTuple(const Atom& atom, const Row& tuple,
                   std::vector<VarIndex>* trail) {
     size_t undo_from = trail->size();
     HYPO_DCHECK(atom.args.size() == tuple.size());

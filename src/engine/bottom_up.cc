@@ -395,7 +395,7 @@ Status BottomUpEngine::EnsureState(int64_t ckey, const StateKey& key,
   int target = through;
   auto factory = [&](int64_t) -> std::unique_ptr<State> {
     created = true;
-    auto owned = std::make_unique<State>(base_->symbols_ptr());
+    auto owned = std::make_unique<State>(base_->symbols_ptr(), base_->backend());
     owned->key = key;
     {
       // interner_ may be growing concurrently (TestHypothetical on other
@@ -473,13 +473,19 @@ Status BottomUpEngine::ComputeModel(State* state, int through, WorkCtx* work,
   // an epoch, its seal — and the indexes it prepared — are shared with
   // other concurrent readers; leave both alone. Probes for signatures the
   // caller did not prepare degrade to full scans, which stays correct.
-  const bool own_base_seal = parallel && !base_->sealed();
+  const bool own_base_seal = !base_->sealed();
   Unsealer base_unsealer(own_base_seal ? base_ : nullptr);
   if (own_base_seal) {
     // Freeze the shared base for the whole region: every statically
-    // possible probe signature gets an up-to-date index, then concurrent
-    // probes (including the sequential child-state computations running
-    // on workers) are strictly read-only.
+    // possible probe signature gets an up-to-date index, then probes
+    // (including concurrent sequential child-state computations running
+    // on workers in parallel mode) are strictly read-only. The base is
+    // long-lived and read-mostly, so it gets the sorted-permutation
+    // treatment: probes against it binary-search contiguous ranges, and
+    // re-sealing for every hypothetical child state is O(1) per the
+    // relation-version cache. (The engine's own delta/ext databases stay
+    // on incremental hash indexes — they churn every round.)
+    base_->EnableSortedIndexes();
     for (const auto& [pred, mask] : static_sigs_) {
       base_->PrepareIndex(pred, mask);
     }
@@ -508,8 +514,8 @@ Status BottomUpEngine::ComputeStratumSequential(State* state, int stratum,
   // (delta mode) the new tuples themselves, rotated per round.
   std::unordered_set<PredicateId> changed_last;
   std::unordered_set<PredicateId> changed_now;
-  Database delta(base_->symbols_ptr());
-  Database next_delta(base_->symbols_ptr());
+  Database delta(base_->symbols_ptr(), base_->backend());
+  Database next_delta(base_->symbols_ptr(), base_->backend());
   Database* track_delta =
       strategy == EvalStrategy::kDeltaSeminaive ? &next_delta : nullptr;
   bool first_round = true;
@@ -577,7 +583,7 @@ Status BottomUpEngine::ComputeStratumSequential(State* state, int stratum,
     if (track_delta != nullptr) {
       retired_index_builds_ += delta.index_builds();
       delta = std::move(next_delta);
-      next_delta = Database(base_->symbols_ptr());
+      next_delta = Database(base_->symbols_ptr(), base_->backend());
     }
     changed_last = std::move(changed_now);
     changed_now.clear();
@@ -594,8 +600,8 @@ Status BottomUpEngine::ComputeStratumParallel(State* state, int stratum,
   const std::vector<int>& stratum_rules = strata_.rules_by_stratum[stratum];
   std::unordered_set<PredicateId> changed_last;
   std::unordered_set<PredicateId> changed_now;
-  Database delta(base_->symbols_ptr());
-  Database next_delta(base_->symbols_ptr());
+  Database delta(base_->symbols_ptr(), base_->backend());
+  Database next_delta(base_->symbols_ptr(), base_->backend());
   const bool track_delta = strategy == EvalStrategy::kDeltaSeminaive;
   const int num_shards = pool_->num_workers() + 1;
   struct Version {
@@ -675,7 +681,7 @@ Status BottomUpEngine::ComputeStratumParallel(State* state, int stratum,
       std::vector<Database> buffers;
       buffers.reserve(num_shards);
       for (int i = 0; i < num_shards; ++i) {
-        buffers.emplace_back(base_->symbols_ptr());
+        buffers.emplace_back(base_->symbols_ptr(), base_->backend());
       }
       std::vector<std::function<Status()>> tasks;
       tasks.reserve(num_shards);
@@ -761,7 +767,7 @@ Status BottomUpEngine::ComputeStratumParallel(State* state, int stratum,
     if (track_delta) {
       retired_index_builds_ += delta.index_builds();
       delta = std::move(next_delta);
-      next_delta = Database(base_->symbols_ptr());
+      next_delta = Database(base_->symbols_ptr(), base_->backend());
     }
     changed_last = std::move(changed_now);
     changed_now.clear();
@@ -832,8 +838,10 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       // hash of the tuple matched at the shard premise.
       const bool sharded =
           ps.premise_index == ctx->shard_premise && ctx->num_shards > 1;
-      auto in_shard = [&](const Tuple& t) {
-        return static_cast<int>(TupleHash{}(t) %
+      // Generic over the row type (Tuple or columnar RowRef); HashRowLike
+      // makes shard assignment bit-identical across storage backends.
+      auto in_shard = [&](const auto& t) {
+        return static_cast<int>(HashRowLike(t) %
                                 static_cast<size_t>(ctx->num_shards)) ==
                ctx->shard;
       };
@@ -860,7 +868,11 @@ StatusOr<bool> BottomUpEngine::WalkPlan(
       std::vector<VarIndex> trail;
       Status error;
       bool stopped = false;
-      auto try_tuple = [&](const Tuple& tuple) -> bool {
+      // Generic lambda: candidates arrive as const Tuple& from the
+      // reference backend and as RowRef views from columnar storage, so
+      // the filters and MatchTuple monomorphize per backend — no Tuple is
+      // materialized on the columnar hot path.
+      auto try_tuple = [&](const auto& tuple) -> bool {
         if (sharded && !in_shard(tuple)) return true;
         ++ctx->work->stats->join_probes;
         if (exclude_delta && ctx->delta->Contains(atom.predicate, tuple)) {
@@ -1015,7 +1027,7 @@ bool BottomUpEngine::ExistsMatch(const State& state, const Atom& atom,
   }
   std::vector<VarIndex> trail;
   bool found = false;
-  auto probe = [&](const Tuple& tuple) -> bool {
+  auto probe = [&](const auto& tuple) -> bool {
     ++work->stats->join_probes;
     if (binding->MatchTuple(atom, tuple, &trail)) {
       binding->Undo(&trail, 0);
@@ -1073,8 +1085,8 @@ Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
 
 Status BottomUpEngine::RepairBaseModel(State* state, const BaseDelta& delta,
                                        WorkCtx* work) {
-  Database ins(base_->symbols_ptr());
-  Database del(base_->symbols_ptr());
+  Database ins(base_->symbols_ptr(), base_->backend());
+  Database del(base_->symbols_ptr(), base_->backend());
   for (const Fact& f : delta.inserts) {
     if (state->ext.Contains(f)) {
       // Already derived: the fact moves from "derived" to "stored" with
@@ -1193,14 +1205,14 @@ Status BottomUpEngine::RepairStratumIncremental(State* state, int stratum,
   // the PRE-epoch model (plus = deletions so far, minus = insertions so
   // far); same-stratum overdeleted facts are still physically present
   // until the fixpoint completes, so they stay visible here too.
-  Database overdeleted(base_->symbols_ptr());
+  Database overdeleted(base_->symbols_ptr(), base_->backend());
   {
-    Database round(base_->symbols_ptr());
+    Database round(base_->symbols_ptr(), base_->backend());
     del->ForEach([&](const Fact& f) {
       if (pos_preds.count(f.predicate) > 0) round.Insert(f);
     });
     while (!round.empty()) {
-      Database next(base_->symbols_ptr());
+      Database next(base_->symbols_ptr(), base_->backend());
       HYPO_RETURN_IF_ERROR(run_versions(
           round, /*plus=*/del, /*minus=*/ins,
           [&](const Fact& h) -> StatusOr<bool> {
@@ -1225,8 +1237,10 @@ Status BottomUpEngine::RepairStratumIncremental(State* state, int stratum,
     overdeleted.ForEach([&](const Fact& f) { touched.insert(f.predicate); });
     for (PredicateId p : touched) {
       std::vector<Tuple> survivors;
-      for (const Tuple& t : state->ext.TuplesFor(p)) {
-        if (!overdeleted.Contains(p, t)) survivors.push_back(t);
+      const Database::RowsView rows = state->ext.TuplesFor(p);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        Tuple t = rows.TupleAt(i);
+        if (!overdeleted.Contains(p, t)) survivors.push_back(std::move(t));
       }
       state->ext.ClearRelation(p);
       for (Tuple& t : survivors) state->ext.Insert(Fact{p, std::move(t)});
@@ -1236,8 +1250,8 @@ Status BottomUpEngine::RepairStratumIncremental(State* state, int stratum,
   // Rederivation: overdeleted facts — and this stratum's retracted base
   // facts — that still have a derivation in the pruned model survive the
   // epoch. Late restorations cascade through the insertion rounds below.
-  Database restored(base_->symbols_ptr());
-  Database reinserted(base_->symbols_ptr());
+  Database restored(base_->symbols_ptr(), base_->backend());
+  Database reinserted(base_->symbols_ptr(), base_->backend());
   std::vector<Fact> candidates;
   overdeleted.ForEach([&](const Fact& f) { candidates.push_back(f); });
   del->ForEach([&](const Fact& f) {
@@ -1261,7 +1275,7 @@ Status BottomUpEngine::RepairStratumIncremental(State* state, int stratum,
   // every rederived fact propagate through the stratum's rules against
   // the CURRENT model.
   {
-    Database round(base_->symbols_ptr());
+    Database round(base_->symbols_ptr(), base_->backend());
     ins->ForEach([&](const Fact& f) {
       if (pos_preds.count(f.predicate) > 0) round.Insert(f);
     });
@@ -1269,7 +1283,7 @@ Status BottomUpEngine::RepairStratumIncremental(State* state, int stratum,
       if (pos_preds.count(f.predicate) > 0) round.Insert(f);
     });
     while (!round.empty()) {
-      Database next(base_->symbols_ptr());
+      Database next(base_->symbols_ptr(), base_->backend());
       HYPO_RETURN_IF_ERROR(run_versions(
           round, /*plus=*/nullptr, /*minus=*/nullptr,
           [&](const Fact& h) -> StatusOr<bool> {
@@ -1313,15 +1327,19 @@ Status BottomUpEngine::RepairStratumRecompute(State* state, int stratum,
   // minus this epoch's insertions, plus its deletions.
   std::unordered_map<PredicateId, std::unordered_set<Tuple, TupleHash>>
       old_visible;
+  auto insert_tuples = [](const Database& db, PredicateId p, auto&& accept) {
+    const Database::RowsView rows = db.TuplesFor(p);
+    for (size_t i = 0; i < rows.size(); ++i) accept(rows.TupleAt(i));
+  };
   for (PredicateId p : head_preds) {
     auto& old_set = old_visible[p];
-    for (const Tuple& t : base_->TuplesFor(p)) {
-      if (!ins->Contains(p, t)) old_set.insert(t);
-    }
-    for (const Tuple& t : state->ext.TuplesFor(p)) {
-      if (!ins->Contains(p, t)) old_set.insert(t);
-    }
-    for (const Tuple& t : del->TuplesFor(p)) old_set.insert(t);
+    insert_tuples(*base_, p, [&](Tuple t) {
+      if (!ins->Contains(p, t)) old_set.insert(std::move(t));
+    });
+    insert_tuples(state->ext, p, [&](Tuple t) {
+      if (!ins->Contains(p, t)) old_set.insert(std::move(t));
+    });
+    insert_tuples(*del, p, [&](Tuple t) { old_set.insert(std::move(t)); });
     // The predicate's net delta is recomputed from scratch by the diff.
     ins->ClearRelation(p);
     del->ClearRelation(p);
@@ -1331,8 +1349,9 @@ Status BottomUpEngine::RepairStratumRecompute(State* state, int stratum,
   for (PredicateId p : head_preds) {
     const auto& old_set = old_visible[p];
     std::unordered_set<Tuple, TupleHash> new_set;
-    for (const Tuple& t : base_->TuplesFor(p)) new_set.insert(t);
-    for (const Tuple& t : state->ext.TuplesFor(p)) new_set.insert(t);
+    insert_tuples(*base_, p, [&](Tuple t) { new_set.insert(std::move(t)); });
+    insert_tuples(state->ext, p,
+                  [&](Tuple t) { new_set.insert(std::move(t)); });
     for (const Tuple& t : new_set) {
       if (old_set.count(t) == 0) ins->Insert(Fact{p, t});
     }
@@ -1376,8 +1395,16 @@ const EngineStats& BottomUpEngine::stats() const {
   stats_.index_builds = retired_index_builds_.load(std::memory_order_relaxed) +
                         base_->index_builds();
   stats_.memo_bytes = interner_.ApproxBytes() + ctx_interner_.ApproxBytes();
+  stats_.sorted_probes = base_->sorted_probes();
+  stats_.merge_join_rows = base_->merge_join_rows();
+  stats_.index_sort_micros = base_->index_sort_micros();
+  stats_.arena_bytes = base_->ArenaBytes();
   states_.ForEach([this](const State& state) {
     stats_.index_builds += state.ext.index_builds();
+    stats_.sorted_probes += state.ext.sorted_probes();
+    stats_.merge_join_rows += state.ext.merge_join_rows();
+    stats_.index_sort_micros += state.ext.index_sort_micros();
+    stats_.arena_bytes += state.ext.ArenaBytes();
     stats_.memo_bytes += StateBytes(state);
   });
   stats_.demanded_predicates =
@@ -1490,8 +1517,16 @@ StatusOr<std::vector<Tuple>> BottomUpEngine::FactsFor(PredicateId pred) {
   WorkCtx work;
   work.stats = &stats_;
   HYPO_ASSIGN_OR_RETURN(State * top, MaterializeState({}, through, {}, &work));
-  std::vector<Tuple> out = base_->TuplesFor(pred);
-  for (const Tuple& t : top->ext.TuplesFor(pred)) out.push_back(t);
+  std::vector<Tuple> out;
+  const Database::RowsView base_rows = base_->TuplesFor(pred);
+  const Database::RowsView ext_rows = top->ext.TuplesFor(pred);
+  out.reserve(base_rows.size() + ext_rows.size());
+  for (size_t i = 0; i < base_rows.size(); ++i) {
+    out.push_back(base_rows.TupleAt(i));
+  }
+  for (size_t i = 0; i < ext_rows.size(); ++i) {
+    out.push_back(ext_rows.TupleAt(i));
+  }
   return out;
 }
 

@@ -131,8 +131,8 @@ class BottomUpEngine : public Engine {
     /// the compute step for this state outside the shard lock.
     bool computing = false;
 
-    explicit State(std::shared_ptr<SymbolTable> symbols)
-        : ext(std::move(symbols)) {}
+    State(std::shared_ptr<SymbolTable> symbols, StorageBackend backend)
+        : ext(std::move(symbols), backend) {}
   };
 
   /// Shared abort-and-metering state for one parallel fixpoint region.

@@ -121,6 +121,13 @@ struct EngineStats {
   int64_t join_probes = 0;        // Candidate tuples offered to matching.
   int64_t index_builds = 0;       // Distinct (predicate, mask) indexes built.
 
+  // Columnar storage & sorted permutation indexes (src/db columnar
+  // backend; see DESIGN.md "Columnar storage & sorted indexes").
+  int64_t sorted_probes = 0;      // Probes answered by sorted-range lookup.
+  int64_t merge_join_rows = 0;    // Rows yielded from sorted probe ranges.
+  int64_t index_sort_micros = 0;  // Wall time sorting permutation indexes.
+  int64_t arena_bytes = 0;        // Columnar arena footprint gauge (bytes).
+
   // Demand-driven evaluation (BottomUpEngine with EngineOptions::demand).
   int64_t magic_facts = 0;          // Tuples derived into magic relations.
   int64_t demanded_predicates = 0;  // Predicates demanded (magic or full).
@@ -173,6 +180,11 @@ struct EngineStats {
     delta_facts += other.delta_facts;
     join_probes += other.join_probes;
     index_builds += other.index_builds;
+    sorted_probes += other.sorted_probes;
+    merge_join_rows += other.merge_join_rows;
+    index_sort_micros += other.index_sort_micros;
+    // Footprint gauge, not a flow: the largest snapshot wins.
+    arena_bytes = std::max(arena_bytes, other.arena_bytes);
     magic_facts += other.magic_facts;
     demanded_predicates += other.demanded_predicates;
     strata_skipped += other.strata_skipped;

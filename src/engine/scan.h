@@ -10,17 +10,6 @@
 
 namespace hypo {
 
-/// Resolves `atom`'s first argument under `binding`: the constant it is
-/// already fixed to, or kInvalidConst when it is an unbound variable (or
-/// the atom is 0-ary).
-inline ConstId ResolvedFirstArg(const Atom& atom, const Binding& binding) {
-  if (atom.args.empty()) return kInvalidConst;
-  const Term& t = atom.args[0];
-  if (t.is_const()) return t.const_id();
-  return binding.IsBound(t.var_index()) ? binding.Value(t.var_index())
-                                        : kInvalidConst;
-}
-
 /// Computes the bound-column signature of `atom` under `binding`: the
 /// mask of columns whose value is already fixed (a constant, or a bound
 /// variable) and, in `key`, the fixed values in increasing column order.
@@ -45,74 +34,51 @@ inline ColumnMask BoundSignature(const Atom& atom, const Binding& binding,
   return mask;
 }
 
-/// Invokes `fn(tuple)` for each stored tuple of `atom`'s predicate in
-/// `db` that can possibly match: the hash-index bucket for the full
-/// bound-column signature when any column is bound (built on demand by
-/// Database::ProbeIndex), the full relation otherwise. `fn` returns
-/// false to stop; ForEachBaseCandidate then returns false.
+/// Invokes `fn(row)` for each stored tuple of `atom`'s predicate in `db`
+/// that can possibly match: the index subset for the full bound-column
+/// signature when any column is bound (a sorted range or hash bucket,
+/// per Database::ForEachCandidate), the full relation otherwise. `row`
+/// is backend-native — const Tuple& on the reference backend, a columnar
+/// RowRef otherwise — so `fn` must be a generic lambda; it returns false
+/// to stop, and ForEachBaseCandidate then returns false.
 ///
-/// The scan is *snapshot-bounded*: only tuples stored when the scan
-/// started are visited, even though `fn` may insert into the same
-/// relation while the scan is in flight. This keeps fixpoint rounds
-/// honest (a round joins exactly the previous rounds' tuples, so the
-/// naive/rule-filter/delta strategies do comparable per-round work) and
-/// is realloc-safe: iteration indexes through the stable vector objects
-/// (relation and bucket nodes never move in their unordered_maps), never
-/// through a saved data pointer.
+/// Snapshot-bounded and realloc-safe per ForEachCandidate's contract:
+/// `fn` may insert into the same relation while the scan is in flight.
 template <typename Fn>
 bool ForEachBaseCandidate(const Database& db, const Atom& atom,
                           const Binding& binding, Fn&& fn) {
   Tuple key;
   ColumnMask mask = BoundSignature(atom, binding, &key);
-  if (mask != 0) {
-    const std::vector<int>* subset =
-        db.ProbeIndex(atom.predicate, mask, key);
-    if (subset == nullptr) return true;
-    if (subset != Database::ScanAllMarker()) {
-      const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
-      const size_t n = subset->size();
-      for (size_t i = 0; i < n; ++i) {
-        if (!fn(all[(*subset)[i]])) return false;
-      }
-      return true;
-    }
-    // Sealed database without an up-to-date index for this signature:
-    // fall through to the full scan. Callers post-filter with MatchTuple,
-    // so correctness is unaffected — only the access path degrades.
-  }
-  const std::vector<Tuple>& all = db.TuplesFor(atom.predicate);
-  const size_t n = all.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (!fn(all[i])) return false;
-  }
-  return true;
+  return db.ForEachCandidate(atom.predicate, mask, key, std::forward<Fn>(fn));
 }
 
 /// The overlay-additions counterpart of ForEachBaseCandidate: invokes
 /// `fn(tuple)` for each hypothetically added tuple of `atom`'s predicate
-/// that can possibly match — the first-argument bucket when the first
-/// argument is bound, all added tuples otherwise. Masked tuples are NOT
-/// filtered here; callers check TupleVisible as part of `fn`. `fn` returns
-/// false to stop; ForEachAddedCandidate then returns false.
+/// that can possibly match — the bound-column-signature bucket when any
+/// column is bound (built on demand by OverlayDatabase::AddedProbe), all
+/// added tuples otherwise. Masked tuples are NOT filtered here; callers
+/// check TupleVisible as part of `fn`. `fn` returns false to stop;
+/// ForEachAddedCandidate then returns false.
 ///
-/// Like the base version, iteration is index-based over stable-by-prefix
-/// vectors, so `fn` may push and pop overlay frames (growing and shrinking
-/// the tail of the relation) while the scan is in flight.
+/// Iteration is index-based over stable-by-prefix vectors, so `fn` may
+/// push and pop overlay frames (growing and shrinking the tail of the
+/// relation) while the scan is in flight.
 template <typename Fn>
 bool ForEachAddedCandidate(const OverlayDatabase& overlay, const Atom& atom,
                            const Binding& binding, Fn&& fn) {
-  ConstId first = ResolvedFirstArg(atom, binding);
-  if (first != kInvalidConst) {
-    const std::vector<int>* subset =
-        overlay.AddedTuplesWithFirstArg(atom.predicate, first);
+  Tuple key;
+  ColumnMask mask = BoundSignature(atom, binding, &key);
+  const std::vector<Tuple>& all = overlay.AddedTuplesFor(atom.predicate);
+  if (mask != 0) {
+    const std::vector<RowId>* subset =
+        overlay.AddedProbe(atom.predicate, mask, key);
     if (subset == nullptr) return true;
-    const std::vector<Tuple>& all = overlay.AddedTuplesFor(atom.predicate);
+    // Dynamic bound: `fn` may pop frames, trimming the bucket under us.
     for (size_t i = 0; i < subset->size(); ++i) {
       if (!fn(all[(*subset)[i]])) return false;
     }
     return true;
   }
-  const std::vector<Tuple>& all = overlay.AddedTuplesFor(atom.predicate);
   for (size_t i = 0; i < all.size(); ++i) {
     if (!fn(all[i])) return false;
   }

@@ -155,8 +155,16 @@ const EngineStats& StratifiedProver::stats() const {
     stats_.context_transitions = contexts.transitions();
     stats_.context_cache_hits = contexts.transition_hits();
     stats_.index_builds = base_->index_builds();
+    stats_.sorted_probes = base_->sorted_probes();
+    stats_.merge_join_rows = base_->merge_join_rows();
+    stats_.index_sort_micros = base_->index_sort_micros();
+    stats_.arena_bytes = base_->ArenaBytes();
     for (const auto& [key, model] : delta_models_) {
       stats_.index_builds += model->index_builds();
+      stats_.sorted_probes += model->sorted_probes();
+      stats_.merge_join_rows += model->merge_join_rows();
+      stats_.index_sort_micros += model->index_sort_micros();
+      stats_.arena_bytes += model->ArenaBytes();
     }
   }
   stats_.memo_bytes = MemoryBytes();
@@ -286,7 +294,7 @@ StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
     stats_.stratum_micros.resize(stratum_i, 0);
   }
   Stopwatch stratum_timer;
-  auto ext = std::make_unique<Database>(base_->symbols_ptr());
+  auto ext = std::make_unique<Database>(base_->symbols_ptr(), base_->backend());
   Database* model = ext.get();
   const int partition = 2 * stratum_i - 1;
 
@@ -483,7 +491,7 @@ StatusOr<bool> StratifiedProver::MatchPositive(
   std::vector<VarIndex> trail;
   Status error;
   bool stopped = false;
-  auto try_tuple = [&](const Tuple& tuple) -> bool {
+  auto try_tuple = [&](const auto& tuple) -> bool {
     ++stats_.join_probes;
     if (!binding->MatchTuple(atom, tuple, &trail)) return true;
     StatusOr<bool> r = next();
@@ -568,7 +576,7 @@ bool StratifiedProver::ExistsStored(const Atom& atom, Binding* binding,
   }
   std::vector<VarIndex> trail;
   bool found = false;
-  auto probe = [&](const Tuple& tuple) -> bool {
+  auto probe = [&](const auto& tuple) -> bool {
     ++stats_.join_probes;
     if (binding->MatchTuple(atom, tuple, &trail)) {
       binding->Undo(&trail, 0);

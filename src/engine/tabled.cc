@@ -137,6 +137,10 @@ TabledEngine::GoalKey TabledEngine::KeyFor(const Fact& goal) {
 
 const EngineStats& TabledEngine::stats() const {
   stats_.index_builds = base_->index_builds();
+  stats_.sorted_probes = base_->sorted_probes();
+  stats_.merge_join_rows = base_->merge_join_rows();
+  stats_.index_sort_micros = base_->index_sort_micros();
+  stats_.arena_bytes = base_->ArenaBytes();
   if (overlay_ != nullptr) {
     const ContextInterner& contexts = overlay_->context_interner();
     stats_.contexts_interned = contexts.num_contexts();
@@ -240,7 +244,7 @@ StatusOr<bool> TabledEngine::WalkPlan(
         std::vector<VarIndex> trail;
         Status error;
         bool stopped = false;
-        auto try_tuple = [&](const Tuple& tuple) -> bool {
+        auto try_tuple = [&](const auto& tuple) -> bool {
           ++stats_.join_probes;
           // Hypothetically deleted facts are masked, not removed.
           if (!overlay_->TupleVisible(atom.predicate, tuple)) return true;

@@ -158,7 +158,10 @@ int RunSession(QueryServer* server, std::istream& in, std::ostream& out) {
           << " strata_repaired=" << c.repair.strata_repaired
           << " strata_recomputed=" << c.repair.strata_recomputed
           << " overdeleted=" << c.repair.facts_overdeleted
-          << " rederived=" << c.repair.facts_rederived << "\n";
+          << " rederived=" << c.repair.facts_rederived
+          << " arena_bytes=" << c.arena_bytes
+          << " sorted_probes=" << c.sorted_probes
+          << " index_sort_micros=" << c.index_sort_micros << "\n";
     } else if (cmd == "ping") {
       out << "ok pong\n";
     } else if (cmd == "shutdown") {

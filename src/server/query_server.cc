@@ -100,6 +100,10 @@ Status QueryServer::InitEngines() {
 }
 
 void QueryServer::PrepareAndSeal() {
+  // The server's base lives across many epochs and every engine probes
+  // it; sorted permutation indexes pay their O(n log n) once per epoch
+  // and are O(1) to reseal when the relations did not change.
+  base_.EnableSortedIndexes();
   for (const auto& engine : engines_) {
     for (const auto& [pred, mask] : engine->BaseProbeSignatures()) {
       base_.PrepareIndex(pred, mask);
@@ -262,6 +266,9 @@ QueryServer::Counters QueryServer::counters() const {
   c.mutation_batches = mutation_batches_;
   c.noop_batches = noop_batches_;
   c.base_facts = base_.size();
+  c.arena_bytes = base_.ArenaBytes();
+  c.sorted_probes = base_.sorted_probes();
+  c.index_sort_micros = base_.index_sort_micros();
   c.repair = repair_stats_;
   return c;
 }

@@ -131,6 +131,9 @@ class QueryServer {
     int64_t mutation_batches = 0;
     int64_t noop_batches = 0;
     int64_t base_facts = 0;
+    int64_t arena_bytes = 0;        // Columnar footprint of the base.
+    int64_t sorted_probes = 0;      // Sorted-range probes against the base.
+    int64_t index_sort_micros = 0;  // Time spent sorting base indexes.
     EngineStats repair;  // base_deltas, strata_repaired, overdeleted, ...
   };
   Counters counters() const;

@@ -42,10 +42,10 @@ TEST_F(DbTest, TuplesForPreservesInsertionOrder) {
   db_.Insert(MakeFact("p", {"a"}));
   db_.Insert(MakeFact("p", {"b"}));
   PredicateId p = symbols_->FindPredicate("p");
-  const auto& tuples = db_.TuplesFor(p);
+  const Database::RowsView tuples = db_.TuplesFor(p);
   ASSERT_EQ(tuples.size(), 3u);
-  EXPECT_EQ(symbols_->ConstName(tuples[0][0]), "c");
-  EXPECT_EQ(symbols_->ConstName(tuples[2][0]), "b");
+  EXPECT_EQ(symbols_->ConstName(tuples.At(0, 0)), "c");
+  EXPECT_EQ(symbols_->ConstName(tuples.At(2, 0)), "b");
 }
 
 TEST_F(DbTest, TuplesForUnknownPredicateIsEmpty) {
@@ -105,10 +105,10 @@ TEST_F(DbTest, ClearResetsSeal) {
   // Reinsert and probe: the index must be rebuilt lazily over the new
   // contents, not answered from sealed (and now empty) state.
   db_.Insert(MakeFact("edge", {"a", "c"}));
-  const std::vector<int>* bucket = db_.TuplesWithFirstArg(edge, a);
-  ASSERT_NE(bucket, nullptr);
+  Database::RowRange bucket = db_.ProbeIndex(edge, 0b1, {a});
+  ASSERT_FALSE(bucket.scan_all);
   ASSERT_NE(bucket, Database::ScanAllMarker());
-  EXPECT_EQ(bucket->size(), 1u);
+  EXPECT_EQ(bucket.count, 1u);
 }
 
 TEST_F(DbTest, TypedInsertWhileSealedStartsNewEpoch) {
@@ -118,14 +118,14 @@ TEST_F(DbTest, TypedInsertWhileSealedStartsNewEpoch) {
   db_.Insert(MakeFact("edge", {"a", "b"}));
   PredicateId edge = symbols_->FindPredicate("edge");
   ConstId a = symbols_->FindConst("a");
-  ASSERT_EQ(db_.TuplesWithFirstArg(edge, a)->size(), 1u);
+  ASSERT_EQ(db_.ProbeIndex(edge, 0b1, {a}).count, 1u);
   db_.SealIndexes();
 
   EXPECT_TRUE(db_.Insert(MakeFact("edge", {"a", "c"})));
   EXPECT_FALSE(db_.sealed()) << "typed Insert auto-unseals";
-  const std::vector<int>* bucket = db_.TuplesWithFirstArg(edge, a);
-  ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(bucket->size(), 2u) << "the index catches up past built_upto";
+  Database::RowRange bucket = db_.ProbeIndex(edge, 0b1, {a});
+  ASSERT_FALSE(bucket.scan_all);
+  EXPECT_EQ(bucket.count, 2u) << "the index catches up past built_upto";
 
   // A duplicate insert is not a mutation and must not break the seal.
   db_.SealIndexes();
@@ -168,16 +168,16 @@ TEST_F(DbTest, RetractInvalidatesIndexes) {
   db_.Insert(MakeFact("edge", {"a", "e"}));
   PredicateId edge = symbols_->FindPredicate("edge");
   ConstId a = symbols_->FindConst("a");
-  ASSERT_EQ(db_.TuplesWithFirstArg(edge, a)->size(), 2u);
+  ASSERT_EQ(db_.ProbeIndex(edge, 0b1, {a}).count, 2u);
 
   // Retraction shifts stored positions; the rebuilt index must agree
   // with the surviving tuples, not the stale positions.
   ASSERT_TRUE(db_.Retract(MakeFact("edge", {"a", "b"})));
-  const std::vector<int>* bucket = db_.TuplesWithFirstArg(edge, a);
-  ASSERT_NE(bucket, nullptr);
-  ASSERT_EQ(bucket->size(), 1u);
-  const auto& all = db_.TuplesFor(edge);
-  EXPECT_EQ(symbols_->ConstName(all[(*bucket)[0]][1]), "e");
+  Database::RowRange bucket = db_.ProbeIndex(edge, 0b1, {a});
+  ASSERT_FALSE(bucket.empty());
+  ASSERT_EQ(bucket.count, 1u);
+  const Database::RowsView all = db_.TuplesFor(edge);
+  EXPECT_EQ(symbols_->ConstName(all.At(bucket.data[0], 1)), "e");
 }
 
 TEST_F(DbTest, RetractWhileSealedUnseals) {
@@ -220,12 +220,12 @@ TEST_F(DbTest, FirstArgIndexFindsTuples) {
   db_.Insert(MakeFact("edge", {"a", "d"}));
   PredicateId edge = symbols_->FindPredicate("edge");
   ConstId a = symbols_->FindConst("a");
-  const std::vector<int>* bucket = db_.TuplesWithFirstArg(edge, a);
-  ASSERT_NE(bucket, nullptr);
-  ASSERT_EQ(bucket->size(), 2u);
-  const auto& all = db_.TuplesFor(edge);
-  EXPECT_EQ(all[(*bucket)[0]][0], a);
-  EXPECT_EQ(all[(*bucket)[1]][0], a);
+  Database::RowRange bucket = db_.ProbeIndex(edge, 0b1, {a});
+  ASSERT_FALSE(bucket.empty());
+  ASSERT_EQ(bucket.count, 2u);
+  const Database::RowsView all = db_.TuplesFor(edge);
+  EXPECT_EQ(all.At(bucket.data[0], 0), a);
+  EXPECT_EQ(all.At(bucket.data[1], 0), a);
 }
 
 TEST_F(DbTest, ProbeIndexOnAnyColumnMask) {
@@ -237,47 +237,231 @@ TEST_F(DbTest, ProbeIndexOnAnyColumnMask) {
   ConstId a = symbols_->FindConst("a");
 
   // Second column only (mask 0b10).
-  const std::vector<int>* by_second = db_.ProbeIndex(t, 0b10, {x});
-  ASSERT_NE(by_second, nullptr);
-  ASSERT_EQ(by_second->size(), 2u);
-  const auto& all = db_.TuplesFor(t);
-  for (int pos : *by_second) EXPECT_EQ(all[pos][1], x);
+  Database::RowRange by_second = db_.ProbeIndex(t, 0b10, {x});
+  ASSERT_FALSE(by_second.empty());
+  ASSERT_EQ(by_second.count, 2u);
+  const Database::RowsView all = db_.TuplesFor(t);
+  for (size_t i = 0; i < by_second.count; ++i) {
+    EXPECT_EQ(all.At(by_second.data[i], 1), x);
+  }
 
   // Both columns (mask 0b11): a unique tuple.
-  const std::vector<int>* exact = db_.ProbeIndex(t, 0b11, {a, x});
-  ASSERT_NE(exact, nullptr);
-  ASSERT_EQ(exact->size(), 1u);
-  EXPECT_EQ(all[(*exact)[0]], (Tuple{a, x}));
+  Database::RowRange exact = db_.ProbeIndex(t, 0b11, {a, x});
+  ASSERT_FALSE(exact.empty());
+  ASSERT_EQ(exact.count, 1u);
+  EXPECT_EQ(all.TupleAt(exact.data[0]), (Tuple{a, x}));
 
-  // A key with no matching tuples yields null, and probing an unknown
-  // predicate is harmless.
+  // A key with no matching tuples yields an empty range, and probing an
+  // unknown predicate is harmless.
   ConstId b = symbols_->FindConst("b");
-  EXPECT_EQ(db_.ProbeIndex(t, 0b11, {b, symbols_->FindConst("y")}),
-            nullptr);
-  EXPECT_EQ(db_.ProbeIndex(999999, 0b1, {a}), nullptr);
+  EXPECT_TRUE(db_.ProbeIndex(t, 0b11, {b, symbols_->FindConst("y")}).empty());
+  EXPECT_TRUE(db_.ProbeIndex(999999, 0b1, {a}).empty());
 }
 
 TEST_F(DbTest, ProbeIndexExtendsLazilyAsRelationGrows) {
   db_.Insert(MakeFact("p", {"a", "x"}));
   PredicateId p = symbols_->FindPredicate("p");
   ConstId x = symbols_->FindConst("x");
-  ASSERT_EQ(db_.ProbeIndex(p, 0b10, {x})->size(), 1u);
+  ASSERT_EQ(db_.ProbeIndex(p, 0b10, {x}).count, 1u);
   int64_t builds = db_.index_builds();
 
   // Tuples inserted after the index was built show up on the next probe
   // without a rebuild: the index is extended incrementally.
   db_.Insert(MakeFact("p", {"b", "x"}));
-  const std::vector<int>* bucket = db_.ProbeIndex(p, 0b10, {x});
-  ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(bucket->size(), 2u);
+  Database::RowRange bucket = db_.ProbeIndex(p, 0b10, {x});
+  ASSERT_FALSE(bucket.empty());
+  EXPECT_EQ(bucket.count, 2u);
   EXPECT_EQ(db_.index_builds(), builds)
       << "re-probing the same (predicate, mask) must not count as a build";
 
   // A different mask on the same relation is a distinct index.
   ConstId a = symbols_->FindConst("a");
-  ASSERT_NE(db_.ProbeIndex(p, 0b01, {a}), nullptr);
+  ASSERT_FALSE(db_.ProbeIndex(p, 0b01, {a}).empty());
   EXPECT_EQ(db_.index_builds(), builds + 1);
   EXPECT_EQ(db_.index_probes(), 3);
+}
+
+TEST_F(DbTest, SortedSealAnswersProbesFromPermutation) {
+  // Explicitly columnar: sorted permutations are a columnar-only path,
+  // and the suite may run with HYPO_STORAGE=hash flipping the default.
+  Database db(symbols_, StorageBackend::kColumnar);
+  db.Insert(MakeFact("edge", {"c", "d"}));
+  db.Insert(MakeFact("edge", {"a", "b"}));
+  db.Insert(MakeFact("edge", {"a", "e"}));
+  db.Insert(MakeFact("edge", {"b", "b"}));
+  PredicateId edge = symbols_->FindPredicate("edge");
+  ConstId a = symbols_->FindConst("a");
+
+  db.EnableSortedIndexes();
+  db.PrepareIndex(edge, 0b1);
+  db.SealIndexes();
+  ASSERT_TRUE(db.sealed());
+  ASSERT_TRUE(db.sorted_indexes_enabled());
+
+  Database::RowRange range = db.ProbeIndex(edge, 0b1, {a});
+  ASSERT_FALSE(range.scan_all);
+  ASSERT_EQ(range.count, 2u);
+  // Equal-key runs keep ascending row order, i.e. insertion order: the
+  // (a, b) tuple was inserted before (a, e).
+  const Database::RowsView all = db.TuplesFor(edge);
+  EXPECT_LT(range.data[0], range.data[1]);
+  EXPECT_EQ(symbols_->ConstName(all.At(range.data[0], 1)), "b");
+  EXPECT_EQ(symbols_->ConstName(all.At(range.data[1], 1)), "e");
+  EXPECT_GE(db.sorted_probes(), 1);
+  EXPECT_GE(db.merge_join_rows(), 2);
+
+  // A missing key binary-searches to an empty range.
+  EXPECT_TRUE(db.ProbeIndex(edge, 0b1, {symbols_->FindConst("d")}).empty());
+}
+
+TEST_F(DbTest, SortedIndexSurvivesUnsealResealCycles) {
+  Database db(symbols_, StorageBackend::kColumnar);
+  db.Insert(MakeFact("edge", {"a", "b"}));
+  PredicateId edge = symbols_->FindPredicate("edge");
+  ConstId a = symbols_->FindConst("a");
+  db.EnableSortedIndexes();
+  db.PrepareIndex(edge, 0b1);
+  db.SealIndexes();
+  ASSERT_EQ(db.ProbeIndex(edge, 0b1, {a}).count, 1u);
+  int64_t sort_micros_after_first_seal = db.index_sort_micros();
+
+  // Unseal + reseal with no mutation: the permutation version matches,
+  // so the reseal is O(1) and must not re-sort.
+  db.UnsealIndexes();
+  db.SealIndexes();
+  EXPECT_EQ(db.index_sort_micros(), sort_micros_after_first_seal);
+  EXPECT_EQ(db.ProbeIndex(edge, 0b1, {a}).count, 1u);
+
+  // Mutation bumps the version: the next seal re-sorts and the probe
+  // sees the new tuple.
+  db.Insert(MakeFact("edge", {"a", "c"}));
+  EXPECT_FALSE(db.sealed());
+  db.SealIndexes();
+  EXPECT_EQ(db.ProbeIndex(edge, 0b1, {a}).count, 2u);
+
+  // Retract drops the relation's indexes (row ids shift); a sealed probe
+  // without re-preparation degrades to a correct full scan. Re-preparing
+  // before the reseal — the server's epoch flow — restores the range.
+  ASSERT_TRUE(db.Retract(MakeFact("edge", {"a", "b"})));
+  db.SealIndexes();
+  EXPECT_EQ(db.ProbeIndex(edge, 0b1, {a}), Database::ScanAllMarker());
+  db.UnsealIndexes();
+  db.PrepareIndex(edge, 0b1);
+  db.SealIndexes();
+  Database::RowRange range = db.ProbeIndex(edge, 0b1, {a});
+  ASSERT_EQ(range.count, 1u);
+  EXPECT_EQ(symbols_->ConstName(db.TuplesFor(edge).At(range.data[0], 1)),
+            "c");
+}
+
+TEST_F(DbTest, BackendsAgreeOnProbesAndOrder) {
+  Database col_db(symbols_, StorageBackend::kColumnar);
+  Database hash_db(symbols_, StorageBackend::kReferenceHash);
+  ASSERT_EQ(col_db.backend(), StorageBackend::kColumnar);
+  ASSERT_EQ(hash_db.backend(), StorageBackend::kReferenceHash);
+
+  std::vector<Fact> facts = {
+      MakeFact("edge", {"c", "d"}), MakeFact("edge", {"a", "b"}),
+      MakeFact("edge", {"a", "e"}), MakeFact("edge", {"b", "b"}),
+      MakeFact("p", {"a"})};
+  for (const Fact& f : facts) {
+    ASSERT_TRUE(col_db.Insert(f));
+    ASSERT_TRUE(hash_db.Insert(f));
+  }
+  PredicateId edge = symbols_->FindPredicate("edge");
+  ConstId a = symbols_->FindConst("a");
+  ConstId b = symbols_->FindConst("b");
+
+  // Same tuples in the same insertion order.
+  const Database::RowsView cols = col_db.TuplesFor(edge);
+  const Database::RowsView rows = hash_db.TuplesFor(edge);
+  ASSERT_EQ(cols.size(), rows.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ(cols.TupleAt(i), rows.TupleAt(i));
+  }
+
+  // Probes resolve to the same row ids in the same order, sealed (with
+  // sorted indexes on the columnar side) or unsealed.
+  for (int sealed = 0; sealed < 2; ++sealed) {
+    if (sealed) {
+      col_db.EnableSortedIndexes();
+      for (Database* d : {&col_db, &hash_db}) {
+        d->PrepareIndex(edge, 0b1);
+        d->PrepareIndex(edge, 0b10);
+        d->SealIndexes();
+      }
+    }
+    for (ColumnMask mask : {ColumnMask{0b1}, ColumnMask{0b10}}) {
+      for (ConstId key : {a, b}) {
+        Database::RowRange lhs = col_db.ProbeIndex(edge, mask, {key});
+        Database::RowRange rhs = hash_db.ProbeIndex(edge, mask, {key});
+        ASSERT_EQ(lhs.scan_all, rhs.scan_all);
+        ASSERT_EQ(lhs.count, rhs.count);
+        for (size_t i = 0; i < lhs.count; ++i) {
+          EXPECT_EQ(lhs.data[i], rhs.data[i]);
+        }
+      }
+    }
+  }
+  EXPECT_GT(col_db.ArenaBytes(), 0) << "columnar tracks its arena";
+  EXPECT_EQ(hash_db.ArenaBytes(), 0) << "reference backend has no arena";
+}
+
+TEST_F(DbTest, ReferenceHashBackendRetractAndClearRelation) {
+  Database db(symbols_, StorageBackend::kReferenceHash);
+  Fact ab = MakeFact("edge", {"a", "b"});
+  Fact bc = MakeFact("edge", {"b", "c"});
+  db.Insert(ab);
+  db.Insert(bc);
+  db.Insert(MakeFact("p", {"d"}));
+  ASSERT_EQ(db.constants().size(), 4u);
+
+  EXPECT_TRUE(db.Retract(ab));
+  // Satellite regression: the tracked constant domain shrinks exactly —
+  // "a" lost its last reference, "b" survives via bc.
+  EXPECT_EQ(db.constants().count(symbols_->FindConst("a")), 0u);
+  EXPECT_EQ(db.constants().count(symbols_->FindConst("b")), 1u);
+
+  PredicateId edge = symbols_->FindPredicate("edge");
+  EXPECT_EQ(db.ClearRelation(edge), 1);
+  EXPECT_EQ(db.constants().count(symbols_->FindConst("b")), 0u);
+  EXPECT_EQ(db.constants().count(symbols_->FindConst("c")), 0u);
+  EXPECT_EQ(db.constants().size(), 1u) << "only p(d)'s constant remains";
+  EXPECT_EQ(db.size(), 1);
+}
+
+TEST_F(DbTest, ColumnarConstantDomainShrinksAfterRetract) {
+  // Same regression on the columnar default: retracting the last tuple
+  // mentioning a constant must drop it from constants() so ComputeDomain
+  // (Definition 3) shrinks with the database.
+  Fact ab = MakeFact("edge", {"a", "b"});
+  Fact aa = MakeFact("edge", {"a", "a"});
+  db_.Insert(ab);
+  db_.Insert(aa);
+  ASSERT_EQ(db_.constants().size(), 2u);
+  EXPECT_TRUE(db_.Retract(ab));
+  EXPECT_EQ(db_.constants().count(symbols_->FindConst("b")), 0u)
+      << "b's only reference was retracted";
+  EXPECT_EQ(db_.constants().count(symbols_->FindConst("a")), 1u)
+      << "a is still referenced twice by edge(a, a)";
+  db_.Clear();
+  EXPECT_TRUE(db_.constants().empty());
+}
+
+TEST_F(DbTest, ZeroArityRelationAcrossBackends) {
+  for (StorageBackend backend :
+       {StorageBackend::kColumnar, StorageBackend::kReferenceHash}) {
+    Database db(symbols_, backend);
+    Fact yes = MakeFact("yes", {});
+    EXPECT_FALSE(db.Contains(yes));
+    EXPECT_TRUE(db.Insert(yes));
+    EXPECT_TRUE(db.Contains(yes));
+    EXPECT_FALSE(db.Insert(yes));
+    EXPECT_EQ(db.TuplesFor(yes.predicate).size(), 1u);
+    EXPECT_TRUE(db.Retract(yes));
+    EXPECT_FALSE(db.Contains(yes));
+    EXPECT_EQ(db.size(), 0);
+  }
 }
 
 TEST_F(DbTest, FactToStringFormats) {
@@ -626,29 +810,56 @@ TEST_F(OverlayTest, DeleteReAddDeleteAcrossNestedFrames) {
   EXPECT_TRUE(overlay_.DebugContextConsistent());
 }
 
-TEST_F(OverlayTest, AddedTuplesWithFirstArg) {
+TEST_F(OverlayTest, AddedProbeByFirstArg) {
   PredicateId edge = symbols_->InternPredicate("edge", 2).value();
   ConstId a = symbols_->InternConst("a");
   ConstId c = symbols_->InternConst("c");
-  EXPECT_EQ(overlay_.AddedTuplesWithFirstArg(edge, a), nullptr);
+  EXPECT_EQ(overlay_.AddedProbe(edge, 0b1, {a}), nullptr);
 
   overlay_.PushFrame();
   overlay_.Add(MakeFact("edge", {"a", "b"}));
   overlay_.Add(MakeFact("edge", {"c", "d"}));
   overlay_.Add(MakeFact("edge", {"a", "d"}));
 
-  const std::vector<int>* bucket = overlay_.AddedTuplesWithFirstArg(edge, a);
+  const std::vector<RowId>* bucket = overlay_.AddedProbe(edge, 0b1, {a});
   ASSERT_NE(bucket, nullptr);
   ASSERT_EQ(bucket->size(), 2u);
   const auto& all = overlay_.AddedTuplesFor(edge);
   EXPECT_EQ(all[(*bucket)[0]][0], a);
   EXPECT_EQ(all[(*bucket)[1]][0], a);
-  ASSERT_NE(overlay_.AddedTuplesWithFirstArg(edge, c), nullptr);
-  EXPECT_EQ(overlay_.AddedTuplesWithFirstArg(edge, c)->size(), 1u);
+  ASSERT_NE(overlay_.AddedProbe(edge, 0b1, {c}), nullptr);
+  EXPECT_EQ(overlay_.AddedProbe(edge, 0b1, {c})->size(), 1u);
 
   overlay_.PopFrame();
-  EXPECT_EQ(overlay_.AddedTuplesWithFirstArg(edge, a), nullptr)
+  EXPECT_EQ(overlay_.AddedProbe(edge, 0b1, {a}), nullptr)
       << "popping the frame empties the first-arg buckets";
+}
+
+TEST_F(OverlayTest, AddedProbeOnSecondColumnAcrossFrames) {
+  PredicateId edge = symbols_->InternPredicate("edge", 2).value();
+  ConstId d = symbols_->InternConst("d");
+
+  overlay_.PushFrame();
+  overlay_.Add(MakeFact("edge", {"a", "d"}));
+  overlay_.PushFrame();
+  overlay_.Add(MakeFact("edge", {"c", "d"}));
+  overlay_.Add(MakeFact("edge", {"c", "e"}));
+
+  const std::vector<RowId>* bucket = overlay_.AddedProbe(edge, 0b10, {d});
+  ASSERT_NE(bucket, nullptr);
+  ASSERT_EQ(bucket->size(), 2u);
+  const auto& all = overlay_.AddedTuplesFor(edge);
+  EXPECT_EQ(all[(*bucket)[0]][1], d);
+  EXPECT_EQ(all[(*bucket)[1]][1], d);
+
+  // Popping the inner frame trims the mask index back to one entry; the
+  // bucket node survives so a later probe still finds the outer tuple.
+  overlay_.PopFrame();
+  bucket = overlay_.AddedProbe(edge, 0b10, {d});
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 1u);
+  overlay_.PopFrame();
+  EXPECT_EQ(overlay_.AddedProbe(edge, 0b10, {d}), nullptr);
 }
 
 TEST_F(OverlayTest, ForEachAddedInInsertionOrder) {
