@@ -16,6 +16,7 @@
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "encode/tm_encoder.h"
+#include "engine/memo_board.h"
 #include "queries/chains.h"
 #include "queries/graphs.h"
 #include "tm/machines_library.h"
@@ -411,6 +412,71 @@ void BM_OverlayHeavyCascade(benchmark::State& state) {
 }
 BENCHMARK(BM_OverlayHeavyCascade)
     ->ArgsProduct({{0, 1}, {32, 64, 96}});
+
+/// The server's cross-query warm path: at every epoch turn the first
+/// pooled engine repairs and republishes the base model on the shared
+/// MemoBoard; each sibling then skips its own repair and adopts the
+/// published snapshot at its next query. Timed region = what ONE sibling
+/// pays per epoch turn (ApplyBaseDelta + the follow-up query):
+///   /0 cold — board-less sibling, pays its own DRed repair;
+///   /1 warm — board-attached sibling, pays a state drop + model Clone.
+/// The untimed setup per iteration plays the server: toggle a base fact,
+/// BeginEpoch, have the repairer engine repair + republish.
+void BM_CrossQueryMemoReuse(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  const int k = 4;
+  const int len = 64;
+  ProgramFixture fixture = MakeChainForest(k, len);
+  MemoBoard board;
+  int64_t epoch = 1;
+  board.BeginEpoch(epoch);
+  EngineOptions options;
+  BottomUpEngine repairer(&fixture.rules, &fixture.db, options);
+  repairer.AttachMemoBoard(&board);
+  BottomUpEngine sibling(&fixture.rules, &fixture.db, options);
+  if (warm) sibling.AttachMemoBoard(&board);
+  HYPO_CHECK(repairer.Init().ok());
+  HYPO_CHECK(sibling.Init().ok());
+  Query query = bench::MustParseQuery(
+      fixture, "t(c0_0, c0_" + std::to_string(len - 1) + ")");
+  HYPO_CHECK(repairer.ProveQuery(query).ok());
+  HYPO_CHECK(sibling.ProveQuery(query).ok());
+
+  // A middle edge of chain 1: endpoints stay in the domain through their
+  // neighbors, so every turn takes the repair path, never the
+  // changed-domain rebuild.
+  auto toggled = ParseFact("edge(c1_31, c1_32)", fixture.symbols.get());
+  HYPO_CHECK(toggled.ok()) << toggled.status();
+  bool present = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    present = !present;
+    BaseDelta delta;
+    if (present) {
+      HYPO_CHECK(fixture.db.Insert(*toggled));
+      delta.inserts.push_back(*toggled);
+    } else {
+      HYPO_CHECK(fixture.db.Retract(*toggled));
+      delta.retracts.push_back(*toggled);
+    }
+    board.BeginEpoch(++epoch);
+    HYPO_CHECK(repairer.ApplyBaseDelta(delta).ok());
+    state.ResumeTiming();
+
+    Status s = sibling.ApplyBaseDelta(delta);
+    HYPO_CHECK(s.ok()) << s;
+    auto answer = sibling.ProveQuery(query);
+    HYPO_CHECK(answer.ok() && *answer) << answer.status();
+  }
+  MemoBoard::Stats stats = board.snapshot_stats();
+  state.counters["model_hits"] = static_cast<double>(stats.model_hits);
+  state.counters["cache_hits_cross_query"] =
+      static_cast<double>(sibling.stats().cache_hits_cross_query);
+  state.SetLabel(std::string(warm ? "warm (board adopt)"
+                                  : "cold (self-repair)") +
+                 " k=" + std::to_string(k) + " len=" + std::to_string(len));
+}
+BENCHMARK(BM_CrossQueryMemoReuse)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace hypo

@@ -58,7 +58,14 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " PROGRAM.hdl [--engine NAME] [--pool N] [--threads N]"
-                 " [--timeout-ms N] [--max-memory-mb N]\n";
+                 " [--timeout-ms N] [--max-memory-mb N]"
+                 " [--no-cross-cache] [--cache-mb N]\n";
+    return 2;
+  }
+  // A mistyped storage backend must fail the launch, not silently serve
+  // every epoch from the default backend.
+  if (Status s = Database::ValidateStorageEnv(); !s.ok()) {
+    std::cerr << "storage: " << s << "\n";
     return 2;
   }
   std::string program_path;
@@ -69,6 +76,12 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--engine" && i + 1 < argc) {
       options.engine_name = argv[++i];
+    } else if (arg == "--no-cross-cache") {
+      options.cross_query_cache = false;
+    } else if (arg == "--cache-mb" && i + 1 < argc) {
+      long value = 0;
+      if (!ParsePositiveFlag("--cache-mb", argv[++i], &value)) return 2;
+      options.cache_bytes = value * 1024 * 1024;
     } else if (arg == "--pool" && i + 1 < argc) {
       long value = 0;
       if (!ParsePositiveFlag("--pool", argv[++i], &value, 64)) return 2;

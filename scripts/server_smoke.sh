@@ -77,4 +77,87 @@ grep -v '^ok epoch=4 queries=' "$tmp/got" | diff -u "$tmp/expected" - || {
   echo "session transcript mismatch (see diff above)" >&2
   exit 1
 }
+
+# Scenario 2: repeated queries across epochs against a restricted program,
+# with the cross-query cache on (default) and off (--no-cross-cache). The
+# answer transcripts must be identical either way; the stats line must
+# surface the new counters, and the undeclared hypothetical must be
+# rejected with the typed error without killing the session.
+cat > "$tmp/program2.hdl" <<'EOF'
+:- assumable edge/2.
+reach(X, Y) <- edge(X, Y).
+reach(X, Z) <- edge(X, Y), reach(Y, Z).
+edge(a, b).
+edge(b, c).
+EOF
+
+cat > "$tmp/session2" <<'EOF'
+query reach(a, X)
+query reach(a, X)
+query reach(a, c)[add: edge(x, y)]
+query reach(a, c)[add: reach(x, y)]
+insert edge(c, d)
+query reach(a, X)
+query reach(a, X)
+stats
+shutdown
+EOF
+
+cat > "$tmp/expected2" <<'EOF'
+ok 2 answers
+- X=b
+- X=c
+ok 2 answers
+- X=b
+- X=c
+ok yes
+ok epoch=2 changed=1
+ok 3 answers
+- X=b
+- X=c
+- X=d
+ok 3 answers
+- X=b
+- X=c
+- X=d
+ok bye
+EOF
+
+for flags in "" "--no-cross-cache"; do
+  rc=0
+  # shellcheck disable=SC2086  # $flags is intentionally word-split.
+  "$serve" "$tmp/program2.hdl" --engine bottomup --pool 2 $flags \
+    < "$tmp/session2" > "$tmp/got2" 2> "$tmp/stderr2" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "hypo_serve ($flags) exited $rc" >&2
+    cat "$tmp/stderr2" >&2
+    exit 1
+  fi
+  grep '^err FailedPrecondition: hypothetical insertion of restricted' \
+    "$tmp/got2" > /dev/null || {
+    echo "missing typed restricted-predicate rejection ($flags):" >&2
+    cat "$tmp/got2" >&2
+    exit 1
+  }
+  grep -E '^ok epoch=2 .* cache_hits_cross_query=[0-9]+ contexts_reused=[0-9]+ restricted_rejections=1$' \
+    "$tmp/got2" > /dev/null || {
+    echo "stats line missing cross-query counters ($flags):" >&2
+    grep '^ok epoch=2 queries' "$tmp/got2" >&2 || true
+    exit 1
+  }
+  grep -v -e '^ok epoch=2 queries=' -e '^err FailedPrecondition' "$tmp/got2" \
+    | diff -u "$tmp/expected2" - || {
+    echo "restricted-session transcript mismatch ($flags, see diff above)" >&2
+    exit 1
+  }
+done
+
+# The escape hatch really disables the board: no cross-query hits.
+"$serve" "$tmp/program2.hdl" --engine bottomup --pool 2 --no-cross-cache \
+  < "$tmp/session2" 2> /dev/null \
+  | grep -E '^ok epoch=2 .* cache_hits_cross_query=0 ' > /dev/null || {
+  echo "--no-cross-cache still reported cross-query cache hits" >&2
+  exit 1
+}
+
 echo "server smoke: OK"

@@ -1,0 +1,107 @@
+#include "analysis/restricted.h"
+
+#include <string>
+
+namespace hypo {
+
+namespace {
+
+std::string PredicateLabel(const SymbolTable& symbols, PredicateId pred) {
+  return symbols.PredicateName(pred) + "/" +
+         std::to_string(symbols.PredicateArity(pred));
+}
+
+Status ViolationError(const SymbolTable& symbols, PredicateId pred,
+                      bool assume, const char* where) {
+  const char* directive = assume ? "assumable" : "retractable";
+  const char* op = assume ? "insertion" : "deletion";
+  return Status::FailedPrecondition(
+      std::string("hypothetical ") + op + " of restricted predicate '" +
+      PredicateLabel(symbols, pred) + "' in " + where +
+      ": declare ':- " + directive + " " + PredicateLabel(symbols, pred) +
+      ".' to allow it");
+}
+
+Status CheckPremises(const RuleBase& rulebase,
+                     const std::vector<Premise>& premises,
+                     const char* where) {
+  const auto& assumable = rulebase.assumable();
+  const auto& retractable = rulebase.retractable();
+  for (const Premise& p : premises) {
+    for (const Atom& a : p.additions) {
+      if (assumable.count(a.predicate) == 0) {
+        return ViolationError(rulebase.symbols(), a.predicate,
+                              /*assume=*/true, where);
+      }
+    }
+    for (const Atom& a : p.deletions) {
+      if (retractable.count(a.predicate) == 0) {
+        return ViolationError(rulebase.symbols(), a.predicate,
+                              /*assume=*/false, where);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+RestrictionAnalysis::RestrictionAnalysis(const RuleBase* rulebase)
+    : rulebase_(rulebase),
+      num_predicates_(rulebase->symbols().num_predicates()) {
+  edges_.resize(num_predicates_);
+  for (const Rule& rule : rulebase_->rules()) {
+    if (rule.head.predicate >= num_predicates_) continue;
+    std::vector<PredicateId>& out = edges_[rule.head.predicate];
+    for (const Premise& p : rule.premises) {
+      out.push_back(p.atom.predicate);
+      for (const Atom& a : p.additions) out.push_back(a.predicate);
+      for (const Atom& a : p.deletions) out.push_back(a.predicate);
+    }
+  }
+}
+
+const std::vector<bool>& RestrictionAnalysis::ConeOf(
+    PredicateId goal_pred) const {
+  auto it = cones_.find(goal_pred);
+  if (it != cones_.end()) return it->second;
+  std::vector<bool> cone(num_predicates_, false);
+  std::vector<PredicateId> stack;
+  if (goal_pred >= 0 && goal_pred < num_predicates_) {
+    cone[goal_pred] = true;
+    stack.push_back(goal_pred);
+  }
+  while (!stack.empty()) {
+    PredicateId p = stack.back();
+    stack.pop_back();
+    for (PredicateId q : edges_[p]) {
+      if (q >= 0 && q < num_predicates_ && !cone[q]) {
+        cone[q] = true;
+        stack.push_back(q);
+      }
+    }
+  }
+  return cones_.emplace(goal_pred, std::move(cone)).first->second;
+}
+
+bool RestrictionAnalysis::Relevant(PredicateId goal_pred,
+                                   PredicateId context_pred) const {
+  if (context_pred < 0 || context_pred >= num_predicates_) return true;
+  if (goal_pred < 0 || goal_pred >= num_predicates_) return true;
+  return ConeOf(goal_pred)[context_pred];
+}
+
+Status CheckRuleRestrictions(const RuleBase& rulebase) {
+  if (!rulebase.has_restrictions()) return Status::OK();
+  for (const Rule& rule : rulebase.rules()) {
+    HYPO_RETURN_IF_ERROR(CheckPremises(rulebase, rule.premises, "a rule"));
+  }
+  return Status::OK();
+}
+
+Status CheckQueryRestrictions(const RuleBase& rulebase, const Query& query) {
+  if (!rulebase.has_restrictions()) return Status::OK();
+  return CheckPremises(rulebase, query.premises, "the query");
+}
+
+}  // namespace hypo

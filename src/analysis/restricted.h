@@ -1,0 +1,71 @@
+#ifndef HYPO_ANALYSIS_RESTRICTED_H_
+#define HYPO_ANALYSIS_RESTRICTED_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ast/query.h"
+#include "ast/rulebase.h"
+#include "base/status.h"
+
+namespace hypo {
+
+/// Restricted predicates (Sáenz-Pérez, "Restricted Predicates for
+/// Hypothetical Datalog"): `:- assumable p/2.` / `:- retractable q/1.`
+/// declarations bound which predicates may be hypothetically inserted or
+/// deleted. A rulebase with no declarations is unrestricted — every
+/// predicate may be assumed and retracted, the paper's original
+/// semantics — so existing programs are unaffected.
+///
+/// Beyond rejection, the declarations bound the overlay lattice: only
+/// assumable/retractable facts can ever appear in a hypothetical context,
+/// so a persistent cross-query cache (engine/memo_board.h) can
+/// canonicalize contexts per goal — context elements whose predicate
+/// cannot influence the goal's derivation are dropped from the cache key,
+/// making distinct-but-equivalent contexts hit the same line.
+class RestrictionAnalysis {
+ public:
+  explicit RestrictionAnalysis(const RuleBase* rulebase);
+
+  bool active() const { return rulebase_->has_restrictions(); }
+
+  /// True iff `pred` may appear in an `[add: ...]` group. Always true
+  /// when no directive was declared.
+  bool CanAssume(PredicateId pred) const {
+    return !active() || rulebase_->assumable().count(pred) > 0;
+  }
+  /// True iff `pred` may appear in a `[del: ...]` group.
+  bool CanRetract(PredicateId pred) const {
+    return !active() || rulebase_->retractable().count(pred) > 0;
+  }
+
+  /// True iff facts of `context_pred` can influence the derivation of
+  /// `goal_pred`: `context_pred` is in the reflexive-transitive dependency
+  /// cone of `goal_pred` over edges head -> {premise, addition, deletion}
+  /// predicates. Predicates unknown to the cone (e.g. interned after
+  /// construction) are conservatively reported relevant.
+  bool Relevant(PredicateId goal_pred, PredicateId context_pred) const;
+
+ private:
+  const std::vector<bool>& ConeOf(PredicateId goal_pred) const;
+
+  const RuleBase* rulebase_;
+  int num_predicates_;
+  /// Adjacency: head predicate -> predicates its rules read or write.
+  std::vector<std::vector<PredicateId>> edges_;
+  mutable std::unordered_map<PredicateId, std::vector<bool>> cones_;
+};
+
+/// Checks every rule of `rulebase` against its own declarations: each
+/// `[add:]` atom's predicate must be assumable, each `[del:]` atom's
+/// retractable. Violations are typed kFailedPrecondition errors (parse
+/// errors are kInvalidArgument), naming the predicate and the directive
+/// that would allow it. No-op for unrestricted rulebases.
+Status CheckRuleRestrictions(const RuleBase& rulebase);
+
+/// Same check for the hypothetical premises of an ad-hoc query.
+Status CheckQueryRestrictions(const RuleBase& rulebase, const Query& query);
+
+}  // namespace hypo
+
+#endif  // HYPO_ANALYSIS_RESTRICTED_H_

@@ -22,6 +22,12 @@ Status RuleBase::Merge(const RuleBase& other) {
         "RuleBase::Merge requires both rulebases to share one SymbolTable");
   }
   for (const Rule& r : other.rules_) AddRule(r);
+  if (other.has_restrictions_) {
+    has_restrictions_ = true;
+    assumable_.insert(other.assumable_.begin(), other.assumable_.end());
+    retractable_.insert(other.retractable_.begin(),
+                        other.retractable_.end());
+  }
   return Status::OK();
 }
 

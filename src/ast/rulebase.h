@@ -53,6 +53,28 @@ class RuleBase {
   /// extension supported only by the general TabledEngine.
   bool HasDeletions() const { return has_deletions_; }
 
+  /// Restricted predicates (Sáenz-Pérez): `:- assumable p/2.` declares
+  /// that p may appear in hypothetical additions, `:- retractable q/1.`
+  /// that q may be hypothetically deleted. As long as *no* directive has
+  /// been seen the rulebase is unrestricted (everything allowed, the
+  /// paper's original semantics); the first directive switches every
+  /// predicate to deny-by-default.
+  void DeclareAssumable(PredicateId pred) {
+    has_restrictions_ = true;
+    assumable_.insert(pred);
+  }
+  void DeclareRetractable(PredicateId pred) {
+    has_restrictions_ = true;
+    retractable_.insert(pred);
+  }
+  bool has_restrictions() const { return has_restrictions_; }
+  const std::unordered_set<PredicateId>& assumable() const {
+    return assumable_;
+  }
+  const std::unordered_set<PredicateId>& retractable() const {
+    return retractable_;
+  }
+
   const SymbolTable& symbols() const { return *symbols_; }
   SymbolTable* mutable_symbols() { return symbols_.get(); }
   const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
@@ -65,7 +87,10 @@ class RuleBase {
   std::unordered_map<PredicateId, std::vector<int>> definitions_;
   std::unordered_set<PredicateId> defined_;
   std::unordered_set<ConstId> constants_;
+  std::unordered_set<PredicateId> assumable_;
+  std::unordered_set<PredicateId> retractable_;
   bool has_deletions_ = false;
+  bool has_restrictions_ = false;
 };
 
 }  // namespace hypo

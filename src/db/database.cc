@@ -51,6 +51,17 @@ StorageBackend Database::DefaultBackend() {
   return static_cast<StorageBackend>(v);
 }
 
+Status Database::ValidateStorageEnv() {
+  const char* env = std::getenv("HYPO_STORAGE");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "hash") == 0 ||
+      std::strcmp(env, "columnar") == 0) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      std::string("unknown HYPO_STORAGE value \"") + env +
+      "\" (expected \"columnar\" or \"hash\")");
+}
+
 void Database::SetDefaultBackend(StorageBackend backend) {
   DefaultBackendSlot().store(static_cast<int>(backend),
                              std::memory_order_relaxed);

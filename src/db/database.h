@@ -84,6 +84,13 @@ class Database {
   static StorageBackend DefaultBackend();
   static void SetDefaultBackend(StorageBackend backend);
 
+  /// Validates the HYPO_STORAGE environment variable without consuming
+  /// it: unset, "", "columnar", and "hash" are accepted; anything else is
+  /// InvalidArgument naming the bad value. Entry points (hypo_cli,
+  /// hypo_serve) call this at startup so a typo fails fast instead of
+  /// silently evaluating on the default backend.
+  static Status ValidateStorageEnv();
+
   StorageBackend backend() const { return backend_; }
 
   /// Databases are heavyweight; copying must be explicit via Clone().

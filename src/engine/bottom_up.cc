@@ -7,8 +7,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/restricted.h"
 #include "base/failpoint.h"
 #include "base/stopwatch.h"
+#include "engine/memo_board.h"
 
 namespace hypo {
 
@@ -104,6 +106,7 @@ Status BottomUpEngine::Init() {
   // the rewrite (the rewrite only adds positive dependencies on fresh
   // magic predicates, so it stratifies whenever the original does).
   HYPO_RETURN_IF_ERROR(ComputeNegationStrata(*rulebase_).status());
+  HYPO_RETURN_IF_ERROR(CheckRuleRestrictions(*rulebase_));
   if (options_.demand && demand_profile_ == nullptr) {
     demand_profile_ = std::make_unique<DemandProfile>(rulebase_);
   }
@@ -117,6 +120,7 @@ Status BottomUpEngine::Init() {
   domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
   domain_set_.clear();
   domain_set_.insert(domain_.begin(), domain_.end());
+  domain_fp_ = DomainFingerprint(domain_);
   states_.Clear();
   tracked_bytes_.store(0, std::memory_order_relaxed);
   ++stats_.domain_rebuilds;
@@ -443,10 +447,39 @@ Status BottomUpEngine::EnsureState(int64_t ckey, const StateKey& key,
     s->dirty = true;
     HYPO_FAILPOINT("bottomup.compute_model");
     HYPO_RETURN_IF_ERROR(CheckLimits(work));
+    // Only the base state's FULL model is board-shareable: the empty
+    // context is the same id on every engine, no magic seeds narrow the
+    // model, and the fixpoint runs through the last stratum. Runs on the
+    // calling thread (workers only ever compute child states), so no
+    // engine-local translation state can race.
+    const bool shareable = board_ != nullptr && !options_.demand &&
+                           key.empty() && seeds.empty() &&
+                           target >= strata_.num_strata - 1;
+    if (shareable) {
+      std::shared_ptr<const Database> model =
+          board_->LookupModel(ContextInterner::kEmptyContext, domain_fp_);
+      if (model != nullptr) {
+        // Adopt wholesale. Any partial ext left by an aborted run holds
+        // sound derivations, i.e. a subset of the model — replacing it
+        // loses nothing.
+        const int64_t before = StateBytes(*s);
+        s->ext = model->Clone();
+        work->local_bytes += StateBytes(*s) - before;
+        ++work->stats->cache_hits_cross_query;
+        s->completed_through = target;
+        s->demand_version = demand_version_;
+        s->dirty = false;
+        return Status::OK();
+      }
+    }
     HYPO_RETURN_IF_ERROR(ComputeModel(s, target, work, allow_parallel));
     s->completed_through = target;
     s->demand_version = demand_version_;
     s->dirty = false;
+    if (shareable) {
+      board_->PublishModel(ContextInterner::kEmptyContext, domain_fp_,
+                           std::make_shared<Database>(s->ext.Clone()));
+    }
     return Status::OK();
   };
   Status status =
@@ -1053,6 +1086,17 @@ Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
       ComputeDomain(*rulebase_, *base_, extra_constants_);
   if (domain != domain_ || options_.demand) return Init();
 
+  // A sibling engine already repaired and published this epoch's base
+  // model: drop local states and adopt it lazily at the next query
+  // (EnsureState's shareable path) instead of repairing redundantly.
+  if (board_ != nullptr &&
+      board_->LookupModel(ContextInterner::kEmptyContext, domain_fp_) !=
+          nullptr) {
+    states_.Clear();
+    tracked_bytes_.store(0, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
   // Hypothetical child states are whole models over the old base: drop
   // them (they rebuild lazily on their next touch) and repair the base
   // state's model in place.
@@ -1069,6 +1113,10 @@ Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
     RecomputeTrackedBytes();
     return Status::OK();
   }
+  // Start from an exact total (RetainOnly just dropped the children), so
+  // the commit-time delta below lands on the truth, not on drift.
+  RecomputeTrackedBytes();
+  const int64_t bytes_before = StateBytes(*base_state);
   WorkCtx work;
   work.stats = &stats_;
   Status status = RepairBaseModel(base_state, delta, &work);
@@ -1079,9 +1127,28 @@ Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
     RecomputeTrackedBytes();
     return status;
   }
-  RecomputeTrackedBytes();
+  // Commit the repair's byte effects exactly. The per-fact charges the
+  // repair accumulated in work.local_bytes are estimates; the exact
+  // figure is the state's own ApproxBytes, so the commit-time delta
+  // SUPERSEDES them (adding both would double-count). When the repair
+  // also materialized hypothetical child states, re-sum everything
+  // instead — the total must be exact either way, and governance_test
+  // asserts it against an independent re-sum.
+  work.local_bytes = 0;
+  if (states_.size() == 1) {
+    tracked_bytes_.fetch_add(StateBytes(*base_state) - bytes_before,
+                             std::memory_order_relaxed);
+  } else {
+    RecomputeTrackedBytes();
+  }
+  if (board_ != nullptr) {
+    board_->PublishModel(ContextInterner::kEmptyContext, domain_fp_,
+                         std::make_shared<Database>(base_state->ext.Clone()));
+  }
   return Status::OK();
 }
+
+void BottomUpEngine::AttachMemoBoard(MemoBoard* board) { board_ = board; }
 
 Status BottomUpEngine::RepairBaseModel(State* state, const BaseDelta& delta,
                                        WorkCtx* work) {
@@ -1443,6 +1510,7 @@ StatusOr<bool> BottomUpEngine::ProveFact(const Fact& fact) {
 
 StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(CheckQueryRestrictions(*rulebase_, query));
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   GuardScope guard_scope(&guard_, options_, &stats_);
   if (guard_.wants_memory()) RecomputeTrackedBytes();
@@ -1472,6 +1540,7 @@ StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
 
 StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(CheckQueryRestrictions(*rulebase_, query));
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   GuardScope guard_scope(&guard_, options_, &stats_);
   if (guard_.wants_memory()) RecomputeTrackedBytes();

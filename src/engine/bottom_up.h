@@ -102,9 +102,27 @@ class BottomUpEngine : public Engine {
   /// changed or demand-driven evaluation is active.
   Status ApplyBaseDelta(const BaseDelta& delta) override;
 
+  /// Shares the base state's full model with a server-lifetime MemoBoard:
+  /// a freshly computed (or freshly repaired) base model is published, and
+  /// an epoch-current model published by a sibling engine over the same
+  /// rulebase/base/domain is adopted instead of recomputed or re-repaired.
+  void AttachMemoBoard(MemoBoard* board) override;
+
   std::vector<std::pair<PredicateId, ColumnMask>> BaseProbeSignatures()
       const override {
     return static_sigs_;
+  }
+
+  /// Test hooks (governance_test): the incrementally tracked model-byte
+  /// total and an exact re-sum over the live states. ApplyBaseDelta must
+  /// leave these equal (satellite byte-accounting exactness).
+  int64_t TrackedBytesForTest() const {
+    return tracked_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t ExactTrackedBytesForTest() const {
+    int64_t bytes = 0;
+    states_.ForEach([&bytes](const State& s) { bytes += StateBytes(s); });
+    return bytes;
   }
 
  private:
@@ -422,6 +440,14 @@ class BottomUpEngine : public Engine {
   ContextInterner ctx_interner_;
 
   ShardedStateCache<State> states_;
+
+  /// Persistent cross-query cache (optional; see AttachMemoBoard). Only
+  /// the base state's whole model is shared — hypothetical child states
+  /// stay engine-local (their keys are local fact ids, and workers touch
+  /// them concurrently). domain_fp_ keys published models so engines
+  /// whose domains diverged (extra query constants) never cross-adopt.
+  MemoBoard* board_ = nullptr;
+  uint64_t domain_fp_ = 0;
 
   QueryGuard guard_;
   /// Approximate bytes held by all memoized states' models (contents plus

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "base/hash.h"
+
 namespace hypo {
 
 std::vector<ConstId> ComputeDomain(const RuleBase& rulebase,
@@ -15,6 +17,14 @@ std::vector<ConstId> ComputeDomain(const RuleBase& rulebase,
   std::vector<ConstId> out(domain.begin(), domain.end());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+uint64_t DomainFingerprint(const std::vector<ConstId>& domain) {
+  uint64_t fp = 0x9E3779B97F4A7C15ull + domain.size();
+  for (ConstId c : domain) {
+    fp = HashCombine(fp, static_cast<uint64_t>(static_cast<uint32_t>(c)));
+  }
+  return fp;
 }
 
 }  // namespace hypo

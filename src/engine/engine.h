@@ -16,6 +16,8 @@
 
 namespace hypo {
 
+class MemoBoard;
+
 /// How the bottom-up fixpoints (BottomUpEngine per-state models, the
 /// StratifiedProver's Δ segments) re-apply rules round after round.
 enum class EvalStrategy {
@@ -145,6 +147,10 @@ struct EngineStats {
   int64_t barrier_micros = 0;     // Wall time in round-barrier merges.
   int64_t peak_workers = 0;       // Max tasks observed in flight at once.
 
+  // Persistent cross-query cache (engine/memo_board.h).
+  int64_t cache_hits_cross_query = 0;  // Goals/models answered by the board.
+  int64_t contexts_reused = 0;    // Board contexts re-hit across queries.
+
   // Incremental base-fact maintenance (ApplyBaseDelta).
   int64_t base_deltas = 0;        // Delta batches applied incrementally.
   int64_t facts_overdeleted = 0;  // DRed overdeletion removals.
@@ -192,6 +198,8 @@ struct EngineStats {
     context_transitions += other.context_transitions;
     context_cache_hits += other.context_cache_hits;
     memo_bytes += other.memo_bytes;
+    cache_hits_cross_query += other.cache_hits_cross_query;
+    contexts_reused += other.contexts_reused;
     base_deltas += other.base_deltas;
     facts_overdeleted += other.facts_overdeleted;
     facts_rederived += other.facts_rederived;
@@ -305,6 +313,13 @@ class Engine {
     return Init();
   }
 
+  /// Attaches a server-lifetime cross-query cache (engine/memo_board.h).
+  /// The board must outlive the engine and must only be shared among
+  /// engines evaluating the same rulebase over the same base database and
+  /// SymbolTable (the server's engine pool). Null detaches. Engines that
+  /// do not support cross-query caching ignore the call.
+  virtual void AttachMemoBoard(MemoBoard* board) { (void)board; }
+
   /// Every (predicate, bound-column mask) signature this engine's plans
   /// can probe against the BASE database. A caller that seals the base
   /// for an epoch (src/server) prepares these first so sealed probes stay
@@ -322,6 +337,12 @@ class Engine {
 std::vector<ConstId> ComputeDomain(const RuleBase& rulebase,
                                    const Database& db,
                                    const std::vector<ConstId>& extra = {});
+
+/// Order-sensitive fingerprint of a computed domain. Cross-query cache
+/// keys include it so engines whose domains diverged (per-engine
+/// extra_constants_ from out-of-domain query constants) never share
+/// entries — ground truth under negation can depend on the domain.
+uint64_t DomainFingerprint(const std::vector<ConstId>& domain);
 
 }  // namespace hypo
 

@@ -1,0 +1,132 @@
+#include "engine/memo_board.h"
+
+namespace hypo {
+
+void MemoBoard::BeginEpoch(int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = epoch;
+  // Goal entries are cheap and all stale at once: drop them eagerly so
+  // the first post-epoch queries don't pay a probe-and-erase per goal.
+  bytes_ -= static_cast<int64_t>(goals_.size()) * kGoalEntryBytes;
+  goals_.clear();
+  // Models stay resident: the repairing engine republishes the repaired
+  // snapshot under the new epoch and the stale ones age out via LRU (or
+  // are dropped on first touch).
+}
+
+int64_t MemoBoard::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+FactId MemoBoard::InternFact(const Fact& fact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return facts_.Intern(fact);
+}
+
+ContextId MemoBoard::InternContext(const std::vector<int64_t>& elems,
+                                   bool* reused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int before = contexts_.num_contexts();
+  // Walk element transitions from the empty context; every edge is cached
+  // bidirectionally, so re-interning a known context is O(|elems|) hash
+  // hits.
+  ContextId id = ContextInterner::kEmptyContext;
+  for (int64_t e : elems) id = contexts_.Insert(id, e);
+  // The ever-present empty context is not a reuse signal.
+  bool hit = !elems.empty() && contexts_.num_contexts() == before;
+  if (hit) ++stats_.contexts_reused;
+  if (reused != nullptr) *reused = hit;
+  return id;
+}
+
+int MemoBoard::LookupGoal(FactId fact, ContextId context,
+                          uint64_t domain_fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = goals_.find(GoalKeyOf(fact, context, domain_fp));
+  if (it == goals_.end()) return 0;
+  if (it->second.epoch != epoch_) {
+    goals_.erase(it);
+    bytes_ -= kGoalEntryBytes;
+    return 0;
+  }
+  ++stats_.goal_hits;
+  return it->second.provable ? 1 : -1;
+}
+
+void MemoBoard::PublishGoal(FactId fact, ContextId context,
+                            uint64_t domain_fp, bool provable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      goals_.insert_or_assign(GoalKeyOf(fact, context, domain_fp),
+                              GoalEntry{epoch_, provable});
+  (void)it;
+  if (inserted) bytes_ += kGoalEntryBytes;
+  ++stats_.goal_publishes;
+  if (bytes_ > max_bytes_) EvictLocked();
+}
+
+std::shared_ptr<const Database> MemoBoard::LookupModel(ContextId context,
+                                                       uint64_t domain_fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(ModelKeyOf(context, domain_fp));
+  if (it == models_.end()) return nullptr;
+  if (it->second.epoch != epoch_) {
+    bytes_ -= it->second.bytes;
+    model_lru_.erase(it->second.lru);
+    models_.erase(it);
+    return nullptr;
+  }
+  model_lru_.splice(model_lru_.begin(), model_lru_, it->second.lru);
+  ++stats_.model_hits;
+  return it->second.model;
+}
+
+void MemoBoard::PublishModel(ContextId context, uint64_t domain_fp,
+                             std::shared_ptr<const Database> model) {
+  if (model == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key = ModelKeyOf(context, domain_fp);
+  int64_t model_bytes = model->ApproxBytes() + 256;
+  auto it = models_.find(key);
+  if (it != models_.end()) {
+    bytes_ -= it->second.bytes;
+    model_lru_.erase(it->second.lru);
+    models_.erase(it);
+  }
+  model_lru_.push_front(key);
+  models_.emplace(key, ModelEntry{epoch_, model_bytes, std::move(model),
+                                  model_lru_.begin()});
+  bytes_ += model_bytes;
+  ++stats_.model_publishes;
+  if (bytes_ > max_bytes_) EvictLocked();
+}
+
+void MemoBoard::EvictLocked() {
+  while (bytes_ > max_bytes_ && !model_lru_.empty()) {
+    Key victim = model_lru_.back();
+    model_lru_.pop_back();
+    auto it = models_.find(victim);
+    if (it != models_.end()) {
+      bytes_ -= it->second.bytes;
+      models_.erase(it);
+    }
+    ++stats_.evictions;
+  }
+  if (bytes_ > max_bytes_ && !goals_.empty()) {
+    bytes_ -= static_cast<int64_t>(goals_.size()) * kGoalEntryBytes;
+    goals_.clear();
+    ++stats_.evictions;
+  }
+}
+
+MemoBoard::Stats MemoBoard::snapshot_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.bytes = bytes_ + static_cast<int64_t>(facts_.ApproxBytes()) +
+            static_cast<int64_t>(contexts_.ApproxBytes());
+  s.epoch = epoch_;
+  return s;
+}
+
+}  // namespace hypo

@@ -1,0 +1,165 @@
+#ifndef HYPO_ENGINE_MEMO_BOARD_H_
+#define HYPO_ENGINE_MEMO_BOARD_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "db/context_interner.h"
+#include "db/database.h"
+#include "db/fact_interner.h"
+
+namespace hypo {
+
+/// Server-lifetime cross-query cache shared by an engine pool.
+///
+/// Within one run, each engine already memoizes goals per
+/// (FactId, ContextId) and the BottomUpEngine caches whole per-context
+/// models — but all of that dies with the query (or, in the server, stays
+/// private to whichever pooled engine happened to serve it). The board
+/// promotes the *settled* portion of those tables to a shared,
+/// epoch-versioned store:
+///
+///  - a goal memo (fact, context, domain fingerprint) -> bool for the
+///    top-down engines, fed only with entries the engines cached as
+///    definite (kTrue, or context-free kFalse), so sharing across engine
+///    types is sound — the inference relation R, DB+context |- goal does
+///    not depend on which procedure decided it;
+///  - a model store (context, domain fingerprint) -> immutable Database
+///    snapshot for the BottomUpEngine's completed per-context models;
+///    adopters Clone() the snapshot instead of re-running the fixpoint.
+///
+/// Fact and context ids are board-local: each attached engine keeps its
+/// own interners and translates through InternFact/InternContext (ids are
+/// engine-local and NOT interchangeable). All engines sharing a board
+/// must evaluate the same rulebase over the same base database and
+/// SymbolTable — the server's engine pool guarantees this.
+///
+/// Epochs: every entry is tagged with the board epoch current at publish
+/// time. BeginEpoch(e) makes entries from older epochs stale; stale
+/// entries answer as misses and are dropped lazily on touch. After an
+/// epoch bump the first engine to repair (Engine::ApplyBaseDelta)
+/// republishes the repaired base model at the new epoch, so the rest of
+/// the pool adopts instead of repairing — that is the warm path
+/// BM_CrossQueryMemoReuse measures.
+///
+/// Eviction: total footprint is tracked exactly for models (their own
+/// ApproxBytes) and structurally for memo entries; when max_bytes is
+/// exceeded, models are evicted least-recently-used first, then the goal
+/// memo is dropped wholesale. One mutex guards everything — board calls
+/// sit on cold paths (memo miss, model materialization), never inside a
+/// join loop.
+class MemoBoard {
+ public:
+  struct Stats {
+    int64_t goal_hits = 0;
+    int64_t goal_publishes = 0;
+    int64_t model_hits = 0;
+    int64_t model_publishes = 0;
+    int64_t contexts_reused = 0;
+    int64_t evictions = 0;
+    int64_t bytes = 0;
+    int64_t epoch = 0;
+  };
+
+  explicit MemoBoard(int64_t max_bytes = 256ll << 20)
+      : max_bytes_(max_bytes) {}
+
+  MemoBoard(const MemoBoard&) = delete;
+  MemoBoard& operator=(const MemoBoard&) = delete;
+
+  /// Enters epoch `epoch`; entries published under older epochs become
+  /// stale. Call under the server's exclusive epoch lock, before any
+  /// engine repairs.
+  void BeginEpoch(int64_t epoch);
+  int64_t epoch() const;
+
+  /// Board-local id of `fact` (shared SymbolTable assumed).
+  FactId InternFact(const Fact& fact);
+
+  /// Board-local context id for canonical, sorted board element set
+  /// `elems` (ContextInterner encoding over board fact ids). Sets
+  /// `*reused` to true when the context was already interned — the
+  /// cross-query context-reuse signal.
+  ContextId InternContext(const std::vector<int64_t>& elems, bool* reused);
+
+  /// Goal memo: 0 = unknown, +1 = provable, -1 = not provable. Entries
+  /// from stale epochs answer 0 and are dropped.
+  int LookupGoal(FactId fact, ContextId context, uint64_t domain_fp);
+  void PublishGoal(FactId fact, ContextId context, uint64_t domain_fp,
+                   bool provable);
+
+  /// Model store. The returned snapshot is immutable and safe to hold
+  /// across board mutations (shared_ptr); adopters must Clone() before
+  /// mutating. Null on miss/stale.
+  std::shared_ptr<const Database> LookupModel(ContextId context,
+                                              uint64_t domain_fp);
+  void PublishModel(ContextId context, uint64_t domain_fp,
+                    std::shared_ptr<const Database> model);
+
+  Stats snapshot_stats() const;
+
+ private:
+  struct Key {
+    int64_t a;
+    int64_t b;
+    friend bool operator==(const Key& x, const Key& y) {
+      return x.a == y.a && x.b == y.b;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(
+          HashCombine(static_cast<uint64_t>(k.a),
+                      static_cast<uint64_t>(k.b)));
+    }
+  };
+  struct GoalEntry {
+    int64_t epoch;
+    bool provable;
+  };
+  struct ModelEntry {
+    int64_t epoch;
+    int64_t bytes;
+    std::shared_ptr<const Database> model;
+    std::list<Key>::iterator lru;
+  };
+
+  static Key GoalKeyOf(FactId fact, ContextId context, uint64_t domain_fp) {
+    return Key{(static_cast<int64_t>(fact) << 32) |
+                   static_cast<uint32_t>(context),
+               static_cast<int64_t>(domain_fp)};
+  }
+  static Key ModelKeyOf(ContextId context, uint64_t domain_fp) {
+    return Key{static_cast<int64_t>(context),
+               static_cast<int64_t>(domain_fp)};
+  }
+
+  static constexpr int64_t kGoalEntryBytes = 64;
+
+  /// Evicts LRU models (then the goal memo) until bytes_ <= max_bytes_.
+  /// Caller holds mu_.
+  void EvictLocked();
+
+  mutable std::mutex mu_;
+  int64_t max_bytes_;
+  int64_t epoch_ = 0;
+  int64_t bytes_ = 0;
+
+  FactInterner facts_;
+  ContextInterner contexts_;
+
+  std::unordered_map<Key, GoalEntry, KeyHash> goals_;
+  std::unordered_map<Key, ModelEntry, KeyHash> models_;
+  std::list<Key> model_lru_;  // Front = most recently used.
+
+  mutable Stats stats_;
+};
+
+}  // namespace hypo
+
+#endif  // HYPO_ENGINE_MEMO_BOARD_H_

@@ -3,6 +3,7 @@
 #include "base/cleanup.h"
 #include "base/failpoint.h"
 #include "base/stopwatch.h"
+#include "engine/memo_board.h"
 #include "engine/scan.h"
 
 #include <algorithm>
@@ -54,6 +55,8 @@ Status StratifiedProver::Init() {
         "insertions only");
   }
   HYPO_ASSIGN_OR_RETURN(strat_, ComputeLinearStratification(*rulebase_));
+  HYPO_RETURN_IF_ERROR(CheckRuleRestrictions(*rulebase_));
+  restrictions_ = std::make_unique<RestrictionAnalysis>(rulebase_);
   rule_plans_.clear();
   rule_plans_.reserve(rulebase_->num_rules());
   for (const Rule& rule : rulebase_->rules()) {
@@ -65,9 +68,54 @@ Status StratifiedProver::Init() {
   domain_set_.insert(domain_.begin(), domain_.end());
   overlay_ = std::make_unique<OverlayDatabase>(base_, &interner_);
   ClearMemos();
+  // Local context ids restart with the fresh overlay; the board-side fact
+  // map survives (interner_ is never cleared).
+  board_contexts_.clear();
+  domain_fp_ = DomainFingerprint(domain_);
   ++stats_.domain_rebuilds;
   initialized_ = true;
   return Status::OK();
+}
+
+void StratifiedProver::AttachMemoBoard(MemoBoard* board) {
+  board_ = board;
+  board_facts_.clear();
+  board_contexts_.clear();
+}
+
+FactId StratifiedProver::BoardFact(FactId local_id, const Fact& fact) {
+  if (local_id >= static_cast<FactId>(board_facts_.size())) {
+    board_facts_.resize(local_id + 1, -1);
+  }
+  FactId& slot = board_facts_[local_id];
+  if (slot < 0) slot = board_->InternFact(fact);
+  return slot;
+}
+
+ContextId StratifiedProver::BoardContext(PredicateId goal_pred) {
+  ContextId local = overlay_->context_id();
+  const bool filtered = restrictions_->active();
+  if (!filtered) {
+    auto it = board_contexts_.find(local);
+    if (it != board_contexts_.end()) return it->second;
+  }
+  board_elems_.clear();
+  for (int64_t e : overlay_->context_interner().Elements(local)) {
+    FactId local_fact = static_cast<FactId>(e >> 1);
+    const Fact& f = interner_.Get(local_fact);
+    if (filtered && !restrictions_->Relevant(goal_pred, f.predicate)) {
+      continue;
+    }
+    FactId bid = BoardFact(local_fact, f);
+    board_elems_.push_back((e & 1) != 0
+                               ? ContextInterner::MaskedElement(bid)
+                               : ContextInterner::AddedElement(bid));
+  }
+  bool reused = false;
+  ContextId board_ctx = board_->InternContext(board_elems_, &reused);
+  if (reused) ++stats_.contexts_reused;
+  if (!filtered) board_contexts_.emplace(local, board_ctx);
+  return board_ctx;
 }
 
 void StratifiedProver::ClearMemos() {
@@ -220,6 +268,23 @@ StatusOr<bool> StratifiedProver::ProveSigma(const Fact& goal,
     }
   }
 
+  // Cross-query memo: settled verdicts published by any pool engine are
+  // adopted into the local memo (same discipline as TabledEngine).
+  FactId board_fact = -1;
+  ContextId board_ctx = ContextInterner::kEmptyContext;
+  if (board_ != nullptr) {
+    board_fact = BoardFact(key.fact, goal);
+    board_ctx = BoardContext(goal.predicate);
+    int known = board_->LookupGoal(board_fact, board_ctx, domain_fp_);
+    if (known != 0) {
+      ++stats_.cache_hits_cross_query;
+      goal_memo_[key] = GoalEntry{known > 0 ? GoalEntry::Status::kTrue
+                                            : GoalEntry::Status::kFalse,
+                                  ctx->depth};
+      return known > 0;
+    }
+  }
+
   ++stats_.goals_expanded;
   HYPO_RETURN_IF_ERROR(CheckLimits());
   int depth = ctx->depth;
@@ -263,12 +328,18 @@ StatusOr<bool> StratifiedProver::ProveSigma(const Fact& goal,
 
   if (proved) {
     goal_memo_[key] = GoalEntry{GoalEntry::Status::kTrue, depth};
+    if (board_fact >= 0) {
+      board_->PublishGoal(board_fact, board_ctx, domain_fp_, true);
+    }
     return true;
   }
   if (my_min >= depth) {
     // Every pruned in-progress goal was this goal itself (or deeper):
-    // the failure is context-free and safe to cache.
+    // the failure is context-free and safe to cache (and to share).
     goal_memo_[key] = GoalEntry{GoalEntry::Status::kFalse, depth};
+    if (board_fact >= 0) {
+      board_->PublishGoal(board_fact, board_ctx, domain_fp_, false);
+    }
   } else {
     // The failure depended on a shallower in-progress ancestor; it may
     // not hold once that ancestor resolves, so forget it and propagate.
@@ -607,6 +678,7 @@ StatusOr<bool> StratifiedProver::ProveFact(const Fact& fact) {
 
 StatusOr<bool> StratifiedProver::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(CheckQueryRestrictions(*rulebase_, query));
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   GuardScope guard_scope(&guard_, options_, &stats_);
   Atom head = PseudoHead(query);
@@ -628,6 +700,7 @@ StatusOr<bool> StratifiedProver::ProveQuery(const Query& query) {
 
 StatusOr<std::vector<Tuple>> StratifiedProver::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(CheckQueryRestrictions(*rulebase_, query));
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   GuardScope guard_scope(&guard_, options_, &stats_);
   Atom head = PseudoHead(query);

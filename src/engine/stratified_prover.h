@@ -8,6 +8,7 @@
 #include <vector>
 #include <functional>
 
+#include "analysis/restricted.h"
 #include "analysis/stratification.h"
 #include "base/hash.h"
 #include "db/fact_interner.h"
@@ -61,6 +62,10 @@ class StratifiedProver : public Engine {
   /// larger budget on the same warm engine. Changing the evaluation
   /// fields after Init() is undefined.
   EngineOptions* mutable_options() override { return &options_; }
+
+  /// Shares settled Σ goal-memo entries with a server-lifetime MemoBoard
+  /// (same discipline as TabledEngine::AttachMemoBoard).
+  void AttachMemoBoard(MemoBoard* board) override;
 
   /// The stratification computed by Init (valid afterwards).
   const LinearStratification& stratification() const { return strat_; }
@@ -176,6 +181,14 @@ class StratifiedProver : public Engine {
   /// legacy canonical key (options_.validate_contexts).
   ContextId CurrentContext() const;
 
+  /// Board-local id of the locally interned fact (cached per local id).
+  FactId BoardFact(FactId local_id, const Fact& fact);
+
+  /// Board context of the current overlay state, canonicalized for
+  /// `goal_pred` when restrictions are declared (see
+  /// TabledEngine::BoardContext).
+  ContextId BoardContext(PredicateId goal_pred);
+
   const RuleBase* rulebase_;
   const Database* base_;
   EngineOptions options_;
@@ -201,6 +214,14 @@ class StratifiedProver : public Engine {
   /// sees in-flight fixpoints. Nested DeltaModelFor calls save/restore it;
   /// outer in-flight models go momentarily uncounted (approximation).
   const Database* building_model_ = nullptr;
+
+  // Persistent cross-query cache (optional; see AttachMemoBoard).
+  MemoBoard* board_ = nullptr;
+  std::unique_ptr<RestrictionAnalysis> restrictions_;
+  uint64_t domain_fp_ = 0;
+  std::vector<FactId> board_facts_;  // local FactId -> board id, -1 unknown.
+  std::unordered_map<ContextId, ContextId> board_contexts_;
+  std::vector<int64_t> board_elems_;  // Scratch for BoardContext.
 
   // stats() refreshes the derived fields (context counters, memo bytes)
   // on read; the hot path only touches the plain counters.

@@ -3,6 +3,7 @@
 #include "ast/printer.h"
 #include "base/cleanup.h"
 #include "base/failpoint.h"
+#include "engine/memo_board.h"
 #include "engine/scan.h"
 
 #include <algorithm>
@@ -51,6 +52,8 @@ Status TabledEngine::Init() {
   // Negation must be stratified for NAF to be well-defined (§3.1); the
   // strata themselves are not needed at run time.
   HYPO_RETURN_IF_ERROR(ComputeNegationStrata(*rulebase_).status());
+  HYPO_RETURN_IF_ERROR(CheckRuleRestrictions(*rulebase_));
+  restrictions_ = std::make_unique<RestrictionAnalysis>(rulebase_);
   rule_plans_.clear();
   rule_plans_.reserve(rulebase_->num_rules());
   for (const Rule& rule : rulebase_->rules()) {
@@ -62,9 +65,54 @@ Status TabledEngine::Init() {
   domain_set_.insert(domain_.begin(), domain_.end());
   overlay_ = std::make_unique<OverlayDatabase>(base_, &interner_);
   goal_memo_.clear();
+  // Local context ids restart with the fresh overlay; the board-side fact
+  // map survives (interner_ is never cleared).
+  board_contexts_.clear();
+  domain_fp_ = DomainFingerprint(domain_);
   ++stats_.domain_rebuilds;
   initialized_ = true;
   return Status::OK();
+}
+
+void TabledEngine::AttachMemoBoard(MemoBoard* board) {
+  board_ = board;
+  board_facts_.clear();
+  board_contexts_.clear();
+}
+
+FactId TabledEngine::BoardFact(FactId local_id, const Fact& fact) {
+  if (local_id >= static_cast<FactId>(board_facts_.size())) {
+    board_facts_.resize(local_id + 1, -1);
+  }
+  FactId& slot = board_facts_[local_id];
+  if (slot < 0) slot = board_->InternFact(fact);
+  return slot;
+}
+
+ContextId TabledEngine::BoardContext(PredicateId goal_pred) {
+  ContextId local = overlay_->context_id();
+  const bool filtered = restrictions_->active();
+  if (!filtered) {
+    auto it = board_contexts_.find(local);
+    if (it != board_contexts_.end()) return it->second;
+  }
+  board_elems_.clear();
+  for (int64_t e : overlay_->context_interner().Elements(local)) {
+    FactId local_fact = static_cast<FactId>(e >> 1);
+    const Fact& f = interner_.Get(local_fact);
+    if (filtered && !restrictions_->Relevant(goal_pred, f.predicate)) {
+      continue;
+    }
+    FactId bid = BoardFact(local_fact, f);
+    board_elems_.push_back((e & 1) != 0
+                               ? ContextInterner::MaskedElement(bid)
+                               : ContextInterner::AddedElement(bid));
+  }
+  bool reused = false;
+  ContextId board_ctx = board_->InternContext(board_elems_, &reused);
+  if (reused) ++stats_.contexts_reused;
+  if (!filtered) board_contexts_.emplace(local, board_ctx);
+  return board_ctx;
 }
 
 Status TabledEngine::EnsureConstants(const Query& query) {
@@ -173,6 +221,24 @@ StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
     }
   }
 
+  // Cross-query memo: a settled verdict published by any pool engine —
+  // this one in an earlier query, or a sibling — short-circuits the whole
+  // expansion. Adopted into the local memo so repeats stay local.
+  FactId board_fact = -1;
+  ContextId board_ctx = ContextInterner::kEmptyContext;
+  if (board_ != nullptr) {
+    board_fact = BoardFact(key.fact, goal);
+    board_ctx = BoardContext(goal.predicate);
+    int known = board_->LookupGoal(board_fact, board_ctx, domain_fp_);
+    if (known != 0) {
+      ++stats_.cache_hits_cross_query;
+      goal_memo_[key] = GoalEntry{known > 0 ? GoalEntry::Status::kTrue
+                                            : GoalEntry::Status::kFalse,
+                                  depth};
+      return known > 0;
+    }
+  }
+
   ++stats_.goals_expanded;
   HYPO_RETURN_IF_ERROR(CheckLimits());
   stats_.max_goal_depth = std::max<int64_t>(stats_.max_goal_depth, depth);
@@ -211,10 +277,18 @@ StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
 
   if (proved) {
     goal_memo_[key] = GoalEntry{GoalEntry::Status::kTrue, depth};
+    if (board_fact >= 0) {
+      board_->PublishGoal(board_fact, board_ctx, domain_fp_, true);
+    }
     return true;
   }
   if (my_min >= depth) {
+    // Context-free failure: definite under (R, DB + context), so it is
+    // sound to share across queries and engines.
     goal_memo_[key] = GoalEntry{GoalEntry::Status::kFalse, depth};
+    if (board_fact >= 0) {
+      board_->PublishGoal(board_fact, board_ctx, domain_fp_, false);
+    }
   } else {
     goal_memo_.erase(key);
     *min_pruned = std::min(*min_pruned, my_min);
@@ -390,6 +464,7 @@ StatusOr<bool> TabledEngine::ProveFact(const Fact& fact) {
 
 StatusOr<bool> TabledEngine::ProveQuery(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(CheckQueryRestrictions(*rulebase_, query));
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   GuardScope guard_scope(&guard_, options_, &stats_);
   Atom head = PseudoHead(query);
@@ -410,6 +485,7 @@ StatusOr<bool> TabledEngine::ProveQuery(const Query& query) {
 
 StatusOr<std::vector<Tuple>> TabledEngine::Answers(const Query& query) {
   if (!initialized_) HYPO_RETURN_IF_ERROR(Init());
+  HYPO_RETURN_IF_ERROR(CheckQueryRestrictions(*rulebase_, query));
   HYPO_RETURN_IF_ERROR(EnsureConstants(query));
   GuardScope guard_scope(&guard_, options_, &stats_);
   Atom head = PseudoHead(query);

@@ -8,6 +8,7 @@
 #include <vector>
 #include <functional>
 
+#include "analysis/restricted.h"
 #include "analysis/stratification.h"
 #include "base/hash.h"
 #include "db/fact_interner.h"
@@ -65,6 +66,11 @@ class TabledEngine : public Engine {
   /// larger budget on the same warm engine. Changing the evaluation
   /// fields (strategy, demand, threads) after Init() is undefined.
   EngineOptions* mutable_options() override { return &options_; }
+
+  /// Shares settled goal-memo entries with a server-lifetime MemoBoard:
+  /// local misses consult the board before expanding, and definite
+  /// results (kTrue, context-free kFalse) are published back.
+  void AttachMemoBoard(MemoBoard* board) override;
 
  private:
   struct GoalEntry {
@@ -129,6 +135,16 @@ class TabledEngine : public Engine {
   /// Current (fact, context) memo key for `goal` — O(1), no vector build.
   GoalKey KeyFor(const Fact& goal);
 
+  /// Board-local id of the locally interned fact `local_id` (`fact` is
+  /// its content), cached per local id.
+  FactId BoardFact(FactId local_id, const Fact& fact);
+
+  /// Board context for the overlay's current state, canonicalized for
+  /// `goal_pred` when restrictions are declared: context elements whose
+  /// predicate cannot influence the goal's derivation are dropped, so
+  /// distinct-but-equivalent overlay states share one board line.
+  ContextId BoardContext(PredicateId goal_pred);
+
   /// Proof reconstruction: fills `out` with a justification of `goal`
   /// (which must be provable in the current overlay state), avoiding the
   /// goals in `visiting` so the derivation stays well-founded. Returns
@@ -156,6 +172,14 @@ class TabledEngine : public Engine {
   std::unique_ptr<OverlayDatabase> overlay_;
   std::unordered_map<GoalKey, GoalEntry, GoalKeyHash> goal_memo_;
   QueryGuard guard_;
+
+  // Persistent cross-query cache (optional; see AttachMemoBoard).
+  MemoBoard* board_ = nullptr;
+  std::unique_ptr<RestrictionAnalysis> restrictions_;
+  uint64_t domain_fp_ = 0;
+  std::vector<FactId> board_facts_;  // local FactId -> board id, -1 unknown.
+  std::unordered_map<ContextId, ContextId> board_contexts_;
+  std::vector<int64_t> board_elems_;  // Scratch for BoardContext.
 
   // stats() refreshes the derived fields (context counters, memo bytes)
   // on read; the hot path only touches the plain counters.

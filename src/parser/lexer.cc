@@ -33,6 +33,7 @@ const char* TokenKindName(TokenKind kind) {
     case TokenKind::kPeriod: return "'.'";
     case TokenKind::kTilde: return "'~'";
     case TokenKind::kColon: return "':'";
+    case TokenKind::kSlash: return "'/'";
     case TokenKind::kEnd: return "end of input";
   }
   return "unknown";
@@ -88,6 +89,7 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
       case '.': emit(TokenKind::kPeriod, 1); continue;
       case '~': emit(TokenKind::kTilde, 1); continue;
       case ':': emit(TokenKind::kColon, 1); continue;
+      case '/': emit(TokenKind::kSlash, 1); continue;
       default: break;
     }
     if (c == '\'') {  // Quoted constant: 'any text until quote'.

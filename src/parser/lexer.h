@@ -29,6 +29,7 @@ enum class TokenKind {
   kPeriod,      // .
   kTilde,       // ~
   kColon,       // :
+  kSlash,       // / (predicate/arity in directives)
   kEnd,         // end of input
 };
 

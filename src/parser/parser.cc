@@ -121,6 +121,48 @@ class Parser {
                                  std::move(deletions));
   }
 
+  /// directive := arrow ('assumable' | 'retractable')
+  ///              identifier '/' numeral (',' identifier '/' numeral)* '.'
+  ///
+  /// Restricted-predicate declarations (Sáenz-Pérez): a statement that
+  /// *starts* with the arrow is a directive, e.g. `:- assumable take/2.`
+  /// The caller has already seen (not consumed) the arrow.
+  Status ParseDirectiveInto(RuleBase* rulebase) {
+    HYPO_RETURN_IF_ERROR(Expect(TokenKind::kArrow).status());
+    HYPO_ASSIGN_OR_RETURN(Token kw, Expect(TokenKind::kIdentifier));
+    if (kw.text != "assumable" && kw.text != "retractable") {
+      return Status::InvalidArgument(
+          "unknown directive ':- " + kw.text + "' at line " +
+          std::to_string(kw.line) +
+          " (supported: 'assumable', 'retractable')");
+    }
+    const bool assumable = kw.text == "assumable";
+    do {
+      HYPO_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdentifier));
+      HYPO_RETURN_IF_ERROR(Expect(TokenKind::kSlash).status());
+      HYPO_ASSIGN_OR_RETURN(Token arity_tok,
+                            Expect(TokenKind::kIdentifier));
+      int arity = 0;
+      for (char c : arity_tok.text) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument(
+              "expected a numeral arity after '" + name.text +
+              "/' at line " + std::to_string(arity_tok.line) + ", found '" +
+              arity_tok.text + "'");
+        }
+        arity = arity * 10 + (c - '0');
+      }
+      HYPO_ASSIGN_OR_RETURN(PredicateId pred,
+                            symbols_->InternPredicate(name.text, arity));
+      if (assumable) {
+        rulebase->DeclareAssumable(pred);
+      } else {
+        rulebase->DeclareRetractable(pred);
+      }
+    } while (Consume(TokenKind::kComma));
+    return Expect(TokenKind::kPeriod).status();
+  }
+
   /// rule := atom [ arrow premise (',' premise)* ] '.'
   StatusOr<Rule> ParseRule() {
     VarScope scope;
@@ -166,6 +208,10 @@ StatusOr<RuleBase> ParseRuleBase(std::string_view text,
   Parser parser(std::move(tokens), symbols.get());
   RuleBase rulebase(std::move(symbols));
   while (!parser.AtEnd()) {
+    if (parser.Peek().kind == TokenKind::kArrow) {
+      HYPO_RETURN_IF_ERROR(parser.ParseDirectiveInto(&rulebase));
+      continue;
+    }
     HYPO_ASSIGN_OR_RETURN(Rule rule, parser.ParseRule());
     rulebase.AddRule(std::move(rule));
   }
@@ -219,6 +265,10 @@ StatusOr<ParsedProgram> ParseProgram(std::string_view text,
   Parser parser(std::move(tokens), symbols.get());
   ParsedProgram program{RuleBase(symbols), Database(symbols)};
   while (!parser.AtEnd()) {
+    if (parser.Peek().kind == TokenKind::kArrow) {
+      HYPO_RETURN_IF_ERROR(parser.ParseDirectiveInto(&program.rules));
+      continue;
+    }
     HYPO_ASSIGN_OR_RETURN(Rule rule, parser.ParseRule());
     if (rule.premises.empty() && rule.head.IsGround()) {
       Fact fact;

@@ -21,6 +21,10 @@ namespace hypo {
 /// Variables start upper-case or with '_'; everything else is a constant
 /// or predicate symbol; `%` comments to end of line. `~atom[add: ...]` is
 /// rejected with the paper's suggested rewriting.
+///
+/// A statement that starts with the arrow is a restricted-predicate
+/// directive: `:- assumable foo/2.` / `:- retractable bar/1.` (see
+/// RuleBase::DeclareAssumable).
 StatusOr<RuleBase> ParseRuleBase(std::string_view text,
                                  std::shared_ptr<SymbolTable> symbols);
 

@@ -161,7 +161,10 @@ int RunSession(QueryServer* server, std::istream& in, std::ostream& out) {
           << " rederived=" << c.repair.facts_rederived
           << " arena_bytes=" << c.arena_bytes
           << " sorted_probes=" << c.sorted_probes
-          << " index_sort_micros=" << c.index_sort_micros << "\n";
+          << " index_sort_micros=" << c.index_sort_micros
+          << " cache_hits_cross_query=" << c.cache_hits_cross_query
+          << " contexts_reused=" << c.contexts_reused
+          << " restricted_rejections=" << c.restricted_rejections << "\n";
     } else if (cmd == "ping") {
       out << "ok pong\n";
     } else if (cmd == "shutdown") {

@@ -3,7 +3,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/restricted.h"
 #include "engine/bottom_up.h"
+#include "engine/memo_board.h"
 #include "engine/stratified_prover.h"
 #include "engine/tabled.h"
 #include "parser/parser.h"
@@ -63,6 +65,14 @@ StatusOr<std::unique_ptr<QueryServer>> QueryServer::Create(
       new QueryServer(std::move(options), std::move(symbols),
                       std::move(parsed->rules), std::move(parsed->facts)));
   if (Status s = server->InitEngines(); !s.ok()) return s;
+  if (server->options_.cross_query_cache) {
+    server->board_ =
+        std::make_unique<MemoBoard>(server->options_.cache_bytes);
+    server->board_->BeginEpoch(1);
+    for (const auto& engine : server->engines_) {
+      engine->AttachMemoBoard(server->board_.get());
+    }
+  }
   server->PrepareAndSeal();
   server->epoch_ = 1;
   return server;
@@ -137,6 +147,12 @@ StatusOr<QueryOutcome> QueryServer::Query(std::string_view text,
     if (!parsed.ok()) return parsed.status();
     query = std::move(*parsed);
   }
+  // Restricted predicates are rejected up front — before an engine lease,
+  // so a stream of violating queries cannot occupy the pool.
+  if (Status s = CheckQueryRestrictions(rules_, query); !s.ok()) {
+    restricted_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
 
   // Held shared for the whole evaluation: an epoch turn waits for us.
   std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
@@ -175,6 +191,10 @@ StatusOr<QueryOutcome> QueryServer::Query(std::string_view text,
   }
   out.stats = engine->stats();
   queries_.fetch_add(1, std::memory_order_relaxed);
+  cache_hits_cross_query_.fetch_add(out.stats.cache_hits_cross_query,
+                                    std::memory_order_relaxed);
+  contexts_reused_.fetch_add(out.stats.contexts_reused,
+                             std::memory_order_relaxed);
   return out;
 }
 
@@ -241,12 +261,23 @@ StatusOr<MutationOutcome> QueryServer::ApplyBatch(
   // New epoch: re-prepare the engines' probe signatures over the mutated
   // relations, reseal, then let each engine repair its memoized models.
   PrepareAndSeal();
+  // Turn the board's epoch BEFORE any engine repairs: stale goal verdicts
+  // vanish at once, and the first engine to finish repairing republishes
+  // the base model under the new epoch for its siblings to adopt.
+  if (board_ != nullptr) board_->BeginEpoch(epoch_ + 1);
   Status first_error = Status::OK();
   for (const auto& engine : engines_) {
     engine->ResetStats();
     Status s = engine->ApplyBaseDelta(delta);
+    if (!s.ok()) {
+      // All-or-nothing per engine: an engine whose repair aborted midway
+      // must not serve the new epoch half-repaired. Force a from-scratch
+      // Init (cheap — models rebuild lazily on the next query) so the
+      // engine re-enters the pool coherent, and surface the first error.
+      Status reinit = engine->Init();
+      if (first_error.ok()) first_error = reinit.ok() ? s : reinit;
+    }
     repair_stats_.Merge(engine->stats());
-    if (!s.ok() && first_error.ok()) first_error = s;
   }
   ++epoch_;
   out.epoch = epoch_;
@@ -269,6 +300,11 @@ QueryServer::Counters QueryServer::counters() const {
   c.arena_bytes = base_.ArenaBytes();
   c.sorted_probes = base_.sorted_probes();
   c.index_sort_micros = base_.index_sort_micros();
+  c.cache_hits_cross_query =
+      cache_hits_cross_query_.load(std::memory_order_relaxed);
+  c.contexts_reused = contexts_reused_.load(std::memory_order_relaxed);
+  c.restricted_rejections =
+      restricted_rejections_.load(std::memory_order_relaxed);
   c.repair = repair_stats_;
   return c;
 }

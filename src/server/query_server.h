@@ -32,6 +32,14 @@ struct ServerOptions {
   /// rulebase per query, which fights the shared-model repair the server
   /// exists for — Create rejects it).
   EngineOptions engine_options;
+
+  /// Share settled goal verdicts and whole context models across the pool
+  /// through a server-lifetime MemoBoard (epoch-versioned, LRU-bounded by
+  /// `cache_bytes`). Off = every engine keeps only its private memos —
+  /// the escape hatch when cross-engine reuse is suspected of a wrong
+  /// answer or the board's memory is needed back.
+  bool cross_query_cache = true;
+  int64_t cache_bytes = 256ll << 20;
 };
 
 /// Per-query governance overrides; negative fields fall back to the
@@ -134,6 +142,12 @@ class QueryServer {
     int64_t arena_bytes = 0;        // Columnar footprint of the base.
     int64_t sorted_probes = 0;      // Sorted-range probes against the base.
     int64_t index_sort_micros = 0;  // Time spent sorting base indexes.
+    /// Cross-query MemoBoard reuse, accumulated over every served query.
+    int64_t cache_hits_cross_query = 0;
+    int64_t contexts_reused = 0;
+    /// Queries rejected up front for hypothesizing about a predicate not
+    /// declared `assumable`/`retractable` (restricted predicates).
+    int64_t restricted_rejections = 0;
     EngineStats repair;  // base_deltas, strata_repaired, overdeleted, ...
   };
   Counters counters() const;
@@ -163,6 +177,11 @@ class QueryServer {
   /// Parsing exclusive, evaluation/rendering shared.
   mutable std::shared_mutex symbols_mu_;
 
+  /// The pool's shared cross-query cache (null when
+  /// ServerOptions::cross_query_cache is false). Declared before the
+  /// engines so it outlives them: members destroy in reverse order.
+  std::unique_ptr<MemoBoard> board_;
+
   std::vector<std::unique_ptr<Engine>> engines_;
   std::mutex pool_mu_;
   std::condition_variable pool_cv_;
@@ -173,6 +192,9 @@ class QueryServer {
   int64_t noop_batches_ = 0;      // Guarded by epoch_mu_.
   EngineStats repair_stats_;      // Guarded by epoch_mu_.
   std::atomic<int64_t> queries_{0};
+  std::atomic<int64_t> cache_hits_cross_query_{0};
+  std::atomic<int64_t> contexts_reused_{0};
+  std::atomic<int64_t> restricted_rejections_{0};
 };
 
 }  // namespace hypo

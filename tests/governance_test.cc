@@ -324,5 +324,72 @@ TEST_F(GovernanceTest, ArmedGuardCountersSurviveParallelMerges) {
   }
 }
 
+// The memory budget meters tracked_bytes_, so the counter must stay
+// EXACTLY in sync with the materialized states across every
+// ApplyBaseDelta commit path — incremental insert, DRed retract, the
+// negation-forced recompute, and repairs with hypothetical child states
+// resident. Drift would make budget trips fire early or, worse, late.
+TEST_F(GovernanceTest, TrackedBytesStayExactAcrossBaseDeltaRepairs) {
+  RuleBase rules = ParseRules(
+      "reach(X, Y) <- edge(X, Y).\n"
+      "reach(X, Z) <- edge(X, Y), reach(Y, Z).\n"
+      "blocked(X, Y) <- node(X), node(Y), ~reach(X, Y).\n");
+  Database db(symbols_);
+  BuildChain(&db, 8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.Insert("node", {"n" + std::to_string(i)}).ok());
+  }
+
+  for (int threads : {1, 8}) {
+    EngineOptions options;
+    options.num_threads = threads;
+    BottomUpEngine engine(&rules, &db, options);
+    // Materialize the base model plus a hypothetical child state, so the
+    // repair has both flavors of resident state to reconcile.
+    auto base_q = ParseQuery("blocked(n7, n0)", symbols_.get());
+    auto hypo_q = ParseQuery("reach(n5, n9)[add: edge(n7, n9)]",
+                             symbols_.get());
+    ASSERT_TRUE(base_q.ok() && hypo_q.ok());
+    ASSERT_TRUE(engine.ProveQuery(*base_q).ok());
+    ASSERT_TRUE(engine.ProveQuery(*hypo_q).ok());
+    // (No exactness claim here: during live fixpoints the counter runs on
+    // cheap per-fact estimates. The repair commit below must re-anchor it
+    // to the truth.)
+
+    struct Step {
+      const char* fact;
+      bool insert;
+    };
+    // Insert-only (incremental), retract (DRed delete-and-rederive), and
+    // a retract that flips negation-derived facts (stratum recompute).
+    const Step steps[] = {{"edge(n3, n5)", true},
+                          {"edge(n3, n5)", false},
+                          {"edge(n0, n1)", false},
+                          {"edge(n0, n1)", true}};
+    for (const Step& step : steps) {
+      auto fact = ParseFact(step.fact, symbols_.get());
+      ASSERT_TRUE(fact.ok());
+      BaseDelta delta;
+      if (step.insert) {
+        ASSERT_TRUE(db.Insert(*fact));
+        delta.inserts.push_back(*fact);
+      } else {
+        ASSERT_TRUE(db.Retract(*fact));
+        delta.retracts.push_back(*fact);
+      }
+      ASSERT_TRUE(engine.ApplyBaseDelta(delta).ok()) << step.fact;
+      EXPECT_EQ(engine.TrackedBytesForTest(),
+                engine.ExactTrackedBytesForTest())
+          << "threads=" << threads << ": drift after "
+          << (step.insert ? "insert " : "retract ") << step.fact;
+      // The repaired instance still answers; accounting stayed live.
+      ASSERT_TRUE(engine.ProveQuery(*base_q).ok());
+      EXPECT_EQ(engine.TrackedBytesForTest(),
+                engine.ExactTrackedBytesForTest())
+          << "threads=" << threads << ": drift after post-repair query";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hypo

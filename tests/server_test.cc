@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/failpoint.h"
 #include "server/protocol.h"
 #include "server/query_server.h"
 
@@ -228,6 +229,57 @@ TEST(QueryServerTest, RepairStatsAccumulateAcrossEpochs) {
                 counters.repair.strata_recomputed,
             1);
 }
+
+#if HYPO_FAILPOINTS
+TEST(QueryServerTest, FailedRepairForcesReinitAndServesTheNewEpoch) {
+  // Regression: an engine whose repair aborts mid-flight must not re-enter
+  // the pool "repaired ahead" (or behind) of the committed base. The
+  // server forces a full re-Init on the failed engine under the epoch
+  // write lock, so the error surfaces but every later answer is coherent
+  // with the new epoch.
+  std::string program =
+      "reach(X, Y) <- edge(X, Y).\n"
+      "reach(X, Z) <- edge(X, Y), reach(Y, Z).\n"
+      "blocked(X, Y) <- node(X), node(Y), ~reach(X, Y).\n"
+      "edge(a, b). edge(b, c). edge(c, a).\n"
+      "node(a). node(b). node(c).\n";
+  ServerOptions options;
+  options.engine_name = "bottomup";
+  options.pool_size = 1;
+  auto server = QueryServer::Create(program, options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  // Warm the model so the retract takes the repair path; the negated
+  // premise forces a stratum recompute, where bottomup.round sits.
+  auto warm = (*server)->Query("blocked(a, X)");
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  registry.Arm("bottomup.round", 1, Status::Internal("injected mid-repair"));
+  auto out = (*server)->Retract("edge(b, c)");
+  registry.DisarmAll();
+  ASSERT_FALSE(out.ok()) << "the injected repair failure must surface";
+  EXPECT_NE(out.status().message().find("injected mid-repair"),
+            std::string::npos)
+      << out.status();
+  EXPECT_EQ((*server)->epoch(), 2)
+      << "the batch committed to the base; the epoch must turn";
+
+  // The re-Init'd engine serves the post-retract world: b lost its only
+  // outgoing edge.
+  auto q = (*server)->Query("reach(b, X)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->answers.empty());
+  auto blocked = (*server)->Query("blocked(b, a)");
+  ASSERT_TRUE(blocked.ok()) << blocked.status();
+  EXPECT_TRUE(blocked->proven);
+
+  // The pool stays serviceable for further epochs.
+  ASSERT_TRUE((*server)->Insert("edge(b, c)").ok());
+  auto healed = (*server)->Query("reach(b, a)");
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_TRUE(healed->proven);
+}
+#endif  // HYPO_FAILPOINTS
 
 TEST(ProtocolTest, ScriptedSessionSpeaksTheLineProtocol) {
   auto server = MakeServer("bottomup");

@@ -1,3 +1,4 @@
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
@@ -373,6 +374,38 @@ TEST(StorageFuzzTest, ApplyBaseDeltaParityAcrossBackends) {
             << step << "\n" << RuleBaseToString(fixture.rules);
       }
     }
+  }
+}
+
+// HYPO_STORAGE selects the backend process-wide; a typo must fail fast
+// (the CLI and the server refuse to start), never silently evaluate on
+// the default backend. Both valid spellings and the unset/empty forms
+// must pass.
+TEST(StorageFuzzTest, ValidateStorageEnvAcceptsOnlyKnownBackends) {
+  const char* saved = std::getenv("HYPO_STORAGE");
+  std::string saved_value = saved != nullptr ? saved : "";
+
+  for (const char* good : {"columnar", "hash", ""}) {
+    ASSERT_EQ(setenv("HYPO_STORAGE", good, 1), 0);
+    Status s = Database::ValidateStorageEnv();
+    EXPECT_TRUE(s.ok()) << "\"" << good << "\": " << s;
+  }
+  ASSERT_EQ(unsetenv("HYPO_STORAGE"), 0);
+  EXPECT_TRUE(Database::ValidateStorageEnv().ok());
+
+  for (const char* bad : {"colmnar", "HASH", "columnar ", "rowwise"}) {
+    ASSERT_EQ(setenv("HYPO_STORAGE", bad, 1), 0);
+    Status s = Database::ValidateStorageEnv();
+    ASSERT_FALSE(s.ok()) << "accepted \"" << bad << "\"";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s;
+    EXPECT_NE(s.message().find(bad), std::string::npos)
+        << "the offending value should be echoed: " << s;
+  }
+
+  if (saved != nullptr) {
+    ASSERT_EQ(setenv("HYPO_STORAGE", saved_value.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("HYPO_STORAGE"), 0);
   }
 }
 
