@@ -5,6 +5,8 @@
 //   hypo_cli PROGRAM.hdl -q "..." --engine bottomup --threads 4
 //   hypo_cli PROGRAM.hdl -q "..." --timeout-ms 500 --max-memory-mb 256
 //   hypo_cli PROGRAM.hdl --explain  # print the linear stratification
+//   hypo_cli PROGRAM.hdl --explain-plan  # premise order + rule bytecode
+//   hypo_cli PROGRAM.hdl -q "..." --executor interp  # plan-walking oracle
 //   hypo_cli PROGRAM.hdl --proof -q "grad(tony)"   # print a derivation
 //   hypo_cli PROGRAM.hdl            # interactive: one query per line
 //
@@ -150,19 +152,26 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " PROGRAM.hdl [-q QUERY]... [--engine NAME] [--demand]"
-                 " [--threads N] [--timeout-ms N] [--max-memory-mb N]\n";
+                 " [--threads N] [--timeout-ms N] [--max-memory-mb N]"
+                 " [--executor vm|interp] [--explain-plan]\n";
     return 2;
   }
   // A mistyped storage backend must fail fast, not silently evaluate on
-  // the default backend.
+  // the default backend; same for a mistyped HYPO_EXEC executor.
   if (Status s = Database::ValidateStorageEnv(); !s.ok()) {
     std::cerr << "storage: " << s << "\n";
+    return 2;
+  }
+  if (Status s = ValidateExecutorEnv(); !s.ok()) {
+    std::cerr << "executor: " << s << "\n";
     return 2;
   }
   std::string program_path;
   std::vector<std::string> queries;
   std::string engine_name = "tabled";
+  std::string executor_name;
   bool explain = false;
+  bool explain_plan = false;
   bool proof = false;
   bool demand = false;
   int threads = 1;
@@ -188,8 +197,16 @@ int main(int argc, char** argv) {
       if (!ParsePositiveFlag("--max-memory-mb", argv[++i], &max_memory_mb)) {
         return 2;
       }
+    } else if (arg == "--executor" && i + 1 < argc) {
+      executor_name = argv[++i];
+      if (executor_name != "vm" && executor_name != "interp") {
+        std::cerr << "--executor must be \"vm\" or \"interp\"\n";
+        return 2;
+      }
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--explain-plan") {
+      explain_plan = true;
     } else if (arg == "--proof") {
       proof = true;
     } else if (program_path.empty()) {
@@ -231,6 +248,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   EngineOptions options;
+  if (!executor_name.empty()) {
+    options.executor = executor_name == "interp" ? ExecutorKind::kInterp
+                                                 : ExecutorKind::kVm;
+  }
   options.demand = demand;
   options.num_threads = threads;
   options.timeout_micros = timeout_ms * 1000;
@@ -245,6 +266,11 @@ int main(int argc, char** argv) {
   if (Status s = engine->Init(); !s.ok()) {
     std::cerr << "engine init (" << engine->name() << "): " << s << "\n";
     return 1;
+  }
+
+  if (explain_plan) {
+    std::cout << engine->ExplainPlans();
+    if (queries.empty()) return 0;
   }
 
   // First failure wins: a governance exit code (3/4/5) from query k must

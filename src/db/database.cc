@@ -175,6 +175,7 @@ bool Database::Retract(const Fact& fact) {
   if (RelationSize(rel) == 0) {
     approx_bytes_ -= rel.store.ArenaBytes();
     relations_.erase(it);
+    BumpCursorEpoch();
   }
   return true;
 }
@@ -200,6 +201,7 @@ int64_t Database::ClearRelation(PredicateId pred) {
   DropRelationIndexes(rel);
   size_ -= removed;
   relations_.erase(it);
+  BumpCursorEpoch();
   return removed;
 }
 
@@ -226,6 +228,7 @@ void Database::DropRelationIndexes(const Relation& rel) {
     approx_bytes_ -= IndexBytes(ci);
   }
   rel.column_indexes.clear();
+  BumpCursorEpoch();
 }
 
 Database::ColumnIndex& Database::ExtendIndex(const Relation& rel,
@@ -416,19 +419,25 @@ Database::ProbeOutcome Database::SortedLookup(const Relation& rel,
   return outcome;
 }
 
-Database::ProbeOutcome Database::ProbeInternal(const Relation& rel,
-                                               ColumnMask mask,
-                                               const Tuple& key) const {
+Database::ProbeOutcome Database::ProbeInternal(
+    const Relation& rel, ColumnMask mask, const Tuple& key,
+    const ColumnIndex** ci_cache) const {
   HYPO_DCHECK(mask != 0) << "probe with no bound columns is a full scan";
   index_probes_.fetch_add(1, std::memory_order_relaxed);
   ProbeOutcome outcome;
   if (backend_ == StorageBackend::kColumnar) {
-    auto ci_it = rel.column_indexes.find(mask);
-    if (ci_it != rel.column_indexes.end() &&
-        ci_it->second.sorted_version == rel.version) {
+    const ColumnIndex* ci;
+    if (ci_cache != nullptr && *ci_cache != nullptr) {
+      ci = *ci_cache;
+    } else {
+      auto ci_it = rel.column_indexes.find(mask);
+      ci = ci_it == rel.column_indexes.end() ? nullptr : &ci_it->second;
+      if (ci_cache != nullptr) *ci_cache = ci;
+    }
+    if (ci != nullptr && ci->sorted_version == rel.version) {
       // Current sorted permutation: binary-search it whether sealed or
       // not — the lookup is strictly read-only either way.
-      return SortedLookup(rel, ci_it->second, mask, key);
+      return SortedLookup(rel, *ci, mask, key);
     }
   }
   if (sealed_) {
@@ -448,6 +457,7 @@ Database::ProbeOutcome Database::ProbeInternal(const Relation& rel,
     return outcome;
   }
   ColumnIndex& ci = ExtendIndex(rel, mask);
+  if (ci_cache != nullptr) *ci_cache = &ci;
   auto bucket = ci.buckets.find(key);
   if (bucket == ci.buckets.end()) return outcome;  // kNone.
   outcome.kind = ProbeOutcome::kBucket;
@@ -584,6 +594,7 @@ std::vector<PredicateId> Database::NonEmptyPredicates() const {
 }
 
 void Database::Clear() {
+  if (!relations_.empty()) BumpCursorEpoch();
   relations_.clear();
   constants_.clear();
   constant_refs_.clear();

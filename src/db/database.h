@@ -367,6 +367,19 @@ class Database {
   SymbolTable* mutable_symbols() { return symbols_.get(); }
   const std::shared_ptr<SymbolTable>& symbols_ptr() const { return symbols_; }
 
+  /// Global invalidation epoch for cursor binding caches (see Scan):
+  /// bumped by any operation, on any database, that can dangle a cached
+  /// Relation or ColumnIndex pointer — relation erasure, index drops,
+  /// whole-map destruction or replacement. Cursors snapshot it at bind
+  /// time; bumps are rare next to probes, so the coarse process-wide
+  /// granularity only costs an occasional rebind.
+  static uint64_t CursorEpoch() {
+    return cursor_epoch_.load(std::memory_order_acquire);
+  }
+  static void BumpCursorEpoch() {
+    cursor_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   /// One per-mask access path. Unsealed service comes from the lazily
   /// extended hash buckets covering rows [0, built_upto). On sorted-index
@@ -421,8 +434,15 @@ class Database {
                : rel.tuples.size();
   }
 
+  /// `ci_cache`, when non-null, caches the mask's ColumnIndex slot
+  /// across repeated probes of the same (relation, mask): a cached
+  /// non-null pointer skips the index-map lookup (validity — sorted
+  /// version, built range — is still rechecked every call, and the slot
+  /// itself is pointer-stable until an epoch-bumping drop). Callers own
+  /// invalidation via CursorEpoch.
   ProbeOutcome ProbeInternal(const Relation& rel, ColumnMask mask,
-                             const Tuple& key) const;
+                             const Tuple& key,
+                             const ColumnIndex** ci_cache = nullptr) const;
 
   /// Binary-searches `ci.perm` for the rows matching `key` under `mask`.
   ProbeOutcome SortedLookup(const Relation& rel, const ColumnIndex& ci,
@@ -455,9 +475,35 @@ class Database {
            static_cast<int64_t>(ci.starts.capacity()) * sizeof(uint32_t);
   }
 
+  /// Relation storage. The wrapper bumps the cursor epoch whenever the
+  /// map's nodes are about to be destroyed wholesale — destruction or
+  /// assignment-over — so Scan binding caches never dangle; node-level
+  /// erasure and index drops bump at their call sites. Move
+  /// construction transfers nodes, so cached pointers stay valid.
+  struct RelationMap : std::unordered_map<PredicateId, Relation> {
+    RelationMap() = default;
+    RelationMap(const RelationMap&) = default;
+    RelationMap(RelationMap&&) = default;
+    RelationMap& operator=(const RelationMap& other) {
+      if (!empty()) BumpCursorEpoch();
+      unordered_map::operator=(other);
+      return *this;
+    }
+    RelationMap& operator=(RelationMap&& other) {
+      if (!empty()) BumpCursorEpoch();
+      unordered_map::operator=(std::move(other));
+      return *this;
+    }
+    ~RelationMap() {
+      if (!empty()) BumpCursorEpoch();
+    }
+  };
+
+  static inline std::atomic<uint64_t> cursor_epoch_{1};
+
   std::shared_ptr<SymbolTable> symbols_;
   StorageBackend backend_;
-  std::unordered_map<PredicateId, Relation> relations_;
+  RelationMap relations_;
   std::unordered_set<ConstId> constants_;
   std::unordered_map<ConstId, int64_t> constant_refs_;
   int64_t size_ = 0;
@@ -476,6 +522,137 @@ class Database {
   mutable std::atomic<int64_t> sorted_probes_{0};
   mutable std::atomic<int64_t> merge_join_rows_{0};
   mutable std::atomic<int64_t> index_sort_micros_{0};
+
+ public:
+  /// Resumable cursor over exactly the candidate set ForEachCandidate
+  /// would visit — same probe (and probe counters), same order, same
+  /// snapshot bound — for callers that interleave other work between
+  /// rows (the bytecode executor's backtracking join). Column access is
+  /// per-cell, so no Tuple is materialized on the columnar backend.
+  class Scan {
+   public:
+    Scan() = default;
+
+    /// Opens the cursor. `mask`/`key` follow ProbeIndex's contract; mask 0
+    /// scans the whole relation. Snapshot-bounded like ForEachCandidate:
+    /// rows inserted after Open are not visited.
+    ///
+    /// Inner-loop joins re-open the cursor once per outer row, so the
+    /// (db, pred) -> relation and mask -> index resolutions are cached
+    /// across opens and revalidated against the global CursorEpoch —
+    /// two hash lookups per row collapse to pointer reuse. An absent
+    /// relation is re-probed every open (it can appear mid-fixpoint).
+    void Open(const Database& db, PredicateId pred, ColumnMask mask,
+              const Tuple& key) {
+      pos_ = 0;
+      count_ = 0;
+      index_served_ = false;
+      const uint64_t epoch = Database::CursorEpoch();
+      if (&db != bound_db_ || pred != bound_pred_ ||
+          epoch != bound_epoch_ || bound_rel_ == nullptr) {
+        bound_db_ = &db;
+        bound_pred_ = pred;
+        bound_epoch_ = epoch;
+        bound_mask_ = 0;
+        bound_ci_ = nullptr;
+        auto it = db.relations_.find(pred);
+        bound_rel_ = it == db.relations_.end() ? nullptr : &it->second;
+        columnar_ = db.backend_ == StorageBackend::kColumnar;
+      }
+      rel_ = bound_rel_;
+      if (rel_ == nullptr) return;
+      mode_ = Mode::kFull;
+      if (mask != 0) {
+        if (mask != bound_mask_) {
+          bound_mask_ = mask;
+          bound_ci_ = nullptr;
+        }
+        ProbeOutcome outcome =
+            db.ProbeInternal(*rel_, mask, key, &bound_ci_);
+        switch (outcome.kind) {
+          case ProbeOutcome::kNone:
+            rel_ = nullptr;
+            return;
+          case ProbeOutcome::kBucket:
+            mode_ = Mode::kBucket;
+            bucket_ = outcome.bucket;
+            count_ = bucket_->size();
+            index_served_ = true;
+            return;
+          case ProbeOutcome::kRange:
+            mode_ = Mode::kRange;
+            rows_ = outcome.rows;
+            count_ = outcome.count;
+            index_served_ = true;
+            return;
+          case ProbeOutcome::kScanAll:
+            break;  // Degrade to the full scan below.
+        }
+      }
+      count_ = db.RelationSize(*rel_);
+    }
+
+    bool AtEnd() const { return pos_ >= count_; }
+    void Next() { ++pos_; }
+
+    /// True when the rows come from an index keyed on the probe mask, so
+    /// masked columns are guaranteed to equal the key already.
+    bool index_served() const { return index_served_; }
+
+    /// Storage row id at the cursor position, resolved once per row so
+    /// column reads skip the mode dispatch.
+    RowId CurrentId() const {
+      switch (mode_) {
+        case Mode::kBucket:
+          return (*bucket_)[pos_];
+        case Mode::kRange:
+          return rows_[pos_];
+        default:
+          return static_cast<RowId>(pos_);
+      }
+    }
+
+    ConstId Col(size_t c) const {
+      const RowId row = CurrentId();
+      return columnar_ ? rel_->store.At(row, c) : rel_->tuples[row][c];
+    }
+
+    /// Lightweight row view over the current cursor position (size() +
+    /// operator[]), for HashRowLike / Contains / TupleVisible. Pins the
+    /// row id at construction: one mode dispatch per row, direct column
+    /// loads after.
+    struct Row {
+      const Relation* rel;
+      RowId row;
+      bool columnar;
+      size_t width;
+      size_t size() const { return width; }
+      ConstId operator[](size_t i) const {
+        return columnar ? rel->store.At(row, i) : rel->tuples[row][i];
+      }
+    };
+    Row CurrentRow(size_t arity) const {
+      return Row{rel_, CurrentId(), columnar_, arity};
+    }
+
+   private:
+    enum class Mode : uint8_t { kFull, kBucket, kRange };
+    const Relation* rel_ = nullptr;
+    const std::vector<RowId>* bucket_ = nullptr;  // kBucket
+    const RowId* rows_ = nullptr;                 // kRange
+    size_t pos_ = 0;
+    size_t count_ = 0;
+    Mode mode_ = Mode::kFull;
+    bool columnar_ = false;
+    bool index_served_ = false;
+    // Binding cache, revalidated against CursorEpoch on every Open.
+    const Database* bound_db_ = nullptr;
+    const Relation* bound_rel_ = nullptr;
+    const ColumnIndex* bound_ci_ = nullptr;
+    uint64_t bound_epoch_ = 0;
+    PredicateId bound_pred_ = -1;
+    ColumnMask bound_mask_ = 0;
+  };
 };
 
 }  // namespace hypo

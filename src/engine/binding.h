@@ -24,6 +24,15 @@ class Binding {
   void Set(VarIndex v, ConstId c) { values_[v] = c; }
   void Unset(VarIndex v) { values_[v] = kUnbound; }
 
+  /// Grows the frame to at least `num_vars` slots, new slots unbound;
+  /// existing entries are untouched. For reusable scratch bindings whose
+  /// users restore every Set with an Unset.
+  void EnsureSize(int num_vars) {
+    if (static_cast<int>(values_.size()) < num_vars) {
+      values_.resize(num_vars, kUnbound);
+    }
+  }
+
   int num_vars() const { return static_cast<int>(values_.size()); }
 
   /// Unifies `atom`'s arguments with the ground `tuple`, binding fresh

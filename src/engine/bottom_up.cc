@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
 
@@ -11,6 +12,8 @@
 #include "base/failpoint.h"
 #include "base/stopwatch.h"
 #include "engine/memo_board.h"
+#include "engine/vm/compiler.h"
+#include "engine/vm/executor.h"
 
 namespace hypo {
 
@@ -186,6 +189,45 @@ Status BottomUpEngine::RebuildActivePlans() {
           step.probe_mask;
       if (sig_seen.insert(sig).second) {
         static_sigs_.emplace_back(pred, step.probe_mask);
+      }
+    }
+  }
+
+  // Base cardinalities the greedy premise ordering just consulted, for
+  // the server-epoch staleness check (ApplyBaseDelta replans when any of
+  // them moves by more than 2x).
+  planned_counts_.clear();
+  {
+    std::unordered_set<PredicateId> watched;
+    for (const Rule& rule : program.rules()) {
+      for (const Premise& p : rule.premises) {
+        if (p.kind != PremiseKind::kPositive) continue;
+        if (watched.insert(p.atom.predicate).second) {
+          planned_counts_.emplace_back(p.atom.predicate,
+                                       base_->CountFor(p.atom.predicate));
+        }
+      }
+    }
+  }
+
+  // Lower every rule version to bytecode once; the fixpoint rounds then
+  // dispatch flat programs instead of re-walking the plan per candidate.
+  rule_programs_.clear();
+  if (options_.executor == ExecutorKind::kVm) {
+    rule_programs_.resize(program.num_rules());
+    for (int r = 0; r < program.num_rules(); ++r) {
+      const Rule& rule = program.rule(r);
+      vm::CompileInput in;
+      in.premises = &rule.premises;
+      in.plan = &rule_plans_[r];
+      in.num_vars = rule.num_vars();
+      rule_programs_[r].full = vm::Compile(in);
+      ++stats_.vm_programs_compiled;
+      for (int i = 0; i < static_cast<int>(rule.premises.size()); ++i) {
+        if (rule.premises[i].kind != PremiseKind::kPositive) continue;
+        in.delta_premise = i;
+        rule_programs_[r].deltas.emplace_back(i, vm::Compile(in));
+        ++stats_.vm_programs_compiled;
       }
     }
   }
@@ -810,17 +852,146 @@ Status BottomUpEngine::ComputeStratumParallel(State* state, int stratum,
   return Status::OK();
 }
 
+// The callbacks mirror WalkPlan's per-step semantics (and counter order)
+// exactly; as a nested class the host reaches the engine's private state
+// and its callbacks inline into vm::Run's loop.
+template <typename EmitFn>
+struct BottomUpEngine::VmHost {
+  BottomUpEngine* eng;
+  const std::vector<Premise>* premises;
+  EvalCtx* ctx;
+  const EmitFn* emit;
+  Binding* scratch;  // kNegProbe seeding; bound_vars Set/Unset per test.
+
+  /// The row hash is only computed when this premise actually shards the
+  /// round (the interpreter's `sharded` precondition) — hashing every
+  /// candidate row would dominate tight single-threaded joins.
+  template <typename Row>
+  bool InShard(int premise_index, const Row& row) const {
+    if (premise_index != ctx->shard_premise || ctx->num_shards <= 1) {
+      return true;
+    }
+    return static_cast<int>(HashRowLike(row) %
+                            static_cast<size_t>(ctx->num_shards)) ==
+           ctx->shard;
+  }
+
+  Status OpenScan(const vm::Op& op, const std::vector<ConstId>&,
+                  vm::ScanState* st) {
+    if (op.designated) {
+      st->AddDb(ctx->delta);
+      return Status::OK();
+    }
+    // Same segment order as the interpreter: base, then the state's
+    // model, then (DRed old-model mode) this epoch's deleted facts.
+    st->AddDb(eng->base_);
+    st->AddDb(&ctx->state->ext);
+    if (ctx->vis_plus != nullptr) st->AddDb(ctx->vis_plus);
+    return Status::OK();
+  }
+
+  template <typename Row>
+  bool AcceptRow(const vm::Op& op, const Row& row) {
+    // Filter order matches try_tuple: shard (uncounted), join_probes,
+    // exclude_delta, old-model minus.
+    if (!InShard(op.premise_index, row)) return false;
+    ++ctx->work->stats->join_probes;
+    if (op.exclude_delta && ctx->delta->Contains(op.pred, row)) {
+      return false;
+    }
+    if (!op.designated && ctx->vis_minus != nullptr &&
+        ctx->vis_minus->Contains(op.pred, row)) {
+      return false;
+    }
+    return true;
+  }
+
+  StatusOr<bool> TestGround(const vm::Op& op,
+                            const std::vector<ConstId>& regs) {
+    const Atom& atom = (*premises)[op.premise_index].atom;
+    Fact f = vm::GroundAtom(atom, regs.data());
+    // Another shard's instantiation: fail the op so the VM backtracks
+    // (the interpreter's `return true` skips the instantiation the same
+    // way — it just expresses "don't descend" from the caller's side).
+    if (!InShard(op.premise_index, f.args)) return false;
+    bool holds =
+        op.designated ? ctx->delta->Contains(f) : eng->Visible(*ctx->state, f);
+    if (!op.designated) {
+      if (holds && ctx->vis_minus != nullptr && ctx->vis_minus->Contains(f)) {
+        holds = false;
+      }
+      if (!holds && ctx->vis_plus != nullptr && ctx->vis_plus->Contains(f)) {
+        holds = true;
+      }
+    }
+    if (holds && op.exclude_delta && ctx->delta->Contains(f)) holds = false;
+    return holds;
+  }
+
+  StatusOr<bool> ProveCall(const vm::Op&, const std::vector<ConstId>&) {
+    return Status::Internal(
+        "bottom-up programs have no kProveCall premises");
+  }
+
+  StatusOr<bool> HypoTest(const vm::Op& op,
+                          const std::vector<ConstId>& regs) {
+    const Premise& premise = (*premises)[op.premise_index];
+    if (!premise.deletions.empty()) {
+      return Status::Unimplemented(
+          "hypothetical deletion is supported only by TabledEngine");
+    }
+    Fact query = vm::GroundAtom(premise.atom, regs.data());
+    std::vector<Fact> additions;
+    additions.reserve(premise.additions.size());
+    for (const Atom& a : premise.additions) {
+      additions.push_back(vm::GroundAtom(a, regs.data()));
+    }
+    return eng->TestHypothetical(ctx->state, query, additions, ctx->work);
+  }
+
+  StatusOr<bool> NegHolds(const vm::Op& op,
+                          const std::vector<ConstId>& regs) {
+    const Atom& atom = (*premises)[op.premise_index].atom;
+    if (op.code == vm::OpCode::kNegGround) {
+      return !eng->Visible(*ctx->state,
+                           vm::GroundAtom(atom, regs.data()));
+    }
+    // kNegProbe: seed exactly the statically bound variables (unbound
+    // registers hold stale candidate values and must not leak in).
+    for (VarIndex v : op.bound_vars) scratch->Set(v, regs[v]);
+    const bool witness =
+        eng->ExistsMatch(*ctx->state, atom, scratch, ctx->work);
+    for (VarIndex v : op.bound_vars) scratch->Unset(v);
+    return !witness;
+  }
+
+  StatusOr<bool> Emit(const std::vector<ConstId>& regs) {
+    return (*emit)(regs.data());
+  }
+
+  const std::vector<ConstId>& Domain() { return eng->domain_; }
+  Status CountEnumeration() { return eng->CountEnumeration(ctx->work); }
+  void FlushOps(int64_t executed) {
+    ctx->work->stats->vm_ops_executed += executed;
+  }
+};
+
+template <typename EmitFn>
+StatusOr<bool> BottomUpEngine::RunProgram(const std::vector<Premise>& premises,
+                                          const vm::Program& prog,
+                                          EvalCtx* ctx, const EmitFn& emit) {
+  vm::FrameLease frame(&ctx->work->vm_frames, prog.num_vars);
+  VmHost<EmitFn> host{this, &premises, ctx, &emit, &frame->neg};
+  return vm::Run(prog, &host, &frame->regs, &frame->states);
+}
+
 Status BottomUpEngine::EvaluateRule(
     int rule_index, EvalCtx* ctx, Database* next_delta,
     std::unordered_set<PredicateId>* changed) {
   const Rule& rule = active().rule(rule_index);
   const BodyPlan& plan = rule_plans_[rule_index];
   State* state = ctx->state;
-  Binding binding(rule.num_vars());
-  auto sink = [&](const Binding& b) -> StatusOr<bool> {
-    ++ctx->work->stats->goals_expanded;
-    HYPO_RETURN_IF_ERROR(CheckLimits(ctx->work));
-    Fact head = b.Ground(rule.head);
+  auto sink_body = [&](const Fact& head) -> StatusOr<bool> {
     if (ctx->buffer != nullptr) {
       // Parallel round: the model is sealed. Buffer the head (deduped per
       // task by the buffer's own hash set); the barrier merge inserts it
@@ -843,6 +1014,27 @@ Status BottomUpEngine::EvaluateRule(
       }
     }
     return true;  // Keep enumerating.
+  };
+  if (options_.executor == ExecutorKind::kVm &&
+      rule_index < static_cast<int>(rule_programs_.size())) {
+    const vm::Program* prog =
+        rule_programs_[rule_index].For(ctx->delta_premise);
+    if (prog != nullptr) {
+      Fact head;  // Reused across emits; Insert copies it out.
+      auto emit = [&](const ConstId* regs) -> StatusOr<bool> {
+        ++ctx->work->stats->goals_expanded;
+        HYPO_RETURN_IF_ERROR(CheckLimits(ctx->work));
+        vm::GroundAtomInto(rule.head, regs, &head);
+        return sink_body(head);
+      };
+      return RunProgram(rule.premises, *prog, ctx, emit).status();
+    }
+  }
+  Binding binding(rule.num_vars());
+  auto sink = [&](const Binding& b) -> StatusOr<bool> {
+    ++ctx->work->stats->goals_expanded;
+    HYPO_RETURN_IF_ERROR(CheckLimits(ctx->work));
+    return sink_body(b.Ground(rule.head));
   };
   return WalkPlan(rule.premises, plan, 0, &binding, ctx, sink).status();
 }
@@ -1094,7 +1286,7 @@ Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
           nullptr) {
     states_.Clear();
     tracked_bytes_.store(0, std::memory_order_relaxed);
-    return Status::OK();
+    return MaybeReplanForCardinality();
   }
 
   // Hypothetical child states are whole models over the old base: drop
@@ -1103,7 +1295,7 @@ Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
   State* base_state = states_.RetainOnly(InternStateKey({}));
   if (base_state == nullptr) {
     RecomputeTrackedBytes();
-    return Status::OK();
+    return MaybeReplanForCardinality();
   }
   if (base_state->dirty ||
       base_state->completed_through < strata_.num_strata - 1) {
@@ -1111,7 +1303,7 @@ Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
     // than repairing a partial fixpoint.
     states_.Clear();
     RecomputeTrackedBytes();
-    return Status::OK();
+    return MaybeReplanForCardinality();
   }
   // Start from an exact total (RetainOnly just dropped the children), so
   // the commit-time delta below lands on the truth, not on drift.
@@ -1144,6 +1336,19 @@ Status BottomUpEngine::ApplyBaseDelta(const BaseDelta& delta) {
   if (board_ != nullptr) {
     board_->PublishModel(ContextInterner::kEmptyContext, domain_fp_,
                          std::make_shared<Database>(base_state->ext.Clone()));
+  }
+  // Repaired model stays; only the PLANS (ordered against pre-epoch
+  // cardinalities) and their compiled programs refresh when the epoch
+  // moved a watched relation past the 2x band.
+  return MaybeReplanForCardinality();
+}
+
+Status BottomUpEngine::MaybeReplanForCardinality() {
+  for (const auto& [pred, planned] : planned_counts_) {
+    const int64_t now = base_->CountFor(pred);
+    if (now > 2 * planned || 2 * now < planned) {
+      return RebuildActivePlans();
+    }
   }
   return Status::OK();
 }
@@ -1253,6 +1458,21 @@ Status BottomUpEngine::RepairStratumIncremental(State* state, int stratum,
         ctx.delta = &round;
         ctx.vis_plus = plus;
         ctx.vis_minus = minus;
+        const vm::Program* prog =
+            options_.executor == ExecutorKind::kVm &&
+                    rule_index < static_cast<int>(rule_programs_.size())
+                ? rule_programs_[rule_index].For(i)
+                : nullptr;
+        if (prog != nullptr) {
+          auto emit = [&](const ConstId* regs) -> StatusOr<bool> {
+            ++work->stats->goals_expanded;
+            HYPO_RETURN_IF_ERROR(CheckLimits(work));
+            return on_head(vm::GroundAtom(rule.head, regs));
+          };
+          HYPO_RETURN_IF_ERROR(
+              RunProgram(rule.premises, *prog, &ctx, emit).status());
+          continue;
+        }
         Binding binding(rule.num_vars());
         auto sink = [&](const Binding& b) -> StatusOr<bool> {
           ++work->stats->goals_expanded;
@@ -1456,6 +1676,31 @@ StatusOr<bool> BottomUpEngine::HeadDerivable(const Fact& fact, int stratum,
   return false;
 }
 
+std::string BottomUpEngine::ExplainPlans() const {
+  if (!initialized_) return "bottom-up: not initialized\n";
+  std::ostringstream out;
+  const RuleBase& program = active();
+  const SymbolTable& symbols = *base_->symbols_ptr();
+  out << "engine=bottom-up executor="
+      << (options_.executor == ExecutorKind::kVm ? "vm" : "interp") << "\n";
+  for (int r = 0; r < program.num_rules(); ++r) {
+    const Rule& rule = program.rule(r);
+    out << "  rule " << r << ": "
+        << symbols.PredicateName(rule.head.predicate) << "/"
+        << rule.head.args.size() << "\n";
+    out << DescribePlan(rule_plans_[r], rule.premises, symbols);
+    if (r < static_cast<int>(rule_programs_.size())) {
+      out << "    bytecode (full):\n"
+          << vm::Disassemble(rule_programs_[r].full, rule.premises, symbols);
+      for (const auto& [premise, prog] : rule_programs_[r].deltas) {
+        out << "    bytecode (delta p" << premise << "):\n"
+            << vm::Disassemble(prog, rule.premises, symbols);
+      }
+    }
+  }
+  return out.str();
+}
+
 const EngineStats& BottomUpEngine::stats() const {
   // Index builds live in the Databases themselves: the shared base, each
   // memoized state's model, and the per-round deltas already retired.
@@ -1524,11 +1769,26 @@ StatusOr<bool> BottomUpEngine::ProveQuery(const Query& query) {
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
-  Binding binding(query.num_vars());
   EvalCtx ctx;
   ctx.state = top;
   ctx.work = &work;
   bool found = false;
+  if (options_.executor == ExecutorKind::kVm) {
+    vm::CompileInput in;
+    in.premises = &query.premises;
+    in.plan = &plan;
+    in.num_vars = query.num_vars();
+    vm::Program prog = vm::Compile(in);
+    ++stats_.vm_programs_compiled;
+    auto emit = [&found](const ConstId*) -> StatusOr<bool> {
+      found = true;
+      return false;  // Stop at the first witness.
+    };
+    HYPO_RETURN_IF_ERROR(
+        RunProgram(query.premises, prog, &ctx, emit).status());
+    return found;
+  }
+  Binding binding(query.num_vars());
   auto sink = [&found](const Binding&) -> StatusOr<bool> {
     found = true;
     return false;  // Stop at the first witness.
@@ -1554,12 +1814,30 @@ StatusOr<std::vector<Tuple>> BottomUpEngine::Answers(const Query& query) {
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
-  Binding binding(query.num_vars());
   EvalCtx ctx;
   ctx.state = top;
   ctx.work = &work;
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<Tuple> answers;
+  if (options_.executor == ExecutorKind::kVm) {
+    vm::CompileInput in;
+    in.premises = &query.premises;
+    in.plan = &plan;
+    in.num_vars = query.num_vars();
+    vm::Program prog = vm::Compile(in);
+    ++stats_.vm_programs_compiled;
+    // The pseudo-head enumerates every query variable, so all registers
+    // are bound at emit and the register file IS the answer tuple.
+    auto emit = [&](const ConstId* regs) -> StatusOr<bool> {
+      Tuple t(regs, regs + query.num_vars());
+      if (seen.insert(t).second) answers.push_back(std::move(t));
+      return true;
+    };
+    HYPO_RETURN_IF_ERROR(
+        RunProgram(query.premises, prog, &ctx, emit).status());
+    return answers;
+  }
+  Binding binding(query.num_vars());
   auto sink = [&](const Binding& b) -> StatusOr<bool> {
     Tuple t = b.values();
     if (seen.insert(t).second) answers.push_back(std::move(t));

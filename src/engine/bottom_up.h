@@ -19,6 +19,8 @@
 #include "engine/engine.h"
 #include "engine/plan.h"
 #include "engine/state_cache.h"
+#include "engine/vm/bytecode.h"
+#include "engine/vm/executor.h"
 
 namespace hypo {
 
@@ -113,6 +115,10 @@ class BottomUpEngine : public Engine {
     return static_sigs_;
   }
 
+  /// Premise order, probe masks, and (VM executor) disassembled bytecode
+  /// per compiled rule version of the active program.
+  std::string ExplainPlans() const override;
+
   /// Test hooks (governance_test): the incrementally tracked model-byte
   /// total and an exact re-sum over the live states. ApplyBaseDelta must
   /// leave these equal (satellite byte-accounting exactness).
@@ -190,6 +196,28 @@ class BottomUpEngine : public Engine {
     /// Unflushed local delta of tracked_bytes_: bytes this thread has
     /// added to memoized models since its last flush (see CheckLimits).
     int64_t local_bytes = 0;
+    /// Reusable VM register/scan frames (executor == kVm). Per-thread by
+    /// construction, depth-indexed so hypothetical sub-fixpoints that
+    /// re-enter RunProgram on this thread get their own frame.
+    vm::FrameStack vm_frames;
+  };
+
+  /// Compiled bytecode versions of one rule body (executor == kVm): the
+  /// full instantiation plus one delta version per positive premise index
+  /// (the semi-naive rounds designate same-stratum premises; the DRed
+  /// repair rounds can designate ANY positive premise, so all of them are
+  /// compiled up front).
+  struct RuleProgs {
+    vm::Program full;
+    std::vector<std::pair<int, vm::Program>> deltas;  // (premise, program)
+
+    const vm::Program* For(int delta_premise) const {
+      if (delta_premise < 0) return &full;
+      for (const auto& [premise, prog] : deltas) {
+        if (premise == delta_premise) return &prog;
+      }
+      return nullptr;
+    }
   };
 
   /// Static per-rule facts for the tuple-level semi-naive rewrite,
@@ -258,6 +286,12 @@ class BottomUpEngine : public Engine {
   /// over active(). Called by Init() and whenever the demand program is
   /// rebuilt.
   Status RebuildActivePlans();
+
+  /// Server-epoch plan staleness (ApplyBaseDelta): when the netted delta
+  /// moved any watched base relation's cardinality by more than 2x in
+  /// either direction since the plans were ordered, re-runs
+  /// RebuildActivePlans (plans AND compiled programs; models untouched).
+  Status MaybeReplanForCardinality();
 
   /// Rebuilds the demand program when forced or when the profile widened
   /// since the last build; bumps demand_version_ so memoized states are
@@ -355,6 +389,23 @@ class BottomUpEngine : public Engine {
   StatusOr<bool> HeadDerivable(const Fact& fact, int stratum, State* state,
                                WorkCtx* work);
 
+  /// VM executor host: mirrors WalkPlan's per-step semantics and counter
+  /// order. A nested class (rather than a function-local one) because it
+  /// needs a member template — AcceptRow sees both Database::Scan::Row
+  /// and Tuple rows — which local classes cannot declare. Defined in
+  /// bottom_up.cc.
+  template <typename EmitFn>
+  struct VmHost;
+
+  /// Runs one compiled program against `ctx` (VM executor). `emit`
+  /// receives the complete register file per instantiation and follows
+  /// the sink protocol (false stops the enumeration). Instantiated only
+  /// in bottom_up.cc.
+  template <typename EmitFn>
+  StatusOr<bool> RunProgram(const std::vector<Premise>& premises,
+                            const vm::Program& prog, EvalCtx* ctx,
+                            const EmitFn& emit);
+
   /// Evaluates one rule version over `ctx->state`, inserting derived
   /// heads into the model; predicates that gained tuples go to `changed`
   /// (a set: one entry per predicate per round, not per fact), and the
@@ -415,7 +466,16 @@ class BottomUpEngine : public Engine {
 
   NegationStrata strata_;
   std::vector<BodyPlan> rule_plans_;
+  /// Compiled programs per active-program rule; empty when the executor
+  /// is kInterp. Rebuilt with the plans (Init, demand refresh, server
+  /// epoch replans).
+  std::vector<RuleProgs> rule_programs_;
   std::vector<RuleDeltaInfo> rule_delta_info_;
+  /// Base-relation cardinalities the current plans were ordered against
+  /// (positive-premise predicates of the active program). A server epoch
+  /// whose netted delta moves any of them by more than 2x triggers a
+  /// replan + recompile (ApplyBaseDelta).
+  std::vector<std::pair<PredicateId, int64_t>> planned_counts_;
   /// Every (predicate, probe-mask) signature any plan step of the active
   /// program can probe at runtime, deduplicated. The parallel fixpoint
   /// PrepareIndex()es all of them before sealing a database, so sealed

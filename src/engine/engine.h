@@ -34,6 +34,26 @@ enum class EvalStrategy {
   kDeltaSeminaive = 2,
 };
 
+/// How rule bodies (and query bodies) execute.
+enum class ExecutorKind {
+  /// The interpretive plan walker: recursive WalkPlan over BodyPlan
+  /// steps with Binding maps. Kept as the differential oracle.
+  kInterp = 0,
+  /// Compiled execution: each body is lowered once (per Init / server
+  /// epoch) to flat register bytecode (engine/vm/) and run by a switch
+  /// inner loop over dense register frames. Answers, models, and every
+  /// non-vm_* counter are identical to the interpreter.
+  kVm = 1,
+};
+
+/// Process default for ExecutorKind, from the HYPO_EXEC environment
+/// variable ("vm" | "interp"; unset/empty = vm). Mirrors HYPO_STORAGE:
+/// read once on first use so a whole test/bench process flips per run.
+ExecutorKind DefaultExecutor();
+
+/// Validates HYPO_EXEC without consuming it (CLI startup check).
+Status ValidateExecutorEnv();
+
 /// Evaluation limits and switches shared by the engines.
 struct EngineOptions {
   /// Maximum number of memoized database states before evaluation aborts
@@ -47,6 +67,11 @@ struct EngineOptions {
   /// Fixpoint evaluation strategy; kNaive and kRuleFilter are kept as
   /// ablation baselines for bench_engine.
   EvalStrategy eval_strategy = EvalStrategy::kDeltaSeminaive;
+
+  /// Rule-body execution backend (see ExecutorKind). Defaults from the
+  /// HYPO_EXEC environment variable; kVm when unset. Changing it after
+  /// Init() is undefined (programs are compiled at Init / replan time).
+  ExecutorKind executor = DefaultExecutor();
 
   /// Cross-check the overlay's incrementally interned context id against
   /// a from-scratch canonical key on every memoized goal lookup.
@@ -158,6 +183,10 @@ struct EngineStats {
   int64_t strata_repaired = 0;    // Strata repaired by delta rounds.
   int64_t strata_recomputed = 0;  // Strata rebuilt and diffed (fallback).
 
+  // Compiled execution (EngineOptions::executor == kVm; engine/vm/).
+  int64_t vm_programs_compiled = 0;  // Bodies lowered to bytecode.
+  int64_t vm_ops_executed = 0;       // Bytecode ops dispatched.
+
   // Resource governance (QueryGuard).
   int64_t guard_checks = 0;     // Armed-guard checks performed.
   int64_t deadline_micros_remaining = 0;  // Headroom at query completion
@@ -209,6 +238,8 @@ struct EngineStats {
     parallel_rounds += other.parallel_rounds;
     barrier_micros += other.barrier_micros;
     peak_workers = std::max(peak_workers, other.peak_workers);
+    vm_programs_compiled += other.vm_programs_compiled;
+    vm_ops_executed += other.vm_ops_executed;
     guard_checks += other.guard_checks;
     // Completion gauge, written only by the arming thread after every
     // barrier: a non-zero incoming value is authoritative, 0 means "not
@@ -319,6 +350,13 @@ class Engine {
   /// SymbolTable (the server's engine pool). Null detaches. Engines that
   /// do not support cross-query caching ignore the call.
   virtual void AttachMemoBoard(MemoBoard* board) { (void)board; }
+
+  /// Human-readable description of the engine's active evaluation plans:
+  /// per rule, the premise order and probe masks, plus the disassembled
+  /// bytecode of each compiled program version when the VM executor is
+  /// active. Backs hypo_cli --explain-plan and the server `explain` verb.
+  /// Engines must be Init()ed first; the default reports nothing.
+  virtual std::string ExplainPlans() const { return ""; }
 
   /// Every (predicate, bound-column mask) signature this engine's plans
   /// can probe against the BASE database. A caller that seals the base

@@ -1,6 +1,7 @@
 #include "engine/plan.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "db/database.h"
 
@@ -132,6 +133,41 @@ BodyPlan BodyPlan::Build(const std::vector<Premise>& premises,
     }
   }
   return plan;
+}
+
+std::string DescribePlan(const BodyPlan& plan,
+                         const std::vector<Premise>& premises,
+                         const SymbolTable& symbols) {
+  std::ostringstream out;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& step = plan.steps[i];
+    out << "    step " << i << ": ";
+    switch (step.kind) {
+      case PlanStep::Kind::kMatchPositive:
+        out << "match p" << step.premise_index << "="
+            << symbols.PredicateName(
+                   premises[step.premise_index].atom.predicate)
+            << " mask=0x" << std::hex << step.probe_mask << std::dec;
+        break;
+      case PlanStep::Kind::kEnumerateVars:
+        out << "enumerate";
+        for (VarIndex v : step.enum_vars) out << " r" << v;
+        break;
+      case PlanStep::Kind::kHypothetical:
+        out << "hypothetical p" << step.premise_index << "="
+            << symbols.PredicateName(
+                   premises[step.premise_index].atom.predicate);
+        break;
+      case PlanStep::Kind::kNegated:
+        out << "negated p" << step.premise_index << "="
+            << symbols.PredicateName(
+                   premises[step.premise_index].atom.predicate)
+            << " mask=0x" << std::hex << step.probe_mask << std::dec;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace hypo

@@ -1,10 +1,12 @@
 #ifndef HYPO_ENGINE_PLAN_H_
 #define HYPO_ENGINE_PLAN_H_
 
+#include <string>
 #include <vector>
 
 #include "ast/query.h"
 #include "ast/rule.h"
+#include "ast/symbol_table.h"
 #include "db/database.h"
 
 namespace hypo {
@@ -62,6 +64,12 @@ struct BodyPlan {
                         const Atom* head, int num_vars,
                         const Database* db = nullptr);
 };
+
+/// One line per step: premise order, kind, predicate, and probe mask.
+/// Backs hypo_cli --explain-plan and the server `explain` verb.
+std::string DescribePlan(const BodyPlan& plan,
+                         const std::vector<Premise>& premises,
+                         const SymbolTable& symbols);
 
 }  // namespace hypo
 

@@ -5,10 +5,13 @@
 #include "base/stopwatch.h"
 #include "engine/memo_board.h"
 #include "engine/scan.h"
+#include "engine/vm/compiler.h"
+#include "engine/vm/executor.h"
 
 #include <algorithm>
 #include <climits>
 #include <functional>
+#include <sstream>
 
 namespace hypo {
 
@@ -37,6 +40,29 @@ Atom PseudoHead(const Query& query) {
   return head;
 }
 
+/// Compile modes for the cascade: a Σ-defined premise (even partition
+/// > 0) is a subproof; extensional and Δ premises match storage (with
+/// the Δ model as an extra scan segment, resolved by the host at run
+/// time). Negation follows the same split.
+std::vector<vm::PremiseMode> StratifiedModes(
+    const LinearStratification& strat,
+    const std::vector<Premise>& premises) {
+  std::vector<vm::PremiseMode> modes(premises.size(),
+                                     vm::PremiseMode::kStorage);
+  for (size_t i = 0; i < premises.size(); ++i) {
+    const Premise& p = premises[i];
+    if (p.kind == PremiseKind::kHypothetical) continue;
+    const PredicateId pred = p.atom.predicate;
+    if (pred < 0 ||
+        pred >= static_cast<int>(strat.partition_of_pred.size())) {
+      continue;
+    }
+    const int part = strat.partition_of_pred[pred];
+    if (part > 0 && part % 2 == 0) modes[i] = vm::PremiseMode::kProve;
+  }
+  return modes;
+}
+
 }  // namespace
 
 StratifiedProver::StratifiedProver(const RuleBase* rulebase,
@@ -62,6 +88,23 @@ Status StratifiedProver::Init() {
   for (const Rule& rule : rulebase_->rules()) {
     rule_plans_.push_back(
         BodyPlan::Build(rule.premises, &rule.head, rule.num_vars(), base_));
+  }
+  rule_programs_.clear();
+  if (options_.executor == ExecutorKind::kVm) {
+    rule_programs_.reserve(rulebase_->num_rules());
+    for (int r = 0; r < rulebase_->num_rules(); ++r) {
+      const Rule& rule = rulebase_->rule(r);
+      vm::CompileInput in;
+      in.premises = &rule.premises;
+      in.plan = &rule_plans_[r];
+      in.num_vars = rule.num_vars();
+      // Σ-headed rules enter from a ground goal (ProveSigma binds the
+      // head); Δ-headed rules enter unbound from the model fixpoint.
+      if (PartitionOf(rule.head.predicate) % 2 == 0) in.head = &rule.head;
+      in.modes = StratifiedModes(strat_, rule.premises);
+      rule_programs_.push_back(vm::Compile(in));
+      ++stats_.vm_programs_compiled;
+    }
   }
   domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
   domain_set_.clear();
@@ -219,6 +262,152 @@ const EngineStats& StratifiedProver::stats() const {
   return stats_;
 }
 
+// The callbacks mirror the cascade walker's per-step semantics (and
+// counter order) exactly. Δ-model resolution is statusful — DeltaModelFor
+// may run a whole fixpoint — and happens BEFORE any membership check,
+// matching MatchPositive/TestNegated's resolution order.
+template <typename EmitFn>
+struct StratifiedProver::VmHost {
+  StratifiedProver* eng;
+  const std::vector<Premise>* premises;
+  EvalContext* ctx;
+  const EmitFn* emit;
+  Binding* scratch;  // kNegProbe seeding; bound_vars Set/Unset per test.
+
+  /// The Δ model backing `pred`'s storage segment: the model under
+  /// construction for same-partition occurrences inside its own fixpoint,
+  /// the memoized (or freshly computed) model otherwise; null for
+  /// extensional predicates.
+  StatusOr<const Database*> ModelFor(PredicateId pred) {
+    const int part = eng->PartitionOf(pred);
+    if (part % 2 != 1) return static_cast<const Database*>(nullptr);
+    if (ctx->building_ext != nullptr && part == ctx->building_partition) {
+      return static_cast<const Database*>(ctx->building_ext);
+    }
+    return eng->DeltaModelFor((part + 1) / 2);
+  }
+
+  Status OpenScan(const vm::Op& op, const std::vector<ConstId>&,
+                  vm::ScanState* st) {
+    // Base relation, overlay additions, then the Δ model if any (the
+    // building model can grow beneath a suspended scan; the executor's
+    // snapshot bound mirrors ForEachBaseCandidate's).
+    st->AddDb(eng->base_);
+    st->AddOverlay(eng->overlay_.get());
+    HYPO_ASSIGN_OR_RETURN(const Database* model, ModelFor(op.pred));
+    if (model != nullptr) st->AddDb(model);
+    return Status::OK();
+  }
+
+  template <typename Row>
+  bool AcceptRow(const vm::Op&, const Row&) {
+    // Deletions are rejected by Init, so every stored tuple is visible.
+    ++eng->stats_.join_probes;
+    return true;
+  }
+
+  StatusOr<bool> TestGround(const vm::Op& op,
+                            const std::vector<ConstId>& regs) {
+    const Atom& atom = (*premises)[op.premise_index].atom;
+    HYPO_ASSIGN_OR_RETURN(const Database* model, ModelFor(op.pred));
+    Fact f = vm::GroundAtom(atom, regs.data());
+    if (eng->overlay_->Contains(f)) return true;
+    return model != nullptr && model->Contains(f);
+  }
+
+  StatusOr<bool> ProveCall(const vm::Op& op,
+                           const std::vector<ConstId>& regs) {
+    const Atom& atom = (*premises)[op.premise_index].atom;
+    EvalContext sub = *ctx;
+    sub.depth = ctx->depth + 1;
+    return eng->ProveGround(vm::GroundAtom(atom, regs.data()), &sub);
+  }
+
+  StatusOr<bool> HypoTest(const vm::Op& op,
+                          const std::vector<ConstId>& regs) {
+    const Premise& premise = (*premises)[op.premise_index];
+    if (!premise.deletions.empty()) {
+      return Status::Unimplemented(
+          "hypothetical deletion is supported only by TabledEngine");
+    }
+    Fact query = vm::GroundAtom(premise.atom, regs.data());
+    HYPO_FAILPOINT("stratified.hypo_push");
+    eng->overlay_->PushFrame();
+    for (const Atom& a : premise.additions) {
+      eng->overlay_->Add(vm::GroundAtom(a, regs.data()));
+    }
+    EvalContext sub = *ctx;
+    sub.depth = ctx->depth + 1;
+    // The queried atom is evaluated in the *new* state; a Δ model under
+    // construction belongs to the old state and must not leak into it.
+    sub.building_ext = nullptr;
+    sub.building_partition = 0;
+    StatusOr<bool> holds = eng->ProveGround(query, &sub);
+    eng->overlay_->PopFrame();
+    return holds;
+  }
+
+  /// TestNegated's Σ branch over op.free_vars (duplicate occurrences
+  /// kept — domain² semantics; register writes are dead, see
+  /// TabledEngine::VmHost::ExistsFrom).
+  StatusOr<bool> ExistsFrom(const vm::Op& op, const Atom& atom, size_t v,
+                            ConstId* regs) {
+    if (v == op.free_vars.size()) {
+      EvalContext sub = *ctx;
+      sub.depth = ctx->depth + 1;
+      return eng->ProveGround(vm::GroundAtom(atom, regs), &sub);
+    }
+    for (ConstId c : eng->domain_) {
+      HYPO_RETURN_IF_ERROR(eng->CountEnumeration());
+      regs[op.free_vars[v]] = c;
+      HYPO_ASSIGN_OR_RETURN(bool found, ExistsFrom(op, atom, v + 1, regs));
+      if (found) return true;
+    }
+    return false;
+  }
+
+  StatusOr<bool> NegHolds(const vm::Op& op, std::vector<ConstId>& regs) {
+    const Atom& atom = (*premises)[op.premise_index].atom;
+    if (op.code == vm::OpCode::kNegCall) {
+      // Σ predicate from a strictly higher stratum: ask the complete
+      // lower-stratum procedure for a witness.
+      HYPO_ASSIGN_OR_RETURN(bool exists,
+                            ExistsFrom(op, atom, 0, regs.data()));
+      return !exists;
+    }
+    HYPO_ASSIGN_OR_RETURN(const Database* model, ModelFor(op.pred));
+    if (op.code == vm::OpCode::kNegGround) {
+      Fact f = vm::GroundAtom(atom, regs.data());
+      if (eng->overlay_->Contains(f)) return false;
+      return !(model != nullptr && model->Contains(f));
+    }
+    // kNegProbe: seed exactly the statically bound variables (unbound
+    // registers hold stale candidate values and must not leak in).
+    for (VarIndex v : op.bound_vars) scratch->Set(v, regs[v]);
+    const bool witness = eng->ExistsStored(atom, scratch, model);
+    for (VarIndex v : op.bound_vars) scratch->Unset(v);
+    return !witness;
+  }
+
+  StatusOr<bool> Emit(const std::vector<ConstId>& regs) {
+    return (*emit)(regs.data());
+  }
+
+  const std::vector<ConstId>& Domain() { return eng->domain_; }
+  Status CountEnumeration() { return eng->CountEnumeration(); }
+  void FlushOps(int64_t executed) {
+    eng->stats_.vm_ops_executed += executed;
+  }
+};
+
+template <typename EmitFn>
+StatusOr<bool> StratifiedProver::RunProgram(
+    const std::vector<Premise>& premises, const vm::Program& prog,
+    EvalContext* ctx, vm::FrameStack::Frame* frame, const EmitFn& emit) {
+  VmHost<EmitFn> host{this, &premises, ctx, &emit, &frame->neg};
+  return vm::Run(prog, &host, &frame->regs, &frame->states);
+}
+
 StatusOr<bool> StratifiedProver::ProveGround(const Fact& goal,
                                              EvalContext* ctx) {
   int part = PartitionOf(goal.predicate);
@@ -309,6 +498,26 @@ StatusOr<bool> StratifiedProver::ProveSigma(const Fact& goal,
   bool proved = false;
   for (int rule_index : rulebase_->DefinitionOf(goal.predicate)) {
     const Rule& rule = rulebase_->rule(rule_index);
+    if (options_.executor == ExecutorKind::kVm &&
+        rule_index < static_cast<int>(rule_programs_.size())) {
+      const vm::Program& prog = rule_programs_[rule_index];
+      vm::FrameLease frame(&vm_frames_, prog.num_vars);
+      if (!vm::MatchHead(prog, goal.args, frame->regs.data())) continue;
+      // Σ rules never match against a Δ model under construction: the
+      // fresh context leaves building_ext null.
+      EvalContext sub;
+      sub.depth = depth + 1;
+      sub.min_pruned = &my_min;
+      auto emit = [&proved](const ConstId*) -> StatusOr<bool> {
+        proved = true;
+        return false;  // First proof wins; stop enumerating.
+      };
+      HYPO_RETURN_IF_ERROR(
+          RunProgram(rule.premises, prog, &sub, frame.get(), emit)
+              .status());
+      if (proved) break;
+      continue;
+    }
     Binding binding(rule.num_vars());
     std::vector<VarIndex> trail;
     if (!binding.MatchTuple(rule.head, goal.args, &trail)) continue;
@@ -396,12 +605,35 @@ StatusOr<const Database*> StratifiedProver::DeltaModelFor(int stratum_i) {
           }
           if (!relevant) continue;
         }
-        Binding binding(rule.num_vars());
         EvalContext ctx;
         int min_pruned = INT_MAX;
         ctx.min_pruned = &min_pruned;
         ctx.building_ext = model;
         ctx.building_partition = partition;
+        if (options_.executor == ExecutorKind::kVm &&
+            rule_index < static_cast<int>(rule_programs_.size())) {
+          const vm::Program& prog = rule_programs_[rule_index];
+          vm::FrameLease frame(&vm_frames_, prog.num_vars);
+          Fact head;  // Reused across emits; Insert copies it out.
+          auto emit = [&](const ConstId* r) -> StatusOr<bool> {
+            ++stats_.goals_expanded;
+            HYPO_RETURN_IF_ERROR(CheckLimits());
+            vm::GroundAtomInto(rule.head, r, &head);
+            if (!overlay_->Contains(head) && !model->Contains(head)) {
+              model->Insert(head);
+              ++stats_.facts_derived;
+              changed_now.push_back(head.predicate);
+            }
+            return true;
+          };
+          HYPO_RETURN_IF_ERROR(
+              RunProgram(rule.premises, prog, &ctx, frame.get(), emit)
+                  .status());
+          HYPO_DCHECK(min_pruned == INT_MAX)
+              << "Δ oracle computation pruned on an in-progress goal";
+          continue;
+        }
+        Binding binding(rule.num_vars());
         auto sink = [&](const Binding& b) -> StatusOr<bool> {
           ++stats_.goals_expanded;
           HYPO_RETURN_IF_ERROR(CheckLimits());
@@ -684,11 +916,28 @@ StatusOr<bool> StratifiedProver::ProveQuery(const Query& query) {
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
-  Binding binding(query.num_vars());
   EvalContext ctx;
   int min_pruned = INT_MAX;
   ctx.min_pruned = &min_pruned;
   bool found = false;
+  if (options_.executor == ExecutorKind::kVm) {
+    vm::CompileInput in;
+    in.premises = &query.premises;
+    in.plan = &plan;
+    in.num_vars = query.num_vars();
+    in.modes = StratifiedModes(strat_, query.premises);
+    vm::Program prog = vm::Compile(in);
+    ++stats_.vm_programs_compiled;
+    vm::FrameLease frame(&vm_frames_, prog.num_vars);
+    auto emit = [&found](const ConstId*) -> StatusOr<bool> {
+      found = true;
+      return false;
+    };
+    HYPO_RETURN_IF_ERROR(
+        RunProgram(query.premises, prog, &ctx, frame.get(), emit).status());
+    return found;
+  }
+  Binding binding(query.num_vars());
   auto sink = [&found](const Binding&) -> StatusOr<bool> {
     found = true;
     return false;
@@ -706,12 +955,30 @@ StatusOr<std::vector<Tuple>> StratifiedProver::Answers(const Query& query) {
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
-  Binding binding(query.num_vars());
   EvalContext ctx;
   int min_pruned = INT_MAX;
   ctx.min_pruned = &min_pruned;
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<Tuple> answers;
+  if (options_.executor == ExecutorKind::kVm) {
+    vm::CompileInput in;
+    in.premises = &query.premises;
+    in.plan = &plan;
+    in.num_vars = query.num_vars();
+    in.modes = StratifiedModes(strat_, query.premises);
+    vm::Program prog = vm::Compile(in);
+    ++stats_.vm_programs_compiled;
+    vm::FrameLease frame(&vm_frames_, prog.num_vars);
+    auto emit = [&](const ConstId* r) -> StatusOr<bool> {
+      Tuple t(r, r + query.num_vars());
+      if (seen.insert(t).second) answers.push_back(std::move(t));
+      return true;
+    };
+    HYPO_RETURN_IF_ERROR(
+        RunProgram(query.premises, prog, &ctx, frame.get(), emit).status());
+    return answers;
+  }
+  Binding binding(query.num_vars());
   auto sink = [&](const Binding& b) -> StatusOr<bool> {
     Tuple t = b.values();
     if (seen.insert(t).second) answers.push_back(std::move(t));
@@ -720,6 +987,29 @@ StatusOr<std::vector<Tuple>> StratifiedProver::Answers(const Query& query) {
   HYPO_RETURN_IF_ERROR(
       WalkPlan(query.premises, plan, 0, &binding, &ctx, sink).status());
   return answers;
+}
+
+std::string StratifiedProver::ExplainPlans() const {
+  if (!initialized_) return "stratified-prover: not initialized\n";
+  std::ostringstream out;
+  const SymbolTable& symbols = *base_->symbols_ptr();
+  out << "engine=stratified-prover executor="
+      << (options_.executor == ExecutorKind::kVm ? "vm" : "interp") << "\n";
+  for (int r = 0; r < rulebase_->num_rules(); ++r) {
+    const Rule& rule = rulebase_->rule(r);
+    const bool sigma = PartitionOf(rule.head.predicate) % 2 == 0;
+    out << "  rule " << r << ": "
+        << symbols.PredicateName(rule.head.predicate) << "/"
+        << rule.head.args.size() << (sigma ? " [sigma]" : " [delta]")
+        << "\n";
+    out << DescribePlan(rule_plans_[r], rule.premises, symbols);
+    if (r < static_cast<int>(rule_programs_.size())) {
+      out << (sigma ? "    bytecode (head-bound):\n"
+                    : "    bytecode (entry-unbound):\n")
+          << vm::Disassemble(rule_programs_[r], rule.premises, symbols);
+    }
+  }
+  return out.str();
 }
 
 }  // namespace hypo

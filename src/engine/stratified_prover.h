@@ -16,6 +16,8 @@
 #include "engine/binding.h"
 #include "engine/engine.h"
 #include "engine/plan.h"
+#include "engine/vm/bytecode.h"
+#include "engine/vm/executor.h"
 
 namespace hypo {
 
@@ -56,6 +58,11 @@ class StratifiedProver : public Engine {
   const EngineStats& stats() const override;
   void ResetStats() override { stats_ = EngineStats(); }
   std::string name() const override { return "stratified-prover"; }
+
+  /// Premise order, probe masks, and (VM mode) disassembled bytecode for
+  /// every rule: head-bound for Σ-headed rules, entry-unbound for
+  /// Δ-headed rules (run by the DeltaModelFor fixpoint).
+  std::string ExplainPlans() const override;
 
   /// The governance fields (timeout_micros, max_memory_bytes, cancel) may
   /// be changed between queries — e.g. to retry a tripped query with a
@@ -145,6 +152,19 @@ class StratifiedProver : public Engine {
                           const std::function<StatusOr<bool>(
                               const Binding&)>& sink);
 
+  /// VM executor host (see BottomUpEngine::VmHost for why this is a
+  /// nested class template). Defined in stratified_prover.cc.
+  template <typename EmitFn>
+  struct VmHost;
+
+  /// Runs one compiled program under `ctx`. `frame->regs` arrives
+  /// pre-seeded by MatchHead for Σ rule programs, all-kUnbound otherwise.
+  template <typename EmitFn>
+  StatusOr<bool> RunProgram(const std::vector<Premise>& premises,
+                            const vm::Program& prog, EvalContext* ctx,
+                            vm::FrameStack::Frame* frame,
+                            const EmitFn& emit);
+
   /// Positive-premise matching: dispatches on the predicate's partition.
   StatusOr<bool> MatchPositive(const Atom& atom, Binding* binding,
                                EvalContext* ctx,
@@ -195,6 +215,12 @@ class StratifiedProver : public Engine {
 
   LinearStratification strat_;
   std::vector<BodyPlan> rule_plans_;
+  /// One program per rule (VM executor only; empty under kInterp):
+  /// Σ-headed rules compile head-bound, Δ-headed rules entry-unbound.
+  std::vector<vm::Program> rule_programs_;
+  /// Reusable VM frames, depth-indexed for re-entrant subproofs. Safe as
+  /// an engine member: the prover serves one query at a time.
+  vm::FrameStack vm_frames_;
   std::vector<ConstId> domain_;
   std::unordered_set<ConstId> domain_set_;
   std::vector<ConstId> extra_constants_;

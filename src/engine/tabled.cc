@@ -5,10 +5,13 @@
 #include "base/failpoint.h"
 #include "engine/memo_board.h"
 #include "engine/scan.h"
+#include "engine/vm/compiler.h"
+#include "engine/vm/executor.h"
 
 #include <algorithm>
 #include <climits>
 #include <functional>
+#include <sstream>
 
 namespace hypo {
 
@@ -38,6 +41,25 @@ Atom PseudoHead(const Query& query) {
   return head;
 }
 
+/// Compile modes for the top-down prover: a defined positive premise is a
+/// subproof (MatchDefined), an extensional one a storage scan; a negated
+/// premise ALWAYS goes through ExistsProvable — even ground, even
+/// extensional — because ProveGoal itself resolves database entries.
+std::vector<vm::PremiseMode> TabledModes(const RuleBase& rulebase,
+                                         const std::vector<Premise>& premises) {
+  std::vector<vm::PremiseMode> modes(premises.size(),
+                                     vm::PremiseMode::kStorage);
+  for (size_t i = 0; i < premises.size(); ++i) {
+    const Premise& p = premises[i];
+    if (p.kind == PremiseKind::kNegated ||
+        (p.kind == PremiseKind::kPositive &&
+         rulebase.IsDefined(p.atom.predicate))) {
+      modes[i] = vm::PremiseMode::kProve;
+    }
+  }
+  return modes;
+}
+
 }  // namespace
 
 TabledEngine::TabledEngine(const RuleBase* rulebase, const Database* db,
@@ -59,6 +81,21 @@ Status TabledEngine::Init() {
   for (const Rule& rule : rulebase_->rules()) {
     rule_plans_.push_back(
         BodyPlan::Build(rule.premises, &rule.head, rule.num_vars(), base_));
+  }
+  rule_programs_.clear();
+  if (options_.executor == ExecutorKind::kVm) {
+    rule_programs_.reserve(rulebase_->num_rules());
+    for (int r = 0; r < rulebase_->num_rules(); ++r) {
+      const Rule& rule = rulebase_->rule(r);
+      vm::CompileInput in;
+      in.premises = &rule.premises;
+      in.plan = &rule_plans_[r];
+      in.num_vars = rule.num_vars();
+      in.head = &rule.head;
+      in.modes = TabledModes(*rulebase_, rule.premises);
+      rule_programs_.push_back(vm::Compile(in));
+      ++stats_.vm_programs_compiled;
+    }
   }
   domain_ = ComputeDomain(*rulebase_, *base_, extra_constants_);
   domain_set_.clear();
@@ -183,6 +220,26 @@ TabledEngine::GoalKey TabledEngine::KeyFor(const Fact& goal) {
   return GoalKey{interner_.Intern(goal), overlay_->context_id()};
 }
 
+std::string TabledEngine::ExplainPlans() const {
+  if (!initialized_) return "tabled: not initialized\n";
+  std::ostringstream out;
+  const SymbolTable& symbols = *base_->symbols_ptr();
+  out << "engine=tabled executor="
+      << (options_.executor == ExecutorKind::kVm ? "vm" : "interp") << "\n";
+  for (int r = 0; r < rulebase_->num_rules(); ++r) {
+    const Rule& rule = rulebase_->rule(r);
+    out << "  rule " << r << ": "
+        << symbols.PredicateName(rule.head.predicate) << "/"
+        << rule.head.args.size() << "\n";
+    out << DescribePlan(rule_plans_[r], rule.premises, symbols);
+    if (r < static_cast<int>(rule_programs_.size())) {
+      out << "    bytecode (head-bound):\n"
+          << vm::Disassemble(rule_programs_[r], rule.premises, symbols);
+    }
+  }
+  return out.str();
+}
+
 const EngineStats& TabledEngine::stats() const {
   stats_.index_builds = base_->index_builds();
   stats_.sorted_probes = base_->sorted_probes();
@@ -197,6 +254,116 @@ const EngineStats& TabledEngine::stats() const {
   }
   stats_.memo_bytes = MemoryBytes();
   return stats_;
+}
+
+// The callbacks mirror the tabled WalkPlan's per-step semantics (and
+// counter order) exactly; every subproof runs at depth + 1 against the
+// same overlay, so suspended scans see frames pushed and popped beneath
+// them just as the interpreter's recursion does.
+template <typename EmitFn>
+struct TabledEngine::VmHost {
+  TabledEngine* eng;
+  const std::vector<Premise>* premises;
+  int depth;
+  int* min_pruned;
+  const EmitFn* emit;
+
+  Status OpenScan(const vm::Op&, const std::vector<ConstId>&,
+                  vm::ScanState* st) {
+    // Base relation, then overlay additions (ForEachBaseCandidate then
+    // ForEachAddedCandidate).
+    st->AddDb(eng->base_);
+    st->AddOverlay(eng->overlay_.get());
+    return Status::OK();
+  }
+
+  template <typename Row>
+  bool AcceptRow(const vm::Op& op, const Row& row) {
+    ++eng->stats_.join_probes;
+    // Hypothetically deleted facts are masked, not removed.
+    return eng->overlay_->TupleVisible(op.pred, row);
+  }
+
+  StatusOr<bool> TestGround(const vm::Op& op,
+                            const std::vector<ConstId>& regs) {
+    // Ground extensional premise: database entry, base or added.
+    const Atom& atom = (*premises)[op.premise_index].atom;
+    return eng->overlay_->Contains(vm::GroundAtom(atom, regs.data()));
+  }
+
+  StatusOr<bool> ProveCall(const vm::Op& op,
+                           const std::vector<ConstId>& regs) {
+    const Atom& atom = (*premises)[op.premise_index].atom;
+    return eng->ProveGoal(vm::GroundAtom(atom, regs.data()), depth + 1,
+                          min_pruned);
+  }
+
+  StatusOr<bool> HypoTest(const vm::Op& op,
+                          const std::vector<ConstId>& regs) {
+    const Premise& premise = (*premises)[op.premise_index];
+    Fact query = vm::GroundAtom(premise.atom, regs.data());
+    HYPO_FAILPOINT("tabled.hypo_push");
+    eng->overlay_->PushFrame();
+    // Deletions apply before additions; a fact in both ends up present.
+    for (const Atom& a : premise.deletions) {
+      eng->overlay_->Delete(vm::GroundAtom(a, regs.data()));
+    }
+    for (const Atom& a : premise.additions) {
+      eng->overlay_->Add(vm::GroundAtom(a, regs.data()));
+    }
+    StatusOr<bool> holds = eng->ProveGoal(query, depth + 1, min_pruned);
+    eng->overlay_->PopFrame();
+    return holds;
+  }
+
+  /// ExistsProvable over op.free_vars (duplicate occurrences kept, inner
+  /// write wins — domain² semantics). Writing enumeration values into the
+  /// register file is safe: negation-local variables are never statically
+  /// bound, so no later op reads these registers.
+  StatusOr<bool> ExistsFrom(const vm::Op& op, const Atom& atom, size_t v,
+                            ConstId* regs) {
+    if (v == op.free_vars.size()) {
+      return eng->ProveGoal(vm::GroundAtom(atom, regs), depth + 1,
+                            min_pruned);
+    }
+    for (ConstId c : eng->domain_) {
+      HYPO_RETURN_IF_ERROR(eng->CountEnumeration());
+      regs[op.free_vars[v]] = c;
+      HYPO_ASSIGN_OR_RETURN(bool found, ExistsFrom(op, atom, v + 1, regs));
+      if (found) return true;
+    }
+    return false;
+  }
+
+  StatusOr<bool> NegHolds(const vm::Op& op, std::vector<ConstId>& regs) {
+    if (op.code != vm::OpCode::kNegCall) {
+      return Status::Internal("tabled programs negate via kNegCall only");
+    }
+    const Atom& atom = (*premises)[op.premise_index].atom;
+    HYPO_ASSIGN_OR_RETURN(bool exists,
+                          ExistsFrom(op, atom, 0, regs.data()));
+    return !exists;
+  }
+
+  StatusOr<bool> Emit(const std::vector<ConstId>& regs) {
+    return (*emit)(regs.data());
+  }
+
+  const std::vector<ConstId>& Domain() { return eng->domain_; }
+  Status CountEnumeration() { return eng->CountEnumeration(); }
+  void FlushOps(int64_t executed) {
+    eng->stats_.vm_ops_executed += executed;
+  }
+};
+
+template <typename EmitFn>
+StatusOr<bool> TabledEngine::RunProgram(const std::vector<Premise>& premises,
+                                        const vm::Program& prog, int depth,
+                                        int* min_pruned,
+                                        vm::FrameStack::Frame* frame,
+                                        const EmitFn& emit) {
+  VmHost<EmitFn> host{this, &premises, depth, min_pruned, &emit};
+  return vm::Run(prog, &host, &frame->regs, &frame->states);
 }
 
 StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
@@ -262,6 +429,21 @@ StatusOr<bool> TabledEngine::ProveGoal(const Fact& goal, int depth,
   bool proved = false;
   for (int rule_index : rulebase_->DefinitionOf(goal.predicate)) {
     const Rule& rule = rulebase_->rule(rule_index);
+    if (options_.executor == ExecutorKind::kVm &&
+        rule_index < static_cast<int>(rule_programs_.size())) {
+      const vm::Program& prog = rule_programs_[rule_index];
+      vm::FrameLease frame(&vm_frames_, prog.num_vars);
+      if (!vm::MatchHead(prog, goal.args, frame->regs.data())) continue;
+      auto emit = [&proved](const ConstId*) -> StatusOr<bool> {
+        proved = true;
+        return false;
+      };
+      HYPO_RETURN_IF_ERROR(RunProgram(rule.premises, prog, depth + 1,
+                                      &my_min, frame.get(), emit)
+                               .status());
+      if (proved) break;
+      continue;
+    }
     Binding binding(rule.num_vars());
     std::vector<VarIndex> trail;
     if (!binding.MatchTuple(rule.head, goal.args, &trail)) continue;
@@ -470,9 +652,27 @@ StatusOr<bool> TabledEngine::ProveQuery(const Query& query) {
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
-  Binding binding(query.num_vars());
   int min_pruned = INT_MAX;
   bool found = false;
+  if (options_.executor == ExecutorKind::kVm) {
+    vm::CompileInput in;
+    in.premises = &query.premises;
+    in.plan = &plan;
+    in.num_vars = query.num_vars();
+    in.modes = TabledModes(*rulebase_, query.premises);
+    vm::Program prog = vm::Compile(in);
+    ++stats_.vm_programs_compiled;
+    vm::FrameLease frame(&vm_frames_, prog.num_vars);
+    auto emit = [&found](const ConstId*) -> StatusOr<bool> {
+      found = true;
+      return false;
+    };
+    HYPO_RETURN_IF_ERROR(
+        RunProgram(query.premises, prog, 0, &min_pruned, frame.get(), emit)
+            .status());
+    return found;
+  }
+  Binding binding(query.num_vars());
   auto sink = [&found](const Binding&) -> StatusOr<bool> {
     found = true;
     return false;
@@ -491,10 +691,31 @@ StatusOr<std::vector<Tuple>> TabledEngine::Answers(const Query& query) {
   Atom head = PseudoHead(query);
   BodyPlan plan =
       BodyPlan::Build(query.premises, &head, query.num_vars(), base_);
-  Binding binding(query.num_vars());
   int min_pruned = INT_MAX;
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<Tuple> answers;
+  if (options_.executor == ExecutorKind::kVm) {
+    vm::CompileInput in;
+    in.premises = &query.premises;
+    in.plan = &plan;
+    in.num_vars = query.num_vars();
+    in.modes = TabledModes(*rulebase_, query.premises);
+    vm::Program prog = vm::Compile(in);
+    ++stats_.vm_programs_compiled;
+    vm::FrameLease frame(&vm_frames_, prog.num_vars);
+    // The pseudo-head forces every query variable bound at emit, so the
+    // register file IS the answer tuple.
+    auto emit = [&](const ConstId* r) -> StatusOr<bool> {
+      Tuple t(r, r + query.num_vars());
+      if (seen.insert(t).second) answers.push_back(std::move(t));
+      return true;
+    };
+    HYPO_RETURN_IF_ERROR(
+        RunProgram(query.premises, prog, 0, &min_pruned, frame.get(), emit)
+            .status());
+    return answers;
+  }
+  Binding binding(query.num_vars());
   auto sink = [&](const Binding& b) -> StatusOr<bool> {
     Tuple t = b.values();
     if (seen.insert(t).second) answers.push_back(std::move(t));

@@ -17,6 +17,8 @@
 #include "engine/engine.h"
 #include "engine/plan.h"
 #include "engine/proof.h"
+#include "engine/vm/bytecode.h"
+#include "engine/vm/executor.h"
 
 namespace hypo {
 
@@ -61,6 +63,10 @@ class TabledEngine : public Engine {
   void ResetStats() override { stats_ = EngineStats(); }
   std::string name() const override { return "tabled"; }
 
+  /// Premise order, probe masks, and (VM mode) disassembled head-bound
+  /// bytecode for every rule.
+  std::string ExplainPlans() const override;
+
   /// The governance fields (timeout_micros, max_memory_bytes, cancel) may
   /// be changed between queries — e.g. to retry a tripped query with a
   /// larger budget on the same warm engine. Changing the evaluation
@@ -103,6 +109,21 @@ class TabledEngine : public Engine {
                           Binding* binding, int depth, int* min_pruned,
                           const std::function<StatusOr<bool>(
                               const Binding&)>& sink);
+
+  /// VM executor host (see BottomUpEngine::VmHost for why this is a
+  /// nested class template). Defined in tabled.cc.
+  template <typename EmitFn>
+  struct VmHost;
+
+  /// Runs one compiled program; `frame->regs` arrives pre-seeded by
+  /// MatchHead for rule programs (head-bound) or all-kUnbound for query
+  /// programs. `depth` is the WalkPlan-equivalent depth: every subproof
+  /// the host spawns runs at depth + 1, leasing its own frame.
+  template <typename EmitFn>
+  StatusOr<bool> RunProgram(const std::vector<Premise>& premises,
+                            const vm::Program& prog, int depth,
+                            int* min_pruned, vm::FrameStack::Frame* frame,
+                            const EmitFn& emit);
 
   /// Enumerates the free variables of `atom` over the domain and proves
   /// each grounding; invokes `next` for bindings that hold.
@@ -164,6 +185,12 @@ class TabledEngine : public Engine {
   EngineOptions options_;
 
   std::vector<BodyPlan> rule_plans_;
+  /// Head-bound bytecode, one program per rule (VM executor only;
+  /// empty under ExecutorKind::kInterp). Rebuilt with rule_plans_.
+  std::vector<vm::Program> rule_programs_;
+  /// Reusable VM frames, depth-indexed for re-entrant subproofs. Safe as
+  /// an engine member: the engine serves one query at a time.
+  vm::FrameStack vm_frames_;
   std::vector<ConstId> domain_;
   std::unordered_set<ConstId> domain_set_;
   std::vector<ConstId> extra_constants_;

@@ -164,7 +164,23 @@ int RunSession(QueryServer* server, std::istream& in, std::ostream& out) {
           << " index_sort_micros=" << c.index_sort_micros
           << " cache_hits_cross_query=" << c.cache_hits_cross_query
           << " contexts_reused=" << c.contexts_reused
-          << " restricted_rejections=" << c.restricted_rejections << "\n";
+          << " restricted_rejections=" << c.restricted_rejections
+          << " vm_programs_compiled=" << c.vm_programs_compiled
+          << " vm_ops_executed=" << c.vm_ops_executed << "\n";
+    } else if (cmd == "explain") {
+      std::string plans = server->Explain();
+      // One `-` line per plan line, so scripted sessions can pair the
+      // whole block with the `ok` that introduces it.
+      size_t lines = 0;
+      for (char ch : plans) lines += ch == '\n';
+      out << "ok " << lines << " lines\n";
+      std::string_view rest = plans;
+      while (!rest.empty()) {
+        size_t nl = rest.find('\n');
+        out << "- " << rest.substr(0, nl) << "\n";
+        if (nl == std::string_view::npos) break;
+        rest.remove_prefix(nl + 1);
+      }
     } else if (cmd == "ping") {
       out << "ok pong\n";
     } else if (cmd == "shutdown") {

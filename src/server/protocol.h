@@ -23,7 +23,10 @@ namespace hypo {
 ///   set timeout_ms=N      per-session governance override; `ok set`
 ///   set max_memory_mb=N   (0 clears back to the server default)
 ///   epoch                 `ok epoch=E`
-///   stats                 `ok epoch=E queries=... strata_repaired=...`
+///   stats                 `ok epoch=E queries=... vm_ops_executed=...`
+///   explain               `ok N lines` then N lines `- <plan text>`:
+///                         premise order, probe masks, and disassembled
+///                         bytecode for every rule at the current epoch
 ///   ping                  `ok pong`
 ///   shutdown              `ok bye`, session ends
 ///

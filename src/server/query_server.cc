@@ -195,7 +195,19 @@ StatusOr<QueryOutcome> QueryServer::Query(std::string_view text,
                                     std::memory_order_relaxed);
   contexts_reused_.fetch_add(out.stats.contexts_reused,
                              std::memory_order_relaxed);
+  vm_programs_compiled_.fetch_add(out.stats.vm_programs_compiled,
+                                  std::memory_order_relaxed);
+  vm_ops_executed_.fetch_add(out.stats.vm_ops_executed,
+                             std::memory_order_relaxed);
   return out;
+}
+
+std::string QueryServer::Explain() {
+  std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  EngineLease lease(this, CheckOut(), &QueryServer::CheckIn);
+  // Symbol names are read while disassembling predicate references.
+  std::shared_lock<std::shared_mutex> symbols_lock(symbols_mu_);
+  return lease.get()->ExplainPlans();
 }
 
 StatusOr<QueryServer::Mutation> QueryServer::ParseMutation(
@@ -305,6 +317,14 @@ QueryServer::Counters QueryServer::counters() const {
   c.contexts_reused = contexts_reused_.load(std::memory_order_relaxed);
   c.restricted_rejections =
       restricted_rejections_.load(std::memory_order_relaxed);
+  // Queries accumulate into the atomics; epoch-turn recompiles land in the
+  // merged repair stats. Init-time compiles are counted by neither (the
+  // engines' stats are reset before their first lease).
+  c.vm_programs_compiled =
+      vm_programs_compiled_.load(std::memory_order_relaxed) +
+      repair_stats_.vm_programs_compiled;
+  c.vm_ops_executed = vm_ops_executed_.load(std::memory_order_relaxed) +
+                      repair_stats_.vm_ops_executed;
   c.repair = repair_stats_;
   return c;
 }

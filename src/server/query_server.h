@@ -148,9 +148,18 @@ class QueryServer {
     /// Queries rejected up front for hypothesizing about a predicate not
     /// declared `assumable`/`retractable` (restricted predicates).
     int64_t restricted_rejections = 0;
+    /// Bytecode executor totals: programs compiled (engine inits, epoch
+    /// recompiles, per-query compiles) and VM ops retired.
+    int64_t vm_programs_compiled = 0;
+    int64_t vm_ops_executed = 0;
     EngineStats repair;  // base_deltas, strata_repaired, overdeleted, ...
   };
   Counters counters() const;
+
+  /// Premise order, probe masks, and disassembled bytecode for every rule
+  /// of a pooled engine (they are interchangeable — all compiled from the
+  /// same rulebase at the same epoch). Blocks while all engines are busy.
+  std::string Explain();
 
   const ServerOptions& options() const { return options_; }
 
@@ -195,6 +204,8 @@ class QueryServer {
   std::atomic<int64_t> cache_hits_cross_query_{0};
   std::atomic<int64_t> contexts_reused_{0};
   std::atomic<int64_t> restricted_rejections_{0};
+  std::atomic<int64_t> vm_programs_compiled_{0};
+  std::atomic<int64_t> vm_ops_executed_{0};
 };
 
 }  // namespace hypo
