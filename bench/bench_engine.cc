@@ -11,12 +11,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <string>
 
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "encode/tm_encoder.h"
 #include "engine/memo_board.h"
+#include "server/journal.h"
+#include "server/query_server.h"
 #include "queries/chains.h"
 #include "queries/graphs.h"
 #include "tm/machines_library.h"
@@ -477,6 +480,58 @@ void BM_CrossQueryMemoReuse(benchmark::State& state) {
                  " k=" + std::to_string(k) + " len=" + std::to_string(len));
 }
 BENCHMARK(BM_CrossQueryMemoReuse)->Arg(0)->Arg(1);
+
+/// Cost of the durability layer on the server's epoch-turn path: each
+/// iteration is one acknowledged mutation batch (a base-fact toggle, so
+/// every turn changes exactly one fact and repairs incrementally).
+///   /0 — durability off (no data dir): the pre-existing epoch turn;
+///   /1 — journal on, fsync=off: encode + buffered append only;
+///   /2 — journal on, fsync=group: one fsync per 8 batches;
+///   /3 — journal on, fsync=always: one fsync per acknowledged batch.
+/// The /0 vs /1 delta is the journaling bookkeeping itself and should be
+/// noise; /3 is bounded by the device's flush latency.
+void BM_JournaledMutationBatch(benchmark::State& state) {
+  constexpr char kProgram[] =
+      "reach(X, Y) <- edge(X, Y).\n"
+      "reach(X, Z) <- edge(X, Y), reach(Y, Z).\n"
+      "edge(a, b).\nedge(b, c).\nedge(c, d).\n";
+  const int mode = static_cast<int>(state.range(0));
+  ServerOptions options;
+  options.engine_name = "bottomup";
+  options.pool_size = 2;
+  std::string dir;
+  if (mode != 0) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("hypo_bench_journal_" + std::to_string(mode)))
+              .string();
+    std::filesystem::remove_all(dir);
+    options.durability.data_dir = dir;
+    options.durability.fsync_policy =
+        mode == 1   ? Journal::FsyncPolicy::kOff
+        : mode == 2 ? Journal::FsyncPolicy::kGroup
+                    : Journal::FsyncPolicy::kAlways;
+  }
+  auto server = QueryServer::Create(kProgram, options);
+  HYPO_CHECK(server.ok()) << server.status();
+  bool present = false;
+  for (auto _ : state) {
+    auto outcome = present ? (*server)->Retract("edge(d, e)")
+                           : (*server)->Insert("edge(d, e)");
+    HYPO_CHECK(outcome.ok()) << outcome.status();
+    present = !present;
+  }
+  QueryServer::Counters counters = (*server)->counters();
+  state.counters["journal_appends"] =
+      static_cast<double>(counters.journal_appends);
+  state.counters["fsyncs"] = static_cast<double>(counters.fsyncs);
+  state.SetLabel(mode == 0
+                     ? "durability off"
+                     : std::string("fsync=") + Journal::PolicyName(
+                           options.durability.fsync_policy));
+  server->reset();
+  if (!dir.empty()) std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_JournaledMutationBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 }  // namespace
 }  // namespace hypo

@@ -2,6 +2,8 @@
 //
 //   hypo_serve PROGRAM.hdl [--engine tabled|stratified|bottomup]
 //              [--pool N] [--threads N] [--timeout-ms N] [--max-memory-mb N]
+//              [--data-dir DIR] [--fsync always|group|off]
+//              [--checkpoint-every N]
 //
 // Reads the line protocol (see src/server/protocol.h) from stdin and
 // writes one `ok`/`err` response block per command to stdout:
@@ -21,8 +23,18 @@
 // recomputing from scratch. --timeout-ms / --max-memory-mb set per-query
 // governance defaults that a session can override with `set`.
 //
-// Exit codes: 0 clean shutdown or EOF, 1 startup error, 2 usage error.
+// --data-dir makes the server crash-safe: every committed mutation batch
+// is journaled ahead of application and periodic checkpoints
+// (--checkpoint-every N epoch turns) bound replay; restarting with the
+// same --data-dir recovers the acknowledged state. --fsync picks the
+// journal flush policy (always = per batch, group = amortized, off =
+// checkpoint/shutdown only). SIGINT/SIGTERM drain in-flight queries,
+// flush the journal, write a final checkpoint, and exit 3.
+//
+// Exit codes: 0 clean shutdown or EOF, 1 startup error, 2 usage error,
+// 3 terminated by signal after a clean drain.
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -36,6 +48,22 @@
 namespace {
 
 using namespace hypo;
+
+/// Set by the SIGINT/SIGTERM handler; RunSession polls it between
+/// commands, and the handlers are installed without SA_RESTART so a
+/// signal also interrupts a blocked stdin read.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void InstallStopHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // No SA_RESTART: interrupt the blocking getline.
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 /// Strict positive-integer flag parsing shared with hypo_cli's checks:
 /// `--pool 4abc` and overflowing values are usage errors (exit 2), not
@@ -60,7 +88,9 @@ int main(int argc, char** argv) {
               << " PROGRAM.hdl [--engine NAME] [--pool N] [--threads N]"
                  " [--timeout-ms N] [--max-memory-mb N]"
                  " [--no-cross-cache] [--cache-mb N]"
-                 " [--executor vm|interp]\n";
+                 " [--executor vm|interp]"
+                 " [--data-dir DIR] [--fsync always|group|off]"
+                 " [--checkpoint-every N]\n";
     return 2;
   }
   // A mistyped storage backend must fail the launch, not silently serve
@@ -111,6 +141,21 @@ int main(int argc, char** argv) {
       if (!ParsePositiveFlag("--max-memory-mb", argv[++i], &max_memory_mb)) {
         return 2;
       }
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      options.durability.data_dir = argv[++i];
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      auto policy = Journal::ParsePolicy(argv[++i]);
+      if (!policy.ok()) {
+        std::cerr << "--fsync: " << policy.status() << "\n";
+        return 2;
+      }
+      options.durability.fsync_policy = *policy;
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      long value = 0;
+      if (!ParsePositiveFlag("--checkpoint-every", argv[++i], &value)) {
+        return 2;
+      }
+      options.durability.checkpoint_every = value;
     } else if (program_path.empty()) {
       program_path = arg;
     } else {
@@ -134,6 +179,8 @@ int main(int argc, char** argv) {
   std::stringstream buffer;
   buffer << in.rdbuf();
 
+  InstallStopHandlers();
+
   auto server = QueryServer::Create(buffer.str(), options);
   if (!server.ok()) {
     std::cerr << "server startup: " << server.status() << "\n";
@@ -141,6 +188,22 @@ int main(int argc, char** argv) {
   }
   std::cerr << "hypo_serve ready: engine=" << (*server)->options().engine_name
             << " pool=" << (*server)->options().pool_size
-            << " epoch=" << (*server)->epoch() << "\n";
-  return RunSession(server->get(), std::cin, std::cout);
+            << " epoch=" << (*server)->epoch();
+  if (!options.durability.data_dir.empty()) {
+    std::cerr << " data_dir=" << options.durability.data_dir << " fsync="
+              << Journal::PolicyName(options.durability.fsync_policy);
+  }
+  std::cerr << "\n";
+  int code = RunSession(server->get(), std::cin, std::cout, &g_stop);
+  // Drain and persist regardless of how the session ended — EOF, an
+  // explicit `shutdown`, or a stop signal. Shutdown is a no-op when
+  // durability is off.
+  if (Status s = (*server)->Shutdown(); !s.ok()) {
+    std::cerr << "shutdown: " << s << "\n";
+  }
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::cerr << "hypo_serve: drained after signal\n";
+    return 3;
+  }
+  return code;
 }

@@ -1,0 +1,38 @@
+#include "base/checksum.h"
+
+#include <array>
+
+namespace hypo {
+
+namespace {
+
+/// Reflected CRC-32C lookup table, generated once at static-init time.
+/// 256 entries * 4 bytes; the classic byte-at-a-time formulation is fast
+/// enough for epoch-boundary record framing (journal appends are
+/// dominated by the write+fsync, not the checksum).
+std::array<uint32_t, 256> BuildTable() {
+  constexpr uint32_t kPoly = 0x82f63b78u;  // Castagnoli, reflected.
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace hypo

@@ -1,0 +1,28 @@
+#ifndef HYPO_BASE_CHECKSUM_H_
+#define HYPO_BASE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hypo {
+
+/// CRC-32C (Castagnoli polynomial, the iSCSI/RocksDB variant) over
+/// `data`. Table-driven software implementation — no hardware intrinsics,
+/// so the value is identical on every platform a journal might be moved
+/// between. `seed` chains partial computations: Crc32c(b, Crc32c(a)) ==
+/// Crc32c(a + b).
+///
+/// The durability layer frames every journal record and checkpoint
+/// payload with this checksum; recovery distinguishes a *torn* write
+/// (short bytes at end-of-file, truncated silently) from *corruption*
+/// (full-length bytes whose checksum does not match, a typed DataLoss).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_CHECKSUM_H_

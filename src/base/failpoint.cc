@@ -14,6 +14,16 @@ void FailpointRegistry::Arm(const std::string& site, int64_t nth,
   std::lock_guard<std::mutex> lock(mu_);
   Site& s = sites_[site];
   s.remaining = nth;
+  s.sticky = false;
+  s.status = std::move(status);
+}
+
+void FailpointRegistry::ArmSticky(const std::string& site, int64_t nth,
+                                  Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.remaining = nth;
+  s.sticky = true;
   s.status = std::move(status);
 }
 
@@ -22,6 +32,7 @@ void FailpointRegistry::DisarmAll() {
   for (auto& [name, site] : sites_) {
     (void)name;
     site.remaining = 0;
+    site.sticky = false;
     site.status = Status::OK();
   }
 }
@@ -30,7 +41,12 @@ Status FailpointRegistry::Hit(const char* site) {
   std::lock_guard<std::mutex> lock(mu_);
   Site& s = sites_[site];
   ++s.hits;
+  if (s.remaining == -1) return s.status;  // Tripped sticky trigger.
   if (s.remaining > 0 && --s.remaining == 0) {
+    if (s.sticky) {
+      s.remaining = -1;
+      return s.status;
+    }
     Status fired = std::move(s.status);
     s.status = Status::OK();
     return fired;

@@ -56,6 +56,14 @@ class FailpointRegistry {
   /// trigger for the site.
   void Arm(const std::string& site, int64_t nth, Status status);
 
+  /// Like Arm, but once the trigger fires it KEEPS firing on every later
+  /// hit until disarmed — a persistently failing device rather than a
+  /// transient blip. The durability tests use this to defeat the
+  /// journal's bounded retry (a one-shot trigger would be absorbed by
+  /// the first retry) and to model a crash point: everything after the
+  /// armed site behaves as if the process had died there.
+  void ArmSticky(const std::string& site, int64_t nth, Status status);
+
   /// Clears every pending trigger (hit counters are kept).
   void DisarmAll();
 
@@ -75,7 +83,9 @@ class FailpointRegistry {
  private:
   struct Site {
     int64_t hits = 0;       // Executions since last ResetCounts.
-    int64_t remaining = 0;  // >0: fires when this many more hits land.
+    int64_t remaining = 0;  // >0: fires when this many more hits land;
+                            // -1: sticky trigger fired, fire every hit.
+    bool sticky = false;    // Keep firing after the first trip.
     Status status;          // What to return when the trigger fires.
   };
 

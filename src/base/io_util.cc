@@ -1,0 +1,206 @@
+#include "base/io_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace hypo {
+
+namespace {
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void AppendLengthPrefixed(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+StatusOr<uint32_t> ByteReader::ReadU32() {
+  if (remaining() < 4) {
+    return Status::OutOfRange("byte reader underrun (u32)");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(
+             static_cast<unsigned char>(data_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> ByteReader::ReadU64() {
+  if (remaining() < 8) {
+    return Status::OutOfRange("byte reader underrun (u64)");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<unsigned char>(data_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+StatusOr<std::string_view> ByteReader::ReadLengthPrefixed() {
+  auto len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (remaining() < *len) {
+    return Status::OutOfRange("byte reader underrun (length-prefixed)");
+  }
+  std::string_view s = data_.substr(offset_, *len);
+  offset_ += *len;
+  return s;
+}
+
+void UniqueFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<UniqueFd> OpenForWrite(const std::string& path, bool truncate) {
+  int flags = O_CREAT | O_WRONLY | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::FailedPrecondition(ErrnoMessage("open", path));
+  }
+  return UniqueFd(fd);
+}
+
+Status WriteFully(int fd, std::string_view data, const std::string& path) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FailedPrecondition(ErrnoMessage("write", path));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    return Status::FailedPrecondition(ErrnoMessage("fsync", path));
+  }
+  return Status::OK();
+}
+
+Status FsyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::FailedPrecondition(ErrnoMessage("open-for-fsync", path));
+  }
+  UniqueFd owner(fd);
+  return FsyncFd(fd, path);
+}
+
+Status TruncateFd(int fd, int64_t size, const std::string& path) {
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    return Status::FailedPrecondition(ErrnoMessage("ftruncate", path));
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::FailedPrecondition(
+        ErrnoMessage("rename", from + " -> " + to));
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::FailedPrecondition(ErrnoMessage("unlink", path));
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::FailedPrecondition("mkdir " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+StatusOr<int64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::NotFound("stat " + path + ": " + ec.message());
+  }
+  return static_cast<int64_t>(size);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::FailedPrecondition(ErrnoMessage("open", path));
+  }
+  UniqueFd owner(fd);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FailedPrecondition(ErrnoMessage("read", path));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::NotFound("opendir " + dir + ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace hypo

@@ -1,0 +1,116 @@
+#ifndef HYPO_BASE_IO_UTIL_H_
+#define HYPO_BASE_IO_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/statusor.h"
+
+namespace hypo {
+
+// ---------------------------------------------------------------------------
+// Little-endian binary framing. The durability layer (journal records,
+// checkpoint payloads) serializes through these so the on-disk byte order
+// is fixed regardless of host endianness.
+
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+
+/// u32 length prefix followed by the raw bytes.
+void AppendLengthPrefixed(std::string* out, std::string_view s);
+
+/// Sequential reader over a byte view. Every read is bounds-checked and
+/// returns OutOfRange on underrun — the caller maps that to "torn" or
+/// "corrupt" depending on where in a file the underrun happened.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<std::string_view> ReadLengthPrefixed();
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Status-returning POSIX file helpers. Every failure carries the path and
+// the errno text, so a durability error names the exact file involved.
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Close(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens (creating if absent) `path` for writing. `truncate` empties any
+/// existing file; otherwise the caller positions writes via the returned
+/// fd (the journal appends at its recovered logical end).
+StatusOr<UniqueFd> OpenForWrite(const std::string& path, bool truncate);
+
+/// Writes all of `data` at the fd's current position, retrying short
+/// writes and EINTR.
+Status WriteFully(int fd, std::string_view data, const std::string& path);
+
+/// fsync(2) on an open descriptor.
+Status FsyncFd(int fd, const std::string& path);
+
+/// Opens `path` read-only and fsyncs it — the directory-entry flush after
+/// a rename or create makes the new name itself durable.
+Status FsyncPath(const std::string& path);
+
+/// ftruncate(2): rolls a partially written record off the journal tail.
+Status TruncateFd(int fd, int64_t size, const std::string& path);
+
+/// rename(2); atomic within one filesystem. The caller fsyncs the parent
+/// directory afterwards to make the swap durable.
+Status RenameFile(const std::string& from, const std::string& to);
+
+Status RemoveFile(const std::string& path);
+
+/// mkdir -p (every missing ancestor).
+Status EnsureDir(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+StatusOr<int64_t> FileSize(const std::string& path);
+
+/// Whole-file read; NotFound when the file does not exist.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Plain entry names (no path prefix) of `dir`, sorted. "." and ".."
+/// excluded.
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+}  // namespace hypo
+
+#endif  // HYPO_BASE_IO_UTIL_H_

@@ -25,6 +25,12 @@ enum class StatusCode {
   kInternal,          // Invariant violation inside the library (a bug).
   kDeadlineExceeded,  // Wall-clock deadline for the query passed.
   kCancelled,         // Caller cancelled the query via a CancellationToken.
+  kUnavailable,       // Service temporarily degraded (e.g. read-only after
+                      // a journal write failure); retrying later or after
+                      // operator intervention may succeed.
+  kDataLoss,          // Durable state is unrecoverable (checksum mismatch,
+                      // mid-journal corruption). Never returned for a torn
+                      // final record, which recovery truncates instead.
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"…).
@@ -81,6 +87,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

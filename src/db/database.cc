@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "base/failpoint.h"
+#include "base/io_util.h"
 #include "base/logging.h"
 
 namespace hypo {
@@ -591,6 +592,78 @@ std::vector<PredicateId> Database::NonEmptyPredicates() const {
     if (RelationSize(rel) > 0) out.push_back(pred);
   }
   return out;
+}
+
+void Database::SerializeRelations(std::string* out) const {
+  std::vector<PredicateId> preds = NonEmptyPredicates();
+  // NonEmptyPredicates walks an unordered map; sort so identical logical
+  // contents always serialize to identical bytes.
+  std::sort(preds.begin(), preds.end());
+  AppendU32(out, static_cast<uint32_t>(preds.size()));
+  for (PredicateId pred : preds) {
+    RowsView rows = TuplesFor(pred);
+    const size_t arity =
+        static_cast<size_t>(symbols_->PredicateArity(pred));
+    AppendU32(out, static_cast<uint32_t>(pred));
+    AppendU32(out, static_cast<uint32_t>(arity));
+    AppendU64(out, static_cast<uint64_t>(rows.size()));
+    for (size_t r = 0; r < rows.size(); ++r) {
+      for (size_t c = 0; c < arity; ++c) {
+        AppendU32(out, static_cast<uint32_t>(rows.At(r, c)));
+      }
+    }
+  }
+}
+
+Status Database::DeserializeRelations(std::string_view bytes) {
+  if (!empty()) {
+    return Status::FailedPrecondition(
+        "DeserializeRelations requires an empty database");
+  }
+  ByteReader reader(bytes);
+  auto npreds = reader.ReadU32();
+  if (!npreds.ok()) return npreds.status();
+  Fact fact;
+  for (uint32_t i = 0; i < *npreds; ++i) {
+    auto pred = reader.ReadU32();
+    if (!pred.ok()) return pred.status();
+    auto arity = reader.ReadU32();
+    if (!arity.ok()) return arity.status();
+    auto nrows = reader.ReadU64();
+    if (!nrows.ok()) return nrows.status();
+    const auto id = static_cast<PredicateId>(*pred);
+    if (id < 0 || id >= symbols_->num_predicates()) {
+      return Status::InvalidArgument(
+          "relation snapshot references unknown predicate id " +
+          std::to_string(*pred));
+    }
+    if (static_cast<int>(*arity) != symbols_->PredicateArity(id)) {
+      return Status::InvalidArgument(
+          "relation snapshot arity mismatch for predicate id " +
+          std::to_string(*pred));
+    }
+    fact.predicate = id;
+    fact.args.assign(*arity, 0);
+    for (uint64_t r = 0; r < *nrows; ++r) {
+      for (uint32_t c = 0; c < *arity; ++c) {
+        auto v = reader.ReadU32();
+        if (!v.ok()) return v.status();
+        const auto cid = static_cast<ConstId>(*v);
+        if (cid < 0 || cid >= symbols_->num_consts()) {
+          return Status::InvalidArgument(
+              "relation snapshot references unknown constant id " +
+              std::to_string(*v));
+        }
+        fact.args[c] = cid;
+      }
+      Insert(fact);
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        "relation snapshot has trailing bytes after last relation");
+  }
+  return Status::OK();
 }
 
 void Database::Clear() {

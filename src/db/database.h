@@ -356,6 +356,22 @@ class Database {
   bool empty() const { return size_ == 0; }
   void Clear();
 
+  /// Appends a backend-neutral binary snapshot of every non-empty
+  /// relation: per relation (ascending PredicateId, so the bytes are
+  /// deterministic) the predicate id, arity, row count, then the rows in
+  /// insertion order as raw little-endian ConstIds. Symbol *names* are
+  /// not included — the checkpoint persists the SymbolTable alongside so
+  /// the dense ids resolve identically on load. Backs the durability
+  /// layer's checkpoint dump (DESIGN.md "Durability & recovery").
+  void SerializeRelations(std::string* out) const;
+
+  /// Rebuilds relations from SerializeRelations bytes into this database
+  /// (which must be empty). Every predicate id must already be interned
+  /// in the shared SymbolTable with a matching arity; rows are inserted
+  /// in dump order, so iteration order — and therefore every downstream
+  /// engine artifact — is identical to the dumped database's.
+  Status DeserializeRelations(std::string_view bytes);
+
   /// Heap bytes held by tuple storage and column indexes — exact arena
   /// bytes on the columnar backend, the ApproxFactBytes estimate on the
   /// reference one. Maintained incrementally on every insert and index

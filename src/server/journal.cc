@@ -1,0 +1,321 @@
+#include "server/journal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "base/checksum.h"
+#include "base/failpoint.h"
+
+namespace hypo {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'Y', 'P', 'O', 'J', 'R', 'N', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 4 + 8;
+// Per record: u32 payload length + u32 crc32c.
+constexpr size_t kFrameBytes = 8;
+
+std::string HeaderBytes(uint64_t base_epoch) {
+  std::string header(kMagic, sizeof(kMagic));
+  AppendU32(&header, kVersion);
+  AppendU64(&header, base_epoch);
+  return header;
+}
+
+using NamedFacts =
+    std::vector<std::pair<std::string, std::vector<std::string>>>;
+
+Status DecodeFacts(ByteReader* r, uint32_t count, NamedFacts* out) {
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto pred = r->ReadLengthPrefixed();
+    if (!pred.ok()) return pred.status();
+    auto arity = r->ReadU32();
+    if (!arity.ok()) return arity.status();
+    std::vector<std::string> args;
+    args.reserve(*arity);
+    for (uint32_t a = 0; a < *arity; ++a) {
+      auto name = r->ReadLengthPrefixed();
+      if (!name.ok()) return name.status();
+      args.emplace_back(*name);
+    }
+    out->emplace_back(std::string(*pred), std::move(args));
+  }
+  return Status::OK();
+}
+
+StatusOr<JournalRecord> DecodePayload(std::string_view payload) {
+  ByteReader r(payload);
+  JournalRecord rec;
+  auto epoch = r.ReadU64();
+  if (!epoch.ok()) return epoch.status();
+  rec.epoch = *epoch;
+  auto ni = r.ReadU32();
+  if (!ni.ok()) return ni.status();
+  auto nr = r.ReadU32();
+  if (!nr.ok()) return nr.status();
+  Status s = DecodeFacts(&r, *ni, &rec.inserts);
+  if (!s.ok()) return s;
+  s = DecodeFacts(&r, *nr, &rec.retracts);
+  if (!s.ok()) return s;
+  if (r.remaining() != 0) {
+    return Status::OutOfRange("journal payload has trailing bytes");
+  }
+  return rec;
+}
+
+void EncodeFacts(const NamedFacts& facts, std::string* out) {
+  for (const auto& [pred, args] : facts) {
+    AppendLengthPrefixed(out, pred);
+    AppendU32(out, static_cast<uint32_t>(args.size()));
+    for (const std::string& a : args) AppendLengthPrefixed(out, a);
+  }
+}
+
+uint32_t DecodeU32At(const std::string& bytes, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* Journal::PolicyName(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kGroup:
+      return "group";
+    case FsyncPolicy::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+StatusOr<Journal::FsyncPolicy> Journal::ParsePolicy(std::string_view name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "group") return FsyncPolicy::kGroup;
+  if (name == "off") return FsyncPolicy::kOff;
+  return Status::InvalidArgument("unknown fsync policy '" +
+                                 std::string(name) +
+                                 "' (want always|group|off)");
+}
+
+StatusOr<std::unique_ptr<Journal>> Journal::Create(const std::string& path,
+                                                   uint64_t base_epoch,
+                                                   FsyncPolicy policy,
+                                                   int group_size) {
+  HYPO_FAILPOINT("journal.create");
+  auto fd = OpenForWrite(path, /*truncate=*/true);
+  if (!fd.ok()) return fd.status();
+  const std::string header = HeaderBytes(base_epoch);
+  Status s = WriteFully(fd->get(), header, path);
+  if (s.ok()) s = FsyncFd(fd->get(), path);
+  if (!s.ok()) return s;
+  return std::unique_ptr<Journal>(
+      new Journal(std::move(*fd), path, static_cast<int64_t>(header.size()),
+                  base_epoch + 1, policy, group_size));
+}
+
+StatusOr<std::unique_ptr<Journal>> Journal::OpenAt(const std::string& path,
+                                                   uint64_t base_epoch,
+                                                   int64_t valid_bytes,
+                                                   uint64_t next_epoch,
+                                                   FsyncPolicy policy,
+                                                   int group_size) {
+  (void)base_epoch;
+  auto fd = OpenForWrite(path, /*truncate=*/false);
+  if (!fd.ok()) return fd.status();
+  // Drop any torn tail replay excluded, durably, then position appends
+  // after the last good record.
+  Status s = TruncateFd(fd->get(), valid_bytes, path);
+  if (s.ok()) s = FsyncFd(fd->get(), path);
+  if (!s.ok()) return s;
+  if (::lseek(fd->get(), static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+    return Status::FailedPrecondition("lseek " + path + " failed");
+  }
+  return std::unique_ptr<Journal>(new Journal(std::move(*fd), path,
+                                              valid_bytes, next_epoch,
+                                              policy, group_size));
+}
+
+Status Journal::Append(uint64_t epoch, std::string_view payload) {
+  if (poisoned_) {
+    return Status::Unavailable("journal " + path_ +
+                               " poisoned by an earlier write failure");
+  }
+  if (epoch != next_epoch_) {
+    return Status::Internal("journal append epoch " + std::to_string(epoch) +
+                            " != expected " + std::to_string(next_epoch_));
+  }
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32c(payload.data(), payload.size()));
+  frame.append(payload);
+
+  Status s = AppendFrameOnce(frame);
+  if (s.ok()) s = MaybeFsync();
+  if (!s.ok()) {
+    // Roll the file back to the pre-append length so a record the caller
+    // never got acknowledged can never be replayed. A clean rollback
+    // leaves the journal consistent for the server's bounded retry; if
+    // even the rollback fails the tail may hold partial garbage, so the
+    // journal poisons itself — appending after garbage would corrupt
+    // every later record.
+    Status rollback = TruncateFd(fd_.get(), size_, path_);
+    if (rollback.ok()) {
+      (void)::lseek(fd_.get(), static_cast<off_t>(size_), SEEK_SET);
+    } else {
+      poisoned_ = true;
+    }
+    return s;
+  }
+  size_ += static_cast<int64_t>(frame.size());
+  ++next_epoch_;
+  ++appends_;
+  return Status::OK();
+}
+
+Status Journal::AppendFrameOnce(const std::string& frame) {
+  HYPO_FAILPOINT("journal.append");
+  Status s = WriteFully(fd_.get(), frame, path_);
+  if (!s.ok()) return s;
+  // Fires with the record fully written but not yet acknowledged — the
+  // rollback in Append must truncate it away or recovery would replay a
+  // mutation the client was told failed.
+  HYPO_FAILPOINT("journal.append.unacked");
+  return Status::OK();
+}
+
+Status Journal::MaybeFsync() {
+  switch (policy_) {
+    case FsyncPolicy::kOff:
+      return Status::OK();
+    case FsyncPolicy::kGroup:
+      // Count the append only once it is known to stick (a failed append
+      // is rolled back and retried — it must not consume group budget).
+      if (unsynced_ + 1 < group_size_) {
+        ++unsynced_;
+        return Status::OK();
+      }
+      break;
+    case FsyncPolicy::kAlways:
+      break;
+  }
+  HYPO_FAILPOINT("journal.fsync");
+  Status s = FsyncFd(fd_.get(), path_);
+  if (!s.ok()) return s;
+  unsynced_ = 0;
+  ++fsyncs_;
+  return Status::OK();
+}
+
+Status Journal::Flush() {
+  if (poisoned_) {
+    return Status::Unavailable("journal " + path_ +
+                               " poisoned by an earlier write failure");
+  }
+  HYPO_FAILPOINT("journal.fsync");
+  Status s = FsyncFd(fd_.get(), path_);
+  if (!s.ok()) {
+    poisoned_ = true;
+    return s;
+  }
+  unsynced_ = 0;
+  ++fsyncs_;
+  return Status::OK();
+}
+
+std::string EncodeJournalPayload(uint64_t epoch, const NamedFacts& inserts,
+                                 const NamedFacts& retracts) {
+  std::string payload;
+  AppendU64(&payload, epoch);
+  AppendU32(&payload, static_cast<uint32_t>(inserts.size()));
+  AppendU32(&payload, static_cast<uint32_t>(retracts.size()));
+  EncodeFacts(inserts, &payload);
+  EncodeFacts(retracts, &payload);
+  return payload;
+}
+
+StatusOr<JournalReplay> ReplayJournal(const std::string& path,
+                                      uint64_t base_epoch) {
+  auto bytes_or = ReadFileToString(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::string& bytes = *bytes_or;
+
+  JournalReplay out;
+  if (bytes.size() < kHeaderBytes) {
+    // A header is written and fsynced in one shot at journal creation, so
+    // a short file can only be a crash mid-rotation: treat it as torn.
+    // valid_bytes == 0 tells the caller to recreate the journal.
+    out.torn_records_dropped = bytes.empty() ? 0 : 1;
+    return out;
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("journal " + path + " has bad magic");
+  }
+  ByteReader header(
+      std::string_view(bytes).substr(sizeof(kMagic), kHeaderBytes));
+  const uint32_t version = *header.ReadU32();
+  if (version != kVersion) {
+    return Status::DataLoss("journal " + path + " has unsupported version " +
+                            std::to_string(version));
+  }
+  const uint64_t stamped = *header.ReadU64();
+  if (stamped != base_epoch) {
+    return Status::DataLoss(
+        "journal " + path + " stamped for base epoch " +
+        std::to_string(stamped) + ", checkpoint is at epoch " +
+        std::to_string(base_epoch));
+  }
+
+  out.valid_bytes = static_cast<int64_t>(kHeaderBytes);
+  size_t off = kHeaderBytes;
+  uint64_t expect = base_epoch + 1;
+  size_t index = 0;
+  while (off < bytes.size()) {
+    const size_t rem = bytes.size() - off;
+    if (rem < kFrameBytes) {
+      out.torn_records_dropped = 1;  // Crash mid-frame: drop the tail.
+      break;
+    }
+    const uint32_t len = DecodeU32At(bytes, off);
+    const uint32_t crc = DecodeU32At(bytes, off + 4);
+    if (rem - kFrameBytes < len) {
+      out.torn_records_dropped = 1;  // Crash mid-payload.
+      break;
+    }
+    const std::string_view payload(bytes.data() + off + kFrameBytes, len);
+    if (Crc32c(payload.data(), payload.size()) != crc) {
+      return Status::DataLoss("journal " + path + " record " +
+                              std::to_string(index) + " checksum mismatch");
+    }
+    auto rec = DecodePayload(payload);
+    if (!rec.ok()) {
+      return Status::DataLoss("journal " + path + " record " +
+                              std::to_string(index) +
+                              " undecodable: " + rec.status().message());
+    }
+    if (rec->epoch != expect) {
+      return Status::DataLoss(
+          "journal " + path + " record " + std::to_string(index) +
+          " commits epoch " + std::to_string(rec->epoch) + ", expected " +
+          std::to_string(expect));
+    }
+    out.records.push_back(std::move(*rec));
+    off += kFrameBytes + len;
+    out.valid_bytes = static_cast<int64_t>(off);
+    ++expect;
+    ++index;
+  }
+  return out;
+}
+
+}  // namespace hypo

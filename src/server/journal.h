@@ -1,0 +1,158 @@
+#ifndef HYPO_SERVER_JOURNAL_H_
+#define HYPO_SERVER_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/io_util.h"
+#include "base/status.h"
+
+namespace hypo {
+
+/// Append-only write-ahead journal of netted mutation batches.
+///
+/// One journal file covers the epochs since the last checkpoint. Layout:
+///
+///   header:  "HYPOJRN1" (8 bytes)  u32 version  u64 base_epoch
+///   record*: u32 payload_len  u32 crc32c(payload)  payload
+///
+/// Every integer is little-endian regardless of host. `base_epoch` is the
+/// epoch of the checkpoint the journal extends; record k (0-based) commits
+/// the turn to epoch base_epoch + k + 1, and each payload re-states that
+/// epoch so replay can detect a record sequence spliced from another
+/// journal. Payloads carry symbol NAMES, not dense ids — a recovered
+/// process re-interns them, so its id assignment is self-consistent even
+/// though aborted batches and queries in the original process may have
+/// interned constants the journal never mentions.
+///
+/// Failure taxonomy on read-back (ReplayJournal):
+///  - fewer bytes than one complete record at EOF  -> torn write from a
+///    crash mid-append: truncate, drop ONLY that final record;
+///  - a complete record whose CRC mismatches, or whose epoch breaks the
+///    sequence, anywhere      -> DataLoss naming the record index;
+///  - bad header magic/version -> DataLoss.
+///
+/// Write-path failures never throw: Append returns the typed Status and
+/// rolls the file back (ftruncate to the pre-append length) so an
+/// unacknowledged record can never survive into replay. The server layers
+/// bounded retry and read-only degradation on top (query_server.cc).
+class Journal {
+ public:
+  /// When the OS is told to flush appended records to stable storage.
+  /// `kAlways` fsyncs every append; `kGroup` fsyncs once per
+  /// `group_size` appends (group commit: the unsynced tail is bounded);
+  /// `kOff` never fsyncs from the append path (flushes still happen at
+  /// checkpoint/shutdown). With kGroup/kOff a crash may lose acked but
+  /// unsynced records — recovery still yields a consistent prefix.
+  enum class FsyncPolicy { kAlways, kGroup, kOff };
+
+  static const char* PolicyName(FsyncPolicy p);
+  /// Parses "always" | "group" | "off"; InvalidArgument otherwise.
+  static StatusOr<FsyncPolicy> ParsePolicy(std::string_view name);
+
+  /// Creates (truncating any previous file) `path` with a header stamped
+  /// `base_epoch`, fsyncs the header, and returns an open journal ready
+  /// for Append.
+  static StatusOr<std::unique_ptr<Journal>> Create(const std::string& path,
+                                                   uint64_t base_epoch,
+                                                   FsyncPolicy policy,
+                                                   int group_size);
+
+  /// Re-opens an existing journal for appending after recovery validated
+  /// it. `valid_bytes` is the byte length of the valid prefix replay
+  /// found (header + whole records); anything after it (a torn tail) is
+  /// truncated away here. `next_epoch` is the epoch the next appended
+  /// record will commit.
+  static StatusOr<std::unique_ptr<Journal>> OpenAt(const std::string& path,
+                                                   uint64_t base_epoch,
+                                                   int64_t valid_bytes,
+                                                   uint64_t next_epoch,
+                                                   FsyncPolicy policy,
+                                                   int group_size);
+
+  /// Appends one record committing `epoch` (must equal next_epoch()).
+  /// On a write or fsync failure the partial record is truncated away,
+  /// leaving the file consistent for a retry; if even that rollback
+  /// fails the journal poisons itself and every later Append returns
+  /// Unavailable immediately. The payload bytes are framed and
+  /// checksummed here; build them with EncodeJournalPayload.
+  Status Append(uint64_t epoch, std::string_view payload);
+
+  /// Forces everything appended so far to stable storage regardless of
+  /// policy (checkpoint barrier, graceful shutdown).
+  Status Flush();
+
+  uint64_t next_epoch() const { return next_epoch_; }
+  const std::string& path() const { return path_; }
+  bool poisoned() const { return poisoned_; }
+
+  int64_t appends() const { return appends_; }
+  int64_t fsyncs() const { return fsyncs_; }
+
+ private:
+  Journal(UniqueFd fd, std::string path, int64_t size, uint64_t next_epoch,
+          FsyncPolicy policy, int group_size)
+      : fd_(std::move(fd)),
+        path_(std::move(path)),
+        size_(size),
+        next_epoch_(next_epoch),
+        policy_(policy),
+        group_size_(group_size < 1 ? 1 : group_size) {}
+
+  /// Writes the framed record bytes once (failpointed); no rollback here.
+  Status AppendFrameOnce(const std::string& frame);
+  Status MaybeFsync();
+
+  UniqueFd fd_;
+  std::string path_;
+  int64_t size_;          // Bytes durably framed so far (rollback target).
+  uint64_t next_epoch_;
+  FsyncPolicy policy_;
+  int group_size_;
+  int unsynced_ = 0;      // Appends since the last fsync (kGroup).
+  bool poisoned_ = false;
+  int64_t appends_ = 0;
+  int64_t fsyncs_ = 0;
+};
+
+/// One replayed journal record, decoded back to symbol names.
+struct JournalRecord {
+  uint64_t epoch = 0;
+  /// Facts as (predicate name, constant names) — the decode of
+  /// EncodePayload's framing.
+  std::vector<std::pair<std::string, std::vector<std::string>>> inserts;
+  std::vector<std::pair<std::string, std::vector<std::string>>> retracts;
+};
+
+/// Builds the payload bytes for one netted batch. Fact encoding: u32
+/// insert count, u32 retract count, then each fact as length-prefixed
+/// predicate name, u32 arity, length-prefixed constant names.
+std::string EncodeJournalPayload(
+    uint64_t epoch,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        inserts,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        retracts);
+
+/// Everything ReplayJournal learned from one journal file.
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  /// Length of the valid prefix (header + complete records). Pass to
+  /// Journal::OpenAt to resume appending after the last good record.
+  int64_t valid_bytes = 0;
+  /// 1 when a torn final record was detected (and excluded), else 0.
+  int64_t torn_records_dropped = 0;
+};
+
+/// Reads and validates `path`, which must have been created with
+/// `base_epoch`. Torn tails are reported (not errors); CRC or sequence
+/// damage earlier in the file is DataLoss naming the record index.
+StatusOr<JournalReplay> ReplayJournal(const std::string& path,
+                                      uint64_t base_epoch);
+
+}  // namespace hypo
+
+#endif  // HYPO_SERVER_JOURNAL_H_

@@ -79,13 +79,15 @@ bool HandleSet(std::string_view arg, QuerySpec* spec, std::ostream& out) {
 
 }  // namespace
 
-int RunSession(QueryServer* server, std::istream& in, std::ostream& out) {
+int RunSession(QueryServer* server, std::istream& in, std::ostream& out,
+               const std::atomic<bool>* stop) {
   QuerySpec spec;
   bool in_batch = false;
   std::vector<QueryServer::Mutation> batch;
 
   std::string raw;
-  while (std::getline(in, raw)) {
+  while (!(stop != nullptr && stop->load(std::memory_order_relaxed)) &&
+         std::getline(in, raw)) {
     std::string_view line = StripWhitespace(raw);
     if (line.empty() || line[0] == '#') continue;
     std::string_view cmd, arg;
@@ -166,7 +168,19 @@ int RunSession(QueryServer* server, std::istream& in, std::ostream& out) {
           << " contexts_reused=" << c.contexts_reused
           << " restricted_rejections=" << c.restricted_rejections
           << " vm_programs_compiled=" << c.vm_programs_compiled
-          << " vm_ops_executed=" << c.vm_ops_executed << "\n";
+          << " vm_ops_executed=" << c.vm_ops_executed
+          << " journal_appends=" << c.journal_appends
+          << " fsyncs=" << c.fsyncs << " checkpoints=" << c.checkpoints
+          << " recoveries=" << c.recoveries
+          << " torn_records_dropped=" << c.torn_records_dropped
+          << " read_only=" << (c.read_only ? 1 : 0) << "\n";
+    } else if (cmd == "checkpoint") {
+      Status s = server->Checkpoint();
+      if (!s.ok()) {
+        WriteError(out, s);
+      } else {
+        out << "ok checkpoint epoch=" << server->epoch() << "\n";
+      }
     } else if (cmd == "explain") {
       std::string plans = server->Explain();
       // One `-` line per plan line, so scripted sessions can pair the

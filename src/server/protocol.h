@@ -1,6 +1,7 @@
 #ifndef HYPO_SERVER_PROTOCOL_H_
 #define HYPO_SERVER_PROTOCOL_H_
 
+#include <atomic>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -23,7 +24,10 @@ namespace hypo {
 ///   set timeout_ms=N      per-session governance override; `ok set`
 ///   set max_memory_mb=N   (0 clears back to the server default)
 ///   epoch                 `ok epoch=E`
-///   stats                 `ok epoch=E queries=... vm_ops_executed=...`
+///   stats                 `ok epoch=E queries=... read_only=0|1`
+///   checkpoint            durably snapshot the current epoch and rotate
+///                         the journal; `ok checkpoint epoch=E` (err when
+///                         durability is off or the server is read-only)
 ///   explain               `ok N lines` then N lines `- <plan text>`:
 ///                         premise order, probe masks, and disassembled
 ///                         bytecode for every rule at the current epoch
@@ -37,7 +41,14 @@ namespace hypo {
 /// `out`. Returns the process exit code (0 on clean shutdown/EOF). The
 /// loop itself is sequential — concurrency lives in QueryServer, which
 /// any number of sessions could share.
-int RunSession(QueryServer* server, std::istream& in, std::ostream& out);
+///
+/// `stop`, when non-null, is polled between commands: a signal handler
+/// sets it (hypo_serve wires SIGINT/SIGTERM here) and the session ends
+/// as if EOF had been read — the caller then drains via
+/// QueryServer::Shutdown. Signals interrupting a blocked read also end
+/// the loop (the handlers are installed without SA_RESTART).
+int RunSession(QueryServer* server, std::istream& in, std::ostream& out,
+               const std::atomic<bool>* stop = nullptr);
 
 }  // namespace hypo
 

@@ -14,8 +14,36 @@
 #include "base/statusor.h"
 #include "db/database.h"
 #include "engine/engine.h"
+#include "server/journal.h"
 
 namespace hypo {
+
+/// Crash-safety configuration (DESIGN.md "Durability & recovery").
+/// With an empty `data_dir` the server is purely in-memory, exactly as
+/// before; with one, every committed mutation batch is written ahead to
+/// an append-only journal, periodic checkpoints bound replay time, and
+/// Create() recovers the committed state from disk on restart.
+struct DurabilityOptions {
+  /// Directory owning the journal and checkpoint files. Created if
+  /// absent. Empty = durability off.
+  std::string data_dir;
+
+  /// When journal appends reach stable storage (see Journal::FsyncPolicy):
+  /// "always" survives power loss per batch, "group" amortizes the fsync
+  /// over `fsync_group_size` batches, "off" leaves flushing to
+  /// checkpoints and shutdown.
+  Journal::FsyncPolicy fsync_policy = Journal::FsyncPolicy::kAlways;
+  int fsync_group_size = 8;
+
+  /// Write a checkpoint (and rotate the journal) every N epoch turns;
+  /// 0 = only at Shutdown or an explicit Checkpoint() call.
+  int64_t checkpoint_every = 0;
+
+  /// A failed journal append is retried this many times (with a short
+  /// backoff) before the server gives up and degrades to read-only.
+  int append_retries = 2;
+  int retry_backoff_ms = 1;
+};
 
 /// Configuration for a resident QueryServer.
 struct ServerOptions {
@@ -40,6 +68,9 @@ struct ServerOptions {
   /// answer or the board's memory is needed back.
   bool cross_query_cache = true;
   int64_t cache_bytes = 256ll << 20;
+
+  /// See DurabilityOptions; off (in-memory only) by default.
+  DurabilityOptions durability;
 };
 
 /// Per-query governance overrides; negative fields fall back to the
@@ -102,6 +133,16 @@ class QueryServer {
   /// Builds a server over `program` (rules + initial facts in the surface
   /// syntax). Initializes every pooled engine eagerly and seals the base,
   /// so the first query pays no cold-start beyond its own model.
+  ///
+  /// With durability configured, a data dir holding committed state takes
+  /// precedence over `program`: the persisted program text (the one the
+  /// relations were built against) is re-parsed, the latest checkpoint is
+  /// loaded, and the journal tail is replayed — the server resumes at the
+  /// epoch it last acknowledged. A fresh data dir seeds an initial
+  /// checkpoint from `program` before serving, so recovery always finds
+  /// one. Mid-journal corruption or a damaged newest checkpoint fails
+  /// Create with kDataLoss; a torn final journal record is dropped (and
+  /// counted in `torn_records_dropped`), not an error.
   static StatusOr<std::unique_ptr<QueryServer>> Create(
       std::string_view program, ServerOptions options);
 
@@ -132,6 +173,33 @@ class QueryServer {
 
   int64_t epoch() const;
 
+  /// True once a journal failure has flipped the server to read-only:
+  /// mutations answer kUnavailable, queries keep serving the last
+  /// committed epoch. Restarting the process (recovery) restores
+  /// read-write service — the journal holds every acknowledged batch.
+  bool read_only() const;
+
+  /// Writes a checkpoint of the current epoch and rotates the journal.
+  /// FailedPrecondition when durability is off, Unavailable when
+  /// read-only. A checkpoint-write failure leaves the previous
+  /// checkpoint + journal authoritative (not a degradation); a failure
+  /// rotating to the NEW journal does degrade to read-only.
+  Status Checkpoint();
+
+  /// Graceful drain: takes the epoch lock exclusively (every in-flight
+  /// query finishes first), flushes the journal, and writes a final
+  /// checkpoint. Idempotent; mutations after Shutdown are rejected. With
+  /// durability off (or read-only — the journal already holds all
+  /// committed state) this is just the drain.
+  Status Shutdown();
+
+  /// The base database as sorted `pred(a, b)` text lines, one per fact —
+  /// the canonical logical state. Two servers are equivalent iff their
+  /// canonical states match; the durability tests compare a recovered
+  /// process against a never-crashed oracle through this (dense symbol
+  /// ids may differ across the two processes, text never does).
+  std::string CanonicalState() const;
+
   /// Monotone service counters plus the cumulative incremental-repair
   /// stats accumulated across every epoch turn.
   struct Counters {
@@ -152,6 +220,16 @@ class QueryServer {
     /// recompiles, per-query compiles) and VM ops retired.
     int64_t vm_programs_compiled = 0;
     int64_t vm_ops_executed = 0;
+    /// Durability: journal records appended and fsyncs issued (across
+    /// rotations), checkpoints written, whether this process recovered
+    /// persisted state at startup, torn records recovery dropped, and
+    /// the read-only degradation flag. All zero with durability off.
+    int64_t journal_appends = 0;
+    int64_t fsyncs = 0;
+    int64_t checkpoints = 0;
+    int64_t recoveries = 0;
+    int64_t torn_records_dropped = 0;
+    bool read_only = false;
     EngineStats repair;  // base_deltas, strata_repaired, overdeleted, ...
   };
   Counters counters() const;
@@ -168,6 +246,18 @@ class QueryServer {
               RuleBase rules, Database base);
 
   Status InitEngines();
+
+  /// Renders `delta` to symbol names and appends it as the record
+  /// committing `epoch_ + 1`, with bounded retry/backoff. Epoch lock
+  /// held exclusive.
+  Status JournalAppend(const BaseDelta& delta);
+
+  /// Checkpoint + journal rotation + GC, epoch lock held exclusive.
+  Status CheckpointLocked();
+
+  /// Re-interns and applies recovered journal records to the base.
+  /// Create-time only (no locks held, no engines yet).
+  Status ApplyRecoveredRecords(const std::vector<JournalRecord>& records);
 
   /// Prepares every pooled engine's declared base probe signature and
   /// seals the base for the coming read phase. Exclusive access assumed.
@@ -200,6 +290,22 @@ class QueryServer {
   int64_t mutation_batches_ = 0;  // Guarded by epoch_mu_.
   int64_t noop_batches_ = 0;      // Guarded by epoch_mu_.
   EngineStats repair_stats_;      // Guarded by epoch_mu_.
+
+  /// Durability state, all guarded by epoch_mu_ (mutations and
+  /// checkpoints run under the exclusive lock). `journal_` is non-null
+  /// iff durability is on; it is only ever replaced by a successfully
+  /// created successor, so the invariant holds across rotation failures.
+  std::string program_;  // Text the rulebase was parsed from (checkpointed).
+  std::unique_ptr<Journal> journal_;
+  bool read_only_ = false;
+  bool shutdown_ = false;
+  int64_t last_checkpoint_epoch_ = 0;
+  int64_t checkpoints_ = 0;
+  int64_t recoveries_ = 0;
+  int64_t torn_records_dropped_ = 0;
+  /// Append/fsync totals carried over from rotated-out journals.
+  int64_t journal_appends_base_ = 0;
+  int64_t fsyncs_base_ = 0;
   std::atomic<int64_t> queries_{0};
   std::atomic<int64_t> cache_hits_cross_query_{0};
   std::atomic<int64_t> contexts_reused_{0};
